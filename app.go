@@ -1,0 +1,280 @@
+// Package webmlgo is a model-driven generator and runtime for
+// data-intensive Web applications, reproducing the architecture of
+// WebRatio as described in Ceri & Fraternali et al., "Architectural
+// Issues and Solutions in the Development of Data-Intensive Web
+// Applications" (CIDR 2003).
+//
+// An application is specified by an Entity-Relationship data model plus
+// a WebML hypertext model. New compiles the specification — relational
+// DDL, XML unit/page descriptors, controller configuration, template
+// skeletons — and assembles the MVC 2 runtime: an http.Handler whose
+// Controller dispatches page and operation actions to one generic page
+// service and one generic unit service per unit kind.
+//
+// A minimal application:
+//
+//	model := webmlgo.NewBuilder("hello", schema) // ... build pages ...
+//	app, err := webmlgo.New(model.MustBuild(),
+//	    webmlgo.WithBeanCache(4096),
+//	    webmlgo.WithCompiledStyle(webmlgo.B2CStyle()))
+//	http.ListenAndServe(":8080", app.Handler())
+package webmlgo
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"webmlgo/internal/cache"
+	"webmlgo/internal/codegen"
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/ejb"
+	"webmlgo/internal/mvc"
+	"webmlgo/internal/rdb"
+	"webmlgo/internal/render"
+	"webmlgo/internal/style"
+	"webmlgo/internal/webml"
+)
+
+// App is a fully assembled application: generated artifacts plus the
+// running MVC stack.
+type App struct {
+	Model     *webml.Model
+	Artifacts *codegen.Artifacts
+	DB        *rdb.DB
+
+	Controller *mvc.Controller
+	Renderer   *render.Engine
+	Business   mvc.Business
+
+	// BeanCache / FragmentCache / PageCache are non-nil when the
+	// corresponding options were set.
+	BeanCache     *cache.BeanCache
+	FragmentCache *cache.FragmentCache
+	PageCache     *cache.PageCache
+
+	// Remote is the application-server client when WithAppServer is set.
+	Remote *ejb.RemoteBusiness
+}
+
+type config struct {
+	db            *rdb.DB
+	beanCache     int
+	withBeanCache bool
+	fragCache     int
+	fragTTL       time.Duration
+	withFragCache bool
+	compiled      *style.RuleSet
+	bySiteView    map[string]*style.RuleSet
+	runtime       *style.RuntimeStyler
+	appServer     []string
+	latency       time.Duration
+	remotePages   bool
+	skipDDL       bool
+	withPageCache bool
+	pageCache     int
+	pageTTL       time.Duration
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithDatabase runs the application over an existing database (the
+// schema must already match the model's DDL). Without it, New opens a
+// fresh in-memory database and applies the generated DDL.
+func WithDatabase(db *rdb.DB) Option {
+	return func(c *config) { c.db = db; c.skipDDL = true }
+}
+
+// WithBeanCache enables the business-tier bean cache with the given
+// capacity (<=0 selects the default).
+func WithBeanCache(capacity int) Option {
+	return func(c *config) { c.withBeanCache = true; c.beanCache = capacity }
+}
+
+// WithFragmentCache enables ESI-style template-fragment caching.
+func WithFragmentCache(capacity int, ttl time.Duration) Option {
+	return func(c *config) { c.withFragCache = true; c.fragCache = capacity; c.fragTTL = ttl }
+}
+
+// WithPageCache puts a first-generation whole-page cache in front of the
+// application (anonymous GETs only). Section 6 explains why this is
+// inadequate for personalized applications — the option exists as the
+// E6 comparison point and for purely anonymous read-only deployments.
+func WithPageCache(capacity int, ttl time.Duration) Option {
+	return func(c *config) { c.withPageCache = true; c.pageCache = capacity; c.pageTTL = ttl }
+}
+
+// WithCompiledStyle applies a presentation rule set to every template at
+// generation time (the efficient mode of Section 5).
+func WithCompiledStyle(rs *style.RuleSet) Option {
+	return func(c *config) { c.compiled = rs }
+}
+
+// WithRuntimeStyle applies presentation rules per request, dispatching
+// on the User-Agent (the multi-device mode of Section 5). It overrides
+// WithCompiledStyle.
+func WithRuntimeStyle(s *style.RuntimeStyler) Option {
+	return func(c *config) { c.runtime = s }
+}
+
+// WithSiteViewStyles compiles a different rule set per site view (keyed
+// by site view ID), with def for unlisted site views — the Acer-Euro
+// arrangement of one style sheet per site-view group.
+func WithSiteViewStyles(bySiteView map[string]*style.RuleSet, def *style.RuleSet) Option {
+	return func(c *config) { c.bySiteView = bySiteView; c.compiled = def }
+}
+
+// WithAppServer routes the business tier through remote containers at
+// the given addresses (Figure 6) instead of in-process services.
+func WithAppServer(addrs ...string) Option {
+	return func(c *config) { c.appServer = addrs }
+}
+
+// WithSimulatedLatency injects an artificial delay per remote business
+// call (only meaningful with WithAppServer).
+func WithSimulatedLatency(d time.Duration) Option {
+	return func(c *config) { c.latency = d }
+}
+
+// WithRemotePages computes whole pages in the application server (one
+// round trip per page via the container's deployed page service) instead
+// of one remote call per unit. Requires WithAppServer.
+func WithRemotePages() Option {
+	return func(c *config) { c.remotePages = true }
+}
+
+// New validates the model, generates all artifacts, and assembles the
+// runtime.
+func New(model *webml.Model, opts ...Option) (*App, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	gen, err := codegen.New(model)
+	if err != nil {
+		return nil, err
+	}
+	art, err := gen.Generate()
+	if err != nil {
+		return nil, err
+	}
+	app := &App{Model: model, Artifacts: art}
+
+	app.DB = cfg.db
+	if app.DB == nil {
+		app.DB = rdb.Open()
+	}
+	if !cfg.skipDDL {
+		for _, stmt := range art.DDL {
+			if _, err := app.DB.Exec(stmt); err != nil {
+				return nil, fmt.Errorf("webmlgo: applying DDL: %w", err)
+			}
+		}
+	}
+
+	// Business tier: local or application-server, optionally cached.
+	if len(cfg.appServer) > 0 {
+		remote, err := ejb.Dial(cfg.appServer...)
+		if err != nil {
+			return nil, err
+		}
+		remote.Latency = cfg.latency
+		app.Remote = remote
+		app.Business = remote
+	} else {
+		app.Business = mvc.NewLocalBusiness(app.DB)
+	}
+	if cfg.withBeanCache {
+		app.BeanCache = cache.NewBeanCache(cfg.beanCache)
+		app.Business = mvc.NewCachedBusiness(app.Business, app.BeanCache)
+	}
+
+	// Presentation.
+	switch {
+	case cfg.runtime != nil:
+		// Runtime styling: skeletons stay raw, rules apply per request.
+	case cfg.bySiteView != nil:
+		if _, err := style.CompileBySiteView(art.Repo, cfg.bySiteView, cfg.compiled); err != nil {
+			return nil, err
+		}
+	case cfg.compiled != nil:
+		if _, err := style.CompileTemplates(art.Repo, cfg.compiled); err != nil {
+			return nil, err
+		}
+	}
+	app.Renderer = render.NewEngine(art.Repo)
+	if cfg.runtime != nil {
+		app.Renderer.Styler = cfg.runtime
+	}
+	if cfg.withFragCache {
+		app.FragmentCache = cache.NewFragmentCache(cfg.fragCache, cfg.fragTTL)
+		app.Renderer.Fragments = app.FragmentCache
+	}
+
+	app.Controller = mvc.NewController(art.Repo, app.Business, app.Renderer)
+	if cfg.remotePages {
+		if app.Remote == nil {
+			return nil, fmt.Errorf("webmlgo: WithRemotePages requires WithAppServer")
+		}
+		app.Controller.Pages = app.Remote.Pages()
+	}
+	if cfg.withPageCache {
+		app.PageCache = cache.NewPageCache(cfg.pageCache, cfg.pageTTL)
+		app.PageCache.BypassCookie = "WSESSION"
+	}
+	return app, nil
+}
+
+// Handler returns the application's HTTP entry point (with the whole-page
+// cache in front when WithPageCache was set).
+func (a *App) Handler() http.Handler {
+	if a.PageCache != nil {
+		return a.PageCache.Wrap(a.Controller)
+	}
+	return a.Controller
+}
+
+// LocalBusiness returns the in-process business tier, or nil when the
+// app runs against an application server. Use it to register plug-in
+// unit services and custom components.
+func (a *App) LocalBusiness() *mvc.LocalBusiness {
+	switch b := a.Business.(type) {
+	case *mvc.LocalBusiness:
+		return b
+	case *mvc.CachedBusiness:
+		if lb, ok := b.Inner.(*mvc.LocalBusiness); ok {
+			return lb
+		}
+	}
+	return nil
+}
+
+// DeployContainer deploys this application's business tier — unit,
+// operation AND page services — into an application-server container
+// listening on addr and returns the bound address: the server half of
+// Figure 6. A separate App created with WithAppServer(addr) then acts as
+// the web tier; add WithRemotePages to compute whole pages in one round
+// trip.
+func DeployContainer(model *webml.Model, db *rdb.DB, capacity int, addr string) (*ejb.Container, string, error) {
+	gen, err := codegen.New(model)
+	if err != nil {
+		return nil, "", err
+	}
+	art, err := gen.Generate()
+	if err != nil {
+		return nil, "", err
+	}
+	business := mvc.NewLocalBusiness(db)
+	ctr := ejb.NewContainer(business, capacity)
+	ctr.DeployPages(&mvc.PageService{Repo: art.Repo, Business: business})
+	bound, err := ctr.Serve(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return ctr, bound, nil
+}
+
+// Repo exposes the generated descriptor repository (for query overrides
+// and inspection).
+func (a *App) Repo() *descriptor.Repository { return a.Artifacts.Repo }

@@ -1,0 +1,406 @@
+package webmlgo
+
+// Benchmark harness: one benchmark (or benchmark pair) per figure /
+// experiment of the paper. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"webmlgo/internal/baseline"
+	"webmlgo/internal/codegen"
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/dom"
+	"webmlgo/internal/ejb"
+	"webmlgo/internal/fixture"
+	"webmlgo/internal/mvc"
+	"webmlgo/internal/rdb"
+	"webmlgo/internal/workload"
+)
+
+func benchApp(b *testing.B, opts ...Option) *App {
+	b.Helper()
+	app, err := New(fixture.Figure1Model(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fixture.Seed(app.DB); err != nil {
+		b.Fatal(err)
+	}
+	return app
+}
+
+func doGet(h http.Handler, path string) int {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code
+}
+
+// --- E1 (Figures 1–2): the ACM DL volume page end to end. ---
+
+func BenchmarkE1Figure1VolumePage(b *testing.B) {
+	app := benchApp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := doGet(app.Handler(), "/page/volumePage?volume=1"); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// --- E2 (Sections 2–3, Figures 3–4): template-based vs MVC. ---
+
+func BenchmarkE2TemplateBasedPage(b *testing.B) {
+	model := fixture.Figure1Model()
+	g, err := codegen.New(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	art, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := rdb.Open()
+	for _, stmt := range art.DDL {
+		if _, err := db.Exec(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fixture.Seed(db); err != nil {
+		b.Fatal(err)
+	}
+	app := baseline.Build(model, art, db)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := doGet(app, "/tpl/volumePage?volume=1"); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+func BenchmarkE2MVCPage(b *testing.B) {
+	app := benchApp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := doGet(app.Handler(), "/page/volumePage?volume=1"); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// --- E3 (Figure 5): dedicated unit services vs one generic service
+// driven by a descriptor. The dedicated variant is what a per-unit code
+// generator (or programmer) would emit: the query text, parameter list
+// and bean layout baked into code. ---
+
+func e3Setup(b *testing.B) (*rdb.DB, *descriptor.Unit) {
+	b.Helper()
+	app := benchApp(b)
+	return app.DB, app.Repo().Unit("volumeData")
+}
+
+func BenchmarkE3DedicatedUnitService(b *testing.B) {
+	db, _ := e3Setup(b)
+	// Hand-specialized service for the volumeData unit.
+	dedicated := func(volume mvc.Value) (*mvc.UnitBean, error) {
+		rows, err := db.Query("SELECT t.oid, t.title, t.year FROM volume t WHERE t.oid = ?", volume)
+		if err != nil {
+			return nil, err
+		}
+		bean := &mvc.UnitBean{UnitID: "volumeData", Kind: "data", Fields: []string{"oid", "Title", "Year"}}
+		for _, r := range rows.Data {
+			bean.Nodes = append(bean.Nodes, mvc.Node{Values: mvc.Row{
+				"oid": r[0], "Title": r[1], "Year": r[2],
+			}})
+		}
+		return bean, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dedicated(int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3GenericUnitService(b *testing.B) {
+	db, d := e3Setup(b)
+	business := mvc.NewLocalBusiness(db)
+	inputs := map[string]mvc.Value{"volume": int64(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := business.ComputeUnit(d, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4 (Figure 6): in-container vs application-server business tier. ---
+
+func BenchmarkE4InContainerBusiness(b *testing.B) {
+	app := benchApp(b)
+	d := app.Repo().Unit("volumeData")
+	inputs := map[string]mvc.Value{"volume": int64(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Business.ComputeUnit(d, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4AppServerBusiness(b *testing.B) {
+	app := benchApp(b)
+	ctr := ejb.NewContainer(mvc.NewLocalBusiness(app.DB), 16)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctr.Close()
+	remote, err := ejb.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Close()
+	d := app.Repo().Unit("volumeData")
+	inputs := map[string]mvc.Value{"volume": int64(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.ComputeUnit(d, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5 (Figure 7, Section 5): compile-time vs runtime styling. ---
+
+func BenchmarkE5CompiledStylePage(b *testing.B) {
+	app := benchApp(b, WithCompiledStyle(B2CStyle()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := doGet(app.Handler(), "/page/volumePage?volume=1"); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+func BenchmarkE5RuntimeStylePage(b *testing.B) {
+	app := benchApp(b, WithRuntimeStyle(MultiDevice(B2CStyle())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := doGet(app.Handler(), "/page/volumePage?volume=1"); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkE5RuleApplication measures the rule engine alone: one
+// skeleton transformed into a final template.
+func BenchmarkE5RuleApplication(b *testing.B) {
+	model := fixture.Figure1Model()
+	g, err := codegen.New(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skeleton, err := dom.Parse(g.Skeleton(model.PageByID("volumePage")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := B2CStyle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rs.Apply(skeleton); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6 (Section 6): cache level comparison on a cache-friendly page. ---
+
+func BenchmarkE6NoCache(b *testing.B) {
+	app := benchApp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doGet(app.Handler(), "/page/volumePage?volume=1")
+	}
+}
+
+func BenchmarkE6FragmentCacheOnly(b *testing.B) {
+	app := benchApp(b, WithFragmentCache(4096, time.Minute))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doGet(app.Handler(), "/page/volumePage?volume=1")
+	}
+}
+
+func BenchmarkE6TwoLevelCache(b *testing.B) {
+	app := benchApp(b, WithBeanCache(4096), WithFragmentCache(4096, time.Minute))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doGet(app.Handler(), "/page/volumePage?volume=1")
+	}
+}
+
+// BenchmarkE6TwoLevelCacheWithWrites mixes 1 write per 64 reads, so
+// model-driven invalidation costs are included.
+func BenchmarkE6TwoLevelCacheWithWrites(b *testing.B) {
+	app := benchApp(b, WithBeanCache(4096), WithFragmentCache(4096, time.Minute))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			doGet(app.Handler(), fmt.Sprintf("/op/createVolume?title=V%d&year=2003", i))
+			continue
+		}
+		doGet(app.Handler(), "/page/volumePage?volume=1")
+	}
+}
+
+// --- E7 (Section 8): full Acer-Euro-scale generation. ---
+
+func BenchmarkE7AcerEuroGeneration(b *testing.B) {
+	model, err := workload.Generate(workload.AcerEuro())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := codegen.New(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		art, err := g.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if art.Stats.Pages != 556 {
+			b.Fatal("wrong shape")
+		}
+	}
+}
+
+func BenchmarkE7AcerEuroValidation(b *testing.B) {
+	model, err := workload.Generate(workload.AcerEuro())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := model.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7AcerEuroRequestMix serves the synthetic browse mix against
+// the small-spec generated application (the full 556-page app works too,
+// but the small spec keeps the benchmark turnaround reasonable; the
+// request path cost is per page, not per application size).
+func BenchmarkE7GeneratedAppRequestMix(b *testing.B) {
+	model, err := workload.Generate(workload.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := New(model, WithBeanCache(8192))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.Populate(app.DB, 50, 7); err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.Requests(model, 256, 50, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doGet(app.Handler(), reqs[i%len(reqs)].Path)
+	}
+}
+
+// BenchmarkE4AppServerWholePage is the "Page EJBs" deployment: the whole
+// page computes server-side in one round trip (vs one RPC per unit when
+// only unit services are remote).
+func BenchmarkE4AppServerWholePage(b *testing.B) {
+	app := benchApp(b)
+	lb := mvc.NewLocalBusiness(app.DB)
+	ctr := ejb.NewContainer(lb, 16)
+	ctr.DeployPages(&mvc.PageService{Repo: app.Repo(), Business: lb})
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctr.Close()
+	remote, err := ejb.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Close()
+	pages := remote.Pages()
+	params := map[string]mvc.Value{"volume": int64(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pages.ComputePage("volumePage", params, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4AppServerPerUnitPage computes the same page with one remote
+// call per unit (remote unit services, local page service).
+func BenchmarkE4AppServerPerUnitPage(b *testing.B) {
+	app := benchApp(b)
+	ctr := ejb.NewContainer(mvc.NewLocalBusiness(app.DB), 16)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ctr.Close()
+	remote, err := ejb.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Close()
+	pages := &mvc.PageService{Repo: app.Repo(), Business: remote}
+	params := map[string]mvc.Value{"volume": int64(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pages.ComputePage("volumePage", params, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6WholePageCache is the first-generation comparator: fastest
+// on anonymous repeats, but stale after writes (see TestWithPageCache).
+func BenchmarkE6WholePageCache(b *testing.B) {
+	app := benchApp(b, WithPageCache(4096, time.Minute))
+	h := app.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doGet(h, "/page/volumePage?volume=1")
+	}
+}

@@ -1,0 +1,365 @@
+// Command experiments regenerates every figure and reported experience
+// number of the paper as text tables (paper-vs-measured). Each
+// experiment is addressable by ID; with no arguments all run.
+//
+//	go run ./cmd/experiments            # all experiments
+//	go run ./cmd/experiments e3 e7      # a subset
+//
+// The experiment index lives in DESIGN.md; results are recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"webmlgo"
+	"webmlgo/internal/baseline"
+	"webmlgo/internal/codegen"
+	"webmlgo/internal/ejb"
+	"webmlgo/internal/fixture"
+	"webmlgo/internal/mvc"
+	"webmlgo/internal/rdb"
+	"webmlgo/internal/style"
+	"webmlgo/internal/workload"
+)
+
+func main() {
+	all := []struct {
+		id  string
+		fn  func()
+		hdr string
+	}{
+		{"e1", e1, "E1 (Fig. 1-2): the ACM DL volume page"},
+		{"e2", e2, "E2 (Sec. 2-3, Fig. 3-4): template-based vs MVC"},
+		{"e3", e3, "E3 (Fig. 5): generic services + descriptors"},
+		{"e4", e4, "E4 (Sec. 4, Fig. 6): application-server tier"},
+		{"e5", e5, "E5 (Sec. 5, Fig. 7): presentation rules"},
+		{"e6", e6, "E6 (Sec. 6): two-level caching"},
+		{"e7", e7, "E7 (Sec. 8): Acer-Euro-scale generation"},
+		{"e8", e8, "E8 (Sec. 1): scaling to thousands of page templates"},
+	}
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("\n================================================================\n%s\n================================================================\n", e.hdr)
+		e.fn()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fixtureApp(opts ...webmlgo.Option) *webmlgo.App {
+	app, err := webmlgo.New(fixture.Figure1Model(), opts...)
+	must(err)
+	must(fixture.Seed(app.DB))
+	return app
+}
+
+func get(h http.Handler, path string) (int, string) {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String()
+}
+
+// timeOp returns the mean latency of fn over n runs.
+func timeOp(n int, fn func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+func e1() {
+	app := fixtureApp()
+	code, body := get(app.Handler(), "/page/volumePage?volume=1")
+	checks := []struct {
+		what string
+		ok   bool
+	}{
+		{"page served (HTTP 200)", code == 200},
+		{"data unit shows the selected volume", strings.Contains(body, "TODS Volume 27")},
+		{"hierarchical index nests papers under issues", strings.Contains(body, "webml-level-1")},
+		{"nested papers anchor to the paper page", strings.Contains(body, "/page/paperPage?paper=")},
+		{"entry unit posts the keyword to the search page", strings.Contains(body, `action="/page/searchResults"`)},
+		{"relationship scoping excludes other volumes", !strings.Contains(body, "Views and Updates")},
+	}
+	fmt.Println("Reproduction of the Figure 1 page model (checked on rendered output):")
+	for _, c := range checks {
+		mark := "FAIL"
+		if c.ok {
+			mark = "ok"
+		}
+		fmt.Printf("  [%-4s] %s\n", mark, c.what)
+	}
+	lat := timeOp(2000, func() { get(app.Handler(), "/page/volumePage?volume=1") })
+	fmt.Printf("  end-to-end page latency: %v\n", lat)
+}
+
+func e2() {
+	model := fixture.Figure1Model()
+	g, err := codegen.New(model)
+	must(err)
+	art, err := g.Generate()
+	must(err)
+	db := rdb.Open()
+	for _, stmt := range art.DDL {
+		_, err := db.Exec(stmt)
+		must(err)
+	}
+	must(fixture.Seed(db))
+	tplApp := baseline.Build(model, art, db)
+	mvcApp := fixtureApp()
+
+	tpl := timeOp(2000, func() { get(tplApp, "/tpl/volumePage?volume=1") })
+	mvc2 := timeOp(2000, func() { get(mvcApp.Handler(), "/page/volumePage?volume=1") })
+	fmt.Println("Request latency (same page, same queries, same data):")
+	fmt.Printf("  template-based (Sec. 2): %10v per request\n", tpl)
+	fmt.Printf("  MVC 2 (Sec. 3):          %10v per request  (x%.2f)\n", mvc2, float64(mvc2)/float64(tpl))
+
+	fmt.Println("\nChange impact of relocating the paper details page (Sec. 7):")
+	impact := tplApp.ImpactOfMovingPage("paperPage")
+	fmt.Printf("  template-based: %d page templates must be edited by hand (%v)\n",
+		impact.BaselineTemplatesTouched, tplApp.TemplatesReferencing("paperPage"))
+	fmt.Printf("  MVC 2:          %d templates touched; controller config regenerated: %v\n",
+		impact.MVCTemplatesTouched, impact.MVCConfigRegenerated)
+	st := tplApp.Stats()
+	fmt.Printf("\nBaseline liabilities: %d templates, %d embedded SQL strings, %d hardwired URLs\n",
+		st.Templates, st.EmbeddedQueries, st.HardwiredURLs)
+}
+
+func e3() {
+	fmt.Println("Artifact counts at Acer-Euro scale (paper, Section 8):")
+	model, err := workload.Generate(workload.AcerEuro())
+	must(err)
+	g, err := codegen.New(model)
+	must(err)
+	art, err := g.Generate()
+	must(err)
+	s := art.Stats
+	fmt.Printf("  %-42s %10s %10s\n", "", "paper", "measured")
+	row := func(what string, paper interface{}, measured interface{}) {
+		fmt.Printf("  %-42s %10v %10v\n", what, paper, measured)
+	}
+	row("site views", 22, s.SiteViews)
+	row("page templates", 556, s.Pages)
+	row("units (content + operations)", 3068, s.ContentUnits+s.Operations)
+	row("SQL queries", ">3000", s.Queries)
+	row("conventional MVC page classes", 556, s.ConventionalPageClasses)
+	row("conventional MVC unit classes", 3068, s.ConventionalUnitClasses)
+	row("generic page services", 1, s.GenericPageServices)
+	row("generic unit services", 11, s.GenericUnitServices)
+	row("page descriptors (XML)", 556, s.PageDescriptors)
+	row("unit descriptors (XML)", 3068, s.UnitDescriptors)
+
+	// Runtime cost of genericity (Figure 5's trade).
+	app := fixtureApp()
+	d := app.Repo().Unit("volumeData")
+	business := mvc.NewLocalBusiness(app.DB)
+	generic := timeOp(20000, func() {
+		business.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}) //nolint:errcheck
+	})
+	dedicated := timeOp(20000, func() {
+		rows, _ := app.DB.Query("SELECT t.oid, t.title, t.year FROM volume t WHERE t.oid = ?", int64(1))
+		_ = rows
+	})
+	fmt.Printf("\nGenericity overhead per unit computation: dedicated %v vs generic %v (x%.2f)\n",
+		dedicated, generic, float64(generic)/float64(dedicated))
+}
+
+func e4() {
+	app := fixtureApp()
+	d := app.Repo().Unit("volumeData")
+	inputs := map[string]mvc.Value{"volume": int64(1)}
+
+	local := mvc.NewLocalBusiness(app.DB)
+	inProc := timeOp(20000, func() { local.ComputeUnit(d, inputs) }) //nolint:errcheck
+
+	ctr := ejb.NewContainer(mvc.NewLocalBusiness(app.DB), 16)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	must(err)
+	defer ctr.Close()
+	remote, err := ejb.Dial(addr)
+	must(err)
+	defer remote.Close()
+	rem := timeOp(5000, func() { remote.ComputeUnit(d, inputs) }) //nolint:errcheck
+
+	fmt.Println("Unit-service invocation cost (Figure 6 trade-off):")
+	fmt.Printf("  in servlet container (local call):   %10v\n", inProc)
+	fmt.Printf("  in application server (TCP + gob):   %10v  (x%.1f)\n", rem, float64(rem)/float64(inProc))
+	fmt.Println("\nWhat the split buys (Section 4):")
+	fmt.Println("  - non-Web applications invoke the same deployed components")
+	fmt.Printf("  - capacity rescales at runtime: %+v", ctr.Metrics())
+	ctr.SetCapacity(4)
+	fmt.Printf(" -> SetCapacity(4) -> %+v\n", ctr.Metrics())
+}
+
+func e5() {
+	// Compile-time vs runtime styling.
+	compiled := fixtureApp(webmlgo.WithCompiledStyle(webmlgo.B2CStyle()))
+	runtime := fixtureApp(webmlgo.WithRuntimeStyle(webmlgo.MultiDevice(webmlgo.B2CStyle())))
+	c := timeOp(2000, func() { get(compiled.Handler(), "/page/volumePage?volume=1") })
+	r := timeOp(2000, func() { get(runtime.Handler(), "/page/volumePage?volume=1") })
+	fmt.Println("Styled page latency (Section 5):")
+	fmt.Printf("  rules applied at compile time: %10v per request\n", c)
+	fmt.Printf("  rules applied at request time: %10v per request  (x%.2f, buys multi-device)\n",
+		r, float64(r)/float64(c))
+
+	// Multi-device adaptation.
+	req := httptest.NewRequest(http.MethodGet, "/page/volumePage?volume=1", nil)
+	req.Header.Set("User-Agent", "Mozilla/5.0 (iPhone; Mobile)")
+	rr := httptest.NewRecorder()
+	runtime.Handler().ServeHTTP(rr, req)
+	fmt.Printf("  mobile User-Agent served the %q rule set: %v\n",
+		"mobile", strings.Contains(rr.Body.String(), "m-unit"))
+
+	// Three rule sets cover every page of the 556-page application, one
+	// per site-view group (B2C / B2B / content management), exactly the
+	// Acer-Euro arrangement.
+	model, err := workload.Generate(workload.AcerEuro())
+	must(err)
+	g, err := codegen.New(model)
+	must(err)
+	art, err := g.Generate()
+	must(err)
+	bySV := map[string]*style.RuleSet{}
+	for i, sv := range model.SiteViews {
+		switch i % 3 {
+		case 0:
+			bySV[sv.ID] = style.B2CRuleSet()
+		case 1:
+			bySV[sv.ID] = style.B2BRuleSet()
+		default:
+			bySV[sv.ID] = style.IntranetRuleSet()
+		}
+	}
+	start := time.Now()
+	counts, err := style.CompileBySiteView(art.Repo, bySV, nil)
+	must(err)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Printf("\nPresentation coverage (Section 8): 3 rule sets styled all %d page templates in %v\n",
+		total, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  per group: b2c=%d, b2b=%d, intranet=%d\n", counts["b2c"], counts["b2b"], counts["intranet"])
+	fmt.Println("  paper: \"for all the 556 pages the look & feel has been produced by only three XSL style sheets\"")
+}
+
+func e6() {
+	type variant struct {
+		name string
+		app  *webmlgo.App
+	}
+	variants := []variant{
+		{"no cache", fixtureApp()},
+		{"fragment cache only (ESI-style)", fixtureApp(webmlgo.WithFragmentCache(4096, time.Minute))},
+		{"two-level (bean + fragment)", fixtureApp(webmlgo.WithBeanCache(4096), webmlgo.WithFragmentCache(4096, time.Minute))},
+	}
+	fmt.Println("Hot-page latency by cache architecture (Section 6):")
+	for _, v := range variants {
+		lat := timeOp(3000, func() { get(v.app.Handler(), "/page/volumePage?volume=1") })
+		fmt.Printf("  %-34s %10v per request\n", v.name, lat)
+	}
+	fmt.Println("\n  (the fragment level spares only markup computation, \"not the execution")
+	fmt.Println("   of the data extraction queries\" — the bean level spares those)")
+
+	// Model-driven invalidation correctness.
+	app := fixtureApp(webmlgo.WithBeanCache(4096), webmlgo.WithFragmentCache(4096, time.Minute))
+	get(app.Handler(), "/page/volumePage?volume=1")
+	get(app.Handler(), "/page/volumesPage")
+	before := app.BeanCache.Len()
+	get(app.Handler(), "/op/createVolume?title=X&year=2004")
+	after := app.BeanCache.Len()
+	_, body := get(app.Handler(), "/page/volumesPage")
+	fmt.Printf("\nModel-driven invalidation: create(Volume) dropped %d dependent beans (of %d);\n", before-after, before)
+	fmt.Printf("  next read is fresh: page lists the new volume: %v\n", strings.Contains(body, ">X<") || strings.Contains(body, "X</a>"))
+	fmt.Printf("  cache stats: %+v\n", app.BeanCache.Stats())
+}
+
+func e7() {
+	spec := workload.AcerEuro()
+	start := time.Now()
+	model, err := workload.Generate(spec)
+	must(err)
+	modelTime := time.Since(start)
+
+	start = time.Now()
+	g, err := codegen.New(model)
+	must(err)
+	art, err := g.Generate()
+	must(err)
+	genTime := time.Since(start)
+
+	s := art.Stats
+	fmt.Printf("Generated the Acer-Euro-shaped application: model in %v, full code generation in %v\n",
+		modelTime.Round(time.Millisecond), genTime.Round(time.Millisecond))
+	fmt.Println(s.String())
+
+	// The "<5% manual retouching" experience: hand-tune 3% of unit
+	// descriptors, regenerate, verify every override survives.
+	units := art.Repo.Units()
+	overridden := 0
+	for i, u := range units {
+		if i%33 == 0 && u.Query != "" {
+			must(art.Repo.OverrideQuery(u.ID, u.Query+" -- hand-optimized"))
+			overridden++
+		}
+	}
+	art2, err := g.Regenerate(art.Repo)
+	must(err)
+	preserved := art2.Repo.OptimizedCount()
+	fmt.Printf("\nOverride preservation (Sec. 6/8): %d/%d descriptors hand-optimized (%.1f%%), %d preserved across regeneration\n",
+		overridden, len(units), 100*float64(overridden)/float64(len(units)), preserved)
+	fmt.Println("  paper: \"less than 5% of the template source code and SQL queries needed manual retouching\"")
+}
+
+// e8 verifies the Section 1 scaling requirement: "the design and code
+// generation process should scale to thousands of dynamic page templates
+// and hundreds of thousands database queries". The sweep generates
+// applications of growing size and reports wall times; the shape of
+// interest is near-linear growth.
+func e8() {
+	fmt.Printf("  %10s %10s %10s %14s %14s\n", "pages", "units", "queries", "model build", "codegen")
+	for _, scale := range []struct {
+		sv, pages, units int
+	}{
+		{6, 100, 550},
+		{12, 278, 1534},
+		{22, 556, 3068},
+		{44, 1112, 6136},
+		{66, 2224, 12272},
+	} {
+		spec := workload.Spec{SiteViews: scale.sv, Pages: scale.pages, Units: scale.units, Seed: 2003}
+		t0 := time.Now()
+		m, err := workload.Generate(spec)
+		must(err)
+		tModel := time.Since(t0)
+		t0 = time.Now()
+		g, err := codegen.New(m)
+		must(err)
+		art, err := g.Generate()
+		must(err)
+		tGen := time.Since(t0)
+		fmt.Printf("  %10d %10d %10d %14v %14v\n",
+			art.Stats.Pages, art.Stats.ContentUnits+art.Stats.Operations, art.Stats.Queries,
+			tModel.Round(time.Millisecond), tGen.Round(time.Millisecond))
+	}
+	fmt.Println("  (model build time includes full validation of the hypertext)")
+}

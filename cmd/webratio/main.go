@@ -1,0 +1,407 @@
+// Command webratio is the development CLI: it validates models,
+// generates the implementation artifacts to disk (unit/page descriptors,
+// controller configuration, template skeletons, DDL), reports model
+// statistics, and serves a generated application.
+//
+// Built-in models are addressed by name, mirroring how the paper's tool
+// starts from a stored specification:
+//
+//	acm                 the Figure 1 ACM Digital Library fragment
+//	acer                the full Acer-Euro-shaped application (556 pages)
+//	acer:<sv>:<pg>:<un> a custom-sized Acer-Euro-shaped application
+//
+// Usage:
+//
+//	webratio validate -model acm
+//	webratio stats    -model acer
+//	webratio generate -model acm -out ./generated [-style b2c]
+//	webratio serve    -model acm -addr :8080 [-style b2c] [-cache]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"webmlgo"
+	"webmlgo/internal/codegen"
+	"webmlgo/internal/er"
+	"webmlgo/internal/fixture"
+	"webmlgo/internal/style"
+	"webmlgo/internal/webml"
+	"webmlgo/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "validate":
+		cmdValidate(args)
+	case "generate":
+		cmdGenerate(args)
+	case "stats":
+		cmdStats(args)
+	case "serve":
+		cmdServe(args)
+	case "export":
+		cmdExport(args)
+	case "import":
+		cmdImport(args)
+	case "diagram":
+		cmdDiagram(args)
+	case "lint":
+		cmdLint(args)
+	case "bootstrap":
+		cmdBootstrap(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// cmdExport writes a model as a specification document: XML by default,
+// the textual WebML notation with -format dsl.
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	out := fs.String("out", "", "output file (default stdout)")
+	format := fs.String("format", "xml", "output format: xml or dsl")
+	fs.Parse(args) //nolint:errcheck
+	m, _, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var data []byte
+	switch *format {
+	case "xml":
+		data, err = webml.MarshalModel(m)
+	case "dsl":
+		data = []byte(webml.FormatDSL(m))
+	default:
+		log.Fatalf("webratio: unknown format %q (xml, dsl)", *format)
+	}
+	if *out == "" {
+		os.Stdout.Write(data) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported model %q (%d bytes) to %s\n", m.Name, len(data), *out)
+}
+
+// cmdImport loads an XML specification document, validates it, and
+// reports its statistics (round-trip check for hand-edited documents).
+func cmdImport(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	fs.Parse(args) //nolint:errcheck
+	if *in == "" {
+		log.Fatal("webratio: import requires -in <file>")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m *webml.Model
+	if strings.HasSuffix(*in, ".webml") {
+		m, err = webml.ParseDSL(string(data))
+	} else {
+		m, err = webml.UnmarshalModel(data)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("imported model %q: %d site views, %d pages, %d units, %d operations, %d links — valid\n",
+		m.Name, st.SiteViews, st.Pages, st.Units, st.Operations, st.Links)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: webratio <validate|generate|stats|serve> [flags]
+  validate -model <name>                 check the model
+  generate -model <name> -out <dir>      emit descriptors, config, templates, DDL
+  stats    -model <name>                 print model and artifact statistics
+  serve    -model <name> -addr <addr>    run the generated application
+  export   -model <name> [-out file]     write the model's XML document
+  import   -in <file>                    load and validate an XML document
+  diagram  -model <name> [-out file]     emit the hypertext diagram (DOT)
+  lint     -model <name>                 report design warnings
+  bootstrap -snapshot <file> -addr <a>   serve a default site over an existing database`)
+}
+
+// loadModel resolves a model name: a built-in ("acm", "acer",
+// "acer:<sv>:<pg>:<un>") or a specification file ("file:<path>", where
+// .webml selects the textual notation and anything else the XML form).
+func loadModel(name string) (*webml.Model, bool, error) {
+	switch {
+	case strings.HasPrefix(name, "file:"):
+		path := strings.TrimPrefix(name, "file:")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, false, err
+		}
+		if strings.HasSuffix(path, ".webml") {
+			m, err := webml.ParseDSL(string(data))
+			return m, false, err
+		}
+		m, err := webml.UnmarshalModel(data)
+		return m, false, err
+	case name == "acm":
+		return fixture.Figure1Model(), false, nil
+	case name == "acer":
+		m, err := workload.Generate(workload.AcerEuro())
+		return m, true, err
+	case strings.HasPrefix(name, "acer:"):
+		parts := strings.Split(name, ":")
+		if len(parts) != 4 {
+			return nil, false, fmt.Errorf("webratio: want acer:<siteviews>:<pages>:<units>, got %q", name)
+		}
+		var nums [3]int
+		for i, p := range parts[1:] {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, false, fmt.Errorf("webratio: bad number %q in %q", p, name)
+			}
+			nums[i] = n
+		}
+		m, err := workload.Generate(workload.Spec{
+			SiteViews: nums[0], Pages: nums[1], Units: nums[2], Seed: 2003,
+		})
+		return m, true, err
+	}
+	return nil, false, fmt.Errorf("webratio: unknown model %q (try acm, acer, acer:3:24:132, file:app.webml)", name)
+}
+
+func styleByName(name string) (*style.RuleSet, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "b2c":
+		return style.B2CRuleSet(), nil
+	case "b2b":
+		return style.B2BRuleSet(), nil
+	case "intranet":
+		return style.IntranetRuleSet(), nil
+	case "mobile":
+		return style.MobileRuleSet(), nil
+	}
+	return nil, fmt.Errorf("webratio: unknown style %q (b2c, b2b, intranet, mobile)", name)
+}
+
+func cmdValidate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	m, _, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("model %q is valid: %d site views, %d pages, %d units, %d operations, %d links\n",
+		m.Name, st.SiteViews, st.Pages, st.Units, st.Operations, st.Links)
+}
+
+func cmdGenerate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	out := fs.String("out", "generated", "output directory")
+	styleName := fs.String("style", "", "compile presentation rules (b2c, b2b, intranet, mobile)")
+	fs.Parse(args) //nolint:errcheck
+	m, _, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := styleByName(*styleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	g, err := codegen.New(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := g.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rs != nil {
+		if _, err := style.CompileTemplates(art.Repo, rs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := art.Repo.SaveDir(*out); err != nil {
+		log.Fatal(err)
+	}
+	ddl := strings.Join(art.DDL, ";\n\n") + ";\n"
+	if err := os.WriteFile(*out+"/schema.sql", []byte(ddl), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	units, pages, templates := art.Repo.Counts()
+	fmt.Printf("generated %d unit descriptors, %d page descriptors, %d templates, %d mappings, %d DDL statements into %s in %v\n",
+		units, pages, templates, len(art.Repo.Config().Mappings), len(art.DDL), *out, time.Since(start).Round(time.Millisecond))
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	fs.Parse(args) //nolint:errcheck
+	m, _, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := codegen.New(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := g.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(art.Stats.String())
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	addr := fs.String("addr", ":8080", "listen address")
+	styleName := fs.String("style", "b2c", "presentation rule set")
+	cacheOn := fs.Bool("cache", false, "enable the two-level cache")
+	rows := fs.Int("rows", 50, "rows per entity for synthetic models")
+	fs.Parse(args) //nolint:errcheck
+	m, synthetic, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := styleByName(*styleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var opts []webmlgo.Option
+	if rs != nil {
+		opts = append(opts, webmlgo.WithCompiledStyle(rs))
+	}
+	if *cacheOn {
+		opts = append(opts, webmlgo.WithBeanCache(8192), webmlgo.WithFragmentCache(8192, time.Minute))
+	}
+	app, err := webmlgo.New(m, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if synthetic {
+		if err := workload.Populate(app.DB, *rows, 7); err != nil {
+			log.Fatal(err)
+		}
+	} else if *model == "acm" {
+		if err := fixture.Seed(app.DB); err != nil {
+			log.Fatal(err)
+		}
+	}
+	home := "/page/" + m.SiteViews[0].Home
+	log.Printf("webratio: serving model %q on %s (try %s)", m.Name, *addr, home)
+	log.Fatal(http.ListenAndServe(*addr, app.Handler()))
+}
+
+// cmdDiagram is wired from main via the "diagram" subcommand.
+func cmdDiagram(args []string) {
+	fs := flag.NewFlagSet("diagram", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args) //nolint:errcheck
+	m, _, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dot := codegen.Diagram(m)
+	if *out == "" {
+		fmt.Print(dot)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(dot), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote WebML diagram (DOT) for %q to %s\n", m.Name, *out)
+}
+
+// cmdLint reports advisory design warnings for a model.
+func cmdLint(args []string) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	fs.Parse(args) //nolint:errcheck
+	m, _, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warnings := webml.Lint(m)
+	if len(warnings) == 0 {
+		fmt.Printf("model %q: no warnings\n", m.Name)
+		return
+	}
+	for _, w := range warnings {
+		fmt.Printf("warning: %s\n", w)
+	}
+	fmt.Printf("%d warning(s)\n", len(warnings))
+}
+
+// cmdBootstrap reverse-engineers a database snapshot, derives the
+// default browse hypertext, and serves it — an application from nothing
+// but data (Section 1's "pre-existing data sources").
+func cmdBootstrap(args []string) {
+	fs := flag.NewFlagSet("bootstrap", flag.ExitOnError)
+	snap := fs.String("snapshot", "", "database snapshot file (from SnapshotFile)")
+	addr := fs.String("addr", ":8080", "listen address")
+	exportDSL := fs.String("export", "", "write the derived model's DSL here instead of serving")
+	fs.Parse(args) //nolint:errcheck
+	if *snap == "" {
+		log.Fatal("webratio: bootstrap requires -snapshot <file>")
+	}
+	db, err := webmlgo.RestoreDatabaseFile(*snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *exportDSL != "" {
+		schema, issues, err := er.Reverse(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, is := range issues {
+			log.Printf("warning: %s", is)
+		}
+		m, err := webml.DeriveDefaultHypertext("bootstrapped", schema)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*exportDSL, []byte(webml.FormatDSL(m)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("derived model written to %s\n", *exportDSL)
+		return
+	}
+	app, issues, err := webmlgo.Bootstrap("bootstrapped", db,
+		webmlgo.WithCompiledStyle(webmlgo.B2CStyle()), webmlgo.WithBeanCache(4096))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, is := range issues {
+		log.Printf("warning: %s", is)
+	}
+	home := "/page/" + app.Model.SiteViews[0].Home
+	log.Printf("webratio: bootstrapped application on %s (try %s)", *addr, home)
+	log.Fatal(http.ListenAndServe(*addr, app.Handler()))
+}

@@ -1,0 +1,49 @@
+CREATE TABLE volume (
+  oid INTEGER PRIMARY KEY AUTOINCREMENT,
+  title TEXT NOT NULL,
+  year INTEGER
+);
+
+CREATE TABLE issue (
+  oid INTEGER PRIMARY KEY AUTOINCREMENT,
+  number INTEGER,
+  month TEXT,
+  fk_volumetoissue INTEGER,
+  FOREIGN KEY (fk_volumetoissue) REFERENCES volume(oid)
+);
+
+CREATE INDEX idx_issue_fk_volumetoissue ON issue(fk_volumetoissue);
+
+CREATE TABLE paper (
+  oid INTEGER PRIMARY KEY AUTOINCREMENT,
+  title TEXT NOT NULL,
+  abstract TEXT,
+  pages INTEGER,
+  fk_issuetopaper INTEGER,
+  FOREIGN KEY (fk_issuetopaper) REFERENCES issue(oid)
+);
+
+CREATE INDEX idx_paper_fk_issuetopaper ON paper(fk_issuetopaper);
+
+CREATE TABLE keyword (
+  oid INTEGER PRIMARY KEY AUTOINCREMENT,
+  word TEXT UNIQUE
+);
+
+CREATE TABLE rel_paperkeyword (
+  oid INTEGER PRIMARY KEY AUTOINCREMENT,
+  from_oid INTEGER NOT NULL,
+  to_oid INTEGER NOT NULL,
+  FOREIGN KEY (from_oid) REFERENCES paper(oid),
+  FOREIGN KEY (to_oid) REFERENCES keyword(oid)
+);
+
+CREATE INDEX idx_rel_paperkeyword_from ON rel_paperkeyword(from_oid);
+
+CREATE INDEX idx_rel_paperkeyword_to ON rel_paperkeyword(to_oid);
+
+CREATE ORDERED INDEX ord_issue_number ON issue(number);
+
+CREATE ORDERED INDEX ord_paper_title ON paper(title);
+
+CREATE ORDERED INDEX ord_volume_year ON volume(year);

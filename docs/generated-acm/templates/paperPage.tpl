@@ -1,0 +1,33 @@
+<html data-page="paperPage" data-layout="one-column" data-style="b2c"><head><title>Paper Details</title><style>/* b2c style sheet (generated) */
+body { font-family: sans-serif; margin: 0; }
+.site-header { background: #1a4a7a; color: #fff; padding: 10px 16px; }
+.site-main { padding: 12px 16px; }
+.webml-error { background: #fee; color: #900; padding: 6px; }
+/* data unit */
+.webml-data { border: 1px solid #1a4a7a; padding: 8px; margin: 6px 0; }
+.webml-data .unit-title { color: #1a4a7a; font-weight: bold; }
+.webml-data dt { font-weight: bold; }
+.webml-data dd { margin: 0 0 4px 12px; }
+/* entry unit */
+.webml-entry { border: 1px solid #1a4a7a; padding: 8px; margin: 6px 0; }
+.webml-entry .unit-title { color: #1a4a7a; font-weight: bold; }
+.webml-entry label { display: block; margin: 4px 0; }
+.webml-field-error { color: #b00; }
+/* index unit */
+.webml-index { border: 1px solid #1a4a7a; padding: 8px; margin: 6px 0; }
+.webml-index .unit-title { color: #1a4a7a; font-weight: bold; }
+.webml-index li { list-style: square; margin: 2px 0; }
+/* multichoice unit */
+.webml-multichoice { border: 1px solid #1a4a7a; padding: 8px; margin: 6px 0; }
+.webml-multichoice .unit-title { color: #1a4a7a; font-weight: bold; }
+.webml-multichoice label { display: block; }
+/* multidata unit */
+.webml-multidata { border: 1px solid #1a4a7a; padding: 8px; margin: 6px 0; }
+.webml-multidata .unit-title { color: #1a4a7a; font-weight: bold; }
+.webml-multidata table { border-collapse: collapse; }
+.webml-multidata th, .webml-multidata td { border: 1px solid #ccc; padding: 4px; }
+/* scroller unit */
+.webml-scroller { border: 1px solid #1a4a7a; padding: 8px; margin: 6px 0; }
+.webml-scroller .unit-title { color: #1a4a7a; font-weight: bold; }
+.webml-scroller li { list-style: square; margin: 2px 0; }
+</style></head><body><div class="site"><div class="site-header"><h1>Paper Details</h1></div><div class="site-main"><div class="page-content"><table class="page-grid"><tr><td><div class="unit-box unit-box-data"><div class="unit-title">paperData</div><webml:dataUnit id="paperData"/></div></td></tr><tr><td><div class="unit-box unit-box-index"><div class="unit-title">paperKeywords</div><webml:indexUnit id="paperKeywords"/></div></td></tr></table></div></div><div class="site-footer">powered by the generated runtime</div></div></body></html>

@@ -1,0 +1,69 @@
+package webmlgo_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"webmlgo"
+)
+
+// Example builds a two-page application — an index of volumes linking to
+// a detail page — entirely through the public API, and serves one
+// request against it.
+func Example() {
+	schema := &webmlgo.Schema{
+		Entities: []*webmlgo.Entity{
+			{Name: "Volume", Attributes: []webmlgo.Attribute{
+				{Name: "Title", Type: webmlgo.String, Required: true},
+				{Name: "Year", Type: webmlgo.Int},
+			}},
+		},
+	}
+
+	b := webmlgo.NewBuilder("hello", schema)
+	sv := b.SiteView("public", "Public")
+	home := sv.Page("home", "Volumes")
+	idx := home.Index("volIndex", "Volume", "Title")
+	detail := sv.Page("detail", "Volume")
+	data := detail.Data("volData", "Volume", "Title", "Year")
+	data.Selector = []webmlgo.Condition{{Attr: "oid", Op: "=", Param: "id"}}
+	b.Link(idx.ID, detail.Ref(), webmlgo.P("oid", "id"))
+
+	app, err := webmlgo.New(b.MustBuild())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := app.DB.Exec(`INSERT INTO volume (title, year) VALUES ('TODS 27', 2002)`); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/page/detail?id=1", nil)
+	rr := httptest.NewRecorder()
+	app.Handler().ServeHTTP(rr, req)
+	fmt.Println(rr.Code)
+	fmt.Println(strings.Contains(rr.Body.String(), "TODS 27"))
+	// Output:
+	// 200
+	// true
+}
+
+// ExampleParseDSL compiles an application from the textual WebML
+// notation.
+func ExampleParseDSL() {
+	model, err := webmlgo.ParseDSL(`
+webml "tiny"
+entity Note { Text: string! }
+siteview sv {
+  page home "Notes" { index all of Note show Text }
+}`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(model.Name, model.Stats().Pages)
+	// Output: tiny 1
+}

@@ -1,0 +1,127 @@
+// Command quickstart reproduces Figures 1–2 of the paper: the ACM
+// Digital Library volume page, modelled in WebML and compiled into a
+// running MVC application.
+//
+// By default it renders the volume page once and prints the HTML; with
+// -serve it listens for browsers:
+//
+//	go run ./examples/quickstart            # print one rendered page
+//	go run ./examples/quickstart -serve :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"webmlgo"
+)
+
+func buildModel() *webmlgo.Model {
+	// Data requirements: the ER model of Figure 1.
+	schema := &webmlgo.Schema{
+		Entities: []*webmlgo.Entity{
+			{Name: "Volume", Attributes: []webmlgo.Attribute{
+				{Name: "Title", Type: webmlgo.String, Required: true},
+				{Name: "Year", Type: webmlgo.Int},
+			}},
+			{Name: "Issue", Attributes: []webmlgo.Attribute{
+				{Name: "Number", Type: webmlgo.Int},
+			}},
+			{Name: "Paper", Attributes: []webmlgo.Attribute{
+				{Name: "Title", Type: webmlgo.String, Required: true},
+				{Name: "Abstract", Type: webmlgo.String},
+			}},
+		},
+		Relationships: []*webmlgo.Relationship{
+			{Name: "VolumeToIssue", From: "Volume", To: "Issue",
+				FromRole: "VolumeToIssue", ToRole: "IssueToVolume",
+				FromCard: webmlgo.Many, ToCard: webmlgo.One},
+			{Name: "IssueToPaper", From: "Issue", To: "Paper",
+				FromRole: "IssueToPaper", ToRole: "PaperToIssue",
+				FromCard: webmlgo.Many, ToCard: webmlgo.One},
+		},
+	}
+
+	// Functional requirements: the WebML hypertext of Figure 1.
+	b := webmlgo.NewBuilder("acm-dl", schema)
+	sv := b.SiteView("public", "ACM Digital Library")
+
+	volumes := sv.Page("volumes", "TODS Volumes")
+	volIndex := volumes.Index("volIndex", "Volume", "Title", "Year")
+
+	volume := sv.Page("volumePage", "Volume Page")
+	volData := volume.Data("volumeData", "Volume", "Title", "Year")
+	volData.Selector = []webmlgo.Condition{{Attr: "oid", Op: "=", Param: "volume"}}
+
+	// The hierarchical index unit of Figure 1: Issue [VolumeToIssue]
+	// with NEST Paper [PaperToIssue].
+	issuesPapers := volume.Index("issuesPapers", "Issue", "Number")
+	issuesPapers.Relationship = "VolumeToIssue"
+	issuesPapers.Nest = &webmlgo.Nesting{
+		Relationship: "IssueToPaper",
+		Display:      []string{"Title"},
+	}
+	keyword := volume.Entry("enterKeyword",
+		webmlgo.Field{Name: "keyword", Type: webmlgo.String, Required: true})
+
+	paper := sv.Page("paperPage", "Paper Details")
+	paperData := paper.Data("paperData", "Paper", "Title", "Abstract")
+	paperData.Selector = []webmlgo.Condition{{Attr: "oid", Op: "=", Param: "paper"}}
+
+	search := sv.Page("searchResults", "Search Results")
+	results := search.Scroller("searchIndex", "Paper", 10, "Title")
+	results.Selector = []webmlgo.Condition{{Attr: "Title", Op: "LIKE", Param: "kw"}}
+
+	// Links: "To Paper details page", "To SearchResults page" (Fig. 1).
+	b.Link(volIndex.ID, volume.Ref(), webmlgo.P("oid", "volume"))
+	b.Transport(volData.ID, issuesPapers.ID, webmlgo.P("oid", "parent"))
+	b.Link(issuesPapers.ID, paper.Ref(), webmlgo.P("oid", "paper"))
+	b.Link(keyword.ID, search.Ref(), webmlgo.P("keyword", "kw"))
+	b.Link(results.ID, paper.Ref(), webmlgo.P("oid", "paper"))
+
+	return b.MustBuild()
+}
+
+func seed(app *webmlgo.App) error {
+	stmts := []string{
+		`INSERT INTO volume (title, year) VALUES ('TODS Volume 27', 2002)`,
+		`INSERT INTO issue (number, fk_volumetoissue) VALUES (1, 1), (2, 1)`,
+		`INSERT INTO paper (title, abstract, fk_issuetopaper) VALUES
+			('Design Principles for Data-Intensive Web Sites', 'Principles.', 1),
+			('Conceptual Modeling of Web Applications', 'WebML.', 1),
+			('Caching Dynamic Web Content', 'Caches.', 2)`,
+	}
+	for _, s := range stmts {
+		if _, err := app.DB.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	serve := flag.String("serve", "", "listen address (empty: render once and exit)")
+	flag.Parse()
+
+	app, err := webmlgo.New(buildModel(), webmlgo.WithCompiledStyle(webmlgo.B2CStyle()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seed(app); err != nil {
+		log.Fatal(err)
+	}
+
+	if *serve != "" {
+		log.Printf("quickstart: listening on %s (try /page/volumes)", *serve)
+		log.Fatal(http.ListenAndServe(*serve, app.Handler()))
+	}
+
+	// Render the Figure 2 page once and print it.
+	req := httptest.NewRequest(http.MethodGet, "/page/volumePage?volume=1", nil)
+	rr := httptest.NewRecorder()
+	app.Handler().ServeHTTP(rr, req)
+	fmt.Printf("GET /page/volumePage?volume=1 -> %d\n\n%s\n", rr.Code, rr.Body.String())
+}

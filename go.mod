@@ -1,0 +1,3 @@
+module webmlgo
+
+go 1.22

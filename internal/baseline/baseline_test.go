@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"webmlgo/internal/codegen"
+	"webmlgo/internal/fixture"
+	"webmlgo/internal/rdb"
+)
+
+func buildBaseline(t *testing.T) *App {
+	t.Helper()
+	model := fixture.Figure1Model()
+	g, err := codegen.New(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := rdb.Open()
+	for _, stmt := range art.DDL {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fixture.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	return Build(model, art, db)
+}
+
+func get(t *testing.T, app *App, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	app.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String()
+}
+
+func TestBaselineServesEquivalentContent(t *testing.T) {
+	app := buildBaseline(t)
+	code, body := get(t, app, "/tpl/volumePage?volume=1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"TODS Volume 27",
+		"Design Principles for Data-Intensive Web Sites",
+		"Caching Dynamic Web Content",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "Views and Updates") {
+		t.Fatal("relationship scoping broken in baseline")
+	}
+}
+
+func TestBaselineHardwiresURLs(t *testing.T) {
+	app := buildBaseline(t)
+	_, body := get(t, app, "/tpl/volumesPage")
+	// The baseline's anchors point into its own /tpl/ URL space: the
+	// topology is baked into the markup-producing code.
+	if !strings.Contains(body, `href="/tpl/volumePage?volume=1"`) {
+		t.Fatalf("hardwired URL missing:\n%s", body)
+	}
+}
+
+func TestBaselineMissingInputRendersEmpty(t *testing.T) {
+	app := buildBaseline(t)
+	code, body := get(t, app, "/tpl/volumePage")
+	if code != http.StatusOK || !strings.Contains(body, "no content") {
+		t.Fatalf("code=%d body:\n%s", code, body)
+	}
+}
+
+func TestBaselineUnknownPage404(t *testing.T) {
+	app := buildBaseline(t)
+	if code, _ := get(t, app, "/tpl/ghost"); code != http.StatusNotFound {
+		t.Fatalf("status = %d", code)
+	}
+}
+
+func TestBaselineStats(t *testing.T) {
+	app := buildBaseline(t)
+	st := app.Stats()
+	if st.Templates != 6 {
+		t.Fatalf("templates = %d", st.Templates)
+	}
+	if st.EmbeddedQueries == 0 || st.HardwiredURLs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestChangeImpact reproduces the Section 7 maintainability claim: in the
+// template-based architecture, relocating the paper page forces manual
+// edits in every template that links to it; in the MVC architecture no
+// template changes — the configuration file is regenerated.
+func TestChangeImpact(t *testing.T) {
+	app := buildBaseline(t)
+	refs := app.TemplatesReferencing("paperPage")
+	// volumePage (issuesPapers anchor) and searchResults both link to it.
+	if len(refs) != 2 {
+		t.Fatalf("refs = %v", refs)
+	}
+	impact := app.ImpactOfMovingPage("paperPage")
+	if impact.BaselineTemplatesTouched != 2 || impact.MVCTemplatesTouched != 0 || !impact.MVCConfigRegenerated {
+		t.Fatalf("impact = %+v", impact)
+	}
+	// A page nothing links to costs nothing to move in either world.
+	if app.ImpactOfMovingPage("volumesPage").BaselineTemplatesTouched != 0 {
+		t.Fatal("unexpected references to the home page")
+	}
+}

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// BeanCache is the business-tier cache of Section 6: it stores "the data
+// beans produced by the action invocations, which typically include the
+// result of data access queries, and makes them reusable by multiple
+// requests". Invalidation is model-driven: entries are tagged with the
+// dependency tags of the entities/relationships their query reads, and
+// operations invalidate by the tags they write — "sparing the developer
+// the need of managing a business-tier cache in his application code".
+type BeanCache struct {
+	s *store
+}
+
+// NewBeanCache returns a bean cache bounded to capacity entries
+// (<=0 selects the default, 4096).
+func NewBeanCache(capacity int) *BeanCache {
+	return &BeanCache{s: newStore(capacity)}
+}
+
+// Key builds the canonical cache key of a unit computation: the unit ID
+// plus its input parameters in sorted order.
+func Key(unitID string, inputs map[string]string) string {
+	if len(inputs) == 0 {
+		return unitID
+	}
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(unitID)
+	for _, n := range names {
+		b.WriteByte('|')
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(inputs[n])
+	}
+	return b.String()
+}
+
+// Get returns the cached bean for key, if present and fresh.
+func (c *BeanCache) Get(key string) (interface{}, bool) { return c.s.get(key) }
+
+// Put stores a bean under key, tagged with its dependency tags and an
+// optional TTL (0 disables time-based expiry).
+func (c *BeanCache) Put(key string, bean interface{}, deps []string, ttl time.Duration) {
+	c.s.put(key, bean, deps, ttl)
+}
+
+// Invalidate removes every bean depending on any of the given tags and
+// reports how many entries were dropped.
+func (c *BeanCache) Invalidate(deps ...string) int { return c.s.invalidate(deps...) }
+
+// Flush empties the cache.
+func (c *BeanCache) Flush() { c.s.flush() }
+
+// Len returns the number of cached beans.
+func (c *BeanCache) Len() int { return c.s.len() }
+
+// Stats returns a snapshot of the cache counters.
+func (c *BeanCache) Stats() Stats { return c.s.statsCopy() }
+
+// FragmentCache is the template-fragment cache: last-generation Web
+// caching "based on the capability of marking fragments of the page
+// template, which can be cached individually and with different
+// policies" (the ESI initiative referenced in Section 6).
+type FragmentCache struct {
+	s          *store
+	defaultTTL time.Duration
+}
+
+// NewFragmentCache returns a fragment cache bounded to capacity entries
+// with the given default TTL per fragment.
+func NewFragmentCache(capacity int, defaultTTL time.Duration) *FragmentCache {
+	return &FragmentCache{s: newStore(capacity), defaultTTL: defaultTTL}
+}
+
+// Get returns the cached markup for a fragment key.
+func (c *FragmentCache) Get(key string) ([]byte, bool) {
+	v, ok := c.s.get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]byte), true
+}
+
+// Put stores fragment markup under key with the cache's default TTL.
+func (c *FragmentCache) Put(key string, markup []byte) {
+	c.PutTTL(key, markup, c.defaultTTL)
+}
+
+// PutTTL stores fragment markup with an explicit per-fragment policy.
+func (c *FragmentCache) PutTTL(key string, markup []byte, ttl time.Duration) {
+	c.s.put(key, markup, nil, ttl)
+}
+
+// Flush empties the cache.
+func (c *FragmentCache) Flush() { c.s.flush() }
+
+// Len returns the number of cached fragments.
+func (c *FragmentCache) Len() int { return c.s.len() }
+
+// Stats returns a snapshot of the cache counters.
+func (c *FragmentCache) Stats() Stats { return c.s.statsCopy() }

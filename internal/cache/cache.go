@@ -1,0 +1,169 @@
+// Package cache implements the two-level cache architecture of Section 6:
+//
+//   - a business-tier bean cache holding the unit beans produced by data
+//     retrieval queries, keyed by unit + input parameters, invalidated
+//     through the model-derived dependency index (the entities and
+//     relationships each unit reads and each operation writes);
+//   - a template-fragment cache (ESI-style) holding rendered markup
+//     fragments with per-fragment TTL policies.
+//
+// Both levels share one LRU + TTL + dependency-index core.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Puts          int64
+	Evictions     int64
+	Invalidations int64 // entries removed by dependency invalidation
+	Expirations   int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 for an unused cache.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key     string
+	val     interface{}
+	deps    []string
+	expires time.Time // zero = no TTL
+	elem    *list.Element
+}
+
+// store is the shared LRU/TTL/dependency-index machinery.
+type store struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*entry
+	lru     *list.List // front = most recent; values are *entry
+	byDep   map[string]map[string]struct{}
+	stats   Stats
+	now     func() time.Time
+}
+
+func newStore(capacity int) *store {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &store{
+		cap:     capacity,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		byDep:   make(map[string]map[string]struct{}),
+		now:     time.Now,
+	}
+}
+
+func (s *store) get(key string) (interface{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	if !e.expires.IsZero() && s.now().After(e.expires) {
+		s.removeLocked(e)
+		s.stats.Expirations++
+		s.stats.Misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.stats.Hits++
+	return e.val, true
+}
+
+func (s *store) put(key string, val interface{}, deps []string, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[key]; ok {
+		s.removeLocked(old)
+	}
+	e := &entry{key: key, val: val, deps: deps}
+	if ttl > 0 {
+		e.expires = s.now().Add(ttl)
+	}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	for _, d := range deps {
+		set, ok := s.byDep[d]
+		if !ok {
+			set = make(map[string]struct{})
+			s.byDep[d] = set
+		}
+		set[key] = struct{}{}
+	}
+	s.stats.Puts++
+	for len(s.entries) > s.cap {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		s.removeLocked(back.Value.(*entry))
+		s.stats.Evictions++
+	}
+}
+
+// invalidate drops every entry depending on any of the given tags and
+// returns how many entries were removed.
+func (s *store) invalidate(deps ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, d := range deps {
+		for key := range s.byDep[d] {
+			if e, ok := s.entries[key]; ok {
+				s.removeLocked(e)
+				removed++
+			}
+		}
+	}
+	s.stats.Invalidations += int64(removed)
+	return removed
+}
+
+func (s *store) removeLocked(e *entry) {
+	delete(s.entries, e.key)
+	s.lru.Remove(e.elem)
+	for _, d := range e.deps {
+		if set, ok := s.byDep[d]; ok {
+			delete(set, e.key)
+			if len(set) == 0 {
+				delete(s.byDep, d)
+			}
+		}
+	}
+}
+
+func (s *store) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*entry)
+	s.lru.Init()
+	s.byDep = make(map[string]map[string]struct{})
+}
+
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+func (s *store) statsCopy() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// PageCache is the first-generation caching solution Section 6 contrasts
+// with ESI: it caches entire rendered pages keyed by URL, with a TTL.
+// As the paper notes, such caches "were inadequate for complex
+// interactive and personalized Web applications, with pages composed of
+// different content elements with different caching requirements" — the
+// tests demonstrate exactly that inadequacy (stale reads until TTL,
+// cross-user leakage unless personalized traffic bypasses the cache),
+// which is why WebRatio's two-level architecture replaced it.
+type PageCache struct {
+	s   *store
+	ttl time.Duration
+	// BypassCookie names a cookie whose presence marks personalized
+	// traffic that must not be cached (e.g. the session cookie once a
+	// user logs in).
+	BypassCookie string
+}
+
+// NewPageCache returns a whole-page cache with the given capacity and
+// TTL.
+func NewPageCache(capacity int, ttl time.Duration) *PageCache {
+	return &PageCache{s: newStore(capacity), ttl: ttl}
+}
+
+// Stats returns the cache counters.
+func (pc *PageCache) Stats() Stats { return pc.s.statsCopy() }
+
+// Flush drops all cached pages.
+func (pc *PageCache) Flush() { pc.s.flush() }
+
+type cachedPage struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// Wrap returns a handler serving GET responses from the cache.
+func (pc *PageCache) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || pc.bypass(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := r.URL.RequestURI()
+		if v, ok := pc.s.get(key); ok {
+			cp := v.(*cachedPage)
+			copyHeader(w.Header(), cp.header)
+			w.Header().Set("X-Cache", "HIT")
+			w.WriteHeader(cp.status)
+			w.Write(cp.body) //nolint:errcheck
+			return
+		}
+		rec := &recordingWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		// Only successful responses are cacheable. Set-Cookie headers
+		// (session issuance for the first anonymous visitor) are stripped
+		// from the stored copy: the cached page is the anonymous
+		// rendition, and later visitors acquire their own session on
+		// their first non-cached interaction.
+		if rec.status == http.StatusOK {
+			pc.s.put(key, &cachedPage{
+				status: rec.status,
+				header: cloneHeader(rec.Header()),
+				body:   rec.buf.Bytes(),
+			}, nil, pc.ttl)
+		}
+	})
+}
+
+func (pc *PageCache) bypass(r *http.Request) bool {
+	if pc.BypassCookie == "" {
+		return false
+	}
+	_, err := r.Cookie(pc.BypassCookie)
+	return err == nil
+}
+
+type recordingWriter struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (rw *recordingWriter) WriteHeader(code int) {
+	rw.status = code
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recordingWriter) Write(p []byte) (int, error) {
+	rw.buf.Write(p)
+	return rw.ResponseWriter.Write(p)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func cloneHeader(h http.Header) http.Header {
+	out := make(http.Header, len(h))
+	for k, vs := range h {
+		if strings.EqualFold(k, "Set-Cookie") {
+			continue
+		}
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}

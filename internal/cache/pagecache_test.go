@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// countingHandler serves a counter so staleness is observable.
+type countingHandler struct {
+	hits int
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.hits++
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintf(w, "generation %d", h.hits)
+}
+
+func doReq(h http.Handler, method, path string, cookie *http.Cookie) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, nil)
+	if cookie != nil {
+		req.AddCookie(cookie)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestPageCacheServesRepeats(t *testing.T) {
+	backend := &countingHandler{}
+	pc := NewPageCache(100, time.Minute)
+	h := pc.Wrap(backend)
+
+	r1 := doReq(h, http.MethodGet, "/page/home", nil)
+	r2 := doReq(h, http.MethodGet, "/page/home", nil)
+	if backend.hits != 1 {
+		t.Fatalf("backend hits = %d", backend.hits)
+	}
+	if r1.Body.String() != r2.Body.String() {
+		t.Fatal("cached body differs")
+	}
+	if r2.Header().Get("X-Cache") != "HIT" {
+		t.Fatal("hit marker missing")
+	}
+	if r2.Header().Get("Content-Type") != "text/plain" {
+		t.Fatal("headers lost")
+	}
+	// Distinct URLs are distinct entries.
+	doReq(h, http.MethodGet, "/page/home?x=1", nil)
+	if backend.hits != 2 {
+		t.Fatalf("backend hits = %d", backend.hits)
+	}
+}
+
+// TestPageCacheStalenessInadequacy demonstrates the paper's point: a
+// whole-page cache keeps serving the old page after the content changes,
+// until the TTL expires. (The two-level architecture instead invalidates
+// exactly the affected beans at write time.)
+func TestPageCacheStalenessInadequacy(t *testing.T) {
+	backend := &countingHandler{}
+	pc := NewPageCache(100, time.Minute)
+	now := time.Unix(0, 0)
+	pc.s.now = func() time.Time { return now }
+	h := pc.Wrap(backend)
+
+	doReq(h, http.MethodGet, "/page/home", nil)
+	// "Content changed" — but the cache still serves generation 1.
+	r := doReq(h, http.MethodGet, "/page/home", nil)
+	if r.Body.String() != "generation 1" {
+		t.Fatal("expected the stale page (that is the point)")
+	}
+	// Only TTL expiry heals it.
+	now = now.Add(2 * time.Minute)
+	r = doReq(h, http.MethodGet, "/page/home", nil)
+	if r.Body.String() != "generation 2" {
+		t.Fatalf("TTL expiry broken: %s", r.Body.String())
+	}
+}
+
+func TestPageCacheBypassesPersonalizedTraffic(t *testing.T) {
+	backend := &countingHandler{}
+	pc := NewPageCache(100, time.Minute)
+	pc.BypassCookie = "WSESSION"
+	h := pc.Wrap(backend)
+
+	session := &http.Cookie{Name: "WSESSION", Value: "abc"}
+	doReq(h, http.MethodGet, "/page/home", session)
+	doReq(h, http.MethodGet, "/page/home", session)
+	if backend.hits != 2 {
+		t.Fatalf("personalized requests were cached: hits = %d", backend.hits)
+	}
+	// Anonymous traffic still caches.
+	doReq(h, http.MethodGet, "/page/home", nil)
+	doReq(h, http.MethodGet, "/page/home", nil)
+	if backend.hits != 3 {
+		t.Fatalf("anonymous requests not cached: hits = %d", backend.hits)
+	}
+}
+
+func TestPageCacheSkipsNonGETAndErrorsAndCookieSetters(t *testing.T) {
+	pc := NewPageCache(100, time.Minute)
+	posts := 0
+	h := pc.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/post":
+			posts++
+			fmt.Fprint(w, "posted")
+		case "/missing":
+			http.NotFound(w, r)
+		case "/login":
+			http.SetCookie(w, &http.Cookie{Name: "WSESSION", Value: "x"})
+			fmt.Fprint(w, "ok")
+		}
+	}))
+	doReq(h, http.MethodPost, "/post", nil)
+	doReq(h, http.MethodPost, "/post", nil)
+	if posts != 2 {
+		t.Fatalf("POST cached: %d", posts)
+	}
+	// 404s are not cached.
+	doReq(h, http.MethodGet, "/missing", nil)
+	if pc.Stats().Puts != 0 {
+		t.Fatal("error response cached")
+	}
+	// Cookie-setting responses are cached, but the Set-Cookie header is
+	// stripped from the stored copy (no session leaks between visitors).
+	doReq(h, http.MethodGet, "/login", nil)
+	r := doReq(h, http.MethodGet, "/login", nil)
+	if r.Header().Get("X-Cache") != "HIT" {
+		t.Fatal("cookie-setting response not cached")
+	}
+	if len(r.Header().Values("Set-Cookie")) != 0 {
+		t.Fatal("cached copy leaked another visitor's Set-Cookie")
+	}
+}

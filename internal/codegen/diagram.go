@@ -1,0 +1,117 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"webmlgo/internal/webml"
+)
+
+// Diagram renders the model's hypertext as a Graphviz DOT document: the
+// textual equivalent of the WebML diagrams of Figure 1 — pages as boxes
+// ("white rectangles"), units as labelled nodes inside them, operations
+// between pages, transport links dashed, OK/KO links labelled. A CASE
+// tool lives and dies by making the model inspectable; this is the
+// inspection surface for environments without the graphical editor.
+func Diagram(m *webml.Model) string {
+	var b strings.Builder
+	b.WriteString("digraph webml {\n")
+	b.WriteString("  rankdir=LR;\n  node [fontname=\"Helvetica\", fontsize=10];\n")
+	for _, sv := range m.SiteViews {
+		fmt.Fprintf(&b, "  subgraph cluster_%s {\n", ident(sv.ID))
+		label := sv.Name
+		if sv.Protected {
+			label += " (protected)"
+		}
+		fmt.Fprintf(&b, "    label=%q;\n    style=rounded;\n", label)
+		for _, p := range sv.AllPages() {
+			fmt.Fprintf(&b, "    subgraph cluster_%s {\n", ident(p.ID))
+			pl := p.Name
+			if p.Landmark {
+				pl += " *"
+			}
+			fmt.Fprintf(&b, "      label=%q;\n      style=solid;\n      color=black;\n", pl)
+			for _, u := range p.Units {
+				fmt.Fprintf(&b, "      %s [shape=box, label=%q];\n", ident(u.ID), unitLabel(u))
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("  }\n")
+	}
+	for _, op := range m.Operations {
+		fmt.Fprintf(&b, "  %s [shape=hexagon, label=%q];\n", ident(op.ID), unitLabel(op))
+	}
+	for _, l := range m.Links {
+		attrs := []string{}
+		switch l.Kind {
+		case webml.TransportLink:
+			attrs = append(attrs, "style=dashed")
+		case webml.AutomaticLink:
+			attrs = append(attrs, "style=dotted")
+		case webml.OKLink:
+			attrs = append(attrs, `label="OK"`, "color=darkgreen")
+		case webml.KOLink:
+			attrs = append(attrs, `label="KO"`, "color=red")
+		default:
+			if l.Label != "" {
+				attrs = append(attrs, fmt.Sprintf("label=%q", l.Label))
+			}
+		}
+		from := endpoint(m, l.From)
+		to := endpoint(m, l.To)
+		if from == "" || to == "" {
+			continue
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  %s -> %s [%s];\n", from, to, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  %s -> %s;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// endpoint maps a link endpoint (unit or page) to a DOT node. Page
+// targets are represented by their first unit (DOT edges join nodes, not
+// clusters) with the page cluster as the visual grouping.
+func endpoint(m *webml.Model, id string) string {
+	switch t := m.Lookup(id).(type) {
+	case *webml.Unit:
+		return ident(t.ID)
+	case *webml.Page:
+		if len(t.Units) > 0 {
+			return ident(t.Units[0].ID)
+		}
+	}
+	return ""
+}
+
+func unitLabel(u *webml.Unit) string {
+	parts := []string{string(u.Kind)}
+	if u.Entity != "" {
+		parts = append(parts, u.Entity)
+	}
+	if u.Relationship != "" {
+		parts = append(parts, "["+u.Relationship+"]")
+	}
+	name := u.Name
+	if name == "" {
+		name = u.ID
+	}
+	return name + "\n" + strings.Join(parts, " ")
+}
+
+// ident sanitizes an ID into a DOT identifier.
+func ident(id string) string {
+	var b strings.Builder
+	b.WriteByte('n')
+	for _, r := range id {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

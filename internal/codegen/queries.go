@@ -1,0 +1,383 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/er"
+	"webmlgo/internal/webml"
+)
+
+// ParentParam is the reserved input-parameter name under which
+// relationship-scoped content units receive the OID of the object they
+// are related to. Link parameters targeting such a unit bind it
+// explicitly: P("oid", codegen.ParentParam).
+const ParentParam = "parent"
+
+// buildContentQuery synthesizes the SQL of a content unit and its I/O
+// parameter lists. The result is intentionally plain, readable SQL: the
+// descriptor is the contract the data expert edits by hand (Section 6).
+func (g *Generator) buildContentQuery(u *webml.Unit, d *descriptor.Unit) error {
+	ent := g.Model.Data.Entity(u.Entity)
+	if ent == nil {
+		return fmt.Errorf("codegen: unit %q: unknown entity %q", u.ID, u.Entity)
+	}
+	tbl := g.Mapping.EntityTable(u.Entity)
+	cols, outs := displayColumns(ent, u.Display, "t")
+	d.Outputs = outs
+	d.Reads = append(d.Reads, descriptor.EntityDep(u.Entity))
+
+	var (
+		from   = fmt.Sprintf("%s t", tbl)
+		wheres []string
+		inputs []descriptor.ParamDef
+	)
+
+	// Relationship scope: restrict to objects related to a parent
+	// instance supplied through the reserved "parent" input.
+	if u.Relationship != "" {
+		rel := g.Model.Data.Relationship(u.Relationship)
+		if rel == nil {
+			return fmt.Errorf("codegen: unit %q: unknown relationship %q", u.ID, u.Relationship)
+		}
+		parentEntity := rel.From
+		if strings.EqualFold(rel.From, u.Entity) {
+			parentEntity = rel.To
+		}
+		nav, err := g.Mapping.Navigate(rel, parentEntity)
+		if err != nil {
+			return fmt.Errorf("codegen: unit %q: %w", u.ID, err)
+		}
+		d.Reads = append(d.Reads, descriptor.RelDep(rel.Name))
+		switch {
+		case nav.Bridge:
+			from = fmt.Sprintf("%s t JOIN %s b ON b.%s = t.oid", tbl, nav.BridgeTable, nav.BridgeFarCol)
+			wheres = append(wheres, fmt.Sprintf("b.%s = ?", nav.BridgeNearCol))
+		case nav.FKOnTarget:
+			wheres = append(wheres, fmt.Sprintf("t.%s = ?", nav.FKCol))
+		default:
+			// The parent's table holds the FK pointing at this unit's
+			// entity: join the parent in.
+			ptbl := g.Mapping.EntityTable(parentEntity)
+			from = fmt.Sprintf("%s t JOIN %s p ON p.%s = t.oid", tbl, ptbl, nav.FKCol)
+			wheres = append(wheres, "p.oid = ?")
+		}
+		inputs = append(inputs, descriptor.ParamDef{Name: ParentParam})
+	}
+
+	// Selector conditions.
+	selWheres, selInputs, err := selectorSQL(ent, u.Selector, "t")
+	if err != nil {
+		return fmt.Errorf("codegen: unit %q: %w", u.ID, err)
+	}
+	wheres = append(wheres, selWheres...)
+	inputs = append(inputs, selInputs...)
+
+	// A data unit with no selection context defaults to selection by OID.
+	if u.Kind == webml.DataUnit && len(wheres) == 0 {
+		wheres = append(wheres, "t.oid = ?")
+		inputs = append(inputs, descriptor.ParamDef{Name: "oid"})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s FROM %s", strings.Join(cols, ", "), from)
+	if len(wheres) > 0 {
+		b.WriteString(" WHERE " + strings.Join(wheres, " AND "))
+	}
+	if order := orderSQL(u.Order, "t"); order != "" && u.Kind != webml.DataUnit {
+		b.WriteString(" ORDER BY " + order)
+	} else if u.Kind != webml.DataUnit {
+		b.WriteString(" ORDER BY t.oid")
+	}
+
+	switch u.Kind {
+	case webml.ScrollerUnit:
+		d.PageSize = u.PageSize
+		var cb strings.Builder
+		fmt.Fprintf(&cb, "SELECT COUNT(*) FROM %s", from)
+		if len(wheres) > 0 {
+			cb.WriteString(" WHERE " + strings.Join(wheres, " AND "))
+		}
+		d.CountQuery = cb.String()
+		fmt.Fprintf(&b, " LIMIT %d OFFSET ?", u.PageSize)
+		// The count query shares the leading inputs; the windowed query
+		// additionally consumes "offset" last.
+		d.Inputs = append(inputs, descriptor.ParamDef{Name: "offset"})
+	default:
+		d.Inputs = inputs
+	}
+	d.Query = b.String()
+
+	// Hierarchical levels.
+	cur := ent
+	for n := u.Nest; n != nil; n = n.Nest {
+		lvl, next, err := g.buildLevel(cur, n)
+		if err != nil {
+			return fmt.Errorf("codegen: unit %q: %w", u.ID, err)
+		}
+		d.Levels = append(d.Levels, lvl)
+		d.Reads = append(d.Reads, lvl.Dep, descriptor.EntityDep(next.Name))
+		cur = next
+	}
+	return nil
+}
+
+// buildLevel synthesizes one hierarchical-index level: a query producing
+// the children of a parent row, parameterized by the parent OID.
+func (g *Generator) buildLevel(parent *er.Entity, n *webml.Nesting) (descriptor.Level, *er.Entity, error) {
+	rel := g.Model.Data.Relationship(n.Relationship)
+	if rel == nil {
+		return descriptor.Level{}, nil, fmt.Errorf("unknown relationship %q", n.Relationship)
+	}
+	nav, err := g.Mapping.Navigate(rel, parent.Name)
+	if err != nil {
+		return descriptor.Level{}, nil, err
+	}
+	child := g.Model.Data.Entity(nav.TargetEntity)
+	if child == nil {
+		return descriptor.Level{}, nil, fmt.Errorf("unknown entity %q", nav.TargetEntity)
+	}
+	tbl := g.Mapping.EntityTable(child.Name)
+	cols, outs := displayColumns(child, n.Display, "t")
+	var b strings.Builder
+	switch {
+	case nav.Bridge:
+		fmt.Fprintf(&b, "SELECT %s FROM %s t JOIN %s b ON b.%s = t.oid WHERE b.%s = ?",
+			strings.Join(cols, ", "), tbl, nav.BridgeTable, nav.BridgeFarCol, nav.BridgeNearCol)
+	case nav.FKOnTarget:
+		fmt.Fprintf(&b, "SELECT %s FROM %s t WHERE t.%s = ?",
+			strings.Join(cols, ", "), tbl, nav.FKCol)
+	default:
+		ptbl := g.Mapping.EntityTable(parent.Name)
+		fmt.Fprintf(&b, "SELECT %s FROM %s t JOIN %s p ON p.%s = t.oid WHERE p.oid = ?",
+			strings.Join(cols, ", "), tbl, ptbl, nav.FKCol)
+	}
+	if order := orderSQL(n.Order, "t"); order != "" {
+		b.WriteString(" ORDER BY " + order)
+	} else {
+		b.WriteString(" ORDER BY t.oid")
+	}
+	return descriptor.Level{
+		Entity:  child.Name,
+		Query:   b.String(),
+		Outputs: outs,
+		Dep:     descriptor.RelDep(rel.Name),
+	}, child, nil
+}
+
+// buildOperationQuery synthesizes the SQL of an operation unit.
+func (g *Generator) buildOperationQuery(op *webml.Unit, d *descriptor.Unit) error {
+	switch op.Kind {
+	case webml.CreateUnit:
+		return g.buildCreate(op, d)
+	case webml.ModifyUnit:
+		return g.buildModify(op, d)
+	case webml.DeleteUnit:
+		return g.buildDelete(op, d)
+	case webml.ConnectUnit, webml.DisconnectUnit:
+		return g.buildConnect(op, d)
+	}
+	// Plug-in operations carry their own props; no SQL is generated.
+	return nil
+}
+
+// sortedSet returns the Set map's attribute names sorted, so generated
+// SQL is deterministic across runs.
+func sortedSet(set map[string]string) []string {
+	attrs := make([]string, 0, len(set))
+	for a := range set {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs
+}
+
+func (g *Generator) buildCreate(op *webml.Unit, d *descriptor.Unit) error {
+	ent := g.Model.Data.Entity(op.Entity)
+	if ent == nil {
+		return fmt.Errorf("codegen: operation %q: unknown entity %q", op.ID, op.Entity)
+	}
+	tbl := g.Mapping.EntityTable(op.Entity)
+	attrs := sortedSet(op.Set)
+	if len(attrs) == 0 {
+		return fmt.Errorf("codegen: create operation %q sets no attributes", op.ID)
+	}
+	cols := make([]string, len(attrs))
+	marks := make([]string, len(attrs))
+	for i, a := range attrs {
+		cols[i] = g.Mapping.AttrColumn(a)
+		marks[i] = "?"
+		d.Inputs = append(d.Inputs, descriptor.ParamDef{Name: op.Set[a]})
+	}
+	d.Query = fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)", tbl, strings.Join(cols, ", "), strings.Join(marks, ", "))
+	d.Outputs = []descriptor.FieldDef{{Name: "oid", Column: "oid"}}
+	d.Writes = []string{descriptor.EntityDep(op.Entity)}
+	return nil
+}
+
+func (g *Generator) buildModify(op *webml.Unit, d *descriptor.Unit) error {
+	ent := g.Model.Data.Entity(op.Entity)
+	if ent == nil {
+		return fmt.Errorf("codegen: operation %q: unknown entity %q", op.ID, op.Entity)
+	}
+	tbl := g.Mapping.EntityTable(op.Entity)
+	attrs := sortedSet(op.Set)
+	if len(attrs) == 0 {
+		return fmt.Errorf("codegen: modify operation %q sets no attributes", op.ID)
+	}
+	sets := make([]string, len(attrs))
+	for i, a := range attrs {
+		sets[i] = fmt.Sprintf("%s = ?", g.Mapping.AttrColumn(a))
+		d.Inputs = append(d.Inputs, descriptor.ParamDef{Name: op.Set[a]})
+	}
+	d.Query = fmt.Sprintf("UPDATE %s SET %s WHERE oid = ?", tbl, strings.Join(sets, ", "))
+	d.Inputs = append(d.Inputs, descriptor.ParamDef{Name: "oid"})
+	d.Writes = []string{descriptor.EntityDep(op.Entity)}
+	return nil
+}
+
+func (g *Generator) buildDelete(op *webml.Unit, d *descriptor.Unit) error {
+	if g.Model.Data.Entity(op.Entity) == nil {
+		return fmt.Errorf("codegen: operation %q: unknown entity %q", op.ID, op.Entity)
+	}
+	tbl := g.Mapping.EntityTable(op.Entity)
+	d.Query = fmt.Sprintf("DELETE FROM %s WHERE oid = ?", tbl)
+	d.Inputs = []descriptor.ParamDef{{Name: "oid"}}
+	d.Writes = []string{descriptor.EntityDep(op.Entity)}
+	// Deleting an instance also severs its relationship instances.
+	for _, rel := range g.Model.Data.Relationships {
+		if strings.EqualFold(rel.From, op.Entity) || strings.EqualFold(rel.To, op.Entity) {
+			d.Writes = append(d.Writes, descriptor.RelDep(rel.Name))
+		}
+	}
+	return nil
+}
+
+// buildConnect handles connect and disconnect. Both take the reserved
+// inputs "from" (OID of the relationship's From-entity instance) and "to"
+// (OID of the To-entity instance); the generated SQL adapts to the
+// relationship's storage (bridge table or foreign key).
+func (g *Generator) buildConnect(op *webml.Unit, d *descriptor.Unit) error {
+	rel := g.Model.Data.Relationship(op.Relationship)
+	if rel == nil {
+		return fmt.Errorf("codegen: operation %q: unknown relationship %q", op.ID, op.Relationship)
+	}
+	st := g.Mapping.Storage(rel)
+	disconnect := op.Kind == webml.DisconnectUnit
+	d.Writes = []string{descriptor.RelDep(rel.Name)}
+	switch {
+	case st.Bridge:
+		if disconnect {
+			d.Query = fmt.Sprintf("DELETE FROM %s WHERE %s = ? AND %s = ?",
+				st.Table, er.BridgeFrom, er.BridgeTo)
+		} else {
+			d.Query = fmt.Sprintf("INSERT INTO %s (%s, %s) VALUES (?, ?)",
+				st.Table, er.BridgeFrom, er.BridgeTo)
+		}
+		d.Inputs = []descriptor.ParamDef{{Name: "from"}, {Name: "to"}}
+	case strings.EqualFold(st.FKSide, rel.To):
+		// The To-table holds the FK pointing at From.
+		d.Writes = append(d.Writes, descriptor.EntityDep(rel.To))
+		if disconnect {
+			d.Query = fmt.Sprintf("UPDATE %s SET %s = NULL WHERE oid = ?", st.Table, st.FKCol)
+			d.Inputs = []descriptor.ParamDef{{Name: "to"}}
+		} else {
+			d.Query = fmt.Sprintf("UPDATE %s SET %s = ? WHERE oid = ?", st.Table, st.FKCol)
+			d.Inputs = []descriptor.ParamDef{{Name: "from"}, {Name: "to"}}
+		}
+	default:
+		// The From-table holds the FK pointing at To.
+		d.Writes = append(d.Writes, descriptor.EntityDep(rel.From))
+		if disconnect {
+			d.Query = fmt.Sprintf("UPDATE %s SET %s = NULL WHERE oid = ?", st.Table, st.FKCol)
+			d.Inputs = []descriptor.ParamDef{{Name: "from"}}
+		} else {
+			d.Query = fmt.Sprintf("UPDATE %s SET %s = ? WHERE oid = ?", st.Table, st.FKCol)
+			d.Inputs = []descriptor.ParamDef{{Name: "to"}, {Name: "from"}}
+		}
+	}
+	return nil
+}
+
+// displayColumns returns the projected SQL columns (always leading with
+// the OID) and the bean output fields for a display list.
+func displayColumns(ent *er.Entity, display []string, alias string) ([]string, []descriptor.FieldDef) {
+	cols := []string{alias + ".oid"}
+	outs := []descriptor.FieldDef{{Name: "oid", Column: "oid"}}
+	for _, a := range display {
+		if strings.EqualFold(a, "oid") {
+			continue
+		}
+		col := strings.ToLower(a)
+		cols = append(cols, alias+"."+col)
+		outs = append(outs, descriptor.FieldDef{Name: a, Column: col})
+	}
+	return cols, outs
+}
+
+// selectorSQL converts WebML selector conditions to WHERE conjuncts plus
+// the input parameters they consume, in order.
+func selectorSQL(ent *er.Entity, sel []webml.Condition, alias string) ([]string, []descriptor.ParamDef, error) {
+	var wheres []string
+	var inputs []descriptor.ParamDef
+	for _, c := range sel {
+		op := strings.ToUpper(c.Op)
+		if op == "" {
+			op = "="
+		}
+		col := alias + "." + strings.ToLower(c.Attr)
+		if c.Param != "" {
+			wheres = append(wheres, fmt.Sprintf("%s %s ?", col, op))
+			inputs = append(inputs, descriptor.ParamDef{Name: c.Param, Wildcard: op == "LIKE"})
+			continue
+		}
+		lit, err := sqlLiteral(c.Value)
+		if err != nil {
+			return nil, nil, fmt.Errorf("selector on %q: %w", c.Attr, err)
+		}
+		wheres = append(wheres, fmt.Sprintf("%s %s %s", col, op, lit))
+	}
+	return wheres, inputs, nil
+}
+
+// sqlLiteral renders a Go value as a SQL literal.
+func sqlLiteral(v interface{}) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "NULL", nil
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'", nil
+	case int:
+		return fmt.Sprintf("%d", x), nil
+	case int64:
+		return fmt.Sprintf("%d", x), nil
+	case float64:
+		return fmt.Sprintf("%g", x), nil
+	case bool:
+		if x {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case time.Time:
+		return "'" + x.Format(time.RFC3339) + "'", nil
+	}
+	return "", fmt.Errorf("unsupported literal type %T", v)
+}
+
+func orderSQL(order []webml.OrderKey, alias string) string {
+	if len(order) == 0 {
+		return ""
+	}
+	terms := make([]string, len(order))
+	for i, o := range order {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		terms[i] = fmt.Sprintf("%s.%s %s", alias, strings.ToLower(o.Attr), dir)
+	}
+	return strings.Join(terms, ", ")
+}

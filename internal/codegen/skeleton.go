@@ -1,0 +1,63 @@
+package codegen
+
+import (
+	"strings"
+
+	"webmlgo/internal/dom"
+	"webmlgo/internal/webml"
+)
+
+// TagForKind returns the custom tag name rendering a unit kind in the
+// View ("<webml:dataUnit>" and friends, Figure 7).
+func TagForKind(kind webml.UnitKind) string {
+	return "webml:" + string(kind) + "Unit"
+}
+
+// KindForTag is the inverse of TagForKind; ok is false for non-unit tags.
+func KindForTag(tag string) (webml.UnitKind, bool) {
+	if !strings.HasPrefix(tag, "webml:") || !strings.HasSuffix(tag, "Unit") {
+		return "", false
+	}
+	k := strings.TrimSuffix(strings.TrimPrefix(tag, "webml:"), "Unit")
+	if k == "" {
+		return "", false
+	}
+	return webml.UnitKind(k), true
+}
+
+// Skeleton produces the page template skeleton of Figure 7: "all the
+// custom tags corresponding to the units of the page, but only the
+// minimal HTML mark-up needed to define the layout grid of the page and
+// the position of the various units in such a grid". Presentation rules
+// (internal/style) later transform it into the final template.
+func (g *Generator) Skeleton(p *webml.Page) string {
+	root := dom.NewElement("html")
+	root.SetAttr("data-page", p.ID)
+	if p.Layout != "" {
+		root.SetAttr("data-layout", p.Layout)
+	}
+	head := dom.NewElement("head")
+	title := dom.NewElement("title")
+	title.AppendChild(dom.NewText(p.Name))
+	head.AppendChild(title)
+	root.AppendChild(head)
+
+	body := dom.NewElement("body")
+	grid := dom.NewElement("table")
+	grid.SetAttr("class", "page-grid")
+	for _, u := range p.Units {
+		tr := dom.NewElement("tr")
+		td := dom.NewElement("td")
+		unitTag := dom.NewElement(TagForKind(u.Kind))
+		unitTag.SetAttr("id", u.ID)
+		if u.Name != "" {
+			unitTag.SetAttr("data-name", u.Name)
+		}
+		td.AppendChild(unitTag)
+		tr.AppendChild(td)
+		grid.AppendChild(tr)
+	}
+	body.AppendChild(grid)
+	root.AppendChild(body)
+	return root.String()
+}

@@ -1,0 +1,82 @@
+package dom
+
+import (
+	"io"
+	"strings"
+)
+
+// Serialize writes the subtree rooted at n as markup to w. The synthetic
+// "#root" wrapper produced by Parse for multi-rooted input is transparent:
+// only its children are serialized.
+func Serialize(w io.Writer, n *Node) {
+	sw := &stringWriter{w: w}
+	serialize(sw, n)
+}
+
+type stringWriter struct {
+	w io.Writer
+}
+
+func (s *stringWriter) str(v string) {
+	io.WriteString(s.w, v) //nolint:errcheck // strings.Builder never fails
+}
+
+func serialize(w *stringWriter, n *Node) {
+	switch n.Type {
+	case RawNode:
+		w.str(n.Data)
+	case TextNode:
+		w.str(EscapeText(n.Data))
+	case CommentNode:
+		w.str("<!--")
+		w.str(n.Data)
+		w.str("-->")
+	case ElementNode:
+		if n.Tag == "#root" {
+			for _, c := range n.Children {
+				serialize(w, c)
+			}
+			return
+		}
+		w.str("<")
+		w.str(n.Tag)
+		for _, a := range n.Attrs {
+			w.str(" ")
+			w.str(a.Name)
+			w.str(`="`)
+			w.str(EscapeAttr(a.Value))
+			w.str(`"`)
+		}
+		lower := strings.ToLower(n.Tag)
+		if len(n.Children) == 0 && voidElements[lower] {
+			w.str(">")
+			return
+		}
+		if len(n.Children) == 0 {
+			w.str("/>")
+			return
+		}
+		w.str(">")
+		raw := lower == "script" || lower == "style"
+		for _, c := range n.Children {
+			if raw && c.Type == TextNode {
+				w.str(c.Data)
+				continue
+			}
+			serialize(w, c)
+		}
+		w.str("</")
+		w.str(n.Tag)
+		w.str(">")
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+// EscapeText escapes character data for inclusion in markup text content.
+func EscapeText(s string) string { return textEscaper.Replace(s) }
+
+// EscapeAttr escapes a string for inclusion in a double-quoted attribute.
+func EscapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,142 @@
+package ejb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/mvc"
+)
+
+// RemoteBusiness is the client stub: it implements mvc.Business by
+// calling components deployed in one or more remote containers. The
+// action classes in the servlet container "call the appropriate business
+// objects, which implement the actual application functions" (Section 4).
+// Connections are pooled; multiple addresses are balanced round-robin.
+type RemoteBusiness struct {
+	addrs []string
+	// Latency, when positive, injects an artificial network delay per
+	// call — a stand-in for a real machine boundary when benchmarking on
+	// loopback.
+	Latency time.Duration
+
+	mu   sync.Mutex
+	pool []*conn
+	next int
+}
+
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// Dial returns a client for the given container addresses.
+func Dial(addrs ...string) (*RemoteBusiness, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("ejb: no container addresses")
+	}
+	return &RemoteBusiness{addrs: addrs}, nil
+}
+
+var _ mvc.Business = (*RemoteBusiness)(nil)
+
+// ComputeUnit implements mvc.Business remotely.
+func (r *RemoteBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+	resp, err := r.call(&request{Kind: "unit", Descriptor: d, Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Bean, nil
+}
+
+// ExecuteOperation implements mvc.Business remotely.
+func (r *RemoteBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.OpResult, error) {
+	resp, err := r.call(&request{Kind: "operation", Descriptor: d, Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Op, nil
+}
+
+// Pages returns a remote page computer over the same connections: the
+// whole computePage() runs in the container, one round trip per page.
+// The container must have a deployed page service (DeployPages).
+func (r *RemoteBusiness) Pages() mvc.PageComputer { return remotePages{rb: r} }
+
+type remotePages struct{ rb *RemoteBusiness }
+
+// ComputePage implements mvc.PageComputer remotely.
+func (p remotePages) ComputePage(pageID string, params map[string]mvc.Value, formState map[string]*mvc.FormState) (*mvc.PageState, error) {
+	resp, err := p.rb.call(&request{Kind: "page", PageID: pageID, Inputs: params, FormState: formState})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Page, nil
+}
+
+func (r *RemoteBusiness) call(req *request) (*response, error) {
+	if r.Latency > 0 {
+		time.Sleep(r.Latency)
+	}
+	cn, err := r.get()
+	if err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := cn.enc.Encode(req); err != nil {
+		cn.c.Close()
+		return nil, fmt.Errorf("ejb: send: %w", err)
+	}
+	if err := cn.dec.Decode(&resp); err != nil {
+		cn.c.Close()
+		return nil, fmt.Errorf("ejb: receive: %w", err)
+	}
+	r.put(cn)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("ejb: remote: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// get borrows a pooled connection or dials the next container.
+func (r *RemoteBusiness) get() (*conn, error) {
+	r.mu.Lock()
+	if n := len(r.pool); n > 0 {
+		cn := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		r.mu.Unlock()
+		return cn, nil
+	}
+	addr := r.addrs[r.next%len(r.addrs)]
+	r.next++
+	r.mu.Unlock()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ejb: dial %s: %w", addr, err)
+	}
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
+}
+
+func (r *RemoteBusiness) put(cn *conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pool) >= 64 {
+		cn.c.Close()
+		return
+	}
+	r.pool = append(r.pool, cn)
+}
+
+// Close drops all pooled connections.
+func (r *RemoteBusiness) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, cn := range r.pool {
+		cn.c.Close()
+	}
+	r.pool = nil
+}

@@ -1,0 +1,197 @@
+package ejb
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"webmlgo/internal/mvc"
+)
+
+// Container hosts the business components and serves remote invocations.
+// Its execution capacity (the number of concurrently active component
+// instances) adapts at runtime — the elasticity a static set of servlet
+// clones cannot offer ("the number of clones must be decided statically,
+// and cannot be adapted at runtime", Section 4).
+type Container struct {
+	business mvc.Business
+	// pages serves whole-page computations when a repository is deployed
+	// alongside the business tier (DeployPages).
+	pages *mvc.PageService
+
+	mu       sync.Mutex
+	capacity int
+	active   int
+	cond     *sync.Cond
+	closed   bool
+
+	served    int64
+	maxActive int
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewContainer wraps a business tier with the given initial capacity
+// (<=0 selects 16).
+func NewContainer(business mvc.Business, capacity int) *Container {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	c := &Container{business: business, capacity: capacity}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// DeployPages additionally deploys the generic page service (the "Page
+// EJBs" of Figure 6), so the web tier can request whole pages in one
+// round trip instead of one call per unit.
+func (c *Container) DeployPages(pages *mvc.PageService) { c.pages = pages }
+
+// Serve starts accepting connections on addr ("127.0.0.1:0" picks a free
+// port) and returns the bound address.
+func (c *Container) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	c.ln = ln
+	c.wg.Add(1)
+	go c.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (c *Container) acceptLoop(ln net.Listener) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serveConn(conn)
+		}()
+	}
+}
+
+func (c *Container) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Peer error: drop the connection.
+				return
+			}
+			return
+		}
+		resp := c.invoke(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// invoke runs one component call under the capacity gate.
+func (c *Container) invoke(req *request) *response {
+	c.mu.Lock()
+	for c.active >= c.capacity && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return &response{Err: "ejb: container closed"}
+	}
+	c.active++
+	if c.active > c.maxActive {
+		c.maxActive = c.active
+	}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.active--
+		c.served++
+		c.mu.Unlock()
+		c.cond.Signal()
+	}()
+
+	resp := &response{}
+	switch req.Kind {
+	case "page":
+		if c.pages == nil {
+			resp.Err = "ejb: container has no deployed page service"
+			return resp
+		}
+		state, err := c.pages.ComputePage(req.PageID, req.Inputs, req.FormState)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Page = state
+	case "unit":
+		bean, err := c.business.ComputeUnit(req.Descriptor, req.Inputs)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Bean = bean
+	case "operation":
+		res, err := c.business.ExecuteOperation(req.Descriptor, req.Inputs)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Op = res
+	default:
+		resp.Err = fmt.Sprintf("ejb: unknown request kind %q", req.Kind)
+	}
+	return resp
+}
+
+// SetCapacity rescales the number of concurrently active component
+// instances at runtime.
+func (c *Container) SetCapacity(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.capacity = n
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Metrics reports the container's activity counters.
+type Metrics struct {
+	Capacity  int
+	Active    int
+	MaxActive int
+	Served    int64
+}
+
+// Metrics returns a snapshot of the container's counters.
+func (c *Container) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{Capacity: c.capacity, Active: c.active, MaxActive: c.maxActive, Served: c.served}
+}
+
+// Close stops accepting connections and unblocks waiting invocations.
+func (c *Container) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	var err error
+	if c.ln != nil {
+		err = c.ln.Close()
+	}
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,248 @@
+package ejb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webmlgo/internal/codegen"
+	"webmlgo/internal/fixture"
+	"webmlgo/internal/mvc"
+	"webmlgo/internal/rdb"
+)
+
+// startApp deploys the fixture's business tier into a container and
+// returns a remote client for it.
+func startApp(t *testing.T, capacity int) (*Container, *RemoteBusiness, *rdb.DB, *codegen.Artifacts) {
+	t.Helper()
+	g, err := codegen.New(fixture.Figure1Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := rdb.Open()
+	for _, stmt := range art.DDL {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fixture.Seed(db); err != nil {
+		t.Fatal(err)
+	}
+	ctr := NewContainer(mvc.NewLocalBusiness(db), capacity)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctr.Close() })
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	return ctr, client, db, art
+}
+
+func TestRemoteComputeUnit(t *testing.T) {
+	_, client, _, art := startApp(t, 4)
+	d := art.Repo.Unit("volumeData")
+	bean, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bean.Nodes) != 1 || bean.Nodes[0].Values["Title"] != "TODS Volume 27" {
+		t.Fatalf("bean = %+v", bean)
+	}
+}
+
+func TestRemoteHierarchicalBeanSurvivesGob(t *testing.T) {
+	_, client, _, art := startApp(t, 4)
+	d := art.Repo.Unit("issuesPapers")
+	bean, err := client.ComputeUnit(d, map[string]mvc.Value{"parent": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bean.Nodes) != 2 {
+		t.Fatalf("issues = %d", len(bean.Nodes))
+	}
+	if len(bean.Nodes[0].Children) == 0 {
+		t.Fatal("nested papers lost in transport")
+	}
+}
+
+func TestRemoteOperation(t *testing.T) {
+	_, client, db, art := startApp(t, 4)
+	d := art.Repo.Unit("createVolume")
+	res, err := client.ExecuteOperation(d, map[string]mvc.Value{"title": "Remote Vol", "year": int64(2003)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Outputs["oid"] != int64(3) {
+		t.Fatalf("res = %+v", res)
+	}
+	n, _ := db.RowCount("volume")
+	if n != 3 {
+		t.Fatalf("volumes = %d", n)
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	_, client, _, art := startApp(t, 4)
+	d := art.Repo.Unit("volumeData")
+	bad := *d
+	bad.Query = "SELECT nothing FROM nowhere"
+	_, err := client.ComputeUnit(&bad, map[string]mvc.Value{"volume": int64(1)})
+	if err == nil || !strings.Contains(err.Error(), "ejb: remote") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection survives an application error.
+	if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+		t.Fatalf("connection poisoned: %v", err)
+	}
+}
+
+func TestNonWebClientSharesBusinessLogic(t *testing.T) {
+	// Section 4's motivation: a non-Web application (here: a plain Go
+	// client, no HTTP controller) calls the same deployed components.
+	_, client, _, art := startApp(t, 4)
+	d := art.Repo.Unit("manageIndex")
+	bean, err := client.ComputeUnit(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bean.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(bean.Nodes))
+	}
+}
+
+func TestCapacityGateAndElasticScaling(t *testing.T) {
+	ctr, client, _, art := startApp(t, 2)
+	d := art.Repo.Unit("volumeData")
+
+	var wg sync.WaitGroup
+	call := func() {
+		defer wg.Done()
+		// Every goroutine needs its own pooled connection; the shared
+		// client handles that.
+		if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+			t.Error(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go call()
+	}
+	wg.Wait()
+	m := ctr.Metrics()
+	if m.Served != 16 {
+		t.Fatalf("served = %d", m.Served)
+	}
+	if m.MaxActive > 2 {
+		t.Fatalf("capacity gate leaked: maxActive = %d", m.MaxActive)
+	}
+
+	// Scale up at runtime and verify the gate follows.
+	ctr.SetCapacity(8)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go call()
+	}
+	wg.Wait()
+	if got := ctr.Metrics().Capacity; got != 8 {
+		t.Fatalf("capacity = %d", got)
+	}
+}
+
+func TestLoadBalancingAcrossClones(t *testing.T) {
+	ctr1, client1, db, art := startApp(t, 4)
+	// Second clone over the same database.
+	ctr2 := NewContainer(mvc.NewLocalBusiness(db), 4)
+	addr2, err := ctr2.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr2.Close()
+	client1.Close()
+
+	client, err := Dial(ctr1.ln.Addr().String(), addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	d := art.Repo.Unit("volumeData")
+	// Force fresh dials so both clones are exercised: run concurrent
+	// batches larger than the pool refill rate.
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ctr1.Metrics().Served == 0 || ctr2.Metrics().Served == 0 {
+		t.Fatalf("load not balanced: %d / %d", ctr1.Metrics().Served, ctr2.Metrics().Served)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	_, client, _, art := startApp(t, 4)
+	client.Latency = 5 * time.Millisecond
+	d := art.Repo.Unit("volumeData")
+	start := time.Now()
+	if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("latency not injected: %v", elapsed)
+	}
+}
+
+func TestClosedContainerRefuses(t *testing.T) {
+	ctr, client, _, art := startApp(t, 4)
+	ctr.Close()
+	d := art.Repo.Unit("volumeData")
+	if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err == nil {
+		t.Fatal("call to closed container succeeded")
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+}
+
+func TestRemotePageService(t *testing.T) {
+	ctr, client, db, art := startApp(t, 4)
+	ctr.DeployPages(&mvc.PageService{Repo: art.Repo, Business: mvc.NewLocalBusiness(db)})
+	pages := client.Pages()
+	state, err := pages.ComputePage("volumePage", map[string]mvc.Value{"volume": int64(1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Beans) != 3 {
+		t.Fatalf("beans = %d", len(state.Beans))
+	}
+	bean := state.Beans["issuesPapers"]
+	if bean == nil || len(bean.Nodes) != 2 || len(bean.Nodes[0].Children) == 0 {
+		t.Fatalf("hierarchical bean lost: %+v", bean)
+	}
+	if len(state.Order) != 3 {
+		t.Fatalf("order = %v", state.Order)
+	}
+}
+
+func TestRemotePageServiceWithoutDeploymentFails(t *testing.T) {
+	_, client, _, _ := startApp(t, 4)
+	if _, err := client.Pages().ComputePage("volumePage", nil, nil); err == nil {
+		t.Fatal("undeployed page service accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Package ejb simulates the application-server architecture of Figure 6:
+// the page and unit services become business components deployed in a
+// separate container ("EJB container"), reachable over the network, so
+// that non-Web applications share the same business logic and the number
+// of active service instances adapts at runtime — the two limitations of
+// servlet-container-local services that Section 4 calls out.
+//
+// The wire protocol is length-free gob over TCP: each connection carries
+// a sequence of request/response pairs.
+package ejb
+
+import (
+	"encoding/gob"
+	"time"
+
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/mvc"
+)
+
+// request is one remote invocation.
+type request struct {
+	// Kind is "unit", "operation", or "page".
+	Kind string
+	// Descriptor carries the unit descriptor (the component is generic;
+	// the descriptor makes it concrete, exactly as in Figure 5). Unused
+	// for page requests.
+	Descriptor *descriptor.Unit
+	// Inputs are the call parameters.
+	Inputs map[string]mvc.Value
+	// PageID and FormState parameterize page requests (the "Page EJBs"
+	// of Figure 6: the whole computePage runs server-side).
+	PageID    string
+	FormState map[string]*mvc.FormState
+}
+
+// response is the invocation result.
+type response struct {
+	Bean *mvc.UnitBean
+	Op   *mvc.OpResult
+	Page *mvc.PageState
+	// Err is a serialized error ("" on success).
+	Err string
+}
+
+func init() {
+	// Concrete types carried inside interface-typed fields.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register(time.Time{})
+	gob.Register(map[string]interface{}{})
+}

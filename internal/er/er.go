@@ -1,0 +1,223 @@
+// Package er implements the Entity-Relationship data model of WebRatio
+// (Section 1 of the paper): entities with typed attributes and binary
+// relationships with cardinality constraints. As in the paper, the model
+// is "quite conventional, with a few limitations that make the ER schema
+// easier to map onto a standard relational schema": relationships are
+// binary, attributes are atomic, and every entity gets a synthetic OID
+// primary key. The relational mapping and DDL generation live here too.
+package er
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrType enumerates attribute domains.
+type AttrType int
+
+const (
+	// String is a text attribute.
+	String AttrType = iota
+	// Int is an integer attribute.
+	Int
+	// Float is a real-valued attribute.
+	Float
+	// Bool is a boolean attribute.
+	Bool
+	// Time is a timestamp attribute.
+	Time
+)
+
+// String returns the DDL spelling of the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case String:
+		return "TEXT"
+	case Int:
+		return "INTEGER"
+	case Float:
+		return "REAL"
+	case Bool:
+		return "BOOLEAN"
+	case Time:
+		return "TIMESTAMP"
+	}
+	return fmt.Sprintf("AttrType(%d)", int(t))
+}
+
+// Attribute is one atomic property of an entity.
+type Attribute struct {
+	Name string
+	Type AttrType
+	// Unique marks a secondary key (e.g. an email address).
+	Unique bool
+	// Required forbids NULL values.
+	Required bool
+}
+
+// Entity is a class of objects published and managed by the application.
+type Entity struct {
+	Name       string
+	Attributes []Attribute
+}
+
+// Attribute returns the named attribute, or nil.
+func (e *Entity) Attribute(name string) *Attribute {
+	for i := range e.Attributes {
+		if strings.EqualFold(e.Attributes[i].Name, name) {
+			return &e.Attributes[i]
+		}
+	}
+	return nil
+}
+
+// Cardinality is the maximum cardinality of one relationship role.
+type Cardinality int
+
+const (
+	// One means at most one related instance.
+	One Cardinality = iota
+	// Many means unbounded related instances.
+	Many
+)
+
+// Relationship is a binary relationship between two entities. Role names
+// give the two navigation directions (e.g. VolumeToIssue / IssueToVolume).
+type Relationship struct {
+	Name string
+	// From / To are entity names.
+	From, To string
+	// FromRole is the name used to navigate From -> To; ToRole the inverse.
+	FromRole, ToRole string
+	// FromCard is the maximum number of To-instances per From-instance;
+	// ToCard the inverse. A one-to-many Volume–Issue relationship has
+	// FromCard = Many (a volume has many issues) and ToCard = One.
+	FromCard, ToCard Cardinality
+}
+
+// Kind classifies the relationship by its cardinality pair.
+type Kind int
+
+const (
+	// OneToOne relates at most one instance on both sides.
+	OneToOne Kind = iota
+	// OneToMany relates one From-instance to many To-instances.
+	OneToMany
+	// ManyToOne relates many From-instances to one To-instance.
+	ManyToOne
+	// ManyToMany is unbounded on both sides and maps to a bridge table.
+	ManyToMany
+)
+
+// Kind returns the relationship's cardinality class.
+func (r *Relationship) Kind() Kind {
+	switch {
+	case r.FromCard == One && r.ToCard == One:
+		return OneToOne
+	case r.FromCard == Many && r.ToCard == One:
+		return OneToMany
+	case r.FromCard == One && r.ToCard == Many:
+		return ManyToOne
+	default:
+		return ManyToMany
+	}
+}
+
+// Schema is a complete ER data model.
+type Schema struct {
+	Entities      []*Entity
+	Relationships []*Relationship
+}
+
+// Entity returns the named entity, or nil.
+func (s *Schema) Entity(name string) *Entity {
+	for _, e := range s.Entities {
+		if strings.EqualFold(e.Name, name) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Relationship returns the named relationship, or nil. Role names are
+// accepted too, since WebML units reference relationships by role.
+func (s *Schema) Relationship(name string) *Relationship {
+	for _, r := range s.Relationships {
+		if strings.EqualFold(r.Name, name) || strings.EqualFold(r.FromRole, name) || strings.EqualFold(r.ToRole, name) {
+			return r
+		}
+	}
+	return nil
+}
+
+// ValidationError aggregates every problem found in a schema.
+type ValidationError struct {
+	Problems []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("er: invalid schema: %s", strings.Join(e.Problems, "; "))
+}
+
+// Validate checks structural well-formedness: unique names, non-empty
+// entities, resolvable relationship endpoints, distinct role names.
+func (s *Schema) Validate() error {
+	var problems []string
+	seenEntity := map[string]bool{}
+	for _, e := range s.Entities {
+		lower := strings.ToLower(e.Name)
+		if e.Name == "" {
+			problems = append(problems, "entity with empty name")
+			continue
+		}
+		if seenEntity[lower] {
+			problems = append(problems, fmt.Sprintf("duplicate entity %q", e.Name))
+		}
+		seenEntity[lower] = true
+		if len(e.Attributes) == 0 {
+			problems = append(problems, fmt.Sprintf("entity %q has no attributes", e.Name))
+		}
+		seenAttr := map[string]bool{}
+		for _, a := range e.Attributes {
+			la := strings.ToLower(a.Name)
+			if a.Name == "" {
+				problems = append(problems, fmt.Sprintf("entity %q has an attribute with empty name", e.Name))
+				continue
+			}
+			if la == "oid" {
+				problems = append(problems, fmt.Sprintf("entity %q declares reserved attribute name \"oid\"", e.Name))
+			}
+			if seenAttr[la] {
+				problems = append(problems, fmt.Sprintf("entity %q has duplicate attribute %q", e.Name, a.Name))
+			}
+			seenAttr[la] = true
+		}
+	}
+	seenRel := map[string]bool{}
+	for _, r := range s.Relationships {
+		if r.Name == "" {
+			problems = append(problems, "relationship with empty name")
+			continue
+		}
+		lower := strings.ToLower(r.Name)
+		if seenRel[lower] {
+			problems = append(problems, fmt.Sprintf("duplicate relationship %q", r.Name))
+		}
+		seenRel[lower] = true
+		if !seenEntity[strings.ToLower(r.From)] {
+			problems = append(problems, fmt.Sprintf("relationship %q references unknown entity %q", r.Name, r.From))
+		}
+		if !seenEntity[strings.ToLower(r.To)] {
+			problems = append(problems, fmt.Sprintf("relationship %q references unknown entity %q", r.Name, r.To))
+		}
+		if r.FromRole == "" || r.ToRole == "" {
+			problems = append(problems, fmt.Sprintf("relationship %q must name both roles", r.Name))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return &ValidationError{Problems: problems}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package er
+
+import (
+	"strings"
+	"testing"
+
+	"webmlgo/internal/rdb"
+)
+
+// acmSchema is the data model behind Figure 1: volumes, issues, papers.
+func acmSchema() *Schema {
+	return &Schema{
+		Entities: []*Entity{
+			{Name: "Volume", Attributes: []Attribute{
+				{Name: "Title", Type: String, Required: true},
+				{Name: "Year", Type: Int},
+			}},
+			{Name: "Issue", Attributes: []Attribute{
+				{Name: "Number", Type: Int},
+			}},
+			{Name: "Paper", Attributes: []Attribute{
+				{Name: "Title", Type: String},
+				{Name: "Abstract", Type: String},
+			}},
+			{Name: "Keyword", Attributes: []Attribute{
+				{Name: "Word", Type: String, Unique: true},
+			}},
+		},
+		Relationships: []*Relationship{
+			{Name: "VolumeToIssue", From: "Volume", To: "Issue",
+				FromRole: "VolumeToIssue", ToRole: "IssueToVolume",
+				FromCard: Many, ToCard: One},
+			{Name: "IssueToPaper", From: "Issue", To: "Paper",
+				FromRole: "IssueToPaper", ToRole: "PaperToIssue",
+				FromCard: Many, ToCard: One},
+			{Name: "PaperKeyword", From: "Paper", To: "Keyword",
+				FromRole: "PaperToKeyword", ToRole: "KeywordToPaper",
+				FromCard: Many, ToCard: Many},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := acmSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name  string
+		wreck func(*Schema)
+		want  string
+	}{
+		{"duplicate entity", func(s *Schema) {
+			s.Entities = append(s.Entities, &Entity{Name: "volume", Attributes: []Attribute{{Name: "X", Type: Int}}})
+		}, "duplicate entity"},
+		{"empty entity", func(s *Schema) {
+			s.Entities = append(s.Entities, &Entity{Name: "Empty"})
+		}, "no attributes"},
+		{"duplicate attribute", func(s *Schema) {
+			e := s.Entity("Volume")
+			e.Attributes = append(e.Attributes, Attribute{Name: "title", Type: String})
+		}, "duplicate attribute"},
+		{"reserved oid", func(s *Schema) {
+			e := s.Entity("Volume")
+			e.Attributes = append(e.Attributes, Attribute{Name: "OID", Type: Int})
+		}, "reserved attribute"},
+		{"unknown endpoint", func(s *Schema) {
+			s.Relationships = append(s.Relationships, &Relationship{
+				Name: "Bad", From: "Volume", To: "Nowhere", FromRole: "a", ToRole: "b"})
+		}, "unknown entity"},
+		{"missing roles", func(s *Schema) {
+			s.Relationships = append(s.Relationships, &Relationship{Name: "NoRoles", From: "Volume", To: "Issue"})
+		}, "must name both roles"},
+		{"duplicate relationship", func(s *Schema) {
+			s.Relationships = append(s.Relationships, &Relationship{
+				Name: "volumetoissue", From: "Volume", To: "Issue", FromRole: "x", ToRole: "y"})
+		}, "duplicate relationship"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := acmSchema()
+			c.wreck(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRelationshipKinds(t *testing.T) {
+	s := acmSchema()
+	if k := s.Relationship("VolumeToIssue").Kind(); k != OneToMany {
+		t.Fatalf("kind = %v", k)
+	}
+	if k := s.Relationship("PaperKeyword").Kind(); k != ManyToMany {
+		t.Fatalf("kind = %v", k)
+	}
+	r := &Relationship{FromCard: One, ToCard: One}
+	if r.Kind() != OneToOne {
+		t.Fatal("one-to-one kind")
+	}
+	r = &Relationship{FromCard: One, ToCard: Many}
+	if r.Kind() != ManyToOne {
+		t.Fatal("many-to-one kind")
+	}
+}
+
+func TestRelationshipLookupByRole(t *testing.T) {
+	s := acmSchema()
+	if s.Relationship("IssueToVolume") == nil {
+		t.Fatal("lookup by inverse role failed")
+	}
+	if s.Relationship("PaperToIssue") == nil {
+		t.Fatal("lookup by role failed")
+	}
+}
+
+func TestStorage(t *testing.T) {
+	s := acmSchema()
+	m, err := NewMapping(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Storage(s.Relationship("VolumeToIssue"))
+	if st.Bridge || st.Table != "issue" || st.FKCol != "fk_volumetoissue" || st.RefEntity != "Volume" {
+		t.Fatalf("storage = %+v", st)
+	}
+	st = m.Storage(s.Relationship("PaperKeyword"))
+	if !st.Bridge || st.Table != "rel_paperkeyword" {
+		t.Fatalf("storage = %+v", st)
+	}
+}
+
+func TestNavigate(t *testing.T) {
+	s := acmSchema()
+	m, _ := NewMapping(s)
+	rel := s.Relationship("VolumeToIssue")
+
+	nav, err := m.Navigate(rel, "Volume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nav.TargetEntity != "Issue" || !nav.FKOnTarget || nav.FKCol != "fk_volumetoissue" {
+		t.Fatalf("nav = %+v", nav)
+	}
+
+	nav, err = m.Navigate(rel, "Issue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nav.TargetEntity != "Volume" || nav.FKOnTarget {
+		t.Fatalf("nav = %+v", nav)
+	}
+
+	bridge := s.Relationship("PaperKeyword")
+	nav, err = m.Navigate(bridge, "Keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nav.Bridge || nav.BridgeNearCol != BridgeTo || nav.BridgeFarCol != BridgeFrom {
+		t.Fatalf("nav = %+v", nav)
+	}
+
+	if _, err := m.Navigate(rel, "Paper"); err == nil {
+		t.Fatal("navigate from non-endpoint accepted")
+	}
+}
+
+// TestDDLExecutesOnEngine is the integration contract: generated DDL must
+// be accepted by the rdb engine and produce working foreign keys.
+func TestDDLExecutesOnEngine(t *testing.T) {
+	m, err := NewMapping(acmSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := rdb.Open()
+	for _, stmt := range m.DDL() {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("DDL %q: %v", stmt, err)
+		}
+	}
+	if _, err := db.Exec(`INSERT INTO volume (title, year) VALUES ('TODS 27', 2002)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO issue (number, fk_volumetoissue) VALUES (1, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign keys must be live.
+	if _, err := db.Exec(`INSERT INTO issue (number, fk_volumetoissue) VALUES (1, 99)`); err == nil {
+		t.Fatal("dangling FK accepted")
+	}
+	// Bridge table exists with both FKs.
+	if _, err := db.Exec(`INSERT INTO paper (title) VALUES ('P')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO keyword (word) VALUES ('db')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO rel_paperkeyword (from_oid, to_oid) VALUES (1, 1)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDDLOrdersDependencies(t *testing.T) {
+	m, _ := NewMapping(acmSchema())
+	ddl := m.DDL()
+	pos := map[string]int{}
+	for i, stmt := range ddl {
+		if strings.HasPrefix(stmt, "CREATE TABLE ") {
+			name := strings.Fields(stmt)[2]
+			pos[name] = i
+		}
+	}
+	if pos["volume"] > pos["issue"] {
+		t.Fatal("issue created before volume")
+	}
+	if pos["issue"] > pos["paper"] {
+		t.Fatal("paper created before issue")
+	}
+}
+
+func TestDDLCycleDegradesGracefully(t *testing.T) {
+	s := &Schema{
+		Entities: []*Entity{
+			{Name: "A", Attributes: []Attribute{{Name: "X", Type: Int}}},
+			{Name: "B", Attributes: []Attribute{{Name: "Y", Type: Int}}},
+		},
+		Relationships: []*Relationship{
+			{Name: "AB", From: "A", To: "B", FromRole: "ab", ToRole: "ba", FromCard: Many, ToCard: One},
+			{Name: "BA", From: "B", To: "A", FromRole: "ba2", ToRole: "ab2", FromCard: Many, ToCard: One},
+		},
+	}
+	m, err := NewMapping(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := rdb.Open()
+	for _, stmt := range m.DDL() {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("cyclic DDL rejected: %q: %v", stmt, err)
+		}
+	}
+}
+
+func TestEntityAttributeLookup(t *testing.T) {
+	e := acmSchema().Entity("Volume")
+	if e.Attribute("title") == nil {
+		t.Fatal("case-insensitive attribute lookup failed")
+	}
+	if e.Attribute("nope") != nil {
+		t.Fatal("ghost attribute found")
+	}
+}
+
+func TestAttrTypeStrings(t *testing.T) {
+	want := map[AttrType]string{String: "TEXT", Int: "INTEGER", Float: "REAL", Bool: "BOOLEAN", Time: "TIMESTAMP"}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Fatalf("%v.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+}
+
+// TestReverseRoundTrip: generating DDL from a schema and then
+// reverse-engineering the database reproduces the schema's structure.
+func TestReverseRoundTrip(t *testing.T) {
+	m, err := NewMapping(acmSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := rdb.Open()
+	for _, stmt := range m.DDL() {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, issues, err := Reverse(db)
+	if err != nil {
+		t.Fatalf("%v (issues: %v)", err, issues)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("issues = %v", issues)
+	}
+	if len(back.Entities) != 4 {
+		t.Fatalf("entities = %d", len(back.Entities))
+	}
+	vol := back.Entity("Volume")
+	if vol == nil || vol.Attribute("Title") == nil || vol.Attribute("Year") == nil {
+		t.Fatalf("volume = %+v", vol)
+	}
+	if !vol.Attribute("Title").Required {
+		t.Fatal("required flag lost")
+	}
+	kw := back.Entity("Keyword")
+	if kw == nil || !kw.Attribute("Word").Unique {
+		t.Fatal("unique flag lost")
+	}
+	// 1:N via FK columns.
+	v2i := back.Relationship("Volumetoissue")
+	if v2i == nil || v2i.Kind() != OneToMany || !strings.EqualFold(v2i.From, "Volume") || !strings.EqualFold(v2i.To, "Issue") {
+		t.Fatalf("v2i = %+v", v2i)
+	}
+	// N:M via bridge table.
+	pk := back.Relationship("Paperkeyword")
+	if pk == nil || pk.Kind() != ManyToMany {
+		t.Fatalf("pk = %+v", pk)
+	}
+	// The reverse-engineered schema maps forward again.
+	if _, err := NewMapping(back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseReportsNonConformingTables(t *testing.T) {
+	db := rdb.Open()
+	stmts := []string{
+		`CREATE TABLE legacy (code TEXT PRIMARY KEY, payload TEXT)`,
+		`CREATE TABLE product (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT)`,
+		`CREATE TABLE rel_broken (oid INTEGER PRIMARY KEY AUTOINCREMENT, x INTEGER)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	schema, issues, err := Reverse(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Entities) != 1 || schema.Entities[0].Name != "Product" {
+		t.Fatalf("entities = %+v", schema.Entities)
+	}
+	joined := strings.Join(issues, ";")
+	if !strings.Contains(joined, `"legacy"`) || !strings.Contains(joined, `"rel_broken"`) {
+		t.Fatalf("issues = %v", issues)
+	}
+}

@@ -1,0 +1,249 @@
+package er
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mapping describes how an ER schema maps onto relational storage:
+// one table per entity with a synthetic "oid" primary key, a foreign-key
+// column on the to-one side of 1:1 and 1:N relationships, and a bridge
+// table for N:M relationships. This is the "standard schema" of Section 1
+// that WebRatio uses both for newly designed databases and as the
+// reference for mapping to pre-existing data sources.
+type Mapping struct {
+	Schema *Schema
+}
+
+// NewMapping validates the schema and returns its relational mapping.
+func NewMapping(s *Schema) (*Mapping, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mapping{Schema: s}, nil
+}
+
+// EntityTable returns the table name that stores an entity.
+func (m *Mapping) EntityTable(entity string) string {
+	return strings.ToLower(entity)
+}
+
+// AttrColumn returns the column name that stores an attribute.
+func (m *Mapping) AttrColumn(attr string) string {
+	return strings.ToLower(attr)
+}
+
+// OIDColumn is the synthetic primary key column of every entity table.
+const OIDColumn = "oid"
+
+// FKColumn returns the foreign-key column name materializing a to-one
+// relationship side.
+func FKColumn(rel *Relationship) string {
+	return "fk_" + strings.ToLower(rel.Name)
+}
+
+// BridgeTable returns the bridge-table name of an N:M relationship.
+func BridgeTable(rel *Relationship) string {
+	return "rel_" + strings.ToLower(rel.Name)
+}
+
+// BridgeFrom and BridgeTo are the bridge-table column names.
+const (
+	BridgeFrom = "from_oid"
+	BridgeTo   = "to_oid"
+)
+
+// RelStorage describes where a relationship's instances live.
+type RelStorage struct {
+	// Bridge is true for N:M relationships stored in their own table.
+	Bridge bool
+	// Table is the bridge table (Bridge) or the table holding the FK.
+	Table string
+	// FKCol is the foreign-key column ("" for bridge storage).
+	FKCol string
+	// FKSide is the entity whose table holds the FK ("" for bridge).
+	FKSide string
+	// RefEntity is the entity the FK points at ("" for bridge).
+	RefEntity string
+}
+
+// Storage returns how rel is materialized.
+func (m *Mapping) Storage(rel *Relationship) RelStorage {
+	switch rel.Kind() {
+	case ManyToMany:
+		return RelStorage{Bridge: true, Table: BridgeTable(rel)}
+	case OneToMany:
+		// Each To-instance has one From-instance: FK on the To table.
+		return RelStorage{Table: m.EntityTable(rel.To), FKCol: FKColumn(rel), FKSide: rel.To, RefEntity: rel.From}
+	case ManyToOne, OneToOne:
+		return RelStorage{Table: m.EntityTable(rel.From), FKCol: FKColumn(rel), FKSide: rel.From, RefEntity: rel.To}
+	}
+	panic("unreachable")
+}
+
+// DDL returns the CREATE TABLE and CREATE INDEX statements implementing
+// the schema, ordered so every referenced table is created first. When
+// foreign-key dependencies are cyclic the constraints that close the
+// cycle are dropped (the tables are still created and indexed).
+func (m *Mapping) DDL() []string {
+	type tableDef struct {
+		entity *Entity
+		// fks: column -> referenced entity
+		fks map[string]string
+	}
+	defs := make(map[string]*tableDef, len(m.Schema.Entities))
+	var order []string
+	for _, e := range m.Schema.Entities {
+		name := m.EntityTable(e.Name)
+		defs[name] = &tableDef{entity: e, fks: map[string]string{}}
+		order = append(order, name)
+	}
+	var bridges []*Relationship
+	for _, r := range m.Schema.Relationships {
+		st := m.Storage(r)
+		if st.Bridge {
+			bridges = append(bridges, r)
+			continue
+		}
+		defs[st.Table].fks[st.FKCol] = m.EntityTable(st.RefEntity)
+	}
+
+	// Topological order over FK dependencies (Kahn).
+	depends := func(t string) []string {
+		var out []string
+		for _, ref := range defs[t].fks {
+			if ref != t { // self-references never block creation in rdb
+				out = append(out, ref)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	emitted := map[string]bool{}
+	var sorted []string
+	for len(sorted) < len(order) {
+		progressed := false
+		for _, t := range order {
+			if emitted[t] {
+				continue
+			}
+			ready := true
+			for _, dep := range depends(t) {
+				if !emitted[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				emitted[t] = true
+				sorted = append(sorted, t)
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Cycle: emit the remaining tables without the FK constraints
+			// that reference not-yet-emitted tables.
+			for _, t := range order {
+				if !emitted[t] {
+					for col, ref := range defs[t].fks {
+						if !emitted[ref] && ref != t {
+							delete(defs[t].fks, col)
+						}
+					}
+					emitted[t] = true
+					sorted = append(sorted, t)
+				}
+			}
+		}
+	}
+
+	var ddl []string
+	for _, t := range sorted {
+		def := defs[t]
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n  %s INTEGER PRIMARY KEY AUTOINCREMENT", t, OIDColumn)
+		for _, a := range def.entity.Attributes {
+			fmt.Fprintf(&b, ",\n  %s %s", m.AttrColumn(a.Name), a.Type)
+			if a.Required {
+				b.WriteString(" NOT NULL")
+			}
+			if a.Unique {
+				b.WriteString(" UNIQUE")
+			}
+		}
+		fkCols := make([]string, 0, len(def.fks))
+		for col := range def.fks {
+			fkCols = append(fkCols, col)
+		}
+		sort.Strings(fkCols)
+		for _, col := range fkCols {
+			fmt.Fprintf(&b, ",\n  %s INTEGER", col)
+		}
+		for _, col := range fkCols {
+			fmt.Fprintf(&b, ",\n  FOREIGN KEY (%s) REFERENCES %s(%s)", col, def.fks[col], OIDColumn)
+		}
+		b.WriteString("\n)")
+		ddl = append(ddl, b.String())
+		for _, col := range fkCols {
+			ddl = append(ddl, fmt.Sprintf("CREATE INDEX idx_%s_%s ON %s(%s)", t, col, t, col))
+		}
+	}
+	for _, r := range bridges {
+		bt := BridgeTable(r)
+		ddl = append(ddl, fmt.Sprintf(
+			"CREATE TABLE %s (\n  %s INTEGER PRIMARY KEY AUTOINCREMENT,\n  %s INTEGER NOT NULL,\n  %s INTEGER NOT NULL,\n  FOREIGN KEY (%s) REFERENCES %s(%s),\n  FOREIGN KEY (%s) REFERENCES %s(%s)\n)",
+			bt, OIDColumn, BridgeFrom, BridgeTo,
+			BridgeFrom, m.EntityTable(r.From), OIDColumn,
+			BridgeTo, m.EntityTable(r.To), OIDColumn))
+		ddl = append(ddl, fmt.Sprintf("CREATE INDEX idx_%s_from ON %s(%s)", bt, bt, BridgeFrom))
+		ddl = append(ddl, fmt.Sprintf("CREATE INDEX idx_%s_to ON %s(%s)", bt, bt, BridgeTo))
+	}
+	return ddl
+}
+
+// Navigation describes how to go from one entity's instance to its related
+// instances of the other entity across a relationship.
+type Navigation struct {
+	// TargetEntity is the entity reached by the navigation.
+	TargetEntity string
+	// Join is a SQL fragment: for bridge relationships, the join through
+	// the bridge table; for FK relationships, a WHERE-style equality. The
+	// codegen package composes full queries from these pieces.
+	Bridge bool
+	// BridgeTable, BridgeNearCol, BridgeFarCol are set when Bridge.
+	BridgeTable, BridgeNearCol, BridgeFarCol string
+	// FKOnTarget is true when the target table holds the FK pointing back
+	// at the source instance; false when the source table holds the FK
+	// pointing at the target.
+	FKOnTarget bool
+	// FKCol is the FK column name (when not Bridge).
+	FKCol string
+}
+
+// Navigate resolves how to traverse rel starting from entity "from".
+// The from argument may be either endpoint of the relationship.
+func (m *Mapping) Navigate(rel *Relationship, from string) (Navigation, error) {
+	var target string
+	switch {
+	case strings.EqualFold(from, rel.From):
+		target = rel.To
+	case strings.EqualFold(from, rel.To):
+		target = rel.From
+	default:
+		return Navigation{}, fmt.Errorf("er: entity %q is not an endpoint of relationship %q", from, rel.Name)
+	}
+	st := m.Storage(rel)
+	if st.Bridge {
+		nav := Navigation{TargetEntity: target, Bridge: true, BridgeTable: st.Table}
+		if strings.EqualFold(from, rel.From) {
+			nav.BridgeNearCol, nav.BridgeFarCol = BridgeFrom, BridgeTo
+		} else {
+			nav.BridgeNearCol, nav.BridgeFarCol = BridgeTo, BridgeFrom
+		}
+		return nav, nil
+	}
+	nav := Navigation{TargetEntity: target, FKCol: st.FKCol}
+	nav.FKOnTarget = strings.EqualFold(st.FKSide, target)
+	return nav, nil
+}

@@ -1,0 +1,164 @@
+package er
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"webmlgo/internal/rdb"
+)
+
+// Reverse derives an ER schema from a pre-existing database that follows
+// the standard relational mapping — the second use the paper gives the
+// standard schema: "as a reference for mapping to pre-existing data
+// sources" (Section 1). Recognition rules, the inverse of Mapping:
+//
+//   - every table with an "oid" primary key becomes an entity (name
+//     capitalized);
+//   - tables named "rel_<name>" with from_oid/to_oid columns become N:M
+//     relationships;
+//   - "fk_<name>" columns become 1:N relationships toward the referenced
+//     entity;
+//   - remaining columns become attributes with types mapped back from
+//     the column types.
+//
+// Tables that do not fit the convention are reported in the returned
+// issues list and skipped; the schema covers what was recognized.
+func Reverse(db *rdb.DB) (*Schema, []string, error) {
+	schema := &Schema{}
+	var issues []string
+
+	type fkInfo struct {
+		table, column, refTable string
+	}
+	var fks []fkInfo
+	type bridgeInfo struct {
+		table, fromTable, toTable string
+	}
+	var bridges []bridgeInfo
+
+	for _, tableName := range db.TableNames() {
+		info, err := db.Describe(tableName)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasPrefix(tableName, "rel_") {
+			var from, to string
+			for _, fk := range info.ForeignKeys {
+				switch fk.Column {
+				case BridgeFrom:
+					from = fk.RefTable
+				case BridgeTo:
+					to = fk.RefTable
+				}
+			}
+			if from == "" || to == "" {
+				issues = append(issues, fmt.Sprintf("table %q looks like a bridge but lacks from_oid/to_oid foreign keys", tableName))
+				continue
+			}
+			bridges = append(bridges, bridgeInfo{table: tableName, fromTable: from, toTable: to})
+			continue
+		}
+		if info.PrimaryKey != OIDColumn {
+			issues = append(issues, fmt.Sprintf("table %q has no %q primary key; skipped", tableName, OIDColumn))
+			continue
+		}
+		e := &Entity{Name: capitalize(tableName)}
+		for _, col := range info.Columns {
+			if col.Name == OIDColumn {
+				continue
+			}
+			if strings.HasPrefix(col.Name, "fk_") {
+				ref := ""
+				for _, fk := range info.ForeignKeys {
+					if fk.Column == col.Name {
+						ref = fk.RefTable
+						break
+					}
+				}
+				if ref == "" {
+					issues = append(issues, fmt.Sprintf("column %s.%s looks like a foreign key but has no constraint", tableName, col.Name))
+					continue
+				}
+				fks = append(fks, fkInfo{table: tableName, column: col.Name, refTable: ref})
+				continue
+			}
+			t, ok := attrTypeFromCol(col.Type)
+			if !ok {
+				issues = append(issues, fmt.Sprintf("column %s.%s has unmapped type; treated as string", tableName, col.Name))
+				t = String
+			}
+			e.Attributes = append(e.Attributes, Attribute{
+				Name: capitalize(col.Name), Type: t,
+				Required: col.NotNull, Unique: col.Unique,
+			})
+		}
+		if len(e.Attributes) == 0 {
+			issues = append(issues, fmt.Sprintf("table %q has no plain attributes; skipped", tableName))
+			continue
+		}
+		schema.Entities = append(schema.Entities, e)
+	}
+
+	// FK columns: the table holding the FK is the To side of a 1:N from
+	// the referenced entity (matching Mapping.Storage for OneToMany).
+	for _, fk := range fks {
+		relName := strings.TrimPrefix(fk.column, "fk_")
+		from := capitalize(fk.refTable)
+		to := capitalize(fk.table)
+		if schema.Entity(from) == nil || schema.Entity(to) == nil {
+			issues = append(issues, fmt.Sprintf("foreign key %s.%s references unrecognized entities", fk.table, fk.column))
+			continue
+		}
+		schema.Relationships = append(schema.Relationships, &Relationship{
+			Name: capitalize(relName), From: from, To: to,
+			FromRole: capitalize(relName), ToRole: capitalize(relName) + "Inverse",
+			FromCard: Many, ToCard: One,
+		})
+	}
+	for _, b := range bridges {
+		relName := capitalize(strings.TrimPrefix(b.table, "rel_"))
+		from := capitalize(b.fromTable)
+		to := capitalize(b.toTable)
+		if schema.Entity(from) == nil || schema.Entity(to) == nil {
+			issues = append(issues, fmt.Sprintf("bridge %q references unrecognized entities", b.table))
+			continue
+		}
+		schema.Relationships = append(schema.Relationships, &Relationship{
+			Name: relName, From: from, To: to,
+			FromRole: relName, ToRole: relName + "Inverse",
+			FromCard: Many, ToCard: Many,
+		})
+	}
+	sort.Slice(schema.Relationships, func(i, j int) bool {
+		return schema.Relationships[i].Name < schema.Relationships[j].Name
+	})
+	sort.Strings(issues)
+	if err := schema.Validate(); err != nil {
+		return nil, issues, fmt.Errorf("er: reverse-engineered schema invalid: %w", err)
+	}
+	return schema, issues, nil
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func attrTypeFromCol(t rdb.ColType) (AttrType, bool) {
+	switch t {
+	case rdb.TText:
+		return String, true
+	case rdb.TInt:
+		return Int, true
+	case rdb.TReal:
+		return Float, true
+	case rdb.TBool:
+		return Bool, true
+	case rdb.TTime:
+		return Time, true
+	}
+	return String, false
+}

@@ -1,0 +1,160 @@
+package mvc
+
+import (
+	"fmt"
+	"time"
+
+	"webmlgo/internal/cache"
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/rdb"
+)
+
+// Business is the business tier of Figure 4: it computes unit content
+// and executes operations. The local implementation runs inside the
+// "servlet container"; internal/ejb provides a remote implementation
+// living in the application server (Figure 6), and CachedBusiness wraps
+// either with the Section 6 bean cache.
+type Business interface {
+	// ComputeUnit produces the unit bean for a descriptor and inputs.
+	ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
+	// ExecuteOperation runs an operation and reports OK/KO.
+	ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
+}
+
+// LocalBusiness executes services in-process against the database.
+type LocalBusiness struct {
+	DB *rdb.DB
+	// Units maps unit kind -> generic service.
+	Units map[string]UnitService
+	// Operations maps operation kind -> generic service.
+	Operations map[string]OperationService
+	// Custom maps component names (descriptor Service attribute) to
+	// user-supplied services that override the generic ones (Section 6:
+	// "this component can be completely overridden by a user-supplied
+	// one, which may implement any required optimization policy").
+	Custom map[string]UnitService
+	// CustomOps is the operation counterpart of Custom.
+	CustomOps map[string]OperationService
+}
+
+// NewLocalBusiness wires the core generic services over db.
+func NewLocalBusiness(db *rdb.DB) *LocalBusiness {
+	return &LocalBusiness{
+		DB:         db,
+		Units:      CoreUnitServices(),
+		Operations: CoreOperationServices(),
+		Custom:     map[string]UnitService{},
+		CustomOps:  map[string]OperationService{},
+	}
+}
+
+// RegisterUnitService installs (or replaces) the generic service for a
+// unit kind — how plug-in units attach their runtime component.
+func (b *LocalBusiness) RegisterUnitService(kind string, s UnitService) {
+	b.Units[kind] = s
+}
+
+// RegisterOperationService installs the generic service for an operation
+// kind.
+func (b *LocalBusiness) RegisterOperationService(kind string, s OperationService) {
+	b.Operations[kind] = s
+}
+
+// RegisterCustomComponent installs a named user-supplied unit service
+// referenced by descriptor Service attributes.
+func (b *LocalBusiness) RegisterCustomComponent(name string, s UnitService) {
+	b.Custom[name] = s
+}
+
+// RegisterCustomOperation installs a named user-supplied operation
+// service.
+func (b *LocalBusiness) RegisterCustomOperation(name string, s OperationService) {
+	b.CustomOps[name] = s
+}
+
+// ComputeUnit implements Business.
+func (b *LocalBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	if d.Service != "" {
+		if s, ok := b.Custom[d.Service]; ok {
+			return s.Compute(b.DB, d, inputs)
+		}
+		return nil, fmt.Errorf("mvc: unit %s names unknown custom component %q", d.ID, d.Service)
+	}
+	s, ok := b.Units[d.Kind]
+	if !ok {
+		return nil, fmt.Errorf("mvc: no generic service for unit kind %q", d.Kind)
+	}
+	return s.Compute(b.DB, d, inputs)
+}
+
+// ExecuteOperation implements Business.
+func (b *LocalBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	if d.Service != "" {
+		if s, ok := b.CustomOps[d.Service]; ok {
+			return s.Execute(b.DB, d, inputs)
+		}
+		return nil, fmt.Errorf("mvc: operation %s names unknown custom component %q", d.ID, d.Service)
+	}
+	s, ok := b.Operations[d.Kind]
+	if !ok {
+		return nil, fmt.Errorf("mvc: no generic service for operation kind %q", d.Kind)
+	}
+	return s.Execute(b.DB, d, inputs)
+}
+
+// CachedBusiness decorates a Business with the bean cache: unit beans of
+// cache-tagged descriptors are reused across requests, and operations
+// automatically invalidate the beans whose Reads intersect their Writes.
+type CachedBusiness struct {
+	Inner Business
+	Cache *cache.BeanCache
+}
+
+// NewCachedBusiness wraps inner with the bean cache.
+func NewCachedBusiness(inner Business, c *cache.BeanCache) *CachedBusiness {
+	return &CachedBusiness{Inner: inner, Cache: c}
+}
+
+// ComputeUnit implements Business with bean caching.
+func (cb *CachedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	if d.Cache == nil || !d.Cache.Enabled {
+		return cb.Inner.ComputeUnit(d, inputs)
+	}
+	key := beanKey(d.ID, inputs)
+	if v, ok := cb.Cache.Get(key); ok {
+		return v.(*UnitBean), nil
+	}
+	bean, err := cb.Inner.ComputeUnit(d, inputs)
+	if err != nil {
+		return nil, err
+	}
+	ttl := time.Duration(0)
+	if d.Cache.TTLSeconds > 0 {
+		ttl = time.Duration(d.Cache.TTLSeconds) * time.Second
+	}
+	cb.Cache.Put(key, bean, d.Reads, ttl)
+	return bean, nil
+}
+
+// ExecuteOperation implements Business, invalidating dependent beans on
+// success — "the implementation of operations automatically invalidates
+// the affected cached objects" (Section 6).
+func (cb *CachedBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	res, err := cb.Inner.ExecuteOperation(d, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if res.OK && len(d.Writes) > 0 {
+		cb.Cache.Invalidate(d.Writes...)
+	}
+	return res, nil
+}
+
+// beanKey builds the cache key from the unit ID and typed inputs.
+func beanKey(unitID string, inputs map[string]Value) string {
+	strs := make(map[string]string, len(inputs))
+	for k, v := range inputs {
+		strs[k] = FormatParam(v)
+	}
+	return cache.Key(unitID, strs)
+}

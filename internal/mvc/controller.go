@@ -1,0 +1,445 @@
+package mvc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"webmlgo/internal/descriptor"
+)
+
+// Renderer is the View of Figure 4: it turns a computed page state into
+// markup. internal/render implements it with custom-tag templates.
+type Renderer interface {
+	RenderPage(pd *descriptor.Page, state *PageState, ctx *RequestContext) ([]byte, error)
+}
+
+// RequestContext carries per-request information to the View.
+type RequestContext struct {
+	// Params are the request parameters (typed).
+	Params map[string]Value
+	// Session is the user's session.
+	Session *Session
+	// UserAgent is the declared client, used for multi-device
+	// presentation dispatch (Section 5).
+	UserAgent string
+	// Error carries an operation failure message to display.
+	Error string
+}
+
+// PageComputer produces the state objects of one page. The in-process
+// implementation is PageService; internal/ejb provides a remote one (the
+// "Page EJBs" of Figure 6, one round trip per page).
+type PageComputer interface {
+	ComputePage(pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error)
+}
+
+// Controller is the single servlet of the MVC 2 architecture (Figure 3):
+// it intercepts every request, maps it to a page or operation action
+// through the configuration file, invokes the business tier, and
+// dispatches the View or the next action.
+type Controller struct {
+	Repo     *descriptor.Repository
+	Business Business
+	Pages    PageComputer
+	Sessions *SessionManager
+	Renderer Renderer
+	// MaxChain bounds operation chain length (OK links targeting further
+	// operations). 0 selects the default of 8.
+	MaxChain int
+
+	metrics metrics
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// NewController wires a controller over a repository, business tier and
+// renderer.
+func NewController(repo *descriptor.Repository, business Business, renderer Renderer) *Controller {
+	return &Controller{
+		Repo:     repo,
+		Business: business,
+		Pages:    &PageService{Repo: repo, Business: business},
+		Sessions: NewSessionManager(0),
+		Renderer: renderer,
+	}
+}
+
+// ServeHTTP implements http.Handler. Routes:
+//
+//	GET  /page/<id>   page actions
+//	GET  /op/<id>     operation actions (also POST)
+//	POST /login       sets the session principal (parameter "user")
+//	POST /logout      clears it
+func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	session := c.Sessions.Resolve(w, r)
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	switch {
+	case strings.HasPrefix(path, "page/") || strings.HasPrefix(path, "op/"):
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		c.safeDispatch(sr, r, session, path)
+		c.metrics.record(path, time.Since(start), sr.status >= 400)
+	case path == "login":
+		user := r.FormValue("user")
+		if user == "" {
+			http.Error(w, "missing user", http.StatusBadRequest)
+			return
+		}
+		session.Set(sessionUserKey, user)
+		if back := r.FormValue("back"); back != "" && strings.HasPrefix(back, "/") {
+			http.Redirect(w, r, back, http.StatusFound)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	case path == "logout":
+		session.Delete(sessionUserKey)
+		fmt.Fprintln(w, "ok")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// safeDispatch shields the Controller from panics in user-supplied
+// custom components and plug-in services: the failing request becomes a
+// 500, the server survives.
+func (c *Controller) safeDispatch(w http.ResponseWriter, r *http.Request, session *Session, action string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			http.Error(w, fmt.Sprintf("internal error in action %s: %v", action, rec),
+				http.StatusInternalServerError)
+		}
+	}()
+	c.dispatch(w, r, session, action)
+}
+
+// dispatch runs one action (and any operation chain it starts).
+func (c *Controller) dispatch(w http.ResponseWriter, r *http.Request, session *Session, action string) {
+	params := requestParams(r)
+
+	// Multi-valued parameters (a multichoice selection) fan an operation
+	// out over every selected object: the operation executes once per
+	// value, then control continues as if a single invocation succeeded.
+	if strings.HasPrefix(action, "op/") {
+		if name, values := multiParam(r); name != "" && len(values) > 1 {
+			m := c.Repo.Config().Mapping(action)
+			opID := strings.TrimPrefix(action, "op/")
+			d := c.Repo.Unit(opID)
+			if m != nil && d != nil {
+				for _, v := range values[:len(values)-1] {
+					fan := make(map[string]Value, len(params))
+					for k, pv := range params {
+						fan[k] = pv
+					}
+					fan[name] = ConvertParam(v)
+					if res, err := c.Business.ExecuteOperation(d, fan); err != nil {
+						http.Error(w, err.Error(), http.StatusInternalServerError)
+						return
+					} else if !res.OK {
+						c.redirect(w, r, m.KO, m.KOParams, res.Outputs, fan, res.Err)
+						return
+					}
+				}
+				// The last value proceeds through the normal path (and
+				// any OK chain).
+				params[name] = ConvertParam(values[len(values)-1])
+			}
+		}
+	}
+	maxChain := c.MaxChain
+	if maxChain <= 0 {
+		maxChain = 8
+	}
+	for hop := 0; ; hop++ {
+		m := c.Repo.Config().Mapping(action)
+		if m == nil {
+			http.NotFound(w, r)
+			return
+		}
+		switch m.Type {
+		case "page":
+			c.pageAction(w, r, session, m, params)
+			return
+		case "operation":
+			next, nextParams, done := c.operationAction(w, r, session, m, params)
+			if done {
+				return
+			}
+			if hop >= maxChain {
+				http.Error(w, "operation chain too long", http.StatusLoopDetected)
+				return
+			}
+			action, params = next, nextParams
+		default:
+			http.Error(w, "bad mapping type", http.StatusInternalServerError)
+			return
+		}
+	}
+}
+
+// pageAction is the page action of Figure 4: extract the input from the
+// HTTP request, call the page service, then invoke the View.
+func (c *Controller) pageAction(w http.ResponseWriter, r *http.Request, session *Session, m *descriptor.Mapping, params map[string]Value) {
+	pd := c.Repo.Page(m.Page)
+	if pd == nil {
+		http.Error(w, "missing page descriptor", http.StatusInternalServerError)
+		return
+	}
+	if pd.Protected && session.User() == "" {
+		w.Header().Set("WWW-Authenticate", "Session")
+		http.Error(w, "authentication required", http.StatusUnauthorized)
+		return
+	}
+	formState := takeFormState(session, pd)
+	state, err := c.Pages.ComputePage(m.Page, params, formState)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ctx := &RequestContext{
+		Params:    params,
+		Session:   session,
+		UserAgent: r.UserAgent(),
+		Error:     stringParam(params, "_error"),
+	}
+	out, err := c.Renderer.RenderPage(pd, state, ctx)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Content-addressed ETag: clients and intermediaries revalidate
+	// cheaply; unchanged pages cost one hash instead of a transfer.
+	etag := fmt.Sprintf(`"%x"`, bodyHash(out))
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(out) //nolint:errcheck // client disconnects are not actionable
+}
+
+func bodyHash(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b) //nolint:errcheck // hash writes cannot fail
+	return h.Sum64()
+}
+
+// operationAction executes one operation and resolves the next action.
+// It returns (nextAction, nextParams, false) to continue a chain, or
+// handles the response itself and returns done=true.
+func (c *Controller) operationAction(w http.ResponseWriter, r *http.Request, session *Session, m *descriptor.Mapping, params map[string]Value) (string, map[string]Value, bool) {
+	opID := strings.TrimPrefix(m.Action, "op/")
+	d := c.Repo.Unit(opID)
+	if d == nil {
+		http.Error(w, "missing operation descriptor", http.StatusInternalServerError)
+		return "", nil, true
+	}
+
+	// Validation service: check the inputs against the feeding entry
+	// unit's field specifications before touching the database.
+	if m.Validate != "" {
+		if entry := c.Repo.Unit(m.Validate); entry != nil {
+			if errs := ValidateFields(entry.Fields, params); len(errs) > 0 {
+				storeFormState(session, m.Validate, params, errs)
+				c.redirect(w, r, m.KO, m.KOParams, nil, params, "validation failed")
+				return "", nil, true
+			}
+		}
+	}
+
+	res, err := c.Business.ExecuteOperation(d, params)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return "", nil, true
+	}
+	if !res.OK {
+		c.redirect(w, r, m.KO, m.KOParams, res.Outputs, params, res.Err)
+		return "", nil, true
+	}
+	next := m.OK
+	nextParams := forward(m.OKParams, res.Outputs, params)
+	if strings.HasPrefix(next, "op/") {
+		// Chained operation: continue in-process.
+		return next, nextParams, false
+	}
+	c.redirect(w, r, next, m.OKParams, res.Outputs, params, "")
+	return "", nil, true
+}
+
+// redirect sends the browser to the target action with forwarded
+// parameters (HTTP 302, the classical MVC 2 post-redirect-get).
+func (c *Controller) redirect(w http.ResponseWriter, r *http.Request, action string, fwd []descriptor.ForwardParam, outputs map[string]Value, params map[string]Value, errMsg string) {
+	if action == "" {
+		http.Error(w, "operation has no continuation: "+errMsg, http.StatusInternalServerError)
+		return
+	}
+	q := url.Values{}
+	for k, v := range forward(fwd, outputs, params) {
+		if !strings.HasPrefix(k, "_") {
+			q.Set(k, FormatParam(v))
+		}
+	}
+	if errMsg != "" {
+		q.Set("_error", errMsg)
+	}
+	target := "/" + action
+	if enc := q.Encode(); enc != "" {
+		target += "?" + enc
+	}
+	http.Redirect(w, r, target, http.StatusFound)
+}
+
+// forward materializes link-parameter forwarding: each ForwardParam's
+// source is looked up in the operation outputs first, then in the
+// original request parameters. With no explicit forwarding rules, the
+// outputs and request parameters pass through (so a created OID reaches
+// the next page).
+func forward(fwd []descriptor.ForwardParam, outputs map[string]Value, params map[string]Value) map[string]Value {
+	out := make(map[string]Value)
+	if len(fwd) == 0 {
+		for k, v := range params {
+			out[k] = v
+		}
+		for k, v := range outputs {
+			out[k] = v
+		}
+		return out
+	}
+	for _, f := range fwd {
+		if v, ok := outputs[f.Source]; ok {
+			out[f.Target] = v
+			continue
+		}
+		if v, ok := params[f.Source]; ok {
+			out[f.Target] = v
+		}
+	}
+	return out
+}
+
+// ValidateFields applies the validation service's rules: required fields
+// must be present and non-empty, and typed fields must parse.
+func ValidateFields(fields []descriptor.FieldSpec, params map[string]Value) map[string]string {
+	errs := map[string]string{}
+	for _, f := range fields {
+		raw, present := params[f.Name]
+		s := ""
+		if present {
+			s = FormatParam(raw)
+		}
+		if s == "" {
+			if f.Required {
+				errs[f.Name] = "required"
+			}
+			continue
+		}
+		switch strings.ToUpper(f.Type) {
+		case "INTEGER":
+			if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+				errs[f.Name] = "must be an integer"
+			}
+		case "REAL":
+			if _, err := strconv.ParseFloat(s, 64); err != nil {
+				errs[f.Name] = "must be a number"
+			}
+		case "BOOLEAN":
+			if s != "true" && s != "false" {
+				errs[f.Name] = "must be true or false"
+			}
+		}
+	}
+	return errs
+}
+
+// Form state round-trips entry values and errors across KO redirects.
+
+func formStateKey(entryID string) string { return "form:" + entryID }
+
+func storeFormState(session *Session, entryID string, params map[string]Value, errs map[string]string) {
+	fs := &FormState{Values: map[string]Value{}, Errors: errs}
+	for k, v := range params {
+		if !strings.HasPrefix(k, "_") {
+			fs.Values[k] = v
+		}
+	}
+	session.Set(formStateKey(entryID), fs)
+}
+
+// takeFormState collects (and clears) the sticky form state of every
+// entry unit on the page.
+func takeFormState(session *Session, pd *descriptor.Page) map[string]*FormState {
+	out := map[string]*FormState{}
+	for _, u := range pd.Units {
+		if v, ok := session.Get(formStateKey(u.ID)); ok {
+			if fs, ok := v.(*FormState); ok {
+				out[u.ID] = fs
+			}
+			session.Delete(formStateKey(u.ID))
+		}
+	}
+	return out
+}
+
+// multiParam returns the first request parameter carrying multiple
+// values, if any.
+func multiParam(r *http.Request) (string, []string) {
+	_ = r.ParseForm() //nolint:errcheck // malformed bodies yield empty form
+	for k, vs := range r.Form {
+		if len(vs) > 1 {
+			return k, vs
+		}
+	}
+	return "", nil
+}
+
+// requestParams converts the URL query and POST form into typed values.
+func requestParams(r *http.Request) map[string]Value {
+	_ = r.ParseForm() //nolint:errcheck // malformed bodies yield empty form
+	out := make(map[string]Value, len(r.Form))
+	for k, vs := range r.Form {
+		if len(vs) > 0 {
+			out[k] = ConvertParam(vs[0])
+		}
+	}
+	return out
+}
+
+func stringParam(params map[string]Value, name string) string {
+	if v, ok := params[name]; ok {
+		return FormatParam(v)
+	}
+	return ""
+}
+
+// ActionURL builds the URL of an action with sorted query parameters
+// (stable for tests and cache keys).
+func ActionURL(action string, params map[string]string) string {
+	if len(params) == 0 {
+		return "/" + action
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	q := url.Values{}
+	for _, k := range keys {
+		q.Set(k, params[k])
+	}
+	return "/" + action + "?" + q.Encode()
+}

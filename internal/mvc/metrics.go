@@ -1,0 +1,62 @@
+package mvc
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ActionStats aggregates the Controller's activity for one action — the
+// operational visibility a centralized Controller makes trivial compared
+// to scattered page templates.
+type ActionStats struct {
+	Action string
+	Count  int64
+	Errors int64 // responses with status >= 400
+	Total  time.Duration
+}
+
+// Mean returns the average service time of the action.
+func (s ActionStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+type metrics struct {
+	mu      sync.Mutex
+	actions map[string]*ActionStats
+}
+
+func (m *metrics) record(action string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.actions == nil {
+		m.actions = make(map[string]*ActionStats)
+	}
+	s, ok := m.actions[action]
+	if !ok {
+		s = &ActionStats{Action: action}
+		m.actions[action] = s
+	}
+	s.Count++
+	s.Total += d
+	if failed {
+		s.Errors++
+	}
+}
+
+func (m *metrics) snapshot() []ActionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ActionStats, 0, len(m.actions))
+	for _, s := range m.actions {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Action < out[j].Action })
+	return out
+}
+
+// Metrics returns per-action statistics collected since startup.
+func (c *Controller) Metrics() []ActionStats { return c.metrics.snapshot() }

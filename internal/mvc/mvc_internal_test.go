@@ -1,0 +1,222 @@
+package mvc
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"webmlgo/internal/descriptor"
+)
+
+func newGetRequest(path string) *http.Request {
+	return httptest.NewRequest(http.MethodGet, path, nil)
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	pd := &descriptor.Page{
+		ID:    "p",
+		Units: []descriptor.UnitRef{{ID: "c"}, {ID: "a"}, {ID: "b"}},
+		Edges: []descriptor.Edge{{From: "a", To: "b"}, {From: "b", To: "c"}},
+	}
+	order, err := topoOrder(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoOrderStableWithoutEdges(t *testing.T) {
+	pd := &descriptor.Page{
+		ID:    "p",
+		Units: []descriptor.UnitRef{{ID: "x"}, {ID: "y"}, {ID: "z"}},
+	}
+	order, err := topoOrder(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "x" || order[1] != "y" || order[2] != "z" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	pd := &descriptor.Page{
+		ID:    "p",
+		Units: []descriptor.UnitRef{{ID: "a"}, {ID: "b"}},
+		Edges: []descriptor.Edge{{From: "a", To: "b"}, {From: "b", To: "a"}},
+	}
+	if _, err := topoOrder(pd); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestTopoOrderRejectsUnknownUnits(t *testing.T) {
+	pd := &descriptor.Page{
+		ID:    "p",
+		Units: []descriptor.UnitRef{{ID: "a"}},
+		Edges: []descriptor.Edge{{From: "a", To: "ghost"}},
+	}
+	if _, err := topoOrder(pd); err == nil {
+		t.Fatal("unknown edge endpoint accepted")
+	}
+}
+
+func TestConvertParam(t *testing.T) {
+	if v := ConvertParam("42"); v != int64(42) {
+		t.Fatalf("int: %v (%T)", v, v)
+	}
+	if v := ConvertParam("3.5"); v != 3.5 {
+		t.Fatalf("float: %v", v)
+	}
+	if v := ConvertParam("abc"); v != "abc" {
+		t.Fatalf("string: %v", v)
+	}
+	if v := ConvertParam(""); v != "" {
+		t.Fatalf("empty: %v", v)
+	}
+}
+
+func TestValidateFields(t *testing.T) {
+	fields := []descriptor.FieldSpec{
+		{Name: "title", Type: "TEXT", Required: true},
+		{Name: "year", Type: "INTEGER"},
+		{Name: "price", Type: "REAL"},
+		{Name: "flag", Type: "BOOLEAN"},
+	}
+	errs := ValidateFields(fields, map[string]Value{
+		"title": "x", "year": int64(2002), "price": 1.5, "flag": "true",
+	})
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	errs = ValidateFields(fields, map[string]Value{
+		"year": "not-a-number", "price": "nope", "flag": "maybe",
+	})
+	if errs["title"] != "required" {
+		t.Fatalf("title err = %q", errs["title"])
+	}
+	if errs["year"] == "" || errs["price"] == "" || errs["flag"] == "" {
+		t.Fatalf("errs = %v", errs)
+	}
+	// Optional empty fields are fine.
+	errs = ValidateFields(fields, map[string]Value{"title": "x"})
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestForward(t *testing.T) {
+	outputs := map[string]Value{"oid": int64(7)}
+	params := map[string]Value{"a": int64(1), "b": "x"}
+	// Explicit rules: outputs win over params.
+	got := forward([]descriptor.ForwardParam{
+		{Source: "oid", Target: "volume"},
+		{Source: "b", Target: "bb"},
+		{Source: "ghost", Target: "g"},
+	}, outputs, params)
+	if got["volume"] != int64(7) || got["bb"] != "x" {
+		t.Fatalf("got %v", got)
+	}
+	if _, ok := got["g"]; ok {
+		t.Fatal("ghost forwarded")
+	}
+	// No rules: pass-through with outputs overriding.
+	got = forward(nil, map[string]Value{"a": int64(9)}, params)
+	if got["a"] != int64(9) || got["b"] != "x" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBeanHashSensitivity(t *testing.T) {
+	b1 := &UnitBean{UnitID: "u", Kind: "data", Nodes: []Node{{Values: Row{"t": "x"}}}}
+	b2 := &UnitBean{UnitID: "u", Kind: "data", Nodes: []Node{{Values: Row{"t": "x"}}}}
+	if b1.Hash() != b2.Hash() {
+		t.Fatal("equal beans hash differently")
+	}
+	b2.Nodes[0].Values["t"] = "y"
+	if b1.Hash() == b2.Hash() {
+		t.Fatal("different beans hash equal")
+	}
+	b3 := &UnitBean{UnitID: "u", Kind: "data", Nodes: []Node{{Values: Row{"t": "x"},
+		Children: []Node{{Values: Row{"c": "1"}}}}}}
+	if b3.Hash() == b1.Hash() {
+		t.Fatal("children ignored by hash")
+	}
+}
+
+func TestActionURL(t *testing.T) {
+	if got := ActionURL("page/p1", nil); got != "/page/p1" {
+		t.Fatal(got)
+	}
+	got := ActionURL("page/p1", map[string]string{"b": "2", "a": "1"})
+	if got != "/page/p1?a=1&b=2" {
+		t.Fatal(got)
+	}
+}
+
+func TestSessionManager(t *testing.T) {
+	m := NewSessionManager(0)
+	s := m.Resolve(nil, newGetRequest("/"))
+	s.Set("k", "v")
+	if v, _ := s.Get("k"); v != "v" {
+		t.Fatal("session storage broken")
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("delete broken")
+	}
+	if s.User() != "" {
+		t.Fatal("anonymous session has user")
+	}
+	s.Set(sessionUserKey, "alice")
+	if s.User() != "alice" {
+		t.Fatal("user lost")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("sessions = %d", m.Len())
+	}
+}
+
+func TestSessionSweep(t *testing.T) {
+	m := NewSessionManager(time.Minute)
+	base := time.Unix(1000, 0)
+	m.now = func() time.Time { return base }
+	s1 := m.Resolve(nil, newGetRequest("/"))
+	_ = s1
+	base = base.Add(30 * time.Second)
+	m.Resolve(nil, newGetRequest("/")) // second session (no cookie carried)
+	if m.Len() != 2 {
+		t.Fatalf("sessions = %d", m.Len())
+	}
+	base = base.Add(45 * time.Second) // s1 now idle 75s, s2 idle 45s
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("swept %d", n)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("sessions after sweep = %d", m.Len())
+	}
+}
+
+func TestSessionExpiryOnResolve(t *testing.T) {
+	m := NewSessionManager(time.Minute)
+	base := time.Unix(0, 0)
+	m.now = func() time.Time { return base }
+	rr := httptest.NewRecorder()
+	s := m.Resolve(rr, newGetRequest("/"))
+	cookie := rr.Result().Cookies()[0]
+	// Within TTL the same session resolves.
+	req := newGetRequest("/")
+	req.AddCookie(cookie)
+	base = base.Add(30 * time.Second)
+	if got := m.Resolve(nil, req); got.ID != s.ID {
+		t.Fatal("session not resumed")
+	}
+	// Past TTL a new session is issued.
+	base = base.Add(2 * time.Minute)
+	if got := m.Resolve(httptest.NewRecorder(), req); got.ID == s.ID {
+		t.Fatal("expired session resumed")
+	}
+}

@@ -1,0 +1,160 @@
+package mvc
+
+import (
+	"fmt"
+
+	"webmlgo/internal/descriptor"
+)
+
+// PageService is the single generic page service of Figure 5 applied to
+// pages: where a conventional implementation needs one page service
+// class per page (556 for Acer-Euro), this one service interprets the
+// page descriptor, which "describes the topology of the page units and
+// links, which is needed for computing units in the proper order and
+// with the correct input parameters" (Section 4).
+type PageService struct {
+	Repo     *descriptor.Repository
+	Business Business
+}
+
+// PageState is the set of unit beans computed for one request — the
+// Model's state objects handed to the View.
+type PageState struct {
+	PageID string
+	Beans  map[string]*UnitBean
+	// Order lists unit IDs in page display order.
+	Order []string
+}
+
+// ComputePage exposes the single computePage() function of the paper's
+// page service: it topologically orders the page's units along the
+// transport-link edges, propagates parameters, and invokes the unit
+// services.
+//
+// request carries the typed HTTP parameters; formState (may be nil)
+// carries sticky entry-unit values and validation errors keyed by entry
+// unit ID.
+func (ps *PageService) ComputePage(pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error) {
+	pd := ps.Repo.Page(pageID)
+	if pd == nil {
+		return nil, fmt.Errorf("mvc: no page descriptor %q", pageID)
+	}
+	order, err := topoOrder(pd)
+	if err != nil {
+		return nil, err
+	}
+	state := &PageState{PageID: pageID, Beans: make(map[string]*UnitBean, len(pd.Units))}
+	for _, ur := range pd.Units {
+		state.Order = append(state.Order, ur.ID)
+	}
+
+	// Edges into each unit.
+	incoming := map[string][]descriptor.Edge{}
+	for _, e := range pd.Edges {
+		incoming[e.To] = append(incoming[e.To], e)
+	}
+
+	for _, unitID := range order {
+		ud := ps.Repo.Unit(unitID)
+		if ud == nil {
+			return nil, fmt.Errorf("mvc: page %q references missing unit descriptor %q", pageID, unitID)
+		}
+		inputs := make(map[string]Value)
+		// Request parameters bind by input name.
+		for _, p := range ud.Inputs {
+			if v, ok := request[p.Name]; ok {
+				inputs[p.Name] = v
+			}
+		}
+		// Intra-page edges override: "parameters are passed from one
+		// query to another one" (Section 4).
+		for _, e := range incoming[unitID] {
+			src := state.Beans[e.From]
+			if src == nil || src.Missing || len(src.Nodes) == 0 {
+				continue
+			}
+			current := src.Nodes[0].Values
+			for _, pm := range e.Params {
+				if v, ok := current[pm.Source]; ok {
+					inputs[pm.Target] = v
+				}
+			}
+		}
+		// Sticky form state for entry units.
+		if fs := formState[unitID]; fs != nil {
+			for k, v := range fs.Values {
+				inputs[k] = v
+			}
+		}
+		bean, err := ps.Business.ComputeUnit(ud, inputs)
+		if err != nil {
+			return nil, err
+		}
+		if fs := formState[unitID]; fs != nil && len(fs.Errors) > 0 {
+			bean.Errors = fs.Errors
+		}
+		state.Beans[unitID] = bean
+	}
+	return state, nil
+}
+
+// FormState carries an entry unit's sticky values and validation errors
+// across the KO redirect.
+type FormState struct {
+	Values map[string]Value
+	Errors map[string]string
+}
+
+// topoOrder returns the page's unit IDs in an order where every edge
+// source precedes its target; units not involved in edges keep their
+// display order. The model validator guarantees acyclicity; a cycle in a
+// hand-edited descriptor is reported as an error.
+func topoOrder(pd *descriptor.Page) ([]string, error) {
+	indeg := make(map[string]int, len(pd.Units))
+	adj := make(map[string][]string)
+	pos := make(map[string]int, len(pd.Units))
+	for i, u := range pd.Units {
+		indeg[u.ID] = 0
+		pos[u.ID] = i
+	}
+	for _, e := range pd.Edges {
+		if _, ok := indeg[e.From]; !ok {
+			return nil, fmt.Errorf("mvc: page %q edge from unknown unit %q", pd.ID, e.From)
+		}
+		if _, ok := indeg[e.To]; !ok {
+			return nil, fmt.Errorf("mvc: page %q edge to unknown unit %q", pd.ID, e.To)
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+		indeg[e.To]++
+	}
+	// Kahn's algorithm with stable tie-breaking on display order.
+	var ready []string
+	for _, u := range pd.Units {
+		if indeg[u.ID] == 0 {
+			ready = append(ready, u.ID)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		// Pick the ready unit earliest in display order.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if pos[ready[i]] < pos[ready[best]] {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, id)
+		for _, next := range adj[id] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	if len(order) != len(pd.Units) {
+		return nil, fmt.Errorf("mvc: page %q has a cycle in its unit topology", pd.ID)
+	}
+	return order, nil
+}

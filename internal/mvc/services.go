@@ -1,0 +1,271 @@
+package mvc
+
+import (
+	"fmt"
+	"strings"
+
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/rdb"
+	"webmlgo/internal/webml"
+)
+
+// UnitService computes the content of one unit kind. One generic service
+// exists per kind; the descriptor carries everything unit-specific
+// (Figure 5: "a single generic service is designed, which factors out the
+// commonalities of unit-specific services... parametric with respect to
+// the SQL query to perform, the input parameters of such a query, and the
+// properties of the output data bean").
+type UnitService interface {
+	Compute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
+}
+
+// OperationService executes one operation kind against the database.
+type OperationService interface {
+	Execute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
+}
+
+// UnitServiceFunc adapts a function to UnitService.
+type UnitServiceFunc func(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
+
+// Compute implements UnitService.
+func (f UnitServiceFunc) Compute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	return f(db, d, inputs)
+}
+
+// OperationServiceFunc adapts a function to OperationService.
+type OperationServiceFunc func(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
+
+// Execute implements OperationService.
+func (f OperationServiceFunc) Execute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	return f(db, d, inputs)
+}
+
+// CoreUnitServices returns the generic content-unit services for the six
+// core content kinds. This map plus CoreOperationServices is the entire
+// business-tier code for any model — the paper's point that 3068 units
+// need only 11 services.
+func CoreUnitServices() map[string]UnitService {
+	return map[string]UnitService{
+		string(webml.DataUnit):        UnitServiceFunc(computeRowsUnit),
+		string(webml.IndexUnit):       UnitServiceFunc(computeRowsUnit),
+		string(webml.MultidataUnit):   UnitServiceFunc(computeRowsUnit),
+		string(webml.MultichoiceUnit): UnitServiceFunc(computeRowsUnit),
+		string(webml.ScrollerUnit):    UnitServiceFunc(computeScrollerUnit),
+		string(webml.EntryUnit):       UnitServiceFunc(computeEntryUnit),
+	}
+}
+
+// CoreOperationServices returns the generic operation services for the
+// five core operation kinds.
+func CoreOperationServices() map[string]OperationService {
+	return map[string]OperationService{
+		string(webml.CreateUnit):     OperationServiceFunc(executeWrite),
+		string(webml.ModifyUnit):     OperationServiceFunc(executeWrite),
+		string(webml.DeleteUnit):     OperationServiceFunc(executeWrite),
+		string(webml.ConnectUnit):    OperationServiceFunc(executeWrite),
+		string(webml.DisconnectUnit): OperationServiceFunc(executeWrite),
+	}
+}
+
+// bindArgs resolves a descriptor's declared inputs against the supplied
+// parameter map, applying wildcard wrapping. It reports ok=false when a
+// parameter is absent (the unit then renders empty rather than erroring:
+// a page reached without context shows no content, as in WebML).
+func bindArgs(d *descriptor.Unit, params []descriptor.ParamDef, inputs map[string]Value) ([]rdb.Value, bool) {
+	args := make([]rdb.Value, len(params))
+	for i, p := range params {
+		v, ok := inputs[p.Name]
+		if !ok {
+			return nil, false
+		}
+		if p.Wildcard {
+			args[i] = "%" + FormatParam(v) + "%"
+			continue
+		}
+		args[i] = v
+	}
+	return args, true
+}
+
+func outputsOf(d *descriptor.Unit) []fieldDef {
+	out := make([]fieldDef, len(d.Outputs))
+	for i, o := range d.Outputs {
+		out[i] = fieldDef{name: o.Name, column: o.Column}
+	}
+	return out
+}
+
+// computeRowsUnit is the generic service for data, index, multidata and
+// multichoice units: run the descriptor's query, package the rows, then
+// expand hierarchical levels.
+func computeRowsUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	bean := &UnitBean{UnitID: d.ID, Kind: d.Kind}
+	fields := outputsOf(d)
+	bean.Fields = fieldNames(fields)
+	for _, lvl := range d.Levels {
+		lf := make([]fieldDef, len(lvl.Outputs))
+		for i, o := range lvl.Outputs {
+			lf[i] = fieldDef{name: o.Name, column: o.Column}
+		}
+		bean.LevelFields = append(bean.LevelFields, fieldNames(lf))
+	}
+	args, ok := bindArgs(d, d.Inputs, inputs)
+	if !ok {
+		bean.Missing = true
+		return bean, nil
+	}
+	rows, err := db.Query(d.Query, args...)
+	if err != nil {
+		return nil, fmt.Errorf("mvc: unit %s: %w", d.ID, err)
+	}
+	nodes, err := rowsToNodes(rows, fields)
+	if err != nil {
+		return nil, fmt.Errorf("mvc: unit %s: %w", d.ID, err)
+	}
+	bean.Nodes = nodes
+	if len(d.Levels) > 0 {
+		for i := range bean.Nodes {
+			if err := expandLevels(db, d, d.Levels, &bean.Nodes[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return bean, nil
+}
+
+// expandLevels fills node.Children by running the level query with the
+// node's OID, recursively for deeper levels.
+func expandLevels(db *rdb.DB, d *descriptor.Unit, levels []descriptor.Level, node *Node) error {
+	if len(levels) == 0 {
+		return nil
+	}
+	lvl := levels[0]
+	oid, ok := node.Values["oid"]
+	if !ok {
+		return fmt.Errorf("mvc: unit %s: hierarchical level needs oid output", d.ID)
+	}
+	rows, err := db.Query(lvl.Query, oid)
+	if err != nil {
+		return fmt.Errorf("mvc: unit %s level %s: %w", d.ID, lvl.Entity, err)
+	}
+	lf := make([]fieldDef, len(lvl.Outputs))
+	for i, o := range lvl.Outputs {
+		lf[i] = fieldDef{name: o.Name, column: o.Column}
+	}
+	children, err := rowsToNodes(rows, lf)
+	if err != nil {
+		return fmt.Errorf("mvc: unit %s level %s: %w", d.ID, lvl.Entity, err)
+	}
+	node.Children = children
+	for i := range node.Children {
+		if err := expandLevels(db, d, levels[1:], &node.Children[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeScrollerUnit runs the count query and one window of the result.
+func computeScrollerUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	bean := &UnitBean{UnitID: d.ID, Kind: d.Kind, PageSize: d.PageSize}
+	fields := outputsOf(d)
+	bean.Fields = fieldNames(fields)
+
+	// The trailing "offset" input defaults to 0 when absent.
+	params := d.Inputs
+	withDefault := make(map[string]Value, len(inputs)+1)
+	for k, v := range inputs {
+		withDefault[k] = v
+	}
+	if _, ok := withDefault["offset"]; !ok {
+		withDefault["offset"] = int64(0)
+	}
+	args, ok := bindArgs(d, params, withDefault)
+	if !ok {
+		bean.Missing = true
+		return bean, nil
+	}
+	if off, ok := withDefault["offset"].(int64); ok {
+		bean.Offset = int(off)
+	}
+
+	// Count query consumes all inputs except the trailing offset.
+	countArgs := args
+	if n := len(params); n > 0 && params[n-1].Name == "offset" {
+		countArgs = args[:n-1]
+	}
+	if d.CountQuery != "" {
+		crows, err := db.Query(d.CountQuery, countArgs...)
+		if err != nil {
+			return nil, fmt.Errorf("mvc: scroller %s count: %w", d.ID, err)
+		}
+		if crows.Len() > 0 {
+			if n, ok := crows.Data[0][0].(int64); ok {
+				bean.Total = int(n)
+			}
+		}
+	}
+	rows, err := db.Query(d.Query, args...)
+	if err != nil {
+		return nil, fmt.Errorf("mvc: scroller %s: %w", d.ID, err)
+	}
+	nodes, err := rowsToNodes(rows, fields)
+	if err != nil {
+		return nil, fmt.Errorf("mvc: scroller %s: %w", d.ID, err)
+	}
+	bean.Nodes = nodes
+	return bean, nil
+}
+
+// computeEntryUnit produces the form bean; sticky values and validation
+// errors are injected from the session by the page service.
+func computeEntryUnit(_ *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	bean := &UnitBean{UnitID: d.ID, Kind: d.Kind}
+	for _, f := range d.Fields {
+		ff := FormField{Name: f.Name, Type: f.Type, Required: f.Required}
+		if v, ok := inputs[f.Name]; ok {
+			ff.Value = FormatParam(v)
+		}
+		bean.FormFields = append(bean.FormFields, ff)
+	}
+	return bean, nil
+}
+
+// executeWrite is the generic operation service: it executes the
+// descriptor's write statement inside a transaction; any error rolls back
+// and reports KO.
+func executeWrite(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	args, ok := bindArgs(d, d.Inputs, inputs)
+	if !ok {
+		missing := []string{}
+		for _, p := range d.Inputs {
+			if _, has := inputs[p.Name]; !has {
+				missing = append(missing, p.Name)
+			}
+		}
+		return &OpResult{OK: false, Err: fmt.Sprintf("missing parameters: %s", strings.Join(missing, ", "))}, nil
+	}
+	tx := db.Begin()
+	res, err := tx.Exec(d.Query, args...)
+	if err != nil {
+		tx.Rollback() //nolint:errcheck // rollback of a live tx cannot fail
+		return &OpResult{OK: false, Err: err.Error()}, nil
+	}
+	if err := tx.Commit(); err != nil {
+		return &OpResult{OK: false, Err: err.Error()}, nil
+	}
+	out := map[string]Value{"rows": int64(res.RowsAffected)}
+	if res.LastInsertID != 0 {
+		out["oid"] = res.LastInsertID
+	}
+	// Pass inputs through so OK-link parameters can forward them.
+	for k, v := range inputs {
+		if _, exists := out[k]; !exists {
+			out[k] = v
+		}
+	}
+	if res.RowsAffected == 0 && (d.Kind == string(webml.ModifyUnit) || d.Kind == string(webml.DeleteUnit)) {
+		return &OpResult{OK: false, Err: "no matching object", Outputs: out}, nil
+	}
+	return &OpResult{OK: true, Outputs: out}, nil
+}

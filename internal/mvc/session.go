@@ -1,0 +1,128 @@
+package mvc
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Session holds per-user state objects that "persist between consecutive
+// requests" (Section 2) — the authenticated user, sticky form state, and
+// application attributes.
+type Session struct {
+	ID      string
+	mu      sync.Mutex
+	values  map[string]interface{}
+	touched time.Time
+}
+
+// Get returns a session attribute.
+func (s *Session) Get(key string) (interface{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.values[key]
+	return v, ok
+}
+
+// Set stores a session attribute.
+func (s *Session) Set(key string, v interface{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values[key] = v
+}
+
+// Delete removes a session attribute.
+func (s *Session) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.values, key)
+}
+
+// User returns the authenticated principal, or "".
+func (s *Session) User() string {
+	v, ok := s.Get(sessionUserKey)
+	if !ok {
+		return ""
+	}
+	u, _ := v.(string)
+	return u
+}
+
+const (
+	sessionCookie  = "WSESSION"
+	sessionUserKey = "user"
+)
+
+// SessionManager issues and resolves cookie-bound sessions.
+type SessionManager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	ttl      time.Duration
+	now      func() time.Time
+}
+
+// NewSessionManager returns a manager expiring idle sessions after ttl
+// (<=0 selects 30 minutes).
+func NewSessionManager(ttl time.Duration) *SessionManager {
+	if ttl <= 0 {
+		ttl = 30 * time.Minute
+	}
+	return &SessionManager{sessions: make(map[string]*Session), ttl: ttl, now: time.Now}
+}
+
+// Resolve returns the request's session, creating one (and setting the
+// cookie) if needed.
+func (m *SessionManager) Resolve(w http.ResponseWriter, r *http.Request) *Session {
+	if c, err := r.Cookie(sessionCookie); err == nil {
+		m.mu.Lock()
+		s, ok := m.sessions[c.Value]
+		if ok && m.now().Sub(s.touched) <= m.ttl {
+			s.touched = m.now()
+			m.mu.Unlock()
+			return s
+		}
+		delete(m.sessions, c.Value)
+		m.mu.Unlock()
+	}
+	s := &Session{ID: newSessionID(), values: make(map[string]interface{}), touched: m.now()}
+	m.mu.Lock()
+	m.sessions[s.ID] = s
+	m.mu.Unlock()
+	if w != nil {
+		http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: s.ID, Path: "/", HttpOnly: true})
+	}
+	return s
+}
+
+// Len returns the number of live sessions.
+func (m *SessionManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Sweep drops idle sessions and returns how many were removed.
+func (m *SessionManager) Sweep() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	cutoff := m.now().Add(-m.ttl)
+	for id, s := range m.sessions {
+		if s.touched.Before(cutoff) {
+			delete(m.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand read failures are unrecoverable environment errors.
+		panic("mvc: cannot generate session id: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,429 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is an embedded in-memory relational database. A DB is safe for
+// concurrent use: reads take a shared lock, writes an exclusive lock.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table // lower(name) -> table
+
+	stmtMu    sync.RWMutex
+	stmtCache map[string]Statement
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	return &DB{
+		tables:    make(map[string]*table),
+		stmtCache: make(map[string]Statement),
+	}
+}
+
+// Result reports the outcome of a write statement.
+type Result struct {
+	RowsAffected int
+	LastInsertID int64
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// Col returns the index of the named column (case-insensitive), or -1.
+func (r *Rows) Col(name string) int {
+	for i, c := range r.Columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Maps converts the result into one map per row keyed by column name.
+func (r *Rows) Maps() []map[string]Value {
+	out := make([]map[string]Value, len(r.Data))
+	for i, row := range r.Data {
+		m := make(map[string]Value, len(r.Columns))
+		for j, c := range r.Columns {
+			m[c] = row[j]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// prepare parses sql, consulting the statement cache first.
+func (db *DB) prepare(sql string) (Statement, error) {
+	db.stmtMu.RLock()
+	st, ok := db.stmtCache[sql]
+	db.stmtMu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	st, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	db.stmtCache[sql] = st
+	db.stmtMu.Unlock()
+	return st, nil
+}
+
+// Exec runs a write or DDL statement. SELECT is rejected; use Query.
+func (db *DB) Exec(sql string, args ...Value) (Result, error) {
+	st, err := db.prepare(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	cargs, err := coerceArgs(st, args)
+	if err != nil {
+		return Result{}, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execLocked(st, cargs, nil)
+}
+
+// Query runs a SELECT and returns its materialized result.
+func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	st, err := db.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("rdb: Query requires a SELECT statement, got %T", st)
+	}
+	cargs, err := coerceArgs(st, args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.execSelect(sel, cargs)
+}
+
+// QueryRow runs a SELECT expected to return at most one row. It returns
+// nil when the result is empty.
+func (db *DB) QueryRow(sql string, args ...Value) (map[string]Value, error) {
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if rows.Len() == 0 {
+		return nil, nil
+	}
+	return rows.Maps()[0], nil
+}
+
+// TableNames returns the names of all tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RowCount returns the number of live rows in the named table.
+func (db *DB) RowCount(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return 0, fmt.Errorf("rdb: no such table %q", tableName)
+	}
+	return t.alive, nil
+}
+
+func coerceArgs(st Statement, args []Value) ([]Value, error) {
+	want := countParams(st)
+	if len(args) != want {
+		return nil, fmt.Errorf("rdb: statement needs %d parameters, got %d", want, len(args))
+	}
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := coerce(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// execLocked dispatches a non-SELECT statement. The caller must hold the
+// write lock. If undo is non-nil, inverse operations are appended to it.
+func (db *DB) execLocked(st Statement, args []Value, undo *undoLog) (Result, error) {
+	switch x := st.(type) {
+	case *CreateTableStmt:
+		return db.execCreateTable(x)
+	case *CreateIndexStmt:
+		return db.execCreateIndex(x)
+	case *DropTableStmt:
+		return db.execDropTable(x)
+	case *InsertStmt:
+		return db.execInsert(x, args, undo)
+	case *UpdateStmt:
+		return db.execUpdate(x, args, undo)
+	case *DeleteStmt:
+		return db.execDelete(x, args, undo)
+	case *SelectStmt:
+		return Result{}, fmt.Errorf("rdb: use Query for SELECT")
+	}
+	return Result{}, fmt.Errorf("rdb: unsupported statement %T", st)
+}
+
+func (db *DB) execCreateTable(st *CreateTableStmt) (Result, error) {
+	key := strings.ToLower(st.Name)
+	if _, exists := db.tables[key]; exists {
+		if st.IfNotExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("rdb: table %q already exists", st.Name)
+	}
+	for _, fk := range st.ForeignKeys {
+		if _, ok := db.tables[strings.ToLower(fk.RefTable)]; !ok && !strings.EqualFold(fk.RefTable, st.Name) {
+			return Result{}, fmt.Errorf("rdb: foreign key references unknown table %q", fk.RefTable)
+		}
+	}
+	t, err := newTable(st)
+	if err != nil {
+		return Result{}, err
+	}
+	db.tables[key] = t
+	return Result{}, nil
+}
+
+func (db *DB) execCreateIndex(st *CreateIndexStmt) (Result, error) {
+	t, ok := db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
+	}
+	for _, col := range st.Columns {
+		var err error
+		if st.Ordered {
+			err = t.createOrderedIndex(col)
+		} else {
+			err = t.createIndex(col)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{}, nil
+}
+
+func (db *DB) execDropTable(st *DropTableStmt) (Result, error) {
+	key := strings.ToLower(st.Name)
+	if _, ok := db.tables[key]; !ok {
+		if st.IfExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("rdb: no such table %q", st.Name)
+	}
+	delete(db.tables, key)
+	return Result{}, nil
+}
+
+func (db *DB) execInsert(st *InsertStmt, args []Value, undo *undoLog) (Result, error) {
+	t, ok := db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
+	}
+	colPos := make([]int, len(st.Columns))
+	for i, c := range st.Columns {
+		pos, ok := t.col(c)
+		if !ok {
+			return Result{}, fmt.Errorf("rdb: no column %q in table %q", c, st.Table)
+		}
+		colPos[i] = pos
+	}
+	res := Result{}
+	for _, exprRow := range st.Rows {
+		row := make(Row, len(t.cols))
+		for i, e := range exprRow {
+			v, err := evalConst(e, args)
+			if err != nil {
+				return res, err
+			}
+			cv, err := coerceToCol(v, t.cols[colPos[i]].def.Type)
+			if err != nil {
+				return res, fmt.Errorf("%w (column %s)", err, st.Columns[i])
+			}
+			row[colPos[i]] = cv
+		}
+		if err := db.checkForeignKeys(t, row); err != nil {
+			return res, err
+		}
+		id, err := t.insert(row)
+		if err != nil {
+			return res, err
+		}
+		if undo != nil {
+			undo.add(undoEntry{table: t, op: undoInsert, rowID: id})
+		}
+		res.RowsAffected++
+		if t.pk >= 0 {
+			if iv, ok := row[t.pk].(int64); ok {
+				res.LastInsertID = iv
+			}
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) checkForeignKeys(t *table, row Row) error {
+	for _, fk := range t.fks {
+		i, _ := t.col(fk.Column)
+		v := row[i]
+		if v == nil {
+			continue
+		}
+		ref, ok := db.tables[strings.ToLower(fk.RefTable)]
+		if !ok {
+			return fmt.Errorf("rdb: foreign key references missing table %q", fk.RefTable)
+		}
+		ids, indexed := ref.lookup(fk.RefColumn, v)
+		if indexed {
+			if len(ids) == 0 {
+				return fmt.Errorf("rdb: foreign key violation: %s.%s = %v not in %s.%s",
+					t.name, fk.Column, v, fk.RefTable, fk.RefColumn)
+			}
+			continue
+		}
+		// Unindexed referenced column: scan.
+		ri, ok := ref.col(fk.RefColumn)
+		if !ok {
+			return fmt.Errorf("rdb: foreign key references missing column %s.%s", fk.RefTable, fk.RefColumn)
+		}
+		found := false
+		for _, r := range ref.rows {
+			if r != nil && r[ri] == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("rdb: foreign key violation: %s.%s = %v not in %s.%s",
+				t.name, fk.Column, v, fk.RefTable, fk.RefColumn)
+		}
+	}
+	return nil
+}
+
+func (db *DB) execUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result, error) {
+	t, ok := db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
+	}
+	setPos := make([]int, len(st.Sets))
+	for i, s := range st.Sets {
+		pos, ok := t.col(s.Column)
+		if !ok {
+			return Result{}, fmt.Errorf("rdb: no column %q in table %q", s.Column, st.Table)
+		}
+		setPos[i] = pos
+	}
+	ids, err := db.matchRows(t, st.Table, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{}
+	for _, id := range ids {
+		old := t.rows[id]
+		newRow := make(Row, len(old))
+		copy(newRow, old)
+		env := singleEnv(t, st.Table, old)
+		for i, s := range st.Sets {
+			v, err := evalExpr(s.Value, env, args)
+			if err != nil {
+				return res, err
+			}
+			cv, err := coerceToCol(v, t.cols[setPos[i]].def.Type)
+			if err != nil {
+				return res, fmt.Errorf("%w (column %s)", err, s.Column)
+			}
+			newRow[setPos[i]] = cv
+		}
+		if err := db.checkForeignKeys(t, newRow); err != nil {
+			return res, err
+		}
+		if err := t.updateRow(id, newRow); err != nil {
+			return res, err
+		}
+		if undo != nil {
+			oldCopy := make(Row, len(old))
+			copy(oldCopy, old)
+			undo.add(undoEntry{table: t, op: undoUpdate, rowID: id, oldRow: oldCopy})
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (db *DB) execDelete(st *DeleteStmt, args []Value, undo *undoLog) (Result, error) {
+	t, ok := db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
+	}
+	ids, err := db.matchRows(t, st.Table, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{}
+	for _, id := range ids {
+		old := t.deleteRow(id)
+		if old == nil {
+			continue
+		}
+		if undo != nil {
+			undo.add(undoEntry{table: t, op: undoDelete, rowID: id, oldRow: old})
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+// matchRows returns the ids of rows in t matching the WHERE expression,
+// using an index lookup when an equality conjunct permits.
+func (db *DB) matchRows(t *table, tableName string, where Expr, args []Value) ([]int, error) {
+	candidates, err := candidateIDs(t, tableName, where, args)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, id := range candidates {
+		r := t.rows[id]
+		if r == nil {
+			continue
+		}
+		if where != nil {
+			env := singleEnv(t, tableName, r)
+			v, err := evalExpr(where, env, args)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -1,0 +1,158 @@
+package rdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file implements whole-database snapshots: Dump serializes the
+// schema, rows, auto-increment state and index definitions; Restore
+// rebuilds an equivalent database. Snapshots give the embedded engine
+// restart persistence (the paper's data tier is an external DBMS; an
+// embedded engine needs its own durability story).
+
+type dumpColumn struct {
+	Name          string
+	Type          ColType
+	PrimaryKey    bool
+	AutoIncrement bool
+	NotNull       bool
+	Unique        bool
+}
+
+type dumpTable struct {
+	Name    string
+	Columns []dumpColumn
+	FKs     []ForeignKeyDef
+	Indexes []string // hash-indexed column names
+	Ordered []string // ordered-indexed column names
+	AutoInc int64
+	Rows    []Row
+}
+
+type dumpFile struct {
+	Version int
+	Tables  []dumpTable
+}
+
+func init() {
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register(time.Time{})
+}
+
+// Dump writes a consistent snapshot of the database to w. It holds the
+// read lock for the duration, so concurrent writers wait.
+func (db *DB) Dump(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	f := dumpFile{Version: 1}
+	for _, name := range names {
+		t := db.tables[name]
+		dt := dumpTable{Name: t.name, AutoInc: t.autoInc, FKs: t.fks}
+		for _, c := range t.cols {
+			dt.Columns = append(dt.Columns, dumpColumn{
+				Name: c.def.Name, Type: c.def.Type,
+				PrimaryKey: c.def.PrimaryKey, AutoIncrement: c.def.AutoIncrement,
+				NotNull: c.def.NotNull, Unique: c.def.Unique,
+			})
+		}
+		for col := range t.indexes {
+			dt.Indexes = append(dt.Indexes, col)
+		}
+		sort.Strings(dt.Indexes)
+		for col := range t.ordered {
+			dt.Ordered = append(dt.Ordered, col)
+		}
+		sort.Strings(dt.Ordered)
+		for _, r := range t.rows {
+			if r == nil {
+				continue
+			}
+			row := make(Row, len(r))
+			copy(row, r)
+			dt.Rows = append(dt.Rows, row)
+		}
+		f.Tables = append(f.Tables, dt)
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("rdb: dump: %w", err)
+	}
+	return nil
+}
+
+// Restore reads a snapshot produced by Dump into a fresh database.
+func Restore(r io.Reader) (*DB, error) {
+	var f dumpFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("rdb: restore: %w", err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("rdb: restore: unsupported snapshot version %d", f.Version)
+	}
+	db := Open()
+	// Two passes: create all tables without FK enforcement concerns by
+	// building them directly, then load rows (FK targets may be restored
+	// in any order, and the snapshot is internally consistent).
+	for _, dt := range f.Tables {
+		st := &CreateTableStmt{Name: dt.Name}
+		for _, c := range dt.Columns {
+			st.Columns = append(st.Columns, ColumnDef{
+				Name: c.Name, Type: c.Type,
+				PrimaryKey: c.PrimaryKey, AutoIncrement: c.AutoIncrement,
+				NotNull: c.NotNull, Unique: c.Unique,
+			})
+		}
+		st.ForeignKeys = dt.FKs
+		t, err := newTable(st)
+		if err != nil {
+			return nil, fmt.Errorf("rdb: restore table %q: %w", dt.Name, err)
+		}
+		db.tables[lowerKey(dt.Name)] = t
+	}
+	for _, dt := range f.Tables {
+		t := db.tables[lowerKey(dt.Name)]
+		for _, idx := range dt.Indexes {
+			if err := t.createIndex(idx); err != nil {
+				return nil, fmt.Errorf("rdb: restore index on %s.%s: %w", dt.Name, idx, err)
+			}
+		}
+		for _, idx := range dt.Ordered {
+			if err := t.createOrderedIndex(idx); err != nil {
+				return nil, fmt.Errorf("rdb: restore ordered index on %s.%s: %w", dt.Name, idx, err)
+			}
+		}
+		for _, row := range dt.Rows {
+			if len(row) != len(t.cols) {
+				return nil, fmt.Errorf("rdb: restore: row arity mismatch in %q", dt.Name)
+			}
+			if _, err := t.insert(row); err != nil {
+				return nil, fmt.Errorf("rdb: restore row into %q: %w", dt.Name, err)
+			}
+		}
+		t.autoInc = dt.AutoInc
+	}
+	return db, nil
+}
+
+func lowerKey(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

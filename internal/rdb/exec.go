@@ -1,0 +1,1255 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// frame binds one table alias to a row during evaluation.
+type frame struct {
+	name string // alias (lower-cased)
+	tbl  *table
+	row  Row // nil row means "all NULLs" (LEFT JOIN miss)
+}
+
+type env struct {
+	frames []frame
+}
+
+func singleEnv(t *table, name string, r Row) *env {
+	return &env{frames: []frame{{name: strings.ToLower(name), tbl: t, row: r}}}
+}
+
+// resolve finds the value of a column reference in the environment.
+func (e *env) resolve(ref *ColRef) (Value, error) {
+	if ref.Table != "" {
+		want := strings.ToLower(ref.Table)
+		for _, f := range e.frames {
+			if f.name != want {
+				continue
+			}
+			i, ok := f.tbl.col(ref.Column)
+			if !ok {
+				return nil, fmt.Errorf("rdb: no column %q in %q", ref.Column, ref.Table)
+			}
+			if f.row == nil {
+				return nil, nil
+			}
+			return f.row[i], nil
+		}
+		return nil, fmt.Errorf("rdb: unknown table or alias %q", ref.Table)
+	}
+	var found *frame
+	var idx int
+	for fi := range e.frames {
+		f := &e.frames[fi]
+		if i, ok := f.tbl.col(ref.Column); ok {
+			if found != nil {
+				return nil, fmt.Errorf("rdb: ambiguous column %q", ref.Column)
+			}
+			found = f
+			idx = i
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("rdb: unknown column %q", ref.Column)
+	}
+	if found.row == nil {
+		return nil, nil
+	}
+	return found.row[idx], nil
+}
+
+// evalConst evaluates an expression with no column references (INSERT
+// values, LIMIT).
+func evalConst(e Expr, args []Value) (Value, error) {
+	return evalExpr(e, &env{}, args)
+}
+
+func evalExpr(e Expr, en *env, args []Value) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *Param:
+		if x.Index < 0 || x.Index >= len(args) {
+			return nil, fmt.Errorf("rdb: parameter index %d out of range", x.Index)
+		}
+		return args[x.Index], nil
+	case *ColRef:
+		return en.resolve(x)
+	case *UnaryExpr:
+		v, err := evalExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v == nil {
+				return nil, nil
+			}
+			return !truthy(v), nil
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			case nil:
+				return nil, nil
+			}
+			return nil, fmt.Errorf("rdb: cannot negate %T", v)
+		}
+		return nil, fmt.Errorf("rdb: unknown unary op %q", x.Op)
+	case *IsNullExpr:
+		v, err := evalExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Not, nil
+	case *InExpr:
+		v, err := evalExpr(x.X, en, args)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		for _, le := range x.List {
+			lv, err := evalExpr(le, en, args)
+			if err != nil {
+				return nil, err
+			}
+			if lv == nil {
+				continue
+			}
+			if c, err := compareValues(v, lv); err == nil && c == 0 {
+				return !x.Not, nil
+			}
+		}
+		return x.Not, nil
+	case *FuncExpr:
+		return evalScalarFunc(x, en, args)
+	case *BinaryExpr:
+		return evalBinary(x, en, args)
+	}
+	return nil, fmt.Errorf("rdb: cannot evaluate %T", e)
+}
+
+func evalBinary(x *BinaryExpr, en *env, args []Value) (Value, error) {
+	// AND/OR get SQL three-valued-ish short-circuit treatment.
+	switch x.Op {
+	case "AND":
+		l, err := evalExpr(x.L, en, args)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil && !truthy(l) {
+			return false, nil
+		}
+		r, err := evalExpr(x.R, en, args)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil && !truthy(r) {
+			return false, nil
+		}
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return true, nil
+	case "OR":
+		l, err := evalExpr(x.L, en, args)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil && truthy(l) {
+			return true, nil
+		}
+		r, err := evalExpr(x.R, en, args)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil && truthy(r) {
+			return true, nil
+		}
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return false, nil
+	}
+	l, err := evalExpr(x.L, en, args)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(x.R, en, args)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil {
+		return nil, nil // NULL propagates through comparisons and arithmetic
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, err := compareValues(l, r)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "=":
+			return c == 0, nil
+		case "<>":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+	case "LIKE":
+		ls, ok1 := l.(string)
+		rs, ok2 := r.(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("rdb: LIKE requires strings, got %T and %T", l, r)
+		}
+		return likeMatch(ls, rs), nil
+	case "+", "-", "*", "/":
+		return arith(x.Op, l, r)
+	}
+	return nil, fmt.Errorf("rdb: unknown operator %q", x.Op)
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	// String concatenation with +.
+	if op == "+" {
+		if ls, ok := l.(string); ok {
+			if rs, ok := r.(string); ok {
+				return ls + rs, nil
+			}
+		}
+	}
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("rdb: division by zero")
+			}
+			return li / ri, nil
+		}
+	}
+	lf, err := toFloat(l)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := toFloat(r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("rdb: division by zero")
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("rdb: unknown arithmetic op %q", op)
+}
+
+func toFloat(v Value) (float64, error) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	}
+	return 0, fmt.Errorf("rdb: %T is not numeric", v)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || !equalFoldByte(s[0], p[0]) {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func equalFoldByte(a, b byte) bool {
+	if a == b {
+		return true
+	}
+	if a >= 'A' && a <= 'Z' {
+		a += 'a' - 'A'
+	}
+	if b >= 'A' && b <= 'Z' {
+		b += 'a' - 'A'
+	}
+	return a == b
+}
+
+func evalScalarFunc(x *FuncExpr, en *env, args []Value) (Value, error) {
+	if aggregateFuncs[x.Name] {
+		return nil, fmt.Errorf("rdb: aggregate %s used outside aggregate query", x.Name)
+	}
+	vals := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := evalExpr(a, en, args)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	switch x.Name {
+	case "LOWER":
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("rdb: LOWER takes 1 argument")
+		}
+		if vals[0] == nil {
+			return nil, nil
+		}
+		s, ok := vals[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("rdb: LOWER requires a string")
+		}
+		return strings.ToLower(s), nil
+	case "UPPER":
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("rdb: UPPER takes 1 argument")
+		}
+		if vals[0] == nil {
+			return nil, nil
+		}
+		s, ok := vals[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("rdb: UPPER requires a string")
+		}
+		return strings.ToUpper(s), nil
+	case "LENGTH":
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("rdb: LENGTH takes 1 argument")
+		}
+		if vals[0] == nil {
+			return nil, nil
+		}
+		s, ok := vals[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("rdb: LENGTH requires a string")
+		}
+		return int64(len(s)), nil
+	case "ABS":
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("rdb: ABS takes 1 argument")
+		}
+		switch n := vals[0].(type) {
+		case nil:
+			return nil, nil
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		}
+		return nil, fmt.Errorf("rdb: ABS requires a number")
+	case "COALESCE":
+		for _, v := range vals {
+			if v != nil {
+				return v, nil
+			}
+		}
+		return nil, nil
+	case "SUBSTR":
+		if len(vals) != 3 {
+			return nil, fmt.Errorf("rdb: SUBSTR takes 3 arguments")
+		}
+		if vals[0] == nil {
+			return nil, nil
+		}
+		s, ok := vals[0].(string)
+		start, ok2 := vals[1].(int64)
+		length, ok3 := vals[2].(int64)
+		if !ok || !ok2 || !ok3 {
+			return nil, fmt.Errorf("rdb: SUBSTR(string, int, int)")
+		}
+		// SQL SUBSTR is 1-based.
+		i := int(start) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(s) {
+			return "", nil
+		}
+		j := i + int(length)
+		if j > len(s) {
+			j = len(s)
+		}
+		return s[i:j], nil
+	}
+	return nil, fmt.Errorf("rdb: unknown function %s", x.Name)
+}
+
+// candidateIDs chooses an access path for a single-table statement. It
+// scans unless WHERE contains a top-level equality conjunct over an
+// indexed column (primary key, secondary index, or unique column).
+func candidateIDs(t *table, tableName string, where Expr, args []Value) ([]int, error) {
+	return candidateIDsQualified(t, tableName, where, args, false)
+}
+
+// candidateIDsQualified is candidateIDs with control over whether the
+// matched equality conjunct must use a table-qualified column reference.
+// Qualification is required when the query has joins: an unqualified
+// column in WHERE may belong to a different table.
+func candidateIDsQualified(t *table, tableName string, where Expr, args []Value, requireQualified bool) ([]int, error) {
+	if where != nil {
+		if col, valExpr, ok := indexableEquality(where, t, tableName, requireQualified); ok {
+			v, err := evalConst(valExpr, args)
+			if err == nil {
+				ids, usable := t.lookup(col, v)
+				if usable {
+					return ids, nil
+				}
+			}
+		}
+		// Range predicates over an ordered index.
+		if col, lo, hi, ok := rangeConjuncts(where, t, tableName, requireQualified, args); ok {
+			if ids, usable := t.rangeLookup(col, lo, hi); usable {
+				return ids, nil
+			}
+		}
+	}
+	ids := make([]int, 0, t.alive)
+	for id, r := range t.rows {
+		if r != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// indexableEquality searches the top-level AND conjuncts of where for
+// "col = constExpr" (or the symmetric form) where col belongs to t and is
+// indexed, and constExpr contains no column references.
+func indexableEquality(where Expr, t *table, tableName string, requireQualified bool) (string, Expr, bool) {
+	switch x := where.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case "AND":
+			if c, v, ok := indexableEquality(x.L, t, tableName, requireQualified); ok {
+				return c, v, true
+			}
+			return indexableEquality(x.R, t, tableName, requireQualified)
+		case "=":
+			if c, v, ok := eqSide(x.L, x.R, t, tableName, requireQualified); ok {
+				return c, v, true
+			}
+			return eqSide(x.R, x.L, t, tableName, requireQualified)
+		}
+	}
+	return "", nil, false
+}
+
+func eqSide(colSide, valSide Expr, t *table, tableName string, requireQualified bool) (string, Expr, bool) {
+	ref, ok := colSide.(*ColRef)
+	if !ok {
+		return "", nil, false
+	}
+	if ref.Table == "" && requireQualified {
+		return "", nil, false
+	}
+	if ref.Table != "" && !strings.EqualFold(ref.Table, tableName) {
+		return "", nil, false
+	}
+	lower := strings.ToLower(ref.Column)
+	i, ok := t.colIdx[lower]
+	if !ok {
+		return "", nil, false
+	}
+	indexed := i == t.pk
+	if _, has := t.indexes[lower]; has {
+		indexed = true
+	}
+	if _, has := t.uniques[lower]; has {
+		indexed = true
+	}
+	if !indexed {
+		return "", nil, false
+	}
+	if !isConstExpr(valSide) {
+		return "", nil, false
+	}
+	return ref.Column, valSide, true
+}
+
+// rangeConjuncts collects the tightest lower/upper bounds imposed on one
+// ordered-indexed column by the top-level AND conjuncts of where. It
+// returns ok=false when no ordered-indexed column is range-constrained.
+func rangeConjuncts(where Expr, t *table, tableName string, requireQualified bool, args []Value) (string, rangeBound, rangeBound, bool) {
+	bounds := map[string]*[2]rangeBound{} // lower(col) -> [lo, hi]
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		be, ok := e.(*BinaryExpr)
+		if !ok {
+			return
+		}
+		if be.Op == "AND" {
+			walk(be.L)
+			walk(be.R)
+			return
+		}
+		col, val, op := rangeSide(be, t, tableName, requireQualified, args)
+		if col == "" {
+			return
+		}
+		lower := lowerKey(col)
+		if _, indexed := t.ordered[lower]; !indexed {
+			return
+		}
+		b, ok := bounds[lower]
+		if !ok {
+			b = &[2]rangeBound{}
+			bounds[lower] = b
+		}
+		switch op {
+		case ">":
+			tightenLo(&b[0], val, false)
+		case ">=":
+			tightenLo(&b[0], val, true)
+		case "<":
+			tightenHi(&b[1], val, false)
+		case "<=":
+			tightenHi(&b[1], val, true)
+		}
+	}
+	walk(where)
+	for col, b := range bounds {
+		if b[0].set || b[1].set {
+			return col, b[0], b[1], true
+		}
+	}
+	return "", rangeBound{}, rangeBound{}, false
+}
+
+// rangeSide normalizes "col op const" / "const op col" into (col,
+// value, op-with-col-on-the-left).
+func rangeSide(be *BinaryExpr, t *table, tableName string, requireQualified bool, args []Value) (string, Value, string) {
+	flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+	op := be.Op
+	if _, isRange := flip[op]; !isRange {
+		return "", nil, ""
+	}
+	try := func(colSide, valSide Expr, op string) (string, Value, string) {
+		ref, ok := colSide.(*ColRef)
+		if !ok {
+			return "", nil, ""
+		}
+		if ref.Table == "" && requireQualified {
+			return "", nil, ""
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, tableName) {
+			return "", nil, ""
+		}
+		if !isConstExpr(valSide) {
+			return "", nil, ""
+		}
+		v, err := evalConst(valSide, args)
+		if err != nil || v == nil {
+			return "", nil, ""
+		}
+		return ref.Column, v, op
+	}
+	if col, v, o := try(be.L, be.R, op); col != "" {
+		return col, v, o
+	}
+	return try(be.R, be.L, flip[op])
+}
+
+func tightenLo(b *rangeBound, v Value, inclusive bool) {
+	if !b.set {
+		*b = rangeBound{val: v, inclusive: inclusive, set: true}
+		return
+	}
+	if c, err := compareValues(v, b.val); err == nil && (c > 0 || (c == 0 && !inclusive)) {
+		*b = rangeBound{val: v, inclusive: inclusive, set: true}
+	}
+}
+
+func tightenHi(b *rangeBound, v Value, inclusive bool) {
+	if !b.set {
+		*b = rangeBound{val: v, inclusive: inclusive, set: true}
+		return
+	}
+	if c, err := compareValues(v, b.val); err == nil && (c < 0 || (c == 0 && !inclusive)) {
+		*b = rangeBound{val: v, inclusive: inclusive, set: true}
+	}
+}
+
+func isConstExpr(e Expr) bool {
+	switch x := e.(type) {
+	case *Literal, *Param:
+		return true
+	case *UnaryExpr:
+		return x.Op == "-" && isConstExpr(x.X)
+	case *BinaryExpr:
+		switch x.Op {
+		case "+", "-", "*", "/":
+			return isConstExpr(x.L) && isConstExpr(x.R)
+		}
+	}
+	return false
+}
+
+// execSelect runs a SELECT. The caller must hold at least a read lock.
+func (db *DB) execSelect(st *SelectStmt, args []Value) (*Rows, error) {
+	base, ok := db.tables[strings.ToLower(st.From.Table)]
+	if !ok {
+		return nil, fmt.Errorf("rdb: no such table %q", st.From.Table)
+	}
+	joinTables := make([]*table, len(st.Joins))
+	for i, j := range st.Joins {
+		jt, ok := db.tables[strings.ToLower(j.Table.Table)]
+		if !ok {
+			return nil, fmt.Errorf("rdb: no such table %q", j.Table.Table)
+		}
+		joinTables[i] = jt
+	}
+
+	// Produce joined environments.
+	envs, err := db.joinRows(st, base, joinTables, args)
+	if err != nil {
+		return nil, err
+	}
+
+	// Apply WHERE.
+	if st.Where != nil {
+		kept := envs[:0]
+		for _, en := range envs {
+			v, err := evalExpr(st.Where, en, args)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				kept = append(kept, en)
+			}
+		}
+		envs = kept
+	}
+
+	aggregate := len(st.GroupBy) > 0
+	if !aggregate {
+		for _, c := range st.Columns {
+			if c.Expr != nil && hasAggregate(c.Expr) {
+				aggregate = true
+				break
+			}
+		}
+	}
+
+	var out *Rows
+	if aggregate {
+		out, err = evalAggregateSelect(st, envs, args)
+	} else {
+		out, err = evalPlainSelect(st, envs, args)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if st.Distinct {
+		out = distinctRows(out)
+	}
+	if len(st.OrderBy) > 0 {
+		if err := orderRows(st, out, envs, aggregate, args); err != nil {
+			return nil, err
+		}
+	}
+	if err := applyLimitOffset(st, out, args); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinRows builds the cross-product environments restricted by the join
+// conditions, using index lookups for equi-joins when possible.
+func (db *DB) joinRows(st *SelectStmt, base *table, joinTables []*table, args []Value) ([]*env, error) {
+	baseName := strings.ToLower(st.From.name())
+
+	// Seed with the base table rows, using a WHERE-derived index path.
+	// With joins in play, only a table-qualified equality may prune the
+	// base scan; an unqualified column could belong to a joined table.
+	candidates, err := candidateIDsQualified(base, st.From.name(), st.Where, args, len(st.Joins) > 0)
+	if err != nil {
+		return nil, err
+	}
+	envs := make([]*env, 0, len(candidates))
+	for _, id := range candidates {
+		r := base.rows[id]
+		if r == nil {
+			continue
+		}
+		envs = append(envs, &env{frames: []frame{{name: baseName, tbl: base, row: r}}})
+	}
+
+	for ji, j := range st.Joins {
+		jt := joinTables[ji]
+		jname := strings.ToLower(j.Table.name())
+		var next []*env
+		// Try an equi-join driven by an index on the new table.
+		joinCol, outerExpr := equiJoinKey(j.On, jt, j.Table.name())
+		for _, en := range envs {
+			matched := false
+			if joinCol != "" {
+				outerVal, err := evalExpr(outerExpr, en, args)
+				if err != nil {
+					return nil, err
+				}
+				if ids, usable := jt.lookup(joinCol, outerVal); usable {
+					for _, id := range ids {
+						r := jt.rows[id]
+						if r == nil {
+							continue
+						}
+						cand := &env{frames: append(append([]frame{}, en.frames...), frame{name: jname, tbl: jt, row: r})}
+						v, err := evalExpr(j.On, cand, args)
+						if err != nil {
+							return nil, err
+						}
+						if truthy(v) {
+							next = append(next, cand)
+							matched = true
+						}
+					}
+					if !matched && j.Left {
+						next = append(next, &env{frames: append(append([]frame{}, en.frames...), frame{name: jname, tbl: jt, row: nil})})
+					}
+					continue
+				}
+			}
+			// Nested loop fallback.
+			for _, r := range jt.rows {
+				if r == nil {
+					continue
+				}
+				cand := &env{frames: append(append([]frame{}, en.frames...), frame{name: jname, tbl: jt, row: r})}
+				v, err := evalExpr(j.On, cand, args)
+				if err != nil {
+					return nil, err
+				}
+				if truthy(v) {
+					next = append(next, cand)
+					matched = true
+				}
+			}
+			if !matched && j.Left {
+				next = append(next, &env{frames: append(append([]frame{}, en.frames...), frame{name: jname, tbl: jt, row: nil})})
+			}
+		}
+		envs = next
+	}
+	return envs, nil
+}
+
+// equiJoinKey inspects an ON expression for a top-level conjunct of the
+// form "newTable.col = <expr over earlier tables>". It returns the column
+// of the new table and the outer expression, or "" if none is found.
+func equiJoinKey(on Expr, jt *table, jtName string) (string, Expr) {
+	switch x := on.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case "AND":
+			if c, e := equiJoinKey(x.L, jt, jtName); c != "" {
+				return c, e
+			}
+			return equiJoinKey(x.R, jt, jtName)
+		case "=":
+			if c, e := joinSide(x.L, x.R, jt, jtName); c != "" {
+				return c, e
+			}
+			return joinSide(x.R, x.L, jt, jtName)
+		}
+	}
+	return "", nil
+}
+
+func joinSide(colSide, otherSide Expr, jt *table, jtName string) (string, Expr) {
+	ref, ok := colSide.(*ColRef)
+	if !ok || !strings.EqualFold(ref.Table, jtName) {
+		return "", nil
+	}
+	lower := strings.ToLower(ref.Column)
+	i, ok := jt.colIdx[lower]
+	if !ok {
+		return "", nil
+	}
+	indexed := i == jt.pk
+	if _, has := jt.indexes[lower]; has {
+		indexed = true
+	}
+	if _, has := jt.uniques[lower]; has {
+		indexed = true
+	}
+	if !indexed {
+		return "", nil
+	}
+	// The other side must not reference the new table (it must be
+	// evaluable in the outer environment).
+	if refersTo(otherSide, jtName) {
+		return "", nil
+	}
+	return ref.Column, otherSide
+}
+
+func refersTo(e Expr, tableName string) bool {
+	switch x := e.(type) {
+	case *ColRef:
+		return x.Table == "" || strings.EqualFold(x.Table, tableName)
+	case *BinaryExpr:
+		return refersTo(x.L, tableName) || refersTo(x.R, tableName)
+	case *UnaryExpr:
+		return refersTo(x.X, tableName)
+	case *IsNullExpr:
+		return refersTo(x.X, tableName)
+	case *InExpr:
+		if refersTo(x.X, tableName) {
+			return true
+		}
+		for _, le := range x.List {
+			if refersTo(le, tableName) {
+				return true
+			}
+		}
+	case *FuncExpr:
+		for _, a := range x.Args {
+			if refersTo(a, tableName) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// outputColumns expands the projection list into column names.
+func outputColumns(st *SelectStmt, envs []*env) ([]string, error) {
+	var cols []string
+	for _, c := range st.Columns {
+		switch {
+		case c.Star == "*":
+			if len(envs) > 0 {
+				for _, f := range envs[0].frames {
+					cols = append(cols, f.tbl.columnNames()...)
+				}
+			} else {
+				cols = append(cols, "*")
+			}
+		case c.Star != "":
+			if len(envs) > 0 {
+				for _, f := range envs[0].frames {
+					if f.name == strings.ToLower(c.Star) {
+						cols = append(cols, f.tbl.columnNames()...)
+					}
+				}
+			}
+		case c.Alias != "":
+			cols = append(cols, c.Alias)
+		default:
+			cols = append(cols, exprName(c.Expr))
+		}
+	}
+	return cols, nil
+}
+
+func exprName(e Expr) string {
+	switch x := e.(type) {
+	case *ColRef:
+		return x.Column
+	case *FuncExpr:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		return x.Name
+	}
+	return "expr"
+}
+
+func evalPlainSelect(st *SelectStmt, envs []*env, args []Value) (*Rows, error) {
+	cols, err := outputColumns(st, envs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Columns: cols}
+	for _, en := range envs {
+		var row []Value
+		for _, c := range st.Columns {
+			switch {
+			case c.Star == "*":
+				for _, f := range en.frames {
+					row = append(row, frameValues(f)...)
+				}
+			case c.Star != "":
+				for _, f := range en.frames {
+					if f.name == strings.ToLower(c.Star) {
+						row = append(row, frameValues(f)...)
+					}
+				}
+			default:
+				v, err := evalExpr(c.Expr, en, args)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+		}
+		out.Data = append(out.Data, row)
+	}
+	return out, nil
+}
+
+func frameValues(f frame) []Value {
+	n := len(f.tbl.cols)
+	vals := make([]Value, n)
+	if f.row != nil {
+		copy(vals, f.row)
+	}
+	return vals
+}
+
+func evalAggregateSelect(st *SelectStmt, envs []*env, args []Value) (*Rows, error) {
+	cols, err := outputColumns(st, envs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Columns: cols}
+
+	// Group environments by GROUP BY key.
+	type group struct {
+		key  string
+		envs []*env
+	}
+	var groups []*group
+	if len(st.GroupBy) == 0 {
+		groups = []*group{{key: "", envs: envs}}
+	} else {
+		byKey := make(map[string]*group)
+		for _, en := range envs {
+			var kb strings.Builder
+			for _, ge := range st.GroupBy {
+				v, err := evalExpr(ge, en, args)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(FormatValue(v))
+				kb.WriteByte('\x1f')
+			}
+			k := kb.String()
+			g, ok := byKey[k]
+			if !ok {
+				g = &group{key: k}
+				byKey[k] = g
+				groups = append(groups, g)
+			}
+			g.envs = append(g.envs, en)
+		}
+	}
+
+	for _, g := range groups {
+		if len(g.envs) == 0 && len(st.GroupBy) > 0 {
+			continue
+		}
+		if st.Having != nil {
+			v, err := evalAggExpr(st.Having, g.envs, args)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		var row []Value
+		for _, c := range st.Columns {
+			if c.Star != "" {
+				return nil, fmt.Errorf("rdb: '*' projection is not allowed in aggregate queries")
+			}
+			v, err := evalAggExpr(c.Expr, g.envs, args)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.Data = append(out.Data, row)
+	}
+	return out, nil
+}
+
+// evalAggExpr evaluates an expression over a group: aggregate calls reduce
+// over the group's rows; everything else is evaluated on the first row.
+func evalAggExpr(e Expr, group []*env, args []Value) (Value, error) {
+	switch x := e.(type) {
+	case *FuncExpr:
+		if !aggregateFuncs[x.Name] {
+			break
+		}
+		return evalAggregate(x, group, args)
+	case *BinaryExpr:
+		if hasAggregate(x.L) || hasAggregate(x.R) {
+			l, err := evalAggExpr(x.L, group, args)
+			if err != nil {
+				return nil, err
+			}
+			r, err := evalAggExpr(x.R, group, args)
+			if err != nil {
+				return nil, err
+			}
+			return evalBinary(&BinaryExpr{Op: x.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, &env{}, args)
+		}
+	}
+	if len(group) == 0 {
+		return nil, nil
+	}
+	return evalExpr(e, group[0], args)
+}
+
+func evalAggregate(x *FuncExpr, group []*env, args []Value) (Value, error) {
+	if x.Name == "COUNT" && x.Star {
+		return int64(len(group)), nil
+	}
+	if len(x.Args) != 1 {
+		return nil, fmt.Errorf("rdb: %s takes exactly 1 argument", x.Name)
+	}
+	var vals []Value
+	for _, en := range group {
+		v, err := evalExpr(x.Args[0], en, args)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			vals = append(vals, v)
+		}
+	}
+	switch x.Name {
+	case "COUNT":
+		return int64(len(vals)), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range vals {
+			switch n := v.(type) {
+			case int64:
+				isum += n
+				fsum += float64(n)
+			case float64:
+				allInt = false
+				fsum += n
+			default:
+				return nil, fmt.Errorf("rdb: %s over non-numeric value %T", x.Name, v)
+			}
+		}
+		if x.Name == "AVG" {
+			return fsum / float64(len(vals)), nil
+		}
+		if allInt {
+			return isum, nil
+		}
+		return fsum, nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := compareValues(v, best)
+			if err != nil {
+				return nil, err
+			}
+			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("rdb: unknown aggregate %s", x.Name)
+}
+
+func distinctRows(in *Rows) *Rows {
+	seen := make(map[string]bool, len(in.Data))
+	out := &Rows{Columns: in.Columns}
+	for _, row := range in.Data {
+		var kb strings.Builder
+		for _, v := range row {
+			kb.WriteString(FormatValue(v))
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Data = append(out.Data, row)
+	}
+	return out
+}
+
+// orderRows sorts out.Data. For plain selects the ORDER BY expressions are
+// evaluated against the source environments (parallel to out.Data); for
+// aggregate queries they must name output columns.
+func orderRows(st *SelectStmt, out *Rows, envs []*env, aggregate bool, args []Value) error {
+	n := len(out.Data)
+	keys := make([][]Value, n)
+	for i := 0; i < n; i++ {
+		keys[i] = make([]Value, len(st.OrderBy))
+		for k, term := range st.OrderBy {
+			var v Value
+			var err error
+			if !aggregate && !st.Distinct && i < len(envs) {
+				v, err = evalExpr(term.Expr, envs[i], args)
+				if err != nil {
+					// The term may name an output alias instead.
+					v, err = orderByOutput(term.Expr, out, i)
+				}
+			} else {
+				v, err = orderByOutput(term.Expr, out, i)
+			}
+			if err != nil {
+				return err
+			}
+			keys[i][k] = v
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, term := range st.OrderBy {
+			va, vb := keys[idx[a]][k], keys[idx[b]][k]
+			if va == nil && vb == nil {
+				continue
+			}
+			if va == nil {
+				return !term.Desc // NULLs first ascending
+			}
+			if vb == nil {
+				return term.Desc
+			}
+			c, err := compareValues(va, vb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if term.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	sorted := make([][]Value, n)
+	for i, j := range idx {
+		sorted[i] = out.Data[j]
+	}
+	out.Data = sorted
+	return nil
+}
+
+func orderByOutput(e Expr, out *Rows, rowIdx int) (Value, error) {
+	ref, ok := e.(*ColRef)
+	if !ok {
+		return nil, fmt.Errorf("rdb: ORDER BY over aggregates must reference output columns")
+	}
+	ci := out.Col(ref.Column)
+	if ci < 0 {
+		return nil, fmt.Errorf("rdb: ORDER BY references unknown output column %q", ref.Column)
+	}
+	return out.Data[rowIdx][ci], nil
+}
+
+func applyLimitOffset(st *SelectStmt, out *Rows, args []Value) error {
+	offset := 0
+	if st.Offset != nil {
+		v, err := evalConst(st.Offset, args)
+		if err != nil {
+			return err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return fmt.Errorf("rdb: OFFSET must be a non-negative integer")
+		}
+		offset = int(n)
+	}
+	if offset > len(out.Data) {
+		offset = len(out.Data)
+	}
+	out.Data = out.Data[offset:]
+	if st.Limit != nil {
+		v, err := evalConst(st.Limit, args)
+		if err != nil {
+			return err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return fmt.Errorf("rdb: LIMIT must be a non-negative integer")
+		}
+		if int(n) < len(out.Data) {
+			out.Data = out.Data[:n]
+		}
+	}
+	return nil
+}

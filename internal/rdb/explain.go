@@ -1,0 +1,79 @@
+package rdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain describes the access plan of a SELECT statement without
+// executing it: the access path of the base table (primary key, unique
+// column, secondary index, or full scan) and the strategy of each join
+// (indexed equi-join or nested loop). The data expert overriding a
+// descriptor query (Section 6) uses it to check that the hand-tuned SQL
+// actually hits an index.
+func (db *DB) Explain(sql string) (string, error) {
+	st, err := db.prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("rdb: EXPLAIN supports only SELECT, got %T", st)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	base, ok := db.tables[strings.ToLower(sel.From.Table)]
+	if !ok {
+		return "", fmt.Errorf("rdb: no such table %q", sel.From.Table)
+	}
+	var b strings.Builder
+	baseName := sel.From.name()
+	if col, _, found := indexableEquality(sel.Where, base, baseName, len(sel.Joins) > 0); found {
+		fmt.Fprintf(&b, "ACCESS %s BY %s ON %s", sel.From.Table, accessKind(base, col), col)
+	} else if col, _, _, found := rangeConjuncts(sel.Where, base, baseName, len(sel.Joins) > 0, nil); found {
+		fmt.Fprintf(&b, "ACCESS %s BY RANGE ON %s", sel.From.Table, col)
+	} else {
+		fmt.Fprintf(&b, "SCAN %s (%d rows)", sel.From.Table, base.alive)
+	}
+	for _, j := range sel.Joins {
+		jt, ok := db.tables[strings.ToLower(j.Table.Table)]
+		if !ok {
+			return "", fmt.Errorf("rdb: no such table %q", j.Table.Table)
+		}
+		kind := "INNER"
+		if j.Left {
+			kind = "LEFT"
+		}
+		if col, _ := equiJoinKey(j.On, jt, j.Table.name()); col != "" {
+			fmt.Fprintf(&b, "\n%s JOIN %s BY %s ON %s", kind, j.Table.Table, accessKind(jt, col), col)
+		} else {
+			fmt.Fprintf(&b, "\n%s JOIN %s BY NESTED LOOP (%d rows)", kind, j.Table.Table, jt.alive)
+		}
+	}
+	if len(sel.GroupBy) > 0 {
+		fmt.Fprintf(&b, "\nGROUP BY %d keys", len(sel.GroupBy))
+	}
+	if len(sel.OrderBy) > 0 {
+		fmt.Fprintf(&b, "\nSORT %d keys", len(sel.OrderBy))
+	}
+	if sel.Limit != nil {
+		b.WriteString("\nLIMIT")
+	}
+	return b.String(), nil
+}
+
+func accessKind(t *table, col string) string {
+	lower := strings.ToLower(col)
+	i, ok := t.colIdx[lower]
+	if ok && i == t.pk {
+		return "PRIMARY KEY"
+	}
+	if _, ok := t.uniques[lower]; ok {
+		return "UNIQUE"
+	}
+	if _, ok := t.indexes[lower]; ok {
+		return "INDEX"
+	}
+	return "SCAN"
+}

@@ -1,0 +1,124 @@
+package rdb
+
+import "sort"
+
+// orderedIndex is a sorted secondary index supporting range scans for
+// inequality predicates (<, <=, >, >=, BETWEEN). Entries are kept sorted
+// by (value, rowID); NULLs are not indexed.
+type orderedIndex struct {
+	entries []ordEntry
+}
+
+type ordEntry struct {
+	val Value
+	id  int
+}
+
+// search returns the position of the first entry >= (v, id).
+func (ix *orderedIndex) search(v Value, id int) int {
+	return sort.Search(len(ix.entries), func(i int) bool {
+		c, err := compareValues(ix.entries[i].val, v)
+		if err != nil {
+			// Heterogeneous values cannot occur: column values are
+			// coerced to the column type on insert.
+			return true
+		}
+		if c != 0 {
+			return c > 0
+		}
+		return ix.entries[i].id >= id
+	})
+}
+
+func (ix *orderedIndex) insert(v Value, id int) {
+	pos := ix.search(v, id)
+	ix.entries = append(ix.entries, ordEntry{})
+	copy(ix.entries[pos+1:], ix.entries[pos:])
+	ix.entries[pos] = ordEntry{val: v, id: id}
+}
+
+func (ix *orderedIndex) remove(v Value, id int) {
+	pos := ix.search(v, id)
+	if pos < len(ix.entries) && ix.entries[pos].id == id {
+		if c, err := compareValues(ix.entries[pos].val, v); err == nil && c == 0 {
+			ix.entries = append(ix.entries[:pos], ix.entries[pos+1:]...)
+		}
+	}
+}
+
+// rangeBound is one side of a range scan.
+type rangeBound struct {
+	val       Value
+	inclusive bool
+	set       bool
+}
+
+// scan returns the row ids with lo <= val <= hi (subject to the bounds'
+// inclusivity); unset bounds are open.
+func (ix *orderedIndex) scan(lo, hi rangeBound) []int {
+	start := 0
+	if lo.set {
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			c, err := compareValues(ix.entries[i].val, lo.val)
+			if err != nil {
+				return true
+			}
+			if lo.inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ix.entries)
+	if hi.set {
+		end = sort.Search(len(ix.entries), func(i int) bool {
+			c, err := compareValues(ix.entries[i].val, hi.val)
+			if err != nil {
+				return true
+			}
+			if hi.inclusive {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	ids := make([]int, 0, end-start)
+	for _, e := range ix.entries[start:end] {
+		ids = append(ids, e.id)
+	}
+	return ids
+}
+
+// createOrderedIndex builds a sorted index over one column.
+func (t *table) createOrderedIndex(colName string) error {
+	lower := lowerKey(colName)
+	i, ok := t.colIdx[lower]
+	if !ok {
+		return errNoColumn(t.name, colName)
+	}
+	if _, exists := t.ordered[lower]; exists {
+		return nil
+	}
+	ix := &orderedIndex{}
+	for id, r := range t.rows {
+		if r == nil || r[i] == nil {
+			continue
+		}
+		ix.insert(r[i], id)
+	}
+	t.ordered[lower] = ix
+	return nil
+}
+
+// rangeLookup returns candidate row ids for a range predicate on col, or
+// ok=false when the column has no ordered index.
+func (t *table) rangeLookup(colName string, lo, hi rangeBound) ([]int, bool) {
+	ix, ok := t.ordered[lowerKey(colName)]
+	if !ok {
+		return nil, false
+	}
+	return ix.scan(lo, hi), true
+}

@@ -1,0 +1,208 @@
+package rdb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func orderedDB(t *testing.T, vals []int64) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, `CREATE TABLE m (oid INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER, label TEXT)`)
+	mustExec(t, db, `CREATE ORDERED INDEX om ON m(v)`)
+	for i, v := range vals {
+		mustExec(t, db, `INSERT INTO m (v, label) VALUES (?, ?)`, v, fmt.Sprintf("r%d", i))
+	}
+	return db
+}
+
+func TestOrderedIndexRangeQueries(t *testing.T) {
+	db := orderedDB(t, []int64{5, 1, 9, 3, 7, 3, 8})
+	cases := []struct {
+		where string
+		want  int64
+	}{
+		{"v > 3", 4},
+		{"v >= 3", 6},
+		{"v < 5", 3},
+		{"v <= 5", 4},
+		{"v BETWEEN 3 AND 7", 4},
+		{"v > 2 AND v < 8", 4},
+		{"v > 100", 0},
+		{"v < 0", 0},
+	}
+	for _, c := range cases {
+		rows := mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE `+c.where)
+		if rows.Data[0][0] != c.want {
+			t.Errorf("WHERE %s: got %v, want %d", c.where, rows.Data[0][0], c.want)
+		}
+	}
+}
+
+func TestOrderedIndexPlanUsed(t *testing.T) {
+	db := orderedDB(t, []int64{1, 2, 3})
+	plan, err := db.Explain(`SELECT * FROM m WHERE v > 1 AND v < 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "ACCESS m BY RANGE ON v") {
+		t.Fatalf("plan = %q", plan)
+	}
+	// Without the ordered index a range predicate scans.
+	db2 := Open()
+	mustExec(t, db2, `CREATE TABLE m (oid INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)`)
+	plan2, err := db2.Explain(`SELECT * FROM m WHERE v > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan2, "SCAN m") {
+		t.Fatalf("plan = %q", plan2)
+	}
+}
+
+func TestOrderedIndexWithParams(t *testing.T) {
+	db := orderedDB(t, []int64{10, 20, 30, 40})
+	rows := mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE v >= ? AND v <= ?`, 15, 35)
+	if rows.Data[0][0] != int64(2) {
+		t.Fatalf("got %v", rows.Data[0][0])
+	}
+}
+
+func TestOrderedIndexMaintainedOnWrite(t *testing.T) {
+	db := orderedDB(t, []int64{1, 2, 3})
+	mustExec(t, db, `UPDATE m SET v = 100 WHERE v = 2`)
+	rows := mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE v > 50`)
+	if rows.Data[0][0] != int64(1) {
+		t.Fatalf("after update: %v", rows.Data[0][0])
+	}
+	mustExec(t, db, `DELETE FROM m WHERE v = 100`)
+	rows = mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE v > 50`)
+	if rows.Data[0][0] != int64(0) {
+		t.Fatalf("after delete: %v", rows.Data[0][0])
+	}
+	// Rollback restores index entries.
+	tx := db.Begin()
+	if _, err := tx.Exec(`UPDATE m SET v = 500 WHERE v = 1`); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	rows = mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE v >= 500`)
+	if rows.Data[0][0] != int64(0) {
+		t.Fatal("rollback left ghost index entry")
+	}
+	rows = mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE v <= 1`)
+	if rows.Data[0][0] != int64(1) {
+		t.Fatal("rollback lost index entry")
+	}
+}
+
+func TestOrderedIndexIgnoresNulls(t *testing.T) {
+	db := orderedDB(t, nil)
+	mustExec(t, db, `INSERT INTO m (v, label) VALUES (NULL, 'n'), (1, 'a')`)
+	rows := mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE v >= 0`)
+	if rows.Data[0][0] != int64(1) {
+		t.Fatalf("got %v", rows.Data[0][0])
+	}
+}
+
+func TestOrderedIndexOnText(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE w (oid INTEGER PRIMARY KEY AUTOINCREMENT, s TEXT)`)
+	mustExec(t, db, `CREATE ORDERED INDEX ow ON w(s)`)
+	mustExec(t, db, `INSERT INTO w (s) VALUES ('banana'), ('apple'), ('cherry')`)
+	rows := mustQuery(t, db, `SELECT s FROM w WHERE s >= 'b' AND s < 'c' ORDER BY s`)
+	if rows.Len() != 1 || rows.Data[0][0] != "banana" {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestOrderedIndexSurvivesDump(t *testing.T) {
+	db := orderedDB(t, []int64{4, 2, 6})
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := back.Explain(`SELECT * FROM m WHERE v > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "RANGE") {
+		t.Fatalf("ordered index lost in snapshot: %q", plan)
+	}
+}
+
+func TestCreateOrderedIndexErrors(t *testing.T) {
+	db := orderedDB(t, nil)
+	if _, err := db.Exec(`CREATE ORDERED INDEX bad ON m(ghost)`); err == nil {
+		t.Fatal("ordered index on missing column accepted")
+	}
+	// Idempotent re-creation.
+	mustExec(t, db, `CREATE ORDERED INDEX om2 ON m(v)`)
+}
+
+// Property: range queries through the ordered index agree with full
+// scans for arbitrary data and bounds.
+func TestOrderedRangeEquivalenceProperty(t *testing.T) {
+	f := func(vals []int16, loRaw, hiRaw int16) bool {
+		indexed := Open()
+		plain := Open()
+		for _, db := range []*DB{indexed, plain} {
+			if _, err := db.Exec(`CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)`); err != nil {
+				return false
+			}
+		}
+		if _, err := indexed.Exec(`CREATE ORDERED INDEX it ON t(v)`); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			for _, db := range []*DB{indexed, plain} {
+				if _, err := db.Exec(`INSERT INTO t (v) VALUES (?)`, int64(v)); err != nil {
+					return false
+				}
+			}
+		}
+		lo, hi := int64(loRaw), int64(hiRaw)
+		for _, where := range []string{
+			"v > ? AND v < ?", "v >= ? AND v <= ?", "v > ?  AND v <= ?",
+		} {
+			a, err1 := indexed.Query(`SELECT COUNT(*) FROM t WHERE `+where, lo, hi)
+			b, err2 := plain.Query(`SELECT COUNT(*) FROM t WHERE `+where, lo, hi)
+			if err1 != nil || err2 != nil || a.Data[0][0] != b.Data[0][0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangedDeleteAndUpdateUseIndexPath(t *testing.T) {
+	db := orderedDB(t, []int64{1, 2, 3, 4, 5, 6})
+	res, err := db.Exec(`DELETE FROM m WHERE v > 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("deleted %d", res.RowsAffected)
+	}
+	res, err = db.Exec(`UPDATE m SET label = 'low' WHERE v <= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("updated %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, `SELECT COUNT(*) FROM m WHERE label = 'low'`)
+	if rows.Data[0][0] != int64(2) {
+		t.Fatalf("got %v", rows.Data)
+	}
+}

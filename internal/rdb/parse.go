@@ -1,0 +1,1006 @@
+package rdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError reports a SQL parse failure with the offending statement.
+type SyntaxError struct {
+	SQL string
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rdb: syntax error at %d in %q: %s", e.Pos, e.SQL, e.Msg)
+}
+
+// ParseStatement parses a single SQL statement (an optional trailing ';'
+// is accepted).
+func ParseStatement(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{sql: sql, toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	// Number the positional parameters left to right.
+	n := 0
+	numberParams(st, &n)
+	return st, nil
+}
+
+type sqlParser struct {
+	sql  string
+	toks []token
+	pos  int
+}
+
+func (p *sqlParser) cur() token { return p.toks[p.pos] }
+
+func (p *sqlParser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{SQL: p.sql, Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *sqlParser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *sqlParser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", k)
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *sqlParser) expectIdent() (string, error) {
+	if p.at(tokIdent, "") {
+		t := p.cur()
+		p.pos++
+		return t.text, nil
+	}
+	// Non-reserved keyword usable as identifier in some positions.
+	return "", p.errf("expected identifier, found %q", p.cur().text)
+}
+
+func (p *sqlParser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tokKeyword, "DROP"):
+		return p.parseDrop()
+	}
+	return nil, p.errf("expected statement, found %q", p.cur().text)
+}
+
+func (p *sqlParser) parseCreate() (Statement, error) {
+	p.pos++ // CREATE
+	if p.accept(tokKeyword, "TABLE") {
+		return p.parseCreateTable()
+	}
+	p.accept(tokKeyword, "UNIQUE") // tolerated; indexes are not unique-enforcing
+	ordered := p.accept(tokKeyword, "ORDERED")
+	if p.accept(tokKeyword, "INDEX") {
+		st, err := p.parseCreateIndex()
+		if err != nil {
+			return nil, err
+		}
+		st.(*CreateIndexStmt).Ordered = ordered
+		return st, nil
+	}
+	return nil, p.errf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *sqlParser) parseCreateTable() (Statement, error) {
+	st := &CreateTableStmt{}
+	if p.accept(tokKeyword, "IF") {
+		if _, err := p.expect(tokKeyword, "NOT"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(tokKeyword, "FOREIGN") {
+			fk, err := p.parseForeignKey()
+			if err != nil {
+				return nil, err
+			}
+			st.ForeignKeys = append(st.ForeignKeys, fk)
+		} else {
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseColumnDef() (ColumnDef, error) {
+	var col ColumnDef
+	name, err := p.expectIdent()
+	if err != nil {
+		return col, err
+	}
+	col.Name = name
+	typTok := p.cur()
+	if typTok.kind != tokIdent && typTok.kind != tokKeyword {
+		return col, p.errf("expected column type for %s", name)
+	}
+	p.pos++
+	typ, ok := parseColType(typTok.text)
+	if !ok {
+		return col, p.errf("unknown column type %q", typTok.text)
+	}
+	col.Type = typ
+	// Optional (n) size, ignored.
+	if p.accept(tokSymbol, "(") {
+		if _, err := p.expect(tokNumber, ""); err != nil {
+			return col, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return col, err
+		}
+	}
+	for {
+		switch {
+		case p.accept(tokKeyword, "PRIMARY"):
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return col, err
+			}
+			col.PrimaryKey = true
+		case p.accept(tokKeyword, "AUTOINCREMENT"):
+			col.AutoIncrement = true
+		case p.accept(tokKeyword, "NOT"):
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return col, err
+			}
+			col.NotNull = true
+		case p.accept(tokKeyword, "UNIQUE"):
+			col.Unique = true
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *sqlParser) parseForeignKey() (ForeignKeyDef, error) {
+	var fk ForeignKeyDef
+	if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+		return fk, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return fk, err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return fk, err
+	}
+	fk.Column = col
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return fk, err
+	}
+	if _, err := p.expect(tokKeyword, "REFERENCES"); err != nil {
+		return fk, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return fk, err
+	}
+	fk.RefTable = tbl
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return fk, err
+	}
+	ref, err := p.expectIdent()
+	if err != nil {
+		return fk, err
+	}
+	fk.RefColumn = ref
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return fk, err
+	}
+	return fk, nil
+}
+
+func (p *sqlParser) parseCreateIndex() (Statement, error) {
+	st := &CreateIndexStmt{}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = tbl
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, col)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseDrop() (Statement, error) {
+	p.pos++ // DROP
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	st := &DropTableStmt{}
+	if p.accept(tokKeyword, "IF") {
+		if _, err := p.expect(tokKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *sqlParser) parseSelect() (*SelectStmt, error) {
+	p.pos++ // SELECT
+	st := &SelectStmt{}
+	st.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		se, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, se)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	st.From = from
+	for {
+		var left bool
+		switch {
+		case p.accept(tokKeyword, "JOIN"):
+		case p.accept(tokKeyword, "INNER"):
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		case p.accept(tokKeyword, "LEFT"):
+			p.accept(tokKeyword, "OUTER")
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			left = true
+		default:
+			goto afterJoins
+		}
+		{
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Joins = append(st.Joins, JoinClause{Left: left, Table: tr, On: on})
+		}
+	}
+afterJoins:
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = h
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			term := OrderTerm{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				term.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			st.OrderBy = append(st.OrderBy, term)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = e
+	}
+	if p.accept(tokKeyword, "OFFSET") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		st.Offset = e
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseSelectExpr() (SelectExpr, error) {
+	var se SelectExpr
+	if p.accept(tokSymbol, "*") {
+		se.Star = "*"
+		return se, nil
+	}
+	// alias.* form
+	if p.at(tokIdent, "") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokSymbol && p.toks[p.pos+2].text == "*" {
+		se.Star = p.cur().text
+		p.pos += 3
+		return se, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return se, err
+	}
+	se.Expr = e
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return se, err
+		}
+		se.Alias = alias
+	} else if p.at(tokIdent, "") {
+		se.Alias = p.cur().text
+		p.pos++
+	}
+	return se, nil
+}
+
+func (p *sqlParser) parseTableRef() (TableRef, error) {
+	var tr TableRef
+	name, err := p.expectIdent()
+	if err != nil {
+		return tr, err
+	}
+	tr.Table = name
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return tr, err
+		}
+		tr.Alias = alias
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.cur().text
+		p.pos++
+	}
+	return tr, nil
+}
+
+func (p *sqlParser) parseInsert() (Statement, error) {
+	p.pos++ // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, col)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(row) != len(st.Columns) {
+			return nil, p.errf("INSERT row has %d values for %d columns", len(row), len(st.Columns))
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseUpdate() (Statement, error) {
+	p.pos++ // UPDATE
+	st := &UpdateStmt{}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Column: col, Value: e})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseDelete() (Statement, error) {
+	p.pos++ // DELETE
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((=|<>|!=|<|<=|>|>=|LIKE) addExpr
+//	          | IS [NOT] NULL | [NOT] IN (list) | BETWEEN addExpr AND addExpr)?
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := primary ((*|/) primary)*
+func (p *sqlParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *sqlParser) parseComparison() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.accept(tokKeyword, "LIKE") {
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "LIKE", L: l, R: r}, nil
+	}
+	if p.accept(tokKeyword, "IS") {
+		not := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	}
+	notIn := false
+	if p.at(tokKeyword, "NOT") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "IN" {
+		p.pos++
+		notIn = true
+	}
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: l, Not: notIn}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{
+			Op: "AND",
+			L:  &BinaryExpr{Op: ">=", L: l, R: lo},
+			R:  &BinaryExpr{Op: "<=", L: l, R: hi},
+		}, nil
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "+"):
+			op = "+"
+		case p.accept(tokSymbol, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *sqlParser) parseMul() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "*"):
+			op = "*"
+		case p.accept(tokSymbol, "/"):
+			op = "/"
+		default:
+			return l, nil
+		}
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *sqlParser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Val: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Literal{Val: n}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &Literal{Val: t.text}, nil
+	case t.kind == tokParam:
+		p.pos++
+		return &Param{Index: -1}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.pos++
+		return &Literal{Val: nil}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.pos++
+		return &Literal{Val: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.pos++
+		return &Literal{Val: false}, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.pos++
+		x, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokKeyword && aggregateFuncs[t.text]:
+		return p.parseFuncCall(t.text)
+	case t.kind == tokIdent:
+		// Function call or column reference.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			return p.parseFuncCall(strings.ToUpper(t.text))
+		}
+		p.pos++
+		if p.accept(tokSymbol, ".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: t.text, Column: col}, nil
+		}
+		return &ColRef{Column: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+var scalarFuncs = map[string]bool{
+	"LOWER": true, "UPPER": true, "LENGTH": true, "ABS": true,
+	"COALESCE": true, "SUBSTR": true,
+}
+
+func (p *sqlParser) parseFuncCall(name string) (Expr, error) {
+	p.pos++ // function name
+	if !aggregateFuncs[name] && !scalarFuncs[name] {
+		return nil, p.errf("unknown function %s", name)
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	fe := &FuncExpr{Name: name}
+	if name == "COUNT" && p.accept(tokSymbol, "*") {
+		fe.Star = true
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return fe, nil
+	}
+	if !p.at(tokSymbol, ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fe.Args = append(fe.Args, a)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return fe, nil
+}
+
+// numberParams assigns positional indexes to Param nodes in statement
+// source order (the order the lexer produced them, which matches the
+// recursive-descent parse order for every clause in this grammar except
+// that SELECT parses projections before FROM/WHERE — matching '?'
+// placement order in the SQL text for all statements this engine accepts).
+func numberParams(node interface{}, n *int) {
+	switch x := node.(type) {
+	case *SelectStmt:
+		for _, c := range x.Columns {
+			numberParams(c.Expr, n)
+		}
+		for _, j := range x.Joins {
+			numberParams(j.On, n)
+		}
+		numberParams(x.Where, n)
+		for _, g := range x.GroupBy {
+			numberParams(g, n)
+		}
+		numberParams(x.Having, n)
+		for _, o := range x.OrderBy {
+			numberParams(o.Expr, n)
+		}
+		numberParams(x.Limit, n)
+		numberParams(x.Offset, n)
+	case *InsertStmt:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				numberParams(e, n)
+			}
+		}
+	case *UpdateStmt:
+		for _, s := range x.Sets {
+			numberParams(s.Value, n)
+		}
+		numberParams(x.Where, n)
+	case *DeleteStmt:
+		numberParams(x.Where, n)
+	case *Param:
+		x.Index = *n
+		*n++
+	case *BinaryExpr:
+		numberParams(x.L, n)
+		numberParams(x.R, n)
+	case *UnaryExpr:
+		numberParams(x.X, n)
+	case *IsNullExpr:
+		numberParams(x.X, n)
+	case *InExpr:
+		numberParams(x.X, n)
+		for _, e := range x.List {
+			numberParams(e, n)
+		}
+	case *FuncExpr:
+		for _, a := range x.Args {
+			numberParams(a, n)
+		}
+	case Expr, Statement:
+		// Literals, ColRefs, DDL statements: no parameters.
+	case nil:
+	}
+}
+
+// countParams returns the number of '?' placeholders in the statement.
+func countParams(st Statement) int {
+	n := 0
+	var walk func(node interface{})
+	walk = func(node interface{}) {
+		switch x := node.(type) {
+		case *SelectStmt:
+			for _, c := range x.Columns {
+				walk(c.Expr)
+			}
+			for _, j := range x.Joins {
+				walk(j.On)
+			}
+			walk(x.Where)
+			for _, g := range x.GroupBy {
+				walk(g)
+			}
+			walk(x.Having)
+			for _, o := range x.OrderBy {
+				walk(o.Expr)
+			}
+			walk(x.Limit)
+			walk(x.Offset)
+		case *InsertStmt:
+			for _, row := range x.Rows {
+				for _, e := range row {
+					walk(e)
+				}
+			}
+		case *UpdateStmt:
+			for _, s := range x.Sets {
+				walk(s.Value)
+			}
+			walk(x.Where)
+		case *DeleteStmt:
+			walk(x.Where)
+		case *Param:
+			n++
+		case *BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *UnaryExpr:
+			walk(x.X)
+		case *IsNullExpr:
+			walk(x.X)
+		case *InExpr:
+			walk(x.X)
+			for _, e := range x.List {
+				walk(e)
+			}
+		case *FuncExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(st)
+	return n
+}

@@ -1,0 +1,602 @@
+package rdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	stmts := []string{
+		`CREATE TABLE volume (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT NOT NULL, year INTEGER)`,
+		`CREATE TABLE issue (oid INTEGER PRIMARY KEY AUTOINCREMENT, number INTEGER, volume_oid INTEGER,
+			FOREIGN KEY (volume_oid) REFERENCES volume(oid))`,
+		`CREATE TABLE paper (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT, pages INTEGER, issue_oid INTEGER,
+			FOREIGN KEY (issue_oid) REFERENCES issue(oid))`,
+		`CREATE INDEX idx_issue_volume ON issue(volume_oid)`,
+		`CREATE INDEX idx_paper_issue ON paper(issue_oid)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("setup %q: %v", s, err)
+		}
+	}
+	mustExec(t, db, `INSERT INTO volume (title, year) VALUES ('TODS 27', 2002), ('TODS 26', 2001)`)
+	mustExec(t, db, `INSERT INTO issue (number, volume_oid) VALUES (1, 1), (2, 1), (1, 2)`)
+	mustExec(t, db, `INSERT INTO paper (title, pages, issue_oid) VALUES
+		('Query Optimization', 30, 1),
+		('Web Modelling', 25, 1),
+		('Caching Dynamic Content', 40, 2),
+		('Views and Updates', 22, 3)`)
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string, args ...Value) Result {
+	t.Helper()
+	res, err := db.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, db *DB, sql string, args ...Value) *Rows {
+	t.Helper()
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	return rows
+}
+
+func TestSelectAll(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT * FROM volume`)
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	if got := len(rows.Columns); got != 3 {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+}
+
+func TestSelectWherePrimaryKey(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT title FROM volume WHERE oid = ?`, 1)
+	if rows.Len() != 1 || rows.Data[0][0] != "TODS 27" {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestSelectProjectionAndAlias(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT title AS t, year FROM volume WHERE year = 2002`)
+	if rows.Columns[0] != "t" || rows.Columns[1] != "year" {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+	if rows.Data[0][0] != "TODS 27" {
+		t.Fatalf("data = %v", rows.Data)
+	}
+}
+
+func TestSelectComparisons(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"pages > 25", 2},
+		{"pages >= 25", 3},
+		{"pages < 25", 1},
+		{"pages <> 30", 3},
+		{"pages = 30", 1},
+		{"pages BETWEEN 25 AND 35", 2},
+		{"pages IN (22, 40)", 2},
+		{"pages NOT IN (22, 40)", 2},
+		{"NOT pages = 30", 3},
+		{"pages > 20 AND pages < 28", 2},
+		{"pages < 23 OR pages > 35", 2},
+	}
+	for _, c := range cases {
+		rows := mustQuery(t, db, `SELECT oid FROM paper WHERE `+c.where)
+		if rows.Len() != c.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", c.where, rows.Len(), c.want)
+		}
+	}
+}
+
+func TestSelectLike(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT title FROM paper WHERE title LIKE ?`, "%web%")
+	if rows.Len() != 1 || rows.Data[0][0] != "Web Modelling" {
+		t.Fatalf("got %v", rows.Data)
+	}
+	rows = mustQuery(t, db, `SELECT title FROM paper WHERE title LIKE 'Views and Update_'`)
+	if rows.Len() != 1 {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestSelectOrderLimitOffset(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT title FROM paper ORDER BY pages DESC LIMIT 2 OFFSET 1`)
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	if rows.Data[0][0] != "Query Optimization" || rows.Data[1][0] != "Web Modelling" {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestSelectOrderMultipleKeys(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT number, volume_oid FROM issue ORDER BY number ASC, volume_oid DESC`)
+	want := [][]Value{{int64(1), int64(2)}, {int64(1), int64(1)}, {int64(2), int64(1)}}
+	for i, w := range want {
+		if rows.Data[i][0] != w[0] || rows.Data[i][1] != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, rows.Data[i], w)
+		}
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT DISTINCT number FROM issue`)
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `
+		SELECT v.title, i.number, p.title
+		FROM volume v
+		JOIN issue i ON i.volume_oid = v.oid
+		JOIN paper p ON p.issue_oid = i.oid
+		WHERE v.oid = ?
+		ORDER BY p.pages`, 1)
+	if rows.Len() != 3 {
+		t.Fatalf("rows = %d: %v", rows.Len(), rows.Data)
+	}
+	for _, r := range rows.Data {
+		if r[0] != "TODS 27" {
+			t.Fatalf("wrong volume in %v", r)
+		}
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := testDB(t)
+	// Issue 3 (volume 2, number 1) has one paper; add an empty issue.
+	mustExec(t, db, `INSERT INTO issue (number, volume_oid) VALUES (9, 2)`)
+	rows := mustQuery(t, db, `
+		SELECT i.number, p.title FROM issue i
+		LEFT JOIN paper p ON p.issue_oid = i.oid
+		WHERE i.volume_oid = 2
+		ORDER BY i.number`)
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	if rows.Data[1][1] != nil {
+		t.Fatalf("expected NULL paper title for empty issue, got %v", rows.Data[1][1])
+	}
+}
+
+func TestJoinWithoutIndexFallsBackToNestedLoop(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE a (x INTEGER)`)
+	mustExec(t, db, `CREATE TABLE b (y INTEGER)`)
+	mustExec(t, db, `INSERT INTO a (x) VALUES (1), (2)`)
+	mustExec(t, db, `INSERT INTO b (y) VALUES (2), (3)`)
+	rows := mustQuery(t, db, `SELECT a.x FROM a JOIN b ON a.x = b.y`)
+	if rows.Len() != 1 || rows.Data[0][0] != int64(2) {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT COUNT(*), SUM(pages), MIN(pages), MAX(pages), AVG(pages) FROM paper`)
+	r := rows.Data[0]
+	if r[0] != int64(4) || r[1] != int64(117) || r[2] != int64(22) || r[3] != int64(40) {
+		t.Fatalf("got %v", r)
+	}
+	if avg := r[4].(float64); avg < 29.2 || avg > 29.3 {
+		t.Fatalf("avg = %v", avg)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `
+		SELECT issue_oid, COUNT(*) AS n FROM paper
+		GROUP BY issue_oid HAVING COUNT(*) > 1`)
+	if rows.Len() != 1 || rows.Data[0][0] != int64(1) || rows.Data[0][1] != int64(2) {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestCountEmptyGroup(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT COUNT(*) FROM paper WHERE pages > 1000`)
+	if rows.Data[0][0] != int64(0) {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT LOWER(title), UPPER(title), LENGTH(title) FROM volume WHERE oid = 1`)
+	r := rows.Data[0]
+	if r[0] != "tods 27" || r[1] != "TODS 27" || r[2] != int64(7) {
+		t.Fatalf("got %v", r)
+	}
+}
+
+func TestInsertAutoIncrementAndLastID(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `INSERT INTO volume (title, year) VALUES (?, ?)`, "TODS 28", 2003)
+	if res.LastInsertID != 3 || res.RowsAffected != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `UPDATE paper SET pages = pages + 5 WHERE issue_oid = 1`)
+	if res.RowsAffected != 2 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, `SELECT SUM(pages) FROM paper`)
+	if rows.Data[0][0] != int64(127) {
+		t.Fatalf("sum = %v", rows.Data[0][0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `DELETE FROM paper WHERE pages < 25`)
+	if res.RowsAffected != 1 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	n, _ := db.RowCount("paper")
+	if n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestDeleteThenReinsertKeepsIndexesConsistent(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `DELETE FROM paper WHERE issue_oid = 1`)
+	mustExec(t, db, `INSERT INTO paper (title, pages, issue_oid) VALUES ('New One', 10, 1)`)
+	rows := mustQuery(t, db, `SELECT title FROM paper WHERE issue_oid = ?`, 1)
+	if rows.Len() != 1 || rows.Data[0][0] != "New One" {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestPrimaryKeyDuplicateRejected(t *testing.T) {
+	db := testDB(t)
+	_, err := db.Exec(`INSERT INTO volume (oid, title) VALUES (1, 'dup')`)
+	if err == nil || !strings.Contains(err.Error(), "duplicate primary key") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNotNullRejected(t *testing.T) {
+	db := testDB(t)
+	_, err := db.Exec(`INSERT INTO volume (title, year) VALUES (NULL, 2002)`)
+	if err == nil || !strings.Contains(err.Error(), "NOT NULL") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE u (oid INTEGER PRIMARY KEY AUTOINCREMENT, email TEXT UNIQUE)`)
+	mustExec(t, db, `INSERT INTO u (email) VALUES ('a@x')`)
+	if _, err := db.Exec(`INSERT INTO u (email) VALUES ('a@x')`); err == nil {
+		t.Fatal("duplicate unique value accepted")
+	}
+	// Unique lookups also serve as an index.
+	rows := mustQuery(t, db, `SELECT oid FROM u WHERE email = 'a@x'`)
+	if rows.Len() != 1 {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestForeignKeyEnforced(t *testing.T) {
+	db := testDB(t)
+	_, err := db.Exec(`INSERT INTO issue (number, volume_oid) VALUES (1, 99)`)
+	if err == nil || !strings.Contains(err.Error(), "foreign key violation") {
+		t.Fatalf("err = %v", err)
+	}
+	// NULL foreign keys are allowed.
+	mustExec(t, db, `INSERT INTO issue (number, volume_oid) VALUES (1, NULL)`)
+}
+
+func TestIsNull(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `INSERT INTO issue (number, volume_oid) VALUES (7, NULL)`)
+	rows := mustQuery(t, db, `SELECT number FROM issue WHERE volume_oid IS NULL`)
+	if rows.Len() != 1 || rows.Data[0][0] != int64(7) {
+		t.Fatalf("got %v", rows.Data)
+	}
+	rows = mustQuery(t, db, `SELECT COUNT(*) FROM issue WHERE volume_oid IS NOT NULL`)
+	if rows.Data[0][0] != int64(3) {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestParamCountMismatch(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Query(`SELECT * FROM volume WHERE oid = ?`); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+	if _, err := db.Query(`SELECT * FROM volume`, 1); err == nil {
+		t.Fatal("extra parameter accepted")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		`SELEC * FROM volume`,
+		`SELECT * FROM`,
+		`SELECT * FROM volume WHERE`,
+		`INSERT INTO volume (title) VALUES ('a', 'b')`,
+		`CREATE TABLE t (x BLOBBY)`,
+		`SELECT * FROM volume; SELECT 1 FROM volume`,
+	}
+	for _, s := range bad {
+		if _, err := db.Query(s); err == nil {
+			if _, err2 := db.Exec(s); err2 == nil {
+				t.Errorf("statement %q accepted", s)
+			}
+		}
+	}
+}
+
+func TestUnknownTableAndColumn(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Query(`SELECT * FROM nothere`); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := db.Query(`SELECT nope FROM volume`); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `DROP TABLE paper`)
+	if _, err := db.Query(`SELECT * FROM paper`); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	mustExec(t, db, `DROP TABLE IF EXISTS paper`)
+	if _, err := db.Exec(`DROP TABLE paper`); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestCreateTableIfNotExists(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE IF NOT EXISTS volume (oid INTEGER PRIMARY KEY)`)
+	if _, err := db.Exec(`CREATE TABLE volume (oid INTEGER PRIMARY KEY)`); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `INSERT INTO volume (title) VALUES ('O''Reilly')`)
+	rows := mustQuery(t, db, `SELECT title FROM volume WHERE title LIKE 'O''%'`)
+	if rows.Len() != 1 || rows.Data[0][0] != "O'Reilly" {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestArithmeticInProjection(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT pages * 2 + 1 FROM paper WHERE oid = 1`)
+	if rows.Data[0][0] != int64(61) {
+		t.Fatalf("got %v", rows.Data)
+	}
+	if _, err := db.Query(`SELECT pages / 0 FROM paper`); err == nil {
+		t.Fatal("division by zero accepted")
+	}
+}
+
+func TestQueryRow(t *testing.T) {
+	db := testDB(t)
+	m, err := db.QueryRow(`SELECT title, year FROM volume WHERE oid = ?`, 2)
+	if err != nil || m == nil {
+		t.Fatalf("m=%v err=%v", m, err)
+	}
+	if m["title"] != "TODS 26" {
+		t.Fatalf("m = %v", m)
+	}
+	m, err = db.QueryRow(`SELECT title FROM volume WHERE oid = 99`)
+	if err != nil || m != nil {
+		t.Fatalf("expected nil map, got %v err %v", m, err)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := testDB(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Query(`SELECT COUNT(*) FROM paper`); err != nil {
+				errs <- err
+			}
+		}()
+		go func(i int) {
+			defer wg.Done()
+			if _, err := db.Exec(`INSERT INTO volume (title, year) VALUES (?, ?)`, fmt.Sprintf("v%d", i), 2000+i); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, _ := db.RowCount("volume")
+	if n != 22 {
+		t.Fatalf("volume count = %d", n)
+	}
+}
+
+// Property: LIKE with a pattern built only from literals and % behaves as
+// substring containment when the pattern is %s%.
+func TestLikeContainmentProperty(t *testing.T) {
+	f := func(hay, needle string) bool {
+		clean := func(s string) string {
+			return strings.Map(func(r rune) rune {
+				if r == '%' || r == '_' || r == '\'' {
+					return 'x'
+				}
+				if r < 32 || r > 126 {
+					return 'y'
+				}
+				return r
+			}, s)
+		}
+		h, n := clean(hay), clean(needle)
+		got := likeMatch(h, "%"+n+"%")
+		want := strings.Contains(strings.ToLower(h), strings.ToLower(n))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any set of inserted values, COUNT(*) equals the number of
+// inserts minus deletes.
+func TestCountInvariantProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		db := Open()
+		if _, err := db.Exec(`CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)`); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := db.Exec(`INSERT INTO t (v) VALUES (?)`, int64(v)); err != nil {
+				return false
+			}
+		}
+		res, err := db.Exec(`DELETE FROM t WHERE v < 0`)
+		if err != nil {
+			return false
+		}
+		rows, err := db.Query(`SELECT COUNT(*) FROM t`)
+		if err != nil {
+			return false
+		}
+		return rows.Data[0][0] == int64(len(vals)-res.RowsAffected)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: index-assisted equality lookups agree with full scans.
+func TestIndexScanEquivalenceProperty(t *testing.T) {
+	f := func(vals []uint8, probe uint8) bool {
+		indexed := Open()
+		plain := Open()
+		for _, db := range []*DB{indexed, plain} {
+			if _, err := db.Exec(`CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)`); err != nil {
+				return false
+			}
+		}
+		if _, err := indexed.Exec(`CREATE INDEX it ON t(v)`); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			for _, db := range []*DB{indexed, plain} {
+				if _, err := db.Exec(`INSERT INTO t (v) VALUES (?)`, int64(v)); err != nil {
+					return false
+				}
+			}
+		}
+		a, err1 := indexed.Query(`SELECT COUNT(*) FROM t WHERE v = ?`, int64(probe))
+		b, err2 := plain.Query(`SELECT COUNT(*) FROM t WHERE v = ?`, int64(probe))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Data[0][0] == b.Data[0][0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (i INTEGER, r REAL, s TEXT, b BOOLEAN)`)
+	mustExec(t, db, `INSERT INTO t (i, r, s, b) VALUES (?, ?, ?, ?)`, 5, 1.5, "x", true)
+	mustExec(t, db, `INSERT INTO t (i, r, s, b) VALUES (?, ?, ?, ?)`, int32(6), float32(2.5), []byte("y"), false)
+	rows := mustQuery(t, db, `SELECT i, r, s, b FROM t ORDER BY i`)
+	if rows.Data[0][0] != int64(5) || rows.Data[1][0] != int64(6) {
+		t.Fatalf("ints: %v", rows.Data)
+	}
+	if rows.Data[1][2] != "y" {
+		t.Fatalf("text: %v", rows.Data)
+	}
+	if rows.Data[0][3] != true || rows.Data[1][3] != false {
+		t.Fatalf("bools: %v", rows.Data)
+	}
+}
+
+func TestBoolAndIntComparisons(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (b BOOLEAN)`)
+	mustExec(t, db, `INSERT INTO t (b) VALUES (TRUE), (FALSE), (TRUE)`)
+	rows := mustQuery(t, db, `SELECT COUNT(*) FROM t WHERE b = TRUE`)
+	if rows.Data[0][0] != int64(2) {
+		t.Fatalf("got %v", rows.Data)
+	}
+}
+
+func TestStarWithJoinProjectsAllFrames(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT * FROM issue i JOIN volume v ON v.oid = i.volume_oid WHERE i.oid = 1`)
+	// issue has 3 columns, volume has 3.
+	if len(rows.Columns) != 6 {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+}
+
+func TestQualifiedStar(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT v.* FROM issue i JOIN volume v ON v.oid = i.volume_oid WHERE i.oid = 1`)
+	if len(rows.Columns) != 3 {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Query(`SELECT oid FROM issue i JOIN volume v ON v.oid = i.volume_oid`); err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+}
+
+func TestCoalesceAndSubstr(t *testing.T) {
+	db := testDB(t)
+	rows := mustQuery(t, db, `SELECT COALESCE(NULL, 'fallback'), SUBSTR(title, 1, 4) FROM volume WHERE oid = 1`)
+	if rows.Data[0][0] != "fallback" || rows.Data[0][1] != "TODS" {
+		t.Fatalf("got %v", rows.Data)
+	}
+}

@@ -1,0 +1,284 @@
+package rdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one stored tuple. Its layout matches the table's column order.
+type Row []Value
+
+// column is the runtime schema of one column.
+type column struct {
+	def ColumnDef
+}
+
+// table is the runtime representation of a relation: schema, row storage,
+// the primary-key map, and secondary hash indexes.
+type table struct {
+	name    string
+	cols    []column
+	colIdx  map[string]int // lower(name) -> position
+	pk      int            // primary key column position, -1 if none
+	autoInc int64
+	fks     []ForeignKeyDef
+
+	rows  []Row // nil entries are deleted rows
+	alive int   // count of live rows
+	pkMap map[Value]int
+	// indexes maps lower(column name) -> value -> row ids. The primary key
+	// is indexed through pkMap instead.
+	indexes map[string]map[Value][]int
+	uniques map[string]map[Value]int
+	// ordered maps lower(column name) -> sorted index (range scans).
+	ordered map[string]*orderedIndex
+}
+
+func errNoColumn(table, col string) error {
+	return fmt.Errorf("rdb: no column %q in table %q", col, table)
+}
+
+func newTable(st *CreateTableStmt) (*table, error) {
+	t := &table{
+		name:    st.Name,
+		pk:      -1,
+		colIdx:  make(map[string]int, len(st.Columns)),
+		pkMap:   make(map[Value]int),
+		indexes: make(map[string]map[Value][]int),
+		uniques: make(map[string]map[Value]int),
+		ordered: make(map[string]*orderedIndex),
+		fks:     st.ForeignKeys,
+	}
+	for i, cd := range st.Columns {
+		lower := strings.ToLower(cd.Name)
+		if _, dup := t.colIdx[lower]; dup {
+			return nil, fmt.Errorf("rdb: duplicate column %q in table %q", cd.Name, st.Name)
+		}
+		t.colIdx[lower] = i
+		t.cols = append(t.cols, column{def: cd})
+		if cd.PrimaryKey {
+			if t.pk >= 0 {
+				return nil, fmt.Errorf("rdb: table %q has multiple primary keys", st.Name)
+			}
+			t.pk = i
+		}
+		if cd.Unique {
+			t.uniques[lower] = make(map[Value]int)
+		}
+	}
+	for _, fk := range st.ForeignKeys {
+		if _, ok := t.colIdx[strings.ToLower(fk.Column)]; !ok {
+			return nil, fmt.Errorf("rdb: foreign key on unknown column %q in %q", fk.Column, st.Name)
+		}
+	}
+	return t, nil
+}
+
+func (t *table) columnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.def.Name
+	}
+	return names
+}
+
+func (t *table) col(name string) (int, bool) {
+	i, ok := t.colIdx[strings.ToLower(name)]
+	return i, ok
+}
+
+// insert stores a new row (already coerced to column types) and maintains
+// the primary key and secondary indexes. It returns the row id.
+func (t *table) insert(r Row) (int, error) {
+	if t.pk >= 0 {
+		pkv := r[t.pk]
+		if pkv == nil {
+			if !t.cols[t.pk].def.AutoIncrement {
+				return 0, fmt.Errorf("rdb: NULL primary key in table %q", t.name)
+			}
+			t.autoInc++
+			pkv = t.autoInc
+			r[t.pk] = pkv
+		} else if iv, ok := pkv.(int64); ok && iv > t.autoInc {
+			t.autoInc = iv
+		}
+		if _, exists := t.pkMap[pkv]; exists {
+			return 0, fmt.Errorf("rdb: duplicate primary key %v in table %q", pkv, t.name)
+		}
+	}
+	for colName, u := range t.uniques {
+		i := t.colIdx[colName]
+		if r[i] == nil {
+			continue
+		}
+		if _, exists := u[r[i]]; exists {
+			return 0, fmt.Errorf("rdb: unique constraint violated on %s.%s", t.name, colName)
+		}
+	}
+	for i, c := range t.cols {
+		if c.def.NotNull && r[i] == nil && !(i == t.pk && c.def.AutoIncrement) {
+			return 0, fmt.Errorf("rdb: NULL in NOT NULL column %s.%s", t.name, c.def.Name)
+		}
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, r)
+	t.alive++
+	t.indexRow(id, r)
+	return id, nil
+}
+
+func (t *table) indexRow(id int, r Row) {
+	if t.pk >= 0 && r[t.pk] != nil {
+		t.pkMap[r[t.pk]] = id
+	}
+	for colName, idx := range t.indexes {
+		i := t.colIdx[colName]
+		if r[i] != nil {
+			idx[r[i]] = append(idx[r[i]], id)
+		}
+	}
+	for colName, u := range t.uniques {
+		i := t.colIdx[colName]
+		if r[i] != nil {
+			u[r[i]] = id
+		}
+	}
+	for colName, ix := range t.ordered {
+		i := t.colIdx[colName]
+		if r[i] != nil {
+			ix.insert(r[i], id)
+		}
+	}
+}
+
+func (t *table) unindexRow(id int, r Row) {
+	if t.pk >= 0 && r[t.pk] != nil {
+		delete(t.pkMap, r[t.pk])
+	}
+	for colName, idx := range t.indexes {
+		i := t.colIdx[colName]
+		if r[i] == nil {
+			continue
+		}
+		ids := idx[r[i]]
+		for j, rid := range ids {
+			if rid == id {
+				idx[r[i]] = append(ids[:j], ids[j+1:]...)
+				break
+			}
+		}
+		if len(idx[r[i]]) == 0 {
+			delete(idx, r[i])
+		}
+	}
+	for colName, u := range t.uniques {
+		i := t.colIdx[colName]
+		if r[i] != nil {
+			delete(u, r[i])
+		}
+	}
+	for colName, ix := range t.ordered {
+		i := t.colIdx[colName]
+		if r[i] != nil {
+			ix.remove(r[i], id)
+		}
+	}
+}
+
+// deleteRow tombstones the row and fixes indexes. It returns the old row.
+func (t *table) deleteRow(id int) Row {
+	r := t.rows[id]
+	if r == nil {
+		return nil
+	}
+	t.unindexRow(id, r)
+	t.rows[id] = nil
+	t.alive--
+	return r
+}
+
+// restoreRow undoes a delete (transaction rollback support).
+func (t *table) restoreRow(id int, r Row) {
+	t.rows[id] = r
+	t.alive++
+	t.indexRow(id, r)
+}
+
+// updateRow replaces the row in place, maintaining indexes, after checking
+// uniqueness constraints for the new image.
+func (t *table) updateRow(id int, newRow Row) error {
+	old := t.rows[id]
+	if t.pk >= 0 && newRow[t.pk] != old[t.pk] {
+		if newRow[t.pk] == nil {
+			return fmt.Errorf("rdb: NULL primary key in table %q", t.name)
+		}
+		if other, exists := t.pkMap[newRow[t.pk]]; exists && other != id {
+			return fmt.Errorf("rdb: duplicate primary key %v in table %q", newRow[t.pk], t.name)
+		}
+	}
+	for colName, u := range t.uniques {
+		i := t.colIdx[colName]
+		if newRow[i] == nil || newRow[i] == old[i] {
+			continue
+		}
+		if other, exists := u[newRow[i]]; exists && other != id {
+			return fmt.Errorf("rdb: unique constraint violated on %s.%s", t.name, colName)
+		}
+	}
+	for i, c := range t.cols {
+		if c.def.NotNull && newRow[i] == nil {
+			return fmt.Errorf("rdb: NULL in NOT NULL column %s.%s", t.name, c.def.Name)
+		}
+	}
+	t.unindexRow(id, old)
+	t.rows[id] = newRow
+	t.indexRow(id, newRow)
+	return nil
+}
+
+// createIndex builds a hash index over one column.
+func (t *table) createIndex(colName string) error {
+	lower := strings.ToLower(colName)
+	i, ok := t.colIdx[lower]
+	if !ok {
+		return fmt.Errorf("rdb: no column %q in table %q", colName, t.name)
+	}
+	if _, exists := t.indexes[lower]; exists {
+		return nil
+	}
+	idx := make(map[Value][]int)
+	for id, r := range t.rows {
+		if r == nil || r[i] == nil {
+			continue
+		}
+		idx[r[i]] = append(idx[r[i]], id)
+	}
+	t.indexes[lower] = idx
+	return nil
+}
+
+// lookup returns candidate row ids for col = v via the best access path:
+// primary key map, secondary index, or full scan.
+func (t *table) lookup(colName string, v Value) ([]int, bool) {
+	lower := strings.ToLower(colName)
+	i, ok := t.colIdx[lower]
+	if !ok {
+		return nil, false
+	}
+	if i == t.pk {
+		if id, ok := t.pkMap[v]; ok {
+			return []int{id}, true
+		}
+		return nil, true
+	}
+	if idx, ok := t.indexes[lower]; ok {
+		return idx[v], true
+	}
+	if u, ok := t.uniques[lower]; ok {
+		if id, ok := u[v]; ok {
+			return []int{id}, true
+		}
+		return nil, true
+	}
+	return nil, false
+}

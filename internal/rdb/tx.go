@@ -1,0 +1,130 @@
+package rdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTxDone is returned when a finished transaction is used again.
+var ErrTxDone = errors.New("rdb: transaction already committed or rolled back")
+
+type undoOp int
+
+const (
+	undoInsert undoOp = iota // rollback: delete the inserted row
+	undoUpdate               // rollback: restore oldRow
+	undoDelete               // rollback: re-insert oldRow
+)
+
+type undoEntry struct {
+	table  *table
+	op     undoOp
+	rowID  int
+	oldRow Row
+}
+
+type undoLog struct {
+	entries []undoEntry
+}
+
+func (u *undoLog) add(e undoEntry) { u.entries = append(u.entries, e) }
+
+// Tx is a write transaction. It holds the database's exclusive lock for
+// its whole lifetime (coarse two-phase locking): readers and other writers
+// wait until Commit or Rollback. Rollback replays an undo log.
+//
+// The paper's operation units (create/modify/delete/connect/disconnect
+// chains with KO links) need exactly this: a unit chain either completes
+// or leaves no trace before the Controller follows the KO link.
+type Tx struct {
+	db   *DB
+	undo undoLog
+	done bool
+}
+
+// Begin starts a write transaction, blocking until the exclusive lock is
+// available.
+func (db *DB) Begin() *Tx {
+	db.mu.Lock()
+	return &Tx{db: db}
+}
+
+// Exec runs a write statement inside the transaction.
+func (tx *Tx) Exec(sql string, args ...Value) (Result, error) {
+	if tx.done {
+		return Result{}, ErrTxDone
+	}
+	st, err := tx.db.prepare(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, isSel := st.(*SelectStmt); isSel {
+		return Result{}, fmt.Errorf("rdb: use Tx.Query for SELECT")
+	}
+	cargs, err := coerceArgs(st, args)
+	if err != nil {
+		return Result{}, err
+	}
+	return tx.db.execLocked(st, cargs, &tx.undo)
+}
+
+// Query runs a SELECT inside the transaction, observing its own writes.
+func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	st, err := tx.db.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("rdb: Tx.Query requires a SELECT statement")
+	}
+	cargs, err := coerceArgs(st, args)
+	if err != nil {
+		return nil, err
+	}
+	return tx.db.execSelect(sel, cargs)
+}
+
+// Commit makes the transaction's writes permanent and releases the lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	tx.undo.entries = nil
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Rollback undoes every write performed in the transaction, in reverse
+// order, and releases the lock.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	for i := len(tx.undo.entries) - 1; i >= 0; i-- {
+		e := tx.undo.entries[i]
+		switch e.op {
+		case undoInsert:
+			e.table.deleteRow(e.rowID)
+		case undoUpdate:
+			// updateRow re-checks constraints; restoring the old image is
+			// always constraint-safe, but bypass checks to be robust.
+			cur := e.table.rows[e.rowID]
+			if cur != nil {
+				e.table.unindexRow(e.rowID, cur)
+			}
+			e.table.rows[e.rowID] = e.oldRow
+			e.table.indexRow(e.rowID, e.oldRow)
+		case undoDelete:
+			e.table.restoreRow(e.rowID, e.oldRow)
+		}
+	}
+	tx.undo.entries = nil
+	tx.db.mu.Unlock()
+	return nil
+}

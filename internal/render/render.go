@@ -1,0 +1,230 @@
+// Package render is the View of Figure 4: page templates made of static
+// markup plus custom tags ("HTML + custom tags"), where each WebML unit
+// kind maps to a custom tag transforming the content stored in the unit
+// beans into HTML. Rendering optionally consults the template-fragment
+// cache and a runtime styler (Section 5's on-the-fly presentation rules).
+package render
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"webmlgo/internal/cache"
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/dom"
+	"webmlgo/internal/mvc"
+)
+
+// TagRenderer produces the HTML rendition of one unit kind from its bean
+// — the custom tag implementation of Section 3 ("WebML-aware tags,
+// defined on purpose to match the features of WebML units").
+type TagRenderer func(rc *Context, bean *mvc.UnitBean) string
+
+// Styler transforms a parsed template at request time (runtime
+// application of the presentation rules, Section 5). Variant names the
+// rule set chosen for a user agent, for fragment-cache keying.
+type Styler interface {
+	Apply(tpl *dom.Node, userAgent string) (*dom.Node, error)
+	Variant(userAgent string) string
+}
+
+// Engine renders pages from the repository's templates.
+type Engine struct {
+	Repo *descriptor.Repository
+	// Tags maps unit kind -> renderer; NewEngine installs the core six,
+	// plug-ins add theirs.
+	Tags map[string]TagRenderer
+	// Fragments, when set, caches rendered unit fragments (ESI-style).
+	Fragments *cache.FragmentCache
+	// Styler, when set, applies presentation rules per request.
+	Styler Styler
+
+	mu     sync.RWMutex
+	parsed map[string]*dom.Node // template name -> parsed tree
+}
+
+// NewEngine returns a renderer with the core tag library installed.
+func NewEngine(repo *descriptor.Repository) *Engine {
+	e := &Engine{
+		Repo:   repo,
+		Tags:   map[string]TagRenderer{},
+		parsed: map[string]*dom.Node{},
+	}
+	e.Tags["data"] = renderDataTag
+	e.Tags["index"] = renderIndexTag
+	e.Tags["multidata"] = renderMultidataTag
+	e.Tags["multichoice"] = renderMultichoiceTag
+	e.Tags["scroller"] = renderScrollerTag
+	e.Tags["entry"] = renderEntryTag
+	return e
+}
+
+// RegisterTag installs the renderer for a (plug-in) unit kind.
+func (e *Engine) RegisterTag(kind string, r TagRenderer) { e.Tags[kind] = r }
+
+// InvalidateTemplate drops a cached parse (after template redeployment).
+func (e *Engine) InvalidateTemplate(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.parsed, name)
+}
+
+// Context is passed to tag renderers.
+type Context struct {
+	Page    *descriptor.Page
+	State   *mvc.PageState
+	Request *mvc.RequestContext
+	engine  *Engine
+}
+
+// Anchors returns the anchors originating at a unit.
+func (rc *Context) Anchors(unitID string) []descriptor.Anchor {
+	var out []descriptor.Anchor
+	for _, a := range rc.Page.Anchors {
+		if a.FromUnit == unitID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AnchorURL builds the href of an anchor applied to one displayed object.
+func (rc *Context) AnchorURL(a descriptor.Anchor, values mvc.Row) string {
+	params := map[string]string{}
+	for _, p := range a.Params {
+		if v, ok := values[p.Source]; ok {
+			params[p.Target] = mvc.FormatParam(v)
+		}
+	}
+	return mvc.ActionURL(a.Action, params)
+}
+
+var _ mvc.Renderer = (*Engine)(nil)
+
+// RenderPage implements mvc.Renderer: parse (or reuse) the page template,
+// optionally restyle it for the requesting device, then substitute every
+// custom tag with its unit's rendition, consulting the fragment cache.
+func (e *Engine) RenderPage(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.RequestContext) ([]byte, error) {
+	tpl, err := e.template(pd.Template)
+	if err != nil {
+		return nil, err
+	}
+	variant := ""
+	if e.Styler != nil {
+		variant = e.Styler.Variant(ctx.UserAgent)
+		styled, err := e.Styler.Apply(tpl, ctx.UserAgent)
+		if err != nil {
+			return nil, err
+		}
+		tpl = styled
+	} else {
+		tpl = tpl.Clone()
+	}
+
+	rc := &Context{Page: pd, State: state, Request: ctx, engine: e}
+	var renderErr error
+	tpl.Walk(func(n *dom.Node) bool {
+		if renderErr != nil {
+			return false
+		}
+		if n.Type != dom.ElementNode || !strings.HasPrefix(n.Tag, "webml:") {
+			return true
+		}
+		unitID, _ := n.Attr("id")
+		bean := state.Beans[unitID]
+		if bean == nil {
+			n.ReplaceWith(dom.NewComment(" unit " + unitID + " not computed "))
+			return false
+		}
+		markup, err := e.renderUnit(rc, pd, bean, variant)
+		if err != nil {
+			renderErr = err
+			return false
+		}
+		n.ReplaceWith(dom.NewRaw(markup))
+		return false
+	})
+	if renderErr != nil {
+		return nil, renderErr
+	}
+	// Landmark navigation menu, injected at the top of the body.
+	if len(pd.Menu) > 0 {
+		if body := tpl.Find(dom.ByTag("body")); body != nil {
+			var nb strings.Builder
+			nb.WriteString(`<nav class="webml-menu">`)
+			for _, item := range pd.Menu {
+				fmt.Fprintf(&nb, `<a href="/%s">%s</a> `,
+					dom.EscapeAttr(item.Action), dom.EscapeText(item.Label))
+			}
+			nb.WriteString(`</nav>`)
+			menu := dom.NewRaw(nb.String())
+			if len(body.Children) > 0 {
+				body.InsertBefore(menu, body.Children[0])
+			} else {
+				body.AppendChild(menu)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if ctx.Error != "" {
+		fmt.Fprintf(&b, `<div class="webml-error">%s</div>`, dom.EscapeText(ctx.Error))
+	}
+	dom.Serialize(&b, tpl)
+	return []byte(b.String()), nil
+}
+
+// renderUnit produces one unit's markup, reusing a cached fragment when
+// the bean content (and style variant) is unchanged. As Section 6
+// explains, this spares "only the computation of markup from query
+// results, not the execution of the data extraction queries" — the bean
+// cache (mvc.CachedBusiness) covers those.
+func (e *Engine) renderUnit(rc *Context, pd *descriptor.Page, bean *mvc.UnitBean, variant string) (string, error) {
+	var key string
+	if e.Fragments != nil {
+		key = pd.ID + "|" + bean.UnitID + "|" + variant + "|" + strconv.FormatUint(bean.Hash(), 16)
+		if cached, ok := e.Fragments.Get(key); ok {
+			return string(cached), nil
+		}
+	}
+	tag, ok := e.Tags[bean.Kind]
+	if !ok {
+		return "", fmt.Errorf("render: no tag renderer for unit kind %q", bean.Kind)
+	}
+	markup := tag(rc, bean)
+	if e.Fragments != nil {
+		// Per-fragment policy (the ESI capability of Section 6): a unit's
+		// conceptual cache TTL also bounds its rendered fragment.
+		if d := e.Repo.Unit(bean.UnitID); d != nil && d.Cache != nil && d.Cache.TTLSeconds > 0 {
+			e.Fragments.PutTTL(key, []byte(markup), time.Duration(d.Cache.TTLSeconds)*time.Second)
+		} else {
+			e.Fragments.Put(key, []byte(markup))
+		}
+	}
+	return markup, nil
+}
+
+// template returns the parsed tree of a template, parsing once.
+func (e *Engine) template(name string) (*dom.Node, error) {
+	e.mu.RLock()
+	tpl, ok := e.parsed[name]
+	e.mu.RUnlock()
+	if ok {
+		return tpl, nil
+	}
+	src, ok := e.Repo.Template(name)
+	if !ok {
+		return nil, fmt.Errorf("render: no template %q", name)
+	}
+	tpl, err := dom.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("render: template %q: %w", name, err)
+	}
+	e.mu.Lock()
+	e.parsed[name] = tpl
+	e.mu.Unlock()
+	return tpl, nil
+}

@@ -1,0 +1,373 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"webmlgo/internal/cache"
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/dom"
+	"webmlgo/internal/mvc"
+)
+
+// pageFixture builds a small page descriptor + state by hand, so the
+// renderer is tested independently of codegen and the database.
+func pageFixture() (*descriptor.Page, *mvc.PageState, *mvc.RequestContext) {
+	pd := &descriptor.Page{
+		ID: "p1", Name: "P1", Template: "p1",
+		Units: []descriptor.UnitRef{{ID: "d1"}, {ID: "i1"}, {ID: "e1"}},
+		Anchors: []descriptor.Anchor{
+			{FromUnit: "i1", Action: "page/p2", Params: []descriptor.EdgeParam{{Source: "oid", Target: "x"}}},
+			{FromUnit: "e1", Action: "page/search", Params: []descriptor.EdgeParam{{Source: "q", Target: "kw"}}},
+		},
+	}
+	state := &mvc.PageState{
+		PageID: "p1",
+		Order:  []string{"d1", "i1", "e1"},
+		Beans: map[string]*mvc.UnitBean{
+			"d1": {UnitID: "d1", Kind: "data", Fields: []string{"oid", "Title"},
+				Nodes: []mvc.Node{{Values: mvc.Row{"oid": int64(1), "Title": "A <b>bold</b> title"}}}},
+			"i1": {UnitID: "i1", Kind: "index", Fields: []string{"oid", "Name"},
+				Nodes: []mvc.Node{
+					{Values: mvc.Row{"oid": int64(10), "Name": "first"}},
+					{Values: mvc.Row{"oid": int64(11), "Name": "second"}},
+				}},
+			"e1": {UnitID: "e1", Kind: "entry",
+				FormFields: []mvc.FormField{{Name: "q", Type: "TEXT", Required: true, Value: `pre"filled`}}},
+		},
+	}
+	ctx := &mvc.RequestContext{Params: map[string]mvc.Value{}}
+	return pd, state, ctx
+}
+
+func engineWith(pd *descriptor.Page, tpl string) *Engine {
+	repo := descriptor.NewRepository()
+	repo.PutPage(pd)
+	repo.PutTemplate(pd.Template, tpl)
+	return NewEngine(repo)
+}
+
+const tplP1 = `<html><body><table class="page-grid">
+<tr><td><webml:dataUnit id="d1"/></td></tr>
+<tr><td><webml:indexUnit id="i1"/></td></tr>
+<tr><td><webml:entryUnit id="e1"/></td></tr>
+</table></body></html>`
+
+func TestRenderPageSubstitutesAllTags(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	e := engineWith(pd, tplP1)
+	out, err := e.RenderPage(pd, state, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(out)
+	if strings.Contains(body, "webml:") {
+		t.Fatalf("custom tags left in output:\n%s", body)
+	}
+	for _, want := range []string{"webml-data", "webml-index", "webml-entry", "page-grid"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDataTagEscapesContent(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	e := engineWith(pd, tplP1)
+	out, _ := e.RenderPage(pd, state, ctx)
+	if strings.Contains(string(out), "<b>bold</b>") {
+		t.Fatal("HTML injection: bean content not escaped")
+	}
+	if !strings.Contains(string(out), "A &lt;b&gt;bold&lt;/b&gt; title") {
+		t.Fatalf("escaped content missing:\n%s", out)
+	}
+}
+
+func TestIndexTagAnchors(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	e := engineWith(pd, tplP1)
+	out, _ := e.RenderPage(pd, state, ctx)
+	if !strings.Contains(string(out), `<a href="/page/p2?x=10">first</a>`) {
+		t.Fatalf("anchor missing:\n%s", out)
+	}
+	if !strings.Contains(string(out), `<a href="/page/p2?x=11">second</a>`) {
+		t.Fatalf("anchor missing:\n%s", out)
+	}
+}
+
+func TestEntryTagRenamesFieldsAndSticksValues(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	e := engineWith(pd, tplP1)
+	out, _ := e.RenderPage(pd, state, ctx)
+	body := string(out)
+	if !strings.Contains(body, `action="/page/search"`) {
+		t.Fatalf("form action missing:\n%s", body)
+	}
+	// Field q renamed to kw by the anchor parameter mapping.
+	if !strings.Contains(body, `name="kw"`) {
+		t.Fatalf("field rename missing:\n%s", body)
+	}
+	if !strings.Contains(body, `value="pre&quot;filled"`) {
+		t.Fatalf("sticky value not escaped/rendered:\n%s", body)
+	}
+}
+
+func TestEntryTagShowsErrors(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	state.Beans["e1"].Errors = map[string]string{"q": "required"}
+	e := engineWith(pd, tplP1)
+	out, _ := e.RenderPage(pd, state, ctx)
+	if !strings.Contains(string(out), `<span class="webml-field-error">required</span>`) {
+		t.Fatalf("error span missing:\n%s", out)
+	}
+}
+
+func TestHierarchicalIndexNestsAndLinksLeaves(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	state.Beans["i1"].LevelFields = [][]string{{"oid", "Child"}}
+	state.Beans["i1"].Nodes = []mvc.Node{
+		{Values: mvc.Row{"oid": int64(1), "Name": "parent"},
+			Children: []mvc.Node{
+				{Values: mvc.Row{"oid": int64(5), "Child": "kid"}},
+			}},
+	}
+	e := engineWith(pd, tplP1)
+	out, _ := e.RenderPage(pd, state, ctx)
+	body := string(out)
+	if !strings.Contains(body, "webml-level-0") || !strings.Contains(body, "webml-level-1") {
+		t.Fatalf("levels missing:\n%s", body)
+	}
+	// The anchor applies to the leaf with the leaf's oid.
+	if !strings.Contains(body, `<a href="/page/p2?x=5">kid</a>`) {
+		t.Fatalf("leaf anchor missing:\n%s", body)
+	}
+	// The parent renders as plain text.
+	if strings.Contains(body, `x=1">parent`) {
+		t.Fatal("anchor applied to non-leaf level")
+	}
+}
+
+func TestMultidataAndMultichoiceTags(t *testing.T) {
+	pd := &descriptor.Page{
+		ID: "p", Template: "p",
+		Units: []descriptor.UnitRef{{ID: "md"}, {ID: "mc"}},
+		Anchors: []descriptor.Anchor{
+			{FromUnit: "mc", Action: "op/connect", Params: []descriptor.EdgeParam{{Source: "oid", Target: "to"}}},
+		},
+	}
+	state := &mvc.PageState{PageID: "p", Beans: map[string]*mvc.UnitBean{
+		"md": {UnitID: "md", Kind: "multidata", Fields: []string{"oid", "T"},
+			Nodes: []mvc.Node{{Values: mvc.Row{"oid": int64(1), "T": "v1"}}}},
+		"mc": {UnitID: "mc", Kind: "multichoice", Fields: []string{"oid", "T"},
+			Nodes: []mvc.Node{{Values: mvc.Row{"oid": int64(2), "T": "v2"}}}},
+	}}
+	e := engineWith(pd, `<html><body><webml:multidataUnit id="md"/><webml:multichoiceUnit id="mc"/></body></html>`)
+	out, err := e.RenderPage(pd, state, &mvc.RequestContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(out)
+	if !strings.Contains(body, "<table><tr><th>T</th>") || !strings.Contains(body, "<td>v1</td>") {
+		t.Fatalf("multidata table missing:\n%s", body)
+	}
+	if !strings.Contains(body, `action="/op/connect"`) ||
+		!strings.Contains(body, `<input type="checkbox" name="to" value="2">`) {
+		t.Fatalf("multichoice form missing:\n%s", body)
+	}
+}
+
+func TestScrollerNavigationPreservesParams(t *testing.T) {
+	pd := &descriptor.Page{ID: "p", Template: "p", Units: []descriptor.UnitRef{{ID: "s"}}}
+	state := &mvc.PageState{PageID: "p", Beans: map[string]*mvc.UnitBean{
+		"s": {UnitID: "s", Kind: "scroller", Fields: []string{"oid", "T"},
+			Total: 25, Offset: 10, PageSize: 10,
+			Nodes: []mvc.Node{{Values: mvc.Row{"oid": int64(1), "T": "x"}}}},
+	}}
+	ctx := &mvc.RequestContext{Params: map[string]mvc.Value{"kw": "web", "offset": int64(10), "_error": "y"}}
+	e := engineWith(pd, `<html><body><webml:scrollerUnit id="s"/></body></html>`)
+	out, err := e.RenderPage(pd, state, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(out)
+	if !strings.Contains(body, `href="/page/p?kw=web&amp;offset=0">prev</a>`) {
+		t.Fatalf("prev missing:\n%s", body)
+	}
+	if !strings.Contains(body, `href="/page/p?kw=web&amp;offset=20">next</a>`) {
+		t.Fatalf("next missing:\n%s", body)
+	}
+	if strings.Contains(body, "_error") {
+		t.Fatal("internal parameter leaked into scroll URLs")
+	}
+	if !strings.Contains(body, "11-11 of 25") {
+		t.Fatalf("window info missing:\n%s", body)
+	}
+}
+
+func TestMissingBeanRendersComment(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	delete(state.Beans, "i1")
+	e := engineWith(pd, tplP1)
+	out, err := e.RenderPage(pd, state, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "<!-- unit i1 not computed -->") {
+		t.Fatalf("missing-bean comment absent:\n%s", out)
+	}
+}
+
+func TestMissingTemplateAndUnknownKindErrors(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	repo := descriptor.NewRepository()
+	repo.PutPage(pd)
+	e := NewEngine(repo)
+	if _, err := e.RenderPage(pd, state, ctx); err == nil {
+		t.Fatal("missing template accepted")
+	}
+	repo.PutTemplate("p1", `<html><webml:weirdUnit id="d1"/></html>`)
+	state.Beans["d1"].Kind = "weird"
+	if _, err := e.RenderPage(pd, state, ctx); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPluginTagRegistration(t *testing.T) {
+	pd := &descriptor.Page{ID: "p", Template: "p", Units: []descriptor.UnitRef{{ID: "f"}}}
+	state := &mvc.PageState{PageID: "p", Beans: map[string]*mvc.UnitBean{
+		"f": {UnitID: "f", Kind: "feed", Props: map[string]string{"url": "http://x"}},
+	}}
+	e := engineWith(pd, `<html><body><webml:feedUnit id="f"/></body></html>`)
+	e.RegisterTag("feed", func(rc *Context, bean *mvc.UnitBean) string {
+		return `<div class="feed">` + dom.EscapeText(bean.Props["url"]) + `</div>`
+	})
+	out, err := e.RenderPage(pd, state, &mvc.RequestContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `<div class="feed">http://x</div>`) {
+		t.Fatalf("plug-in tag not rendered:\n%s", out)
+	}
+}
+
+func TestErrorBannerRendered(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	ctx.Error = "operation failed"
+	e := engineWith(pd, tplP1)
+	out, _ := e.RenderPage(pd, state, ctx)
+	if !strings.HasPrefix(string(out), `<div class="webml-error">operation failed</div>`) {
+		t.Fatalf("error banner missing:\n%s", out)
+	}
+}
+
+func TestFragmentCacheKeyIncludesVariant(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	e := engineWith(pd, tplP1)
+	e.Fragments = cache.NewFragmentCache(0, 0)
+	e.Styler = fakeStyler{}
+	ctx.UserAgent = "desktop"
+	out1, err := e.RenderPage(pd, state, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.UserAgent = "mobile"
+	out2, err := e.RenderPage(pd, state, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out1) == string(out2) {
+		t.Fatal("styler variant ignored")
+	}
+	if e.Fragments.Stats().Hits != 0 {
+		t.Fatal("different variants shared fragments")
+	}
+}
+
+// fakeStyler marks the body with the variant name.
+type fakeStyler struct{}
+
+func (fakeStyler) Variant(ua string) string { return ua }
+
+func (fakeStyler) Apply(tpl *dom.Node, ua string) (*dom.Node, error) {
+	c := tpl.Clone()
+	if body := c.Find(dom.ByTag("body")); body != nil {
+		body.SetAttr("data-device", ua)
+	}
+	return c, nil
+}
+
+func TestTemplateParseCachingAndInvalidation(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	repo := descriptor.NewRepository()
+	repo.PutPage(pd)
+	repo.PutTemplate("p1", tplP1)
+	e := NewEngine(repo)
+	if _, err := e.RenderPage(pd, state, ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the template: without invalidation the old parse is reused.
+	repo.PutTemplate("p1", `<html><body id="v2"><webml:dataUnit id="d1"/></body></html>`)
+	out, _ := e.RenderPage(pd, state, ctx)
+	if strings.Contains(string(out), `id="v2"`) {
+		t.Fatal("template parse cache bypassed")
+	}
+	e.InvalidateTemplate("p1")
+	out, _ = e.RenderPage(pd, state, ctx)
+	if !strings.Contains(string(out), `id="v2"`) {
+		t.Fatal("template invalidation broken")
+	}
+}
+
+func TestLandmarkMenuRendered(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	pd.Menu = []descriptor.MenuItem{
+		{Action: "page/home", Label: "Home"},
+		{Action: "page/catalog", Label: "Catalog & More"},
+	}
+	e := engineWith(pd, tplP1)
+	out, err := e.RenderPage(pd, state, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(out)
+	if !strings.Contains(body, `<nav class="webml-menu">`) {
+		t.Fatalf("menu missing:\n%s", body)
+	}
+	if !strings.Contains(body, `<a href="/page/home">Home</a>`) {
+		t.Fatalf("menu item missing:\n%s", body)
+	}
+	if !strings.Contains(body, "Catalog &amp; More") {
+		t.Fatal("menu label not escaped")
+	}
+	// The menu precedes the page grid.
+	if strings.Index(body, "webml-menu") > strings.Index(body, "page-grid") {
+		t.Fatal("menu not at the top of the body")
+	}
+}
+
+func TestPerUnitFragmentTTLPolicy(t *testing.T) {
+	pd, state, ctx := pageFixture()
+	repo := descriptor.NewRepository()
+	repo.PutPage(pd)
+	repo.PutTemplate("p1", tplP1)
+	// d1 carries a 1-second conceptual TTL; i1 has none.
+	repo.PutUnit(&descriptor.Unit{ID: "d1", Kind: "data",
+		Cache: &descriptor.CachePolicy{Enabled: true, TTLSeconds: 1}})
+	repo.PutUnit(&descriptor.Unit{ID: "i1", Kind: "index"})
+	e := NewEngine(repo)
+	e.Fragments = cache.NewFragmentCache(0, 0)
+	if _, err := e.RenderPage(pd, state, ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Both units cached; the stats show two puts (plus the entry unit).
+	if e.Fragments.Stats().Puts < 2 {
+		t.Fatalf("puts = %d", e.Fragments.Stats().Puts)
+	}
+	// A second render within the TTL hits both fragments.
+	if _, err := e.RenderPage(pd, state, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fragments.Stats().Hits < 2 {
+		t.Fatalf("hits = %d", e.Fragments.Stats().Hits)
+	}
+}

@@ -1,0 +1,869 @@
+package webml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webmlgo/internal/er"
+)
+
+// This file implements the textual WebML notation: a compact,
+// hand-writable equivalent of the XML specification documents, in the
+// spirit of WebML's original textual syntax. ParseDSL and FormatDSL
+// round-trip a complete model. The grammar, by example:
+//
+//	webml "acm-dl"
+//
+//	entity Volume {
+//	  Title: string! unique
+//	  Year: int
+//	}
+//	relationship VolumeToIssue from Volume to Issue one-to-many roles VolumeToIssue/IssueToVolume
+//
+//	siteview public "ACM Digital Library" {
+//	  page volumesPage "Volumes" landmark layout "one-column" {
+//	    index volIndex of Volume show Title, Year order Year desc
+//	  }
+//	  area "Archive" {
+//	    page volumePage "Volume Page" layout "two-column" {
+//	      data volumeData of Volume show Title where oid = $volume cached 60
+//	      index issuesPapers of Issue via VolumeToIssue show Number nest IssueToPaper show Title
+//	      entry enterKeyword { keyword: string! }
+//	    }
+//	  }
+//	}
+//
+//	operation createVolume create Volume set Title = $title, Year = $year
+//	link volIndex -> volumePage (oid -> volume) label "details"
+//	transport volumeData -> issuesPapers (oid -> parent)
+//	ok createVolume -> volumesPage
+//	ko createVolume -> volumesPage
+//
+// Selectors compare an attribute with either a $parameter or a literal
+// (int, float, 'string', true/false). The '!' suffix marks a required
+// attribute or field.
+
+// dslToken kinds.
+type dslTokKind int
+
+const (
+	dtEOF dslTokKind = iota
+	dtIdent
+	dtString
+	dtNumber
+	dtPunct // { } ( ) , : ! = -> $ / < > <= >= <>
+)
+
+type dslToken struct {
+	kind dslTokKind
+	text string
+	line int
+}
+
+type dslLexer struct {
+	src  string
+	pos  int
+	line int
+	toks []dslToken
+}
+
+func dslLex(src string) ([]dslToken, error) {
+	l := &dslLexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isDSLIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isDSLIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(dtIdent, l.src[start:l.pos])
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.emit(dtNumber, l.src[start:l.pos])
+		case c == '"' || c == '\'':
+			q := c
+			l.pos++
+			var b strings.Builder
+			for l.pos < len(l.src) && l.src[l.pos] != q {
+				if l.src[l.pos] == '\n' {
+					return nil, fmt.Errorf("webml: line %d: unterminated string", l.line)
+				}
+				if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+					l.pos++
+				}
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("webml: line %d: unterminated string", l.line)
+			}
+			l.pos++
+			l.emit(dtString, b.String())
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+			l.emit(dtPunct, "->")
+			l.pos += 2
+		case c == '<' || c == '>':
+			tok := string(c)
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '=' || (c == '<' && l.src[l.pos+1] == '>')) {
+				tok += string(l.src[l.pos+1])
+				l.pos++
+			}
+			l.emit(dtPunct, tok)
+			l.pos++
+		case strings.IndexByte("{}(),:!=$/-", c) >= 0:
+			l.emit(dtPunct, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("webml: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(dtEOF, "")
+	return l.toks, nil
+}
+
+func (l *dslLexer) emit(k dslTokKind, text string) {
+	l.toks = append(l.toks, dslToken{kind: k, text: text, line: l.line})
+}
+
+func isDSLIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDSLIdentPart(c byte) bool {
+	return isDSLIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+type dslParser struct {
+	toks []dslToken
+	pos  int
+	b    *Builder
+	m    *Model
+}
+
+func (p *dslParser) cur() dslToken { return p.toks[p.pos] }
+
+func (p *dslParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("webml: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *dslParser) atIdent(word string) bool {
+	t := p.cur()
+	return t.kind == dtIdent && (word == "" || t.text == word)
+}
+
+func (p *dslParser) acceptIdent(word string) bool {
+	if p.atIdent(word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *dslParser) acceptPunct(s string) bool {
+	t := p.cur()
+	if t.kind == dtPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *dslParser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *dslParser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != dtIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *dslParser) expectString() (string, error) {
+	t := p.cur()
+	if t.kind != dtString {
+		return "", p.errf("expected quoted string, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// optionalString returns a string token if present, else def.
+func (p *dslParser) optionalString(def string) string {
+	if p.cur().kind == dtString {
+		s := p.cur().text
+		p.pos++
+		return s
+	}
+	return def
+}
+
+// ParseDSL parses the textual WebML notation into a validated model.
+func ParseDSL(src string) (*Model, error) {
+	toks, err := dslLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &dslParser{toks: toks}
+
+	if !p.acceptIdent("webml") {
+		return nil, p.errf(`document must start with: webml "<name>"`)
+	}
+	name, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	schema := &er.Schema{}
+	p.b = NewBuilder(name, schema)
+
+	for !p.atEOF() {
+		switch {
+		case p.acceptIdent("entity"):
+			if err := p.parseEntity(schema); err != nil {
+				return nil, err
+			}
+		case p.acceptIdent("relationship"):
+			if err := p.parseRelationship(schema); err != nil {
+				return nil, err
+			}
+		case p.acceptIdent("siteview"):
+			if err := p.parseSiteView(); err != nil {
+				return nil, err
+			}
+		case p.acceptIdent("operation"):
+			if err := p.parseOperation(); err != nil {
+				return nil, err
+			}
+		case p.atIdent("link") || p.atIdent("transport") || p.atIdent("automatic") || p.atIdent("ok") || p.atIdent("ko"):
+			if err := p.parseLink(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected a declaration, found %q", p.cur().text)
+		}
+	}
+	return p.b.Build()
+}
+
+func (p *dslParser) atEOF() bool { return p.cur().kind == dtEOF }
+
+func (p *dslParser) parseEntity(schema *er.Schema) error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	e := &er.Entity{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.acceptPunct("}") {
+		attrName, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		typeName, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		typ, err := parseAttrType(typeName)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		a := er.Attribute{Name: attrName, Type: typ}
+		a.Required = p.acceptPunct("!")
+		for {
+			switch {
+			case p.acceptIdent("unique"):
+				a.Unique = true
+			case p.acceptIdent("required"):
+				a.Required = true
+			default:
+				goto attrDone
+			}
+		}
+	attrDone:
+		e.Attributes = append(e.Attributes, a)
+		p.acceptPunct(",")
+	}
+	schema.Entities = append(schema.Entities, e)
+	return nil
+}
+
+var dslKinds = map[string][2]er.Cardinality{
+	"one-to-one":   {er.One, er.One},
+	"one-to-many":  {er.Many, er.One},
+	"many-to-one":  {er.One, er.Many},
+	"many-to-many": {er.Many, er.Many},
+}
+
+func (p *dslParser) parseRelationship(schema *er.Schema) error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if !p.acceptIdent("from") {
+		return p.errf(`expected "from"`)
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if !p.acceptIdent("to") {
+		return p.errf(`expected "to"`)
+	}
+	to, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	// Relationship kinds are hyphenated ("one-to-many"); the lexer splits
+	// on '-', so reassemble here.
+	kindName, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	for p.acceptPunct("-") {
+		part, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		kindName += "-" + part
+	}
+	cards, ok := dslKinds[kindName]
+	if !ok {
+		return p.errf("unknown relationship kind %q (one-to-one, one-to-many, many-to-one, many-to-many)", kindName)
+	}
+	rel := &er.Relationship{
+		Name: name, From: from, To: to,
+		FromCard: cards[0], ToCard: cards[1],
+		FromRole: name, ToRole: name + "Inverse",
+	}
+	if p.acceptIdent("roles") {
+		fr, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("/"); err != nil {
+			return err
+		}
+		tr, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		rel.FromRole, rel.ToRole = fr, tr
+	}
+	schema.Relationships = append(schema.Relationships, rel)
+	return nil
+}
+
+func (p *dslParser) parseSiteView() error {
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	title := p.optionalString(id)
+	svb := p.b.SiteView(id, title)
+	if p.acceptIdent("protected") {
+		svb.Protected()
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.acceptPunct("}") {
+		switch {
+		case p.acceptIdent("page"):
+			if err := p.parsePage(svb, ""); err != nil {
+				return err
+			}
+		case p.acceptIdent("area"):
+			areaName, err := p.expectString()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			for !p.acceptPunct("}") {
+				if !p.acceptIdent("page") {
+					return p.errf("expected page inside area")
+				}
+				if err := p.parsePage(svb, areaName); err != nil {
+					return err
+				}
+			}
+		case p.acceptIdent("home"):
+			pageID, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			svb.Home(pageID)
+		default:
+			return p.errf("expected page, area, or home, found %q", p.cur().text)
+		}
+	}
+	return nil
+}
+
+func (p *dslParser) parsePage(svb *SiteViewBuilder, areaName string) error {
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	title := p.optionalString(id)
+	var pb *PageBuilder
+	if areaName != "" {
+		pb = svb.AreaPage(areaName, id, title)
+	} else {
+		pb = svb.Page(id, title)
+	}
+	for {
+		switch {
+		case p.acceptIdent("landmark"):
+			pb.Landmark()
+		case p.acceptIdent("layout"):
+			layout, err := p.expectString()
+			if err != nil {
+				return err
+			}
+			pb.Layout(layout)
+		default:
+			goto pageBody
+		}
+	}
+pageBody:
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.acceptPunct("}") {
+		if err := p.parseUnit(pb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var dslContentKinds = map[string]UnitKind{
+	"data": DataUnit, "index": IndexUnit, "multidata": MultidataUnit,
+	"multichoice": MultichoiceUnit, "scroller": ScrollerUnit,
+}
+
+func (p *dslParser) parseUnit(pb *PageBuilder) error {
+	kindWord, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if kindWord == "entry" {
+		return p.parseEntry(pb)
+	}
+	if kindWord == "plugin" {
+		return p.parsePlugin(pb)
+	}
+	kind, ok := dslContentKinds[kindWord]
+	if !ok {
+		return p.errf("unknown unit kind %q", kindWord)
+	}
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var u *Unit
+	switch kind {
+	case ScrollerUnit:
+		u = pb.Scroller(id, "", 10)
+	default:
+		u = pb.addUnit(&Unit{ID: id, Kind: kind})
+	}
+	u.Name = p.optionalString("")
+	if !p.acceptIdent("of") {
+		return p.errf(`expected "of <Entity>"`)
+	}
+	if u.Entity, err = p.expectIdent(); err != nil {
+		return err
+	}
+	for {
+		switch {
+		case p.acceptIdent("via"):
+			if u.Relationship, err = p.expectIdent(); err != nil {
+				return err
+			}
+		case p.acceptIdent("show"):
+			if u.Display, err = p.parseIdentList(); err != nil {
+				return err
+			}
+		case p.acceptIdent("where"):
+			cond, err := p.parseCondition()
+			if err != nil {
+				return err
+			}
+			u.Selector = append(u.Selector, cond)
+		case p.acceptIdent("order"):
+			keys, err := p.parseOrderKeys()
+			if err != nil {
+				return err
+			}
+			u.Order = append(u.Order, keys...)
+		case p.acceptIdent("window"):
+			n, err := p.expectNumber()
+			if err != nil {
+				return err
+			}
+			u.PageSize = int(n)
+		case p.acceptIdent("cached"):
+			spec := &CacheSpec{Enabled: true}
+			if p.cur().kind == dtNumber {
+				n, _ := p.expectNumber()
+				spec.TTLSeconds = int(n)
+			}
+			u.Cache = spec
+		case p.acceptIdent("nest"):
+			nest, err := p.parseNesting()
+			if err != nil {
+				return err
+			}
+			// Append at the deepest level.
+			if u.Nest == nil {
+				u.Nest = nest
+			} else {
+				deep := u.Nest
+				for deep.Nest != nil {
+					deep = deep.Nest
+				}
+				deep.Nest = nest
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *dslParser) parseNesting() (*Nesting, error) {
+	rel, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	n := &Nesting{Relationship: rel}
+	for {
+		switch {
+		case p.acceptIdent("show"):
+			if n.Display, err = p.parseIdentList(); err != nil {
+				return nil, err
+			}
+		case p.acceptIdent("order"):
+			keys, err := p.parseOrderKeys()
+			if err != nil {
+				return nil, err
+			}
+			n.Order = append(n.Order, keys...)
+		default:
+			return n, nil
+		}
+	}
+}
+
+func (p *dslParser) parseEntry(pb *PageBuilder) error {
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	title := p.optionalString("")
+	u := pb.Entry(id)
+	u.Name = title
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.acceptPunct("}") {
+		fieldName, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		typeName, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		typ, err := parseAttrType(typeName)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		f := Field{Name: fieldName, Type: typ}
+		f.Required = p.acceptPunct("!")
+		u.Fields = append(u.Fields, f)
+		p.acceptPunct(",")
+	}
+	return nil
+}
+
+func (p *dslParser) parsePlugin(pb *PageBuilder) error {
+	kind, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	props := map[string]string{}
+	if p.acceptPunct("{") {
+		for !p.acceptPunct("}") {
+			k, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			v, err := p.expectString()
+			if err != nil {
+				return err
+			}
+			props[k] = v
+			p.acceptPunct(",")
+		}
+	}
+	pb.Plugin(id, UnitKind(kind), props)
+	return nil
+}
+
+var dslOpKinds = map[string]UnitKind{
+	"create": CreateUnit, "modify": ModifyUnit, "delete": DeleteUnit,
+	"connect": ConnectUnit, "disconnect": DisconnectUnit,
+}
+
+func (p *dslParser) parseOperation() error {
+	id, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	verb, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	kind, ok := dslOpKinds[verb]
+	if !ok {
+		return p.errf("unknown operation kind %q", verb)
+	}
+	target, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var op *Unit
+	switch kind {
+	case ConnectUnit:
+		op = p.b.Connect(id, target)
+	case DisconnectUnit:
+		op = p.b.Disconnect(id, target)
+	default:
+		op = p.b.Operation(id, kind, target)
+	}
+	if p.acceptIdent("set") {
+		op.Set = map[string]string{}
+		for {
+			attr, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			if err := p.expectPunct("$"); err != nil {
+				return err
+			}
+			param, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			op.Set[attr] = param
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (p *dslParser) parseLink() error {
+	kindWord, _ := p.expectIdent()
+	from, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return err
+	}
+	to, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	var params []LinkParam
+	if p.acceptPunct("(") {
+		for !p.acceptPunct(")") {
+			src, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct("->"); err != nil {
+				return err
+			}
+			dst, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			params = append(params, LinkParam{Source: src, Target: dst})
+			p.acceptPunct(",")
+		}
+	}
+	var l *Link
+	switch kindWord {
+	case "link":
+		l = p.b.Link(from, to, params...)
+	case "transport":
+		l = p.b.Transport(from, to, params...)
+	case "automatic":
+		l = p.b.Automatic(from, to, params...)
+	case "ok":
+		l = p.b.OK(from, to, params...)
+	case "ko":
+		l = p.b.KO(from, to, params...)
+	}
+	if p.acceptIdent("label") {
+		label, err := p.expectString()
+		if err != nil {
+			return err
+		}
+		l.Label = label
+	}
+	return nil
+}
+
+func (p *dslParser) parseIdentList() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if !p.acceptPunct(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *dslParser) parseOrderKeys() ([]OrderKey, error) {
+	var out []OrderKey
+	for {
+		attr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		key := OrderKey{Attr: attr}
+		if p.acceptIdent("desc") {
+			key.Desc = true
+		} else {
+			p.acceptIdent("asc")
+		}
+		out = append(out, key)
+		if !p.acceptPunct(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *dslParser) parseCondition() (Condition, error) {
+	var c Condition
+	attr, err := p.expectIdent()
+	if err != nil {
+		return c, err
+	}
+	c.Attr = attr
+	t := p.cur()
+	switch {
+	case t.kind == dtPunct && (t.text == "=" || t.text == "<" || t.text == "<=" || t.text == ">" || t.text == ">=" || t.text == "<>"):
+		c.Op = t.text
+		p.pos++
+	case t.kind == dtIdent && strings.EqualFold(t.text, "like"):
+		c.Op = "LIKE"
+		p.pos++
+	default:
+		return c, p.errf("expected comparison operator, found %q", t.text)
+	}
+	// $param or literal.
+	if p.acceptPunct("$") {
+		param, err := p.expectIdent()
+		if err != nil {
+			return c, err
+		}
+		c.Param = param
+		return c, nil
+	}
+	switch v := p.cur(); v.kind {
+	case dtNumber:
+		p.pos++
+		if strings.Contains(v.text, ".") {
+			f, err := strconv.ParseFloat(v.text, 64)
+			if err != nil {
+				return c, p.errf("bad number %q", v.text)
+			}
+			c.Value = f
+		} else {
+			n, err := strconv.ParseInt(v.text, 10, 64)
+			if err != nil {
+				return c, p.errf("bad number %q", v.text)
+			}
+			c.Value = n
+		}
+	case dtString:
+		p.pos++
+		c.Value = v.text
+	case dtIdent:
+		switch v.text {
+		case "true":
+			p.pos++
+			c.Value = true
+		case "false":
+			p.pos++
+			c.Value = false
+		default:
+			return c, p.errf("expected $param or literal, found %q", v.text)
+		}
+	default:
+		return c, p.errf("expected $param or literal, found %q", v.text)
+	}
+	return c, nil
+}
+
+func (p *dslParser) expectNumber() (int64, error) {
+	t := p.cur()
+	if t.kind != dtNumber {
+		return 0, p.errf("expected number, found %q", t.text)
+	}
+	p.pos++
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", t.text)
+	}
+	return n, nil
+}

@@ -1,0 +1,280 @@
+package webml
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"webmlgo/internal/er"
+)
+
+// FormatDSL renders a model in the textual WebML notation accepted by
+// ParseDSL. FormatDSL(ParseDSL(x)) is stable, and ParseDSL(FormatDSL(m))
+// reproduces m structurally.
+func FormatDSL(m *Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "webml %q\n", m.Name)
+
+	if m.Data != nil {
+		for _, e := range m.Data.Entities {
+			fmt.Fprintf(&b, "\nentity %s {\n", e.Name)
+			for _, a := range e.Attributes {
+				fmt.Fprintf(&b, "  %s: %s", a.Name, dslTypeName(a.Type))
+				if a.Required {
+					b.WriteString("!")
+				}
+				if a.Unique {
+					b.WriteString(" unique")
+				}
+				b.WriteString("\n")
+			}
+			b.WriteString("}\n")
+		}
+		for _, r := range m.Data.Relationships {
+			fmt.Fprintf(&b, "relationship %s from %s to %s %s roles %s/%s\n",
+				r.Name, r.From, r.To, dslKindName(r), r.FromRole, r.ToRole)
+		}
+	}
+
+	for _, sv := range m.SiteViews {
+		fmt.Fprintf(&b, "\nsiteview %s %q", sv.ID, sv.Name)
+		if sv.Protected {
+			b.WriteString(" protected")
+		}
+		b.WriteString(" {\n")
+		for _, p := range sv.Pages {
+			formatPage(&b, p, "  ")
+		}
+		var walkArea func(a *Area, indent string)
+		walkArea = func(a *Area, indent string) {
+			fmt.Fprintf(&b, "%sarea %q {\n", indent, a.Name)
+			for _, p := range a.Pages {
+				formatPage(&b, p, indent+"  ")
+			}
+			for _, sub := range a.Areas {
+				walkArea(sub, indent+"  ")
+			}
+			fmt.Fprintf(&b, "%s}\n", indent)
+		}
+		for _, a := range sv.Areas {
+			walkArea(a, "  ")
+		}
+		if sv.Home != "" {
+			fmt.Fprintf(&b, "  home %s\n", sv.Home)
+		}
+		b.WriteString("}\n")
+	}
+
+	for _, op := range m.Operations {
+		verb := dslOpVerb(op.Kind)
+		target := op.Entity
+		if op.Kind == ConnectUnit || op.Kind == DisconnectUnit {
+			target = op.Relationship
+		}
+		fmt.Fprintf(&b, "operation %s %s %s", op.ID, verb, target)
+		if len(op.Set) > 0 {
+			b.WriteString(" set ")
+			first := true
+			for _, attr := range sortedKeys(op.Set) {
+				if !first {
+					b.WriteString(", ")
+				}
+				first = false
+				fmt.Fprintf(&b, "%s = $%s", attr, op.Set[attr])
+			}
+		}
+		b.WriteString("\n")
+	}
+
+	for _, l := range m.Links {
+		verb := map[LinkKind]string{
+			NormalLink: "link", TransportLink: "transport",
+			AutomaticLink: "automatic", OKLink: "ok", KOLink: "ko",
+		}[l.Kind]
+		fmt.Fprintf(&b, "%s %s -> %s", verb, l.From, l.To)
+		if len(l.Params) > 0 {
+			b.WriteString(" (")
+			for i, pm := range l.Params {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s -> %s", pm.Source, pm.Target)
+			}
+			b.WriteString(")")
+		}
+		if l.Label != "" {
+			fmt.Fprintf(&b, " label %q", l.Label)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatPage(b *strings.Builder, p *Page, indent string) {
+	fmt.Fprintf(b, "%spage %s %q", indent, p.ID, p.Name)
+	if p.Landmark {
+		b.WriteString(" landmark")
+	}
+	if p.Layout != "" {
+		fmt.Fprintf(b, " layout %q", p.Layout)
+	}
+	b.WriteString(" {\n")
+	for _, u := range p.Units {
+		formatUnit(b, u, indent+"  ")
+	}
+	fmt.Fprintf(b, "%s}\n", indent)
+}
+
+func formatUnit(b *strings.Builder, u *Unit, indent string) {
+	if u.Kind == EntryUnit {
+		fmt.Fprintf(b, "%sentry %s", indent, u.ID)
+		if u.Name != "" {
+			fmt.Fprintf(b, " %q", u.Name)
+		}
+		b.WriteString(" {\n")
+		for _, f := range u.Fields {
+			fmt.Fprintf(b, "%s  %s: %s", indent, f.Name, dslTypeName(f.Type))
+			if f.Required {
+				b.WriteString("!")
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+		return
+	}
+	if _, isPlugin := LookupPlugin(u.Kind); isPlugin {
+		fmt.Fprintf(b, "%splugin %s %s", indent, u.Kind, u.ID)
+		if len(u.Props) > 0 {
+			b.WriteString(" { ")
+			first := true
+			for _, k := range sortedKeys(u.Props) {
+				if !first {
+					b.WriteString(", ")
+				}
+				first = false
+				fmt.Fprintf(b, "%s = %q", k, u.Props[k])
+			}
+			b.WriteString(" }")
+		}
+		b.WriteString("\n")
+		return
+	}
+	fmt.Fprintf(b, "%s%s %s", indent, u.Kind, u.ID)
+	if u.Name != "" {
+		fmt.Fprintf(b, " %q", u.Name)
+	}
+	fmt.Fprintf(b, " of %s", u.Entity)
+	if u.Relationship != "" {
+		fmt.Fprintf(b, " via %s", u.Relationship)
+	}
+	if len(u.Display) > 0 {
+		fmt.Fprintf(b, " show %s", strings.Join(u.Display, ", "))
+	}
+	for _, c := range u.Selector {
+		fmt.Fprintf(b, " where %s %s %s", c.Attr, dslOpName(c.Op), dslCondValue(c))
+	}
+	if len(u.Order) > 0 {
+		b.WriteString(" order ")
+		for i, o := range u.Order {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Attr)
+			if o.Desc {
+				b.WriteString(" desc")
+			}
+		}
+	}
+	if u.Kind == ScrollerUnit && u.PageSize > 0 {
+		fmt.Fprintf(b, " window %d", u.PageSize)
+	}
+	if u.Cache != nil && u.Cache.Enabled {
+		b.WriteString(" cached")
+		if u.Cache.TTLSeconds > 0 {
+			fmt.Fprintf(b, " %d", u.Cache.TTLSeconds)
+		}
+	}
+	for n := u.Nest; n != nil; n = n.Nest {
+		fmt.Fprintf(b, " nest %s", n.Relationship)
+		if len(n.Display) > 0 {
+			fmt.Fprintf(b, " show %s", strings.Join(n.Display, ", "))
+		}
+		if len(n.Order) > 0 {
+			b.WriteString(" order ")
+			for i, o := range n.Order {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(o.Attr)
+				if o.Desc {
+					b.WriteString(" desc")
+				}
+			}
+		}
+	}
+	b.WriteString("\n")
+}
+
+func dslTypeName(t er.AttrType) string { return attrTypeName(t) }
+
+func dslKindName(r *er.Relationship) string {
+	switch r.Kind() {
+	case er.OneToOne:
+		return "one-to-one"
+	case er.OneToMany:
+		return "one-to-many"
+	case er.ManyToOne:
+		return "many-to-one"
+	default:
+		return "many-to-many"
+	}
+}
+
+func dslOpVerb(k UnitKind) string {
+	switch k {
+	case CreateUnit:
+		return "create"
+	case ModifyUnit:
+		return "modify"
+	case DeleteUnit:
+		return "delete"
+	case ConnectUnit:
+		return "connect"
+	case DisconnectUnit:
+		return "disconnect"
+	}
+	return string(k)
+}
+
+func dslOpName(op string) string {
+	if strings.EqualFold(op, "like") {
+		return "like"
+	}
+	if op == "" {
+		return "="
+	}
+	return op
+}
+
+func dslCondValue(c Condition) string {
+	if c.Param != "" {
+		return "$" + c.Param
+	}
+	switch v := c.Value.(type) {
+	case nil:
+		return "''"
+	case string:
+		return fmt.Sprintf("%q", v)
+	case int64:
+		return fmt.Sprintf("%d", v)
+	case int:
+		return fmt.Sprintf("%d", v)
+	case float64:
+		return fmt.Sprintf("%g", v)
+	case bool:
+		return fmt.Sprintf("%t", v)
+	case time.Time:
+		return fmt.Sprintf("%q", v.Format(time.RFC3339))
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%v", c.Value))
+}

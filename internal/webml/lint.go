@@ -1,0 +1,192 @@
+package webml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lint reports design smells that Validate deliberately accepts: the
+// model is implementable, but a designer probably wants to know. This is
+// the advisory layer of a CASE environment — the graphical editor's
+// warning pane, as text.
+//
+// Checks:
+//   - pages unreachable from their site view's home page by navigation
+//     (landmark pages are reachable by definition: they sit in the menu);
+//   - entry units with no outgoing link (a form nobody submits);
+//   - content units with a parameterized selector whose parameter is
+//     never supplied by any link or intra-page edge (they always render
+//     empty unless the raw URL is typed by hand);
+//   - content units that display nothing beyond the OID;
+//   - normal links carrying no parameters into a page whose units all
+//     need parameters.
+func Lint(m *Model) []string {
+	m.buildIndex()
+	var warnings []string
+	warnf := func(format string, args ...interface{}) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+
+	// Reachability per site view.
+	for _, sv := range m.SiteViews {
+		reached := map[string]bool{}
+		var stack []string
+		push := func(pageID string) {
+			if pageID != "" && !reached[pageID] {
+				reached[pageID] = true
+				stack = append(stack, pageID)
+			}
+		}
+		push(sv.Home)
+		for _, p := range sv.AllPages() {
+			if p.Landmark {
+				push(p.ID)
+			}
+		}
+		for len(stack) > 0 {
+			pageID := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			p := m.PageByID(pageID)
+			if p == nil {
+				continue
+			}
+			// Follow links out of the page and its units, including
+			// through operation OK/KO continuations.
+			var frontier []string
+			frontier = append(frontier, pageID)
+			for _, u := range p.Units {
+				frontier = append(frontier, u.ID)
+			}
+			seenOps := map[string]bool{}
+			for len(frontier) > 0 {
+				from := frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				for _, l := range m.LinksFrom(from) {
+					switch t := m.Lookup(l.To).(type) {
+					case *Page:
+						push(t.ID)
+					case *Unit:
+						if t.Kind.IsOperation() {
+							if !seenOps[t.ID] {
+								seenOps[t.ID] = true
+								frontier = append(frontier, t.ID)
+							}
+						} else if t.Page() != nil {
+							push(t.Page().ID)
+						}
+					}
+				}
+			}
+		}
+		for _, p := range sv.AllPages() {
+			if !reached[p.ID] {
+				warnf("page %q is unreachable from site view %q (no navigation path from the home page or a landmark)", p.ID, sv.ID)
+			}
+		}
+	}
+
+	for _, p := range m.AllPages() {
+		incomingParams := pageIncomingParams(m, p)
+		edgesInto := map[string]map[string]bool{}
+		inPage := map[string]bool{}
+		for _, u := range p.Units {
+			inPage[u.ID] = true
+		}
+		for _, l := range m.Links {
+			if (l.Kind == TransportLink || l.Kind == AutomaticLink) && inPage[l.From] && inPage[l.To] {
+				set := edgesInto[l.To]
+				if set == nil {
+					set = map[string]bool{}
+					edgesInto[l.To] = set
+				}
+				for _, pm := range l.Params {
+					set[pm.Target] = true
+				}
+			}
+		}
+		for _, u := range p.Units {
+			if u.Kind == EntryUnit && len(m.LinksFrom(u.ID)) == 0 {
+				warnf("entry unit %q has no outgoing link: the form submits nowhere", u.ID)
+			}
+			if u.Kind.IsContent() && u.Kind != EntryUnit {
+				if _, plugin := LookupPlugin(u.Kind); !plugin {
+					onlyOID := true
+					for _, a := range u.Display {
+						if !strings.EqualFold(a, "oid") {
+							onlyOID = false
+							break
+						}
+					}
+					if len(u.Display) == 0 || onlyOID {
+						warnf("unit %q displays no attributes", u.ID)
+					}
+				}
+			}
+			for _, c := range u.Selector {
+				if c.Param == "" {
+					continue
+				}
+				if edgesInto[u.ID][c.Param] || incomingParams[c.Param] {
+					continue
+				}
+				warnf("unit %q selector parameter %q is never supplied by a link or edge", u.ID, c.Param)
+			}
+			if u.Relationship != "" && u.Kind.IsContent() {
+				if !edgesInto[u.ID]["parent"] && !incomingParams["parent"] {
+					warnf("unit %q is relationship-scoped but its %q input is never supplied", u.ID, "parent")
+				}
+			}
+		}
+	}
+
+	sort.Strings(warnings)
+	return warnings
+}
+
+// pageIncomingParams collects the parameter names any inbound link makes
+// available to the page's units.
+func pageIncomingParams(m *Model, p *Page) map[string]bool {
+	out := map[string]bool{}
+	targets := map[string]bool{p.ID: true}
+	for _, u := range p.Units {
+		targets[u.ID] = true
+	}
+	for _, l := range m.Links {
+		if !targets[l.To] {
+			continue
+		}
+		// Intra-page transports are edges, not page entries.
+		if l.Kind == TransportLink || l.Kind == AutomaticLink {
+			if fromUnit := m.UnitByID(l.From); fromUnit != nil && fromUnit.Page() == p {
+				continue
+			}
+		}
+		for _, pm := range l.Params {
+			out[pm.Target] = true
+		}
+	}
+	// Operation OK/KO continuations landing on this page forward their
+	// parameters too (pass-through or explicit).
+	for _, op := range m.Operations {
+		for _, l := range m.LinksFrom(op.ID) {
+			if l.To != p.ID {
+				continue
+			}
+			if len(l.Params) == 0 {
+				// Pass-through forwarding: anything the operation had.
+				for _, in := range m.LinksTo(op.ID) {
+					for _, pm := range in.Params {
+						out[pm.Target] = true
+					}
+				}
+				out["oid"] = true
+				continue
+			}
+			for _, pm := range l.Params {
+				out[pm.Target] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package webml
+
+import (
+	"strings"
+	"testing"
+
+	"webmlgo/internal/er"
+)
+
+func lintOf(t *testing.T, b *Builder) []string {
+	t.Helper()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Lint(m)
+}
+
+func hasWarning(warnings []string, sub string) bool {
+	for _, w := range warnings {
+		if strings.Contains(w, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanModel(t *testing.T) {
+	m := figure1Builder().MustBuild()
+	warnings := Lint(m)
+	// The Figure 1 model has two reachability warnings at most: the
+	// volumes page is the home, everything else is linked. Check none of
+	// the structural smells fire.
+	for _, w := range warnings {
+		if strings.Contains(w, "submits nowhere") ||
+			strings.Contains(w, "displays no attributes") {
+			t.Fatalf("unexpected warning: %s", w)
+		}
+	}
+}
+
+func TestLintUnreachablePage(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	home := sv.Page("home", "Home")
+	home.Index("i", "Volume", "Title")
+	orphan := sv.Page("orphan", "Orphan")
+	orphan.Index("oi", "Volume", "Title")
+	warnings := lintOf(t, b)
+	if !hasWarning(warnings, `page "orphan" is unreachable`) {
+		t.Fatalf("warnings = %v", warnings)
+	}
+	if hasWarning(warnings, `page "home" is unreachable`) {
+		t.Fatal("home flagged unreachable")
+	}
+}
+
+func TestLintLandmarkCountsAsReachable(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	sv.Page("home", "Home").Index("i", "Volume", "Title")
+	lm := sv.Page("mark", "Landmark").Landmark()
+	lm.Index("li", "Volume", "Title")
+	if hasWarning(lintOf(t, b), `page "mark"`) {
+		t.Fatal("landmark flagged unreachable")
+	}
+}
+
+func TestLintReachabilityThroughOperations(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	home := sv.Page("home", "Home")
+	form := home.Entry("f", Field{Name: "t", Type: er.String})
+	after := sv.Page("after", "After Create")
+	after.Index("ai", "Volume", "Title")
+	op := b.Operation("mk", CreateUnit, "Volume")
+	op.Set = map[string]string{"Title": "t"}
+	b.Link(form.ID, op.ID, P("t", "t"))
+	b.OK(op.ID, after.Ref())
+	if hasWarning(lintOf(t, b), `page "after"`) {
+		t.Fatal("OK-link target flagged unreachable")
+	}
+}
+
+func TestLintDeadEntryForm(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	p := sv.Page("home", "Home")
+	p.Entry("deadForm", Field{Name: "q", Type: er.String})
+	if !hasWarning(lintOf(t, b), `entry unit "deadForm"`) {
+		t.Fatal("dead form not flagged")
+	}
+}
+
+func TestLintUnboundSelectorParam(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	p := sv.Page("home", "Home")
+	d := p.Data("d", "Volume", "Title")
+	d.Selector = []Condition{{Attr: "oid", Op: "=", Param: "ghost"}}
+	if !hasWarning(lintOf(t, b), `parameter "ghost" is never supplied`) {
+		t.Fatal("unbound parameter not flagged")
+	}
+	// Supplying it through a link silences the warning.
+	b2 := NewBuilder("m", acmSchema())
+	sv2 := b2.SiteView("sv", "SV")
+	list := sv2.Page("list", "List")
+	idx := list.Index("i", "Volume", "Title")
+	detail := sv2.Page("detail", "Detail")
+	d2 := detail.Data("d", "Volume", "Title")
+	d2.Selector = []Condition{{Attr: "oid", Op: "=", Param: "v"}}
+	b2.Link(idx.ID, detail.Ref(), P("oid", "v"))
+	if hasWarning(lintOf(t, b2), `parameter "v" is never supplied`) {
+		t.Fatal("bound parameter flagged")
+	}
+}
+
+func TestLintRelationshipParentUnbound(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	p := sv.Page("home", "Home")
+	rel := p.Index("rel", "Issue", "Number")
+	rel.Relationship = "VolumeToIssue"
+	if !hasWarning(lintOf(t, b), `unit "rel" is relationship-scoped`) {
+		t.Fatal("unbound parent not flagged")
+	}
+	// A transport edge supplying "parent" silences it.
+	b2 := NewBuilder("m", acmSchema())
+	sv2 := b2.SiteView("sv", "SV")
+	p2 := sv2.Page("home", "Home")
+	d := p2.Data("d", "Volume", "Title")
+	rel2 := p2.Index("rel", "Issue", "Number")
+	rel2.Relationship = "VolumeToIssue"
+	b2.Transport(d.ID, rel2.ID, P("oid", "parent"))
+	if hasWarning(lintOf(t, b2), `unit "rel" is relationship-scoped`) {
+		t.Fatal("edge-supplied parent flagged")
+	}
+}
+
+func TestLintDisplaysNothing(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	p := sv.Page("home", "Home")
+	p.Index("bare", "Volume") // no display attributes
+	if !hasWarning(lintOf(t, b), `unit "bare" displays no attributes`) {
+		t.Fatal("bare unit not flagged")
+	}
+}
+
+func TestLintWorkloadModelIsMostlyClean(t *testing.T) {
+	// The synthetic generator should produce models without structural
+	// smells other than browse-page reachability (clusters link browse ->
+	// detail; manage pages are entered directly).
+	m := figure1Builder().MustBuild()
+	warnings := Lint(m)
+	for _, w := range warnings {
+		t.Logf("lint: %s", w)
+	}
+}
+
+func TestDeriveDefaultHypertext(t *testing.T) {
+	m, err := DeriveDefaultHypertext("derived", acmSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	// 3 entities -> 3 browse + 3 detail pages.
+	if st.Pages != 6 {
+		t.Fatalf("pages = %d", st.Pages)
+	}
+	// Every browse page is a landmark, so reachability lint is clean.
+	for _, w := range Lint(m) {
+		if strings.Contains(w, "unreachable") {
+			t.Fatalf("derived hypertext has unreachable page: %s", w)
+		}
+	}
+	// Volume detail carries a relationship index over VolumeToIssue fed
+	// by a transport link, and its entries link to the issue detail page.
+	relIdx := m.UnitByID("relVolumeVolumetoissue")
+	if relIdx == nil {
+		// ident() lowercases then title-cases; compute the expected ID.
+		t.Fatalf("relationship index missing; units: %v", unitIDs(m))
+	}
+	if relIdx.Relationship != "VolumeToIssue" || relIdx.Entity != "Issue" {
+		t.Fatalf("relIdx = %+v", relIdx)
+	}
+	found := false
+	for _, l := range m.LinksFrom(relIdx.ID) {
+		if l.Kind == NormalLink && l.To == "detailIssue" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("related instances do not link to their detail page")
+	}
+}
+
+func unitIDs(m *Model) []string {
+	var out []string
+	for _, u := range m.AllContentUnits() {
+		out = append(out, u.ID)
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package webml
+
+import (
+	"strings"
+	"testing"
+
+	"webmlgo/internal/er"
+)
+
+func acmSchema() *er.Schema {
+	return &er.Schema{
+		Entities: []*er.Entity{
+			{Name: "Volume", Attributes: []er.Attribute{
+				{Name: "Title", Type: er.String, Required: true},
+				{Name: "Year", Type: er.Int},
+			}},
+			{Name: "Issue", Attributes: []er.Attribute{{Name: "Number", Type: er.Int}}},
+			{Name: "Paper", Attributes: []er.Attribute{
+				{Name: "Title", Type: er.String},
+				{Name: "Abstract", Type: er.String},
+			}},
+		},
+		Relationships: []*er.Relationship{
+			{Name: "VolumeToIssue", From: "Volume", To: "Issue",
+				FromRole: "VolumeToIssue", ToRole: "IssueToVolume", FromCard: er.Many, ToCard: er.One},
+			{Name: "IssueToPaper", From: "Issue", To: "Paper",
+				FromRole: "IssueToPaper", ToRole: "PaperToIssue", FromCard: er.Many, ToCard: er.One},
+		},
+	}
+}
+
+// figure1Builder reconstructs the WebML model of Figure 1: the ACM DL
+// volume page with a data unit, a hierarchical index, and an entry unit.
+func figure1Builder() *Builder {
+	b := NewBuilder("acm-dl", acmSchema())
+	sv := b.SiteView("public", "ACM Digital Library")
+
+	volumes := sv.Page("volumesPage", "Volumes")
+	volIndex := volumes.Index("volIndex", "Volume", "Title", "Year")
+
+	volume := sv.Page("volumePage", "Volume Page")
+	volData := volume.Data("volumeData", "Volume", "Title", "Year")
+	issuesPapers := volume.Index("issuesPapers", "Issue", "Number")
+	issuesPapers.Nest = &Nesting{Relationship: "IssueToPaper", Display: []string{"Title"}}
+	keyword := volume.Entry("enterKeyword", Field{Name: "keyword", Type: er.String, Required: true})
+
+	paper := sv.Page("paperPage", "Paper Details")
+	paperData := paper.Data("paperData", "Paper", "Title", "Abstract")
+
+	search := sv.Page("searchResults", "Search Results")
+	results := search.Index("searchIndex", "Paper", "Title")
+	results.Selector = []Condition{{Attr: "Title", Op: "LIKE", Param: "kw"}}
+
+	b.Link(volIndex.ID, volume.Ref(), P("oid", "volume"))
+	volData.Selector = []Condition{{Attr: "oid", Op: "=", Param: "volume"}}
+	b.Transport(volData.ID, issuesPapers.ID, P("oid", "volume"))
+	issuesPapers.Selector = []Condition{{Attr: "oid", Op: ">", Value: int64(0)}}
+	b.Link(issuesPapers.ID, paper.Ref(), P("oid", "paper"))
+	paperData.Selector = []Condition{{Attr: "oid", Op: "=", Param: "paper"}}
+	b.Link(keyword.ID, search.Ref(), P("keyword", "kw"))
+	b.Link(results.ID, paper.Ref(), P("oid", "paper"))
+	return b
+}
+
+func TestFigure1ModelValidates(t *testing.T) {
+	m, err := figure1Builder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.SiteViews != 1 || st.Pages != 4 || st.Units != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLookupAndBackPointers(t *testing.T) {
+	m := figure1Builder().MustBuild()
+	u := m.UnitByID("volumeData")
+	if u == nil || u.Page().ID != "volumePage" {
+		t.Fatalf("unit lookup/back-pointer broken: %+v", u)
+	}
+	p := m.PageByID("volumePage")
+	if p == nil || p.SiteView().ID != "public" {
+		t.Fatalf("page lookup/back-pointer broken")
+	}
+}
+
+func TestLinksFromTo(t *testing.T) {
+	m := figure1Builder().MustBuild()
+	if n := len(m.LinksFrom("issuesPapers")); n != 1 {
+		t.Fatalf("links from index = %d", n)
+	}
+	if n := len(m.LinksTo("paperPage")); n != 2 {
+		t.Fatalf("links to paper page = %d", n)
+	}
+}
+
+func TestUnitKindsUsed(t *testing.T) {
+	m := figure1Builder().MustBuild()
+	kinds := m.UnitKindsUsed()
+	want := map[UnitKind]bool{DataUnit: true, IndexUnit: true, EntryUnit: true}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Fatalf("unexpected kind %q", k)
+		}
+	}
+}
+
+func TestOperationsWithOKKO(t *testing.T) {
+	b := figure1Builder()
+	sv := b.SiteView("admin", "Admin").Protected()
+	edit := sv.Page("editVolume", "Edit Volume")
+	form := edit.Entry("volForm",
+		Field{Name: "title", Type: er.String, Required: true},
+		Field{Name: "year", Type: er.Int})
+	create := b.Operation("createVolume", CreateUnit, "Volume")
+	create.Set = map[string]string{"Title": "title", "Year": "year"}
+	b.Link(form.ID, create.ID, P("title", "title"), P("year", "year"))
+	b.OK(create.ID, edit.Ref())
+	b.KO(create.ID, edit.Ref())
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Operations != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestValidationFailures(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+		want  string
+	}{
+		{"unknown entity", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			b.SiteView("sv", "SV").Page("p", "P").Data("d", "Nowhere", "Title")
+			return b
+		}, "unknown entity"},
+		{"unknown display attr", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			b.SiteView("sv", "SV").Page("p", "P").Data("d", "Volume", "Nope")
+			return b
+		}, "unknown attribute"},
+		{"empty page", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			b.SiteView("sv", "SV").Page("p", "P")
+			return b
+		}, "no units"},
+		{"no site views", func() *Builder {
+			return NewBuilder("m", acmSchema())
+		}, "no site views"},
+		{"duplicate ids", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			sv := b.SiteView("sv", "SV")
+			p := sv.Page("p", "P")
+			p.Data("dup", "Volume", "Title")
+			p.Data("dup", "Volume", "Title")
+			return b
+		}, "duplicate ID"},
+		{"scroller page size", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			b.SiteView("sv", "SV").Page("p", "P").Scroller("s", "Volume", 0, "Title")
+			return b
+		}, "PageSize"},
+		{"entry without fields", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			b.SiteView("sv", "SV").Page("p", "P").Entry("e")
+			return b
+		}, "no fields"},
+		{"bad home", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			sv := b.SiteView("sv", "SV")
+			sv.Page("p", "P").Data("d", "Volume", "Title")
+			sv.Home("ghost")
+			return b
+		}, "home page"},
+		{"operation in page", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			pb.addUnit(&Unit{ID: "bad", Kind: CreateUnit, Entity: "Volume"})
+			return b
+		}, "operation unit"},
+		{"operation without OK", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			e := pb.Entry("e", Field{Name: "t", Type: er.String})
+			op := b.Operation("op", CreateUnit, "Volume")
+			b.Link(e.ID, op.ID)
+			return b
+		}, "exactly one OK link"},
+		{"unreachable operation", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			pb.Data("d", "Volume", "Title")
+			op := b.Operation("op", DeleteUnit, "Volume")
+			b.OK(op.ID, "p")
+			return b
+		}, "unreachable"},
+		{"transport across pages", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			sv := b.SiteView("sv", "SV")
+			d1 := sv.Page("p1", "P1").Data("d1", "Volume", "Title")
+			d2 := sv.Page("p2", "P2").Data("d2", "Volume", "Title")
+			b.Transport(d1.ID, d2.ID, P("oid", "volume"))
+			return b
+		}, "crosses pages"},
+		{"transport cycle", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			d1 := pb.Data("d1", "Volume", "Title")
+			d2 := pb.Data("d2", "Volume", "Title")
+			b.Transport(d1.ID, d2.ID, P("oid", "x"))
+			b.Transport(d2.ID, d1.ID, P("oid", "y"))
+			return b
+		}, "cycle"},
+		{"dangling link", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			d := pb.Data("d", "Volume", "Title")
+			b.Link(d.ID, "ghost")
+			return b
+		}, "unknown destination"},
+		{"bad link param source", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			sv := b.SiteView("sv", "SV")
+			d := sv.Page("p1", "P1").Data("d", "Volume", "Title")
+			p2 := sv.Page("p2", "P2")
+			p2.Data("d2", "Volume", "Title")
+			b.Link(d.ID, "p2", P("nope", "x"))
+			return b
+		}, "not an attribute"},
+		{"bad selector attr", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			d := pb.Data("d", "Volume", "Title")
+			d.Selector = []Condition{{Attr: "ghost", Op: "="}}
+			return b
+		}, "selector references unknown attribute"},
+		{"bad selector op", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			d := pb.Data("d", "Volume", "Title")
+			d.Selector = []Condition{{Attr: "Title", Op: "~="}}
+			return b
+		}, "unsupported operator"},
+		{"bad nesting relationship", func() *Builder {
+			b := NewBuilder("m", acmSchema())
+			pb := b.SiteView("sv", "SV").Page("p", "P")
+			idx := pb.Index("i", "Volume", "Title")
+			idx.Nest = &Nesting{Relationship: "IssueToPaper", Display: []string{"Title"}}
+			return b
+		}, "does not involve entity"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.build().Build()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPluginRegistration(t *testing.T) {
+	defer UnregisterPlugin("rss")
+	if err := RegisterPlugin(PluginSpec{Kind: "rss", RequiredProps: []string{"feed"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterPlugin(PluginSpec{Kind: "rss"}); err == nil {
+		t.Fatal("duplicate plug-in accepted")
+	}
+	if err := RegisterPlugin(PluginSpec{Kind: DataUnit}); err == nil {
+		t.Fatal("core-kind collision accepted")
+	}
+	if err := RegisterPlugin(PluginSpec{Kind: ""}); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+
+	// Plug-in unit with its required prop validates; without it fails.
+	b := NewBuilder("m", acmSchema())
+	b.SiteView("sv", "SV").Page("p", "P").Plugin("r", "rss", map[string]string{"feed": "http://x"})
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("plug-in unit rejected: %v", err)
+	}
+	b2 := NewBuilder("m", acmSchema())
+	b2.SiteView("sv", "SV").Page("p", "P").Plugin("r", "rss", nil)
+	if _, err := b2.Build(); err == nil || !strings.Contains(err.Error(), "missing required prop") {
+		t.Fatalf("err = %v", err)
+	}
+	if !UnitKind("rss").IsContent() || UnitKind("rss").IsOperation() {
+		t.Fatal("plug-in content classification wrong")
+	}
+}
+
+func TestPluginOperation(t *testing.T) {
+	defer UnregisterPlugin("sendmail")
+	if err := RegisterPlugin(PluginSpec{Kind: "sendmail", Operation: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !UnitKind("sendmail").IsOperation() {
+		t.Fatal("plug-in operation classification wrong")
+	}
+	b := figure1Builder()
+	mail := b.Operation("mailer", "sendmail", "")
+	b.Link("enterKeyword", mail.ID, P("keyword", "subject"))
+	b.OK(mail.ID, "volumePage")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreasAndLandmarks(t *testing.T) {
+	b := NewBuilder("m", acmSchema())
+	sv := b.SiteView("sv", "SV")
+	p1 := sv.AreaPage("Products", "pp1", "Catalog")
+	p1.Landmark().Layout("two-column")
+	p1.Index("i1", "Volume", "Title")
+	p2 := sv.AreaPage("Products", "pp2", "Detail")
+	p2.Data("d1", "Volume", "Title")
+	sv.AreaPage("News", "np1", "News").Multidata("m1", "Volume", "Title")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.View().Areas) != 2 {
+		t.Fatalf("areas = %d", len(sv.View().Areas))
+	}
+	if got := len(m.AllPages()); got != 3 {
+		t.Fatalf("pages = %d", got)
+	}
+	if !m.PageByID("pp1").Landmark || m.PageByID("pp1").Layout != "two-column" {
+		t.Fatal("landmark/layout lost")
+	}
+	if m.PageByID("pp2").Area().Name != "Products" {
+		t.Fatal("area back-pointer lost")
+	}
+}
+
+func TestLinkKindStrings(t *testing.T) {
+	want := map[LinkKind]string{NormalLink: "normal", TransportLink: "transport",
+		AutomaticLink: "automatic", OKLink: "ok", KOLink: "ko"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%v.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestMultichoiceAndConnect(t *testing.T) {
+	schema := acmSchema()
+	schema.Relationships = append(schema.Relationships, &er.Relationship{
+		Name: "PaperAuthors", From: "Paper", To: "Volume", // contrived n:m for the test
+		FromRole: "pa", ToRole: "ap", FromCard: er.Many, ToCard: er.Many,
+	})
+	b := NewBuilder("m", schema)
+	sv := b.SiteView("sv", "SV")
+	pb := sv.Page("p", "P")
+	mc := pb.Multichoice("mc", "Volume", "Title")
+	conn := b.Connect("conn", "PaperAuthors")
+	b.Link(mc.ID, conn.ID, P("oid", "to"))
+	b.OK(conn.ID, "p")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Connect over unknown relationship fails.
+	b2 := NewBuilder("m", acmSchema())
+	pb2 := b2.SiteView("sv", "SV").Page("p", "P")
+	mc2 := pb2.Multichoice("mc", "Volume", "Title")
+	conn2 := b2.Connect("conn", "Ghost")
+	b2.Link(mc2.ID, conn2.ID)
+	b2.OK(conn2.ID, "p")
+	if _, err := b2.Build(); err == nil || !strings.Contains(err.Error(), "unknown relationship") {
+		t.Fatalf("err = %v", err)
+	}
+}

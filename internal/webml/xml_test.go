@@ -1,0 +1,167 @@
+package webml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelXMLRoundTrip(t *testing.T) {
+	orig := figure1Builder().MustBuild()
+	data, err := MarshalModel(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `<webml name="acm-dl">`) {
+		t.Fatalf("document malformed:\n%s", data)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural equivalence.
+	as, bs := orig.Stats(), back.Stats()
+	if as != bs {
+		t.Fatalf("stats differ: %+v vs %+v", as, bs)
+	}
+	// Deep checks on a representative unit.
+	u := back.UnitByID("issuesPapers")
+	if u == nil {
+		t.Fatal("unit lost")
+	}
+	if u.Kind != IndexUnit || u.Entity != "Issue" {
+		t.Fatalf("unit = %+v", u)
+	}
+	if u.Nest == nil || u.Nest.Relationship != "IssueToPaper" || u.Nest.Display[0] != "Title" {
+		t.Fatalf("nesting lost: %+v", u.Nest)
+	}
+	if u.Selector[0].Op != ">" || u.Selector[0].Value != int64(0) {
+		t.Fatalf("typed literal lost: %+v", u.Selector[0])
+	}
+	// Schema round trip.
+	rel := back.Data.Relationship("VolumeToIssue")
+	if rel == nil || rel.FromCard != 1 && rel.FromCard != rel.FromCard {
+		t.Fatal("relationship lost")
+	}
+	// Links round trip with kinds and params.
+	found := false
+	for _, l := range back.Links {
+		if l.Kind == TransportLink && l.From == "volumeData" {
+			found = true
+			if l.Params[0].Source != "oid" || l.Params[0].Target != "volume" {
+				t.Fatalf("link params lost: %+v", l.Params)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("transport link lost")
+	}
+	// Marshal again: byte-for-byte stable (deterministic field order).
+	data2, err := MarshalModel(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("marshal not deterministic")
+	}
+}
+
+func TestModelXMLWithOperationsAndAreas(t *testing.T) {
+	b := figure1Builder()
+	sv := b.SiteView("admin", "Admin").Protected()
+	page := sv.AreaPage("Ops", "opsPage", "Ops Page")
+	form := page.Entry("opForm", Field{Name: "title", Type: 0, Required: true})
+	create := b.Operation("mkVol", CreateUnit, "Volume")
+	create.Set = map[string]string{"Title": "title"}
+	create.Cache = nil
+	b.Link(form.ID, create.ID, P("title", "title"))
+	b.OK(create.ID, "opsPage")
+	b.KO(create.ID, "opsPage")
+	orig := b.MustBuild()
+
+	data, err := MarshalModel(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != orig.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", back.Stats(), orig.Stats())
+	}
+	op := back.UnitByID("mkVol")
+	if op == nil || op.Set["Title"] != "title" {
+		t.Fatalf("operation lost: %+v", op)
+	}
+	p := back.PageByID("opsPage")
+	if p == nil || p.Area() == nil || p.Area().Name != "Ops" {
+		t.Fatal("area structure lost")
+	}
+	if !back.SiteViews[1].Protected {
+		t.Fatal("protected flag lost")
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", "not xml"},
+		{"bad card", `<webml name="x"><data>
+			<entity name="E"><attribute name="A" type="string"/></entity>
+			<relationship name="R" from="E" to="E" fromRole="a" toRole="b" fromCard="Q" toCard="1"/>
+			</data></webml>`},
+		{"bad type", `<webml name="x"><data>
+			<entity name="E"><attribute name="A" type="blob"/></entity>
+			</data></webml>`},
+		{"bad link kind", `<webml name="x"><data>
+			<entity name="E"><attribute name="A" type="string"/></entity></data>
+			<siteView id="sv" name="SV" home="p">
+			<page id="p" name="P"><unit id="u" kind="index" entity="E" display="A"/></page>
+			</siteView>
+			<links><link id="l" kind="weird" from="u" to="p"/></links></webml>`},
+		{"semantically invalid", `<webml name="x"><data>
+			<entity name="E"><attribute name="A" type="string"/></entity></data>
+			<siteView id="sv" name="SV" home="p">
+			<page id="p" name="P"><unit id="u" kind="index" entity="Ghost" display="A"/></page>
+			</siteView></webml>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := UnmarshalModel([]byte(c.doc)); err == nil {
+				t.Fatal("invalid document accepted")
+			}
+		})
+	}
+}
+
+func TestLiteralCodec(t *testing.T) {
+	vals := []interface{}{int64(5), 1.5, "x:y", true, false, nil}
+	for _, v := range vals {
+		enc := encodeLiteral(v)
+		back, err := decodeLiteral(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if back != v {
+			t.Fatalf("round trip %v -> %q -> %v", v, enc, back)
+		}
+	}
+	if _, err := decodeLiteral("nope"); err == nil {
+		t.Fatal("tagless literal accepted")
+	}
+	if _, err := decodeLiteral("bool:maybe"); err == nil {
+		t.Fatal("bad bool accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Fatalf("empty list = %v", got)
+	}
+	got := splitList("a,b,c")
+	if len(got) != 3 || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,87 @@
+package webmlgo
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"webmlgo/internal/er"
+	"webmlgo/internal/mvc"
+	"webmlgo/internal/rdb"
+	"webmlgo/internal/webml"
+)
+
+// Snapshot writes a consistent snapshot of the application's database to
+// w, giving the embedded data tier restart persistence.
+func (a *App) Snapshot(w io.Writer) error { return a.DB.Dump(w) }
+
+// SnapshotFile writes the snapshot to a file (atomic rename).
+func (a *App) SnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := a.DB.Dump(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreDatabase reads a snapshot produced by Snapshot and returns the
+// database, ready to pass to New via WithDatabase.
+func RestoreDatabase(r io.Reader) (*rdb.DB, error) { return rdb.Restore(r) }
+
+// RestoreDatabaseFile reads a snapshot file.
+func RestoreDatabaseFile(path string) (*rdb.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rdb.Restore(f)
+}
+
+// Metrics returns the Controller's per-action statistics.
+func (a *App) Metrics() []mvc.ActionStats { return a.Controller.Metrics() }
+
+// Bootstrap reverse-engineers a conforming database (Section 1's
+// "pre-existing data sources"), derives the default browse hypertext
+// over the recovered schema, and assembles a running application over
+// the same database — an application out of nothing but data. The
+// returned issues list reports any tables that did not fit the standard
+// mapping and were skipped.
+func Bootstrap(name string, db *rdb.DB, opts ...Option) (*App, []string, error) {
+	schema, issues, err := er.Reverse(db)
+	if err != nil {
+		return nil, issues, err
+	}
+	model, err := webml.DeriveDefaultHypertext(name, schema)
+	if err != nil {
+		return nil, issues, err
+	}
+	app, err := New(model, append([]Option{WithDatabase(db)}, opts...)...)
+	if err != nil {
+		return nil, issues, err
+	}
+	return app, issues, nil
+}
+
+// ExplainUnit returns the database access plan of a unit's query — the
+// check a data expert runs after overriding a descriptor (Section 6).
+func (a *App) ExplainUnit(unitID string) (string, error) {
+	d := a.Repo().Unit(unitID)
+	if d == nil {
+		return "", fmt.Errorf("webmlgo: no unit %q", unitID)
+	}
+	if d.Query == "" {
+		return "", fmt.Errorf("webmlgo: unit %q has no query", unitID)
+	}
+	return a.DB.Explain(d.Query)
+}

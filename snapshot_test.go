@@ -1,0 +1,136 @@
+package webmlgo
+
+import (
+	"bytes"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webmlgo/internal/fixture"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	app := newApp(t)
+	var buf bytes.Buffer
+	if err := app.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db, err := RestoreDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(fixture.Figure1Model(), WithDatabase(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, body := request(t, restored.Handler(), "/page/volumePage?volume=1", "")
+	if rr.Code != http.StatusOK || !strings.Contains(body, "TODS Volume 27") {
+		t.Fatalf("restored app broken: %d\n%s", rr.Code, body)
+	}
+}
+
+func TestSnapshotFile(t *testing.T) {
+	app := newApp(t)
+	path := filepath.Join(t.TempDir(), "app.snap")
+	if err := app.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := RestoreDatabaseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.RowCount("volume")
+	if err != nil || n != 2 {
+		t.Fatalf("rows = %d err = %v", n, err)
+	}
+	if _, err := RestoreDatabaseFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}
+
+func TestControllerMetrics(t *testing.T) {
+	app := newApp(t)
+	request(t, app.Handler(), "/page/volumesPage", "")
+	request(t, app.Handler(), "/page/volumesPage", "")
+	request(t, app.Handler(), "/page/ghost", "")
+	stats := app.Metrics()
+	var pageStat, ghostStat bool
+	for _, s := range stats {
+		if s.Action == "page/volumesPage" {
+			pageStat = true
+			if s.Count != 2 || s.Errors != 0 || s.Mean() <= 0 {
+				t.Fatalf("stats = %+v", s)
+			}
+		}
+		if s.Action == "page/ghost" {
+			ghostStat = true
+			if s.Errors != 1 {
+				t.Fatalf("stats = %+v", s)
+			}
+		}
+	}
+	if !pageStat || !ghostStat {
+		t.Fatalf("missing actions in %v", stats)
+	}
+}
+
+func TestExplainUnit(t *testing.T) {
+	app := newApp(t)
+	plan, err := app.ExplainUnit("volumeData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "PRIMARY KEY") {
+		t.Fatalf("plan = %q", plan)
+	}
+	// The relationship-scoped index goes through the FK index.
+	plan, err = app.ExplainUnit("issuesPapers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "BY INDEX ON fk_volumetoissue") {
+		t.Fatalf("plan = %q", plan)
+	}
+	if _, err := app.ExplainUnit("ghost"); err == nil {
+		t.Fatal("ghost unit accepted")
+	}
+	if _, err := app.ExplainUnit("enterKeyword"); err == nil {
+		t.Fatal("queryless unit accepted")
+	}
+}
+
+// TestBootstrapFromExistingDatabase: reverse-engineer a conforming
+// database, derive the default hypertext, and browse it — an application
+// from nothing but data.
+func TestBootstrapFromExistingDatabase(t *testing.T) {
+	seeded := newApp(t) // creates + seeds the ACM schema
+	app, issues, err := Bootstrap("recovered", seeded.DB, WithCompiledStyle(B2CStyle()))
+	if err != nil {
+		t.Fatalf("%v (issues %v)", err, issues)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("issues = %v", issues)
+	}
+	// Browse the derived site: entity list -> detail with relationships.
+	rr, body := request(t, app.Handler(), "/page/browseVolume", "")
+	if rr.Code != http.StatusOK || !strings.Contains(body, "TODS Volume 27") {
+		t.Fatalf("browse page broken: %d\n%s", rr.Code, body)
+	}
+	rr, body = request(t, app.Handler(), "/page/detailVolume?id=1", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("detail page: %d\n%s", rr.Code, body)
+	}
+	// The detail shows the volume AND its issues through the recovered
+	// VolumeToIssue relationship.
+	if !strings.Contains(body, "TODS Volume 27") {
+		t.Fatalf("volume data missing:\n%s", body)
+	}
+	if !strings.Contains(body, `href="/page/detailIssue?id=1"`) {
+		t.Fatalf("related issues missing:\n%s", body)
+	}
+	// Landmark menu lists every entity's browse page.
+	if !strings.Contains(body, `href="/page/browsePaper"`) {
+		t.Fatalf("menu missing:\n%s", body)
+	}
+}
