@@ -74,6 +74,7 @@ type config struct {
 	withPageCache bool
 	pageCache     int
 	pageTTL       time.Duration
+	pageWorkers   int
 }
 
 // Option configures New.
@@ -103,6 +104,13 @@ func WithFragmentCache(capacity int, ttl time.Duration) Option {
 // E6 comparison point and for purely anonymous read-only deployments.
 func WithPageCache(capacity int, ttl time.Duration) Option {
 	return func(c *config) { c.withPageCache = true; c.pageCache = capacity; c.pageTTL = ttl }
+}
+
+// WithPageWorkers bounds the page service's worker pool: units of the
+// same topological level compute concurrently on up to n goroutines
+// (<=1 selects sequential computation, the default).
+func WithPageWorkers(n int) Option {
+	return func(c *config) { c.pageWorkers = n }
 }
 
 // WithCompiledStyle applies a presentation rule set to every template at
@@ -213,6 +221,9 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 	}
 
 	app.Controller = mvc.NewController(art.Repo, app.Business, app.Renderer)
+	if cfg.pageWorkers > 0 {
+		app.Controller.SetPageWorkers(cfg.pageWorkers)
+	}
 	if cfg.remotePages {
 		if app.Remote == nil {
 			return nil, fmt.Errorf("webmlgo: WithRemotePages requires WithAppServer")

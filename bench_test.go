@@ -276,6 +276,59 @@ func BenchmarkE6TwoLevelCacheWithWrites(b *testing.B) {
 	}
 }
 
+// BenchmarkE6TwoLevelCacheParallel drives the two-level-cache page from
+// many goroutines at once (heavy-traffic shape): throughput is bounded
+// by cache-core contention, not by the database.
+func BenchmarkE6TwoLevelCacheParallel(b *testing.B) {
+	app := benchApp(b, WithBeanCache(4096), WithFragmentCache(4096, time.Minute))
+	h := app.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			doGet(h, "/page/volumePage?volume=1")
+		}
+	})
+}
+
+// BenchmarkE6TwoLevelCacheParallelWithWrites adds 1 write per 64
+// requests per goroutine, so invalidation and recomputation storms are
+// part of the measured path.
+func BenchmarkE6TwoLevelCacheParallelWithWrites(b *testing.B) {
+	app := benchApp(b, WithBeanCache(4096), WithFragmentCache(4096, time.Minute))
+	h := app.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if i%64 == 0 {
+				doGet(h, fmt.Sprintf("/op/createVolume?title=V%d&year=2003", i))
+				continue
+			}
+			doGet(h, "/page/volumePage?volume=1")
+		}
+	})
+}
+
+// BenchmarkE6ParallelPageCompute measures the page service alone: the
+// level-parallel scheduler computing one page's units concurrently,
+// from many requesting goroutines.
+func BenchmarkE6ParallelPageCompute(b *testing.B) {
+	app := benchApp(b, WithBeanCache(4096), WithPageWorkers(4))
+	params := map[string]mvc.Value{"volume": int64(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := app.Controller.Pages.ComputePage("volumePage", params, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- E7 (Section 8): full Acer-Euro-scale generation. ---
 
 func BenchmarkE7AcerEuroGeneration(b *testing.B) {

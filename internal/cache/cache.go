@@ -7,7 +7,12 @@
 //   - a template-fragment cache (ESI-style) holding rendered markup
 //     fragments with per-fragment TTL policies.
 //
-// Both levels share one LRU + TTL + dependency-index core.
+// Both levels share one LRU + TTL + dependency-index core. Under heavy
+// traffic the core is sharded: keys are FNV-hashed onto a power-of-two
+// number of independent shards, each with its own lock, LRU list, TTL
+// bookkeeping and dependency index, so concurrent requests do not
+// serialize on a single mutex. Aggregate operations (Stats, Len,
+// Invalidate, Flush) combine all shards exactly.
 package cache
 
 import (
@@ -43,127 +48,209 @@ type entry struct {
 	elem    *list.Element
 }
 
-// store is the shared LRU/TTL/dependency-index machinery.
+// maxShards bounds the shard count; more shards than this stop paying
+// off (and small caches stay single-shard so the LRU order is global).
+const maxShards = 64
+
+// minEntriesPerShard is the capacity below which sharding is not worth
+// the loss of strict global LRU ordering.
+const minEntriesPerShard = 256
+
+// store is the sharded LRU/TTL/dependency-index machinery shared by the
+// bean, fragment and page caches.
 type store struct {
+	shards []*shard
+	mask   uint32
+	// now is the clock hook shared by every shard (tests override it).
+	now func() time.Time
+}
+
+// shard is one independent slice of the keyspace.
+type shard struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*entry
 	lru     *list.List // front = most recent; values are *entry
 	byDep   map[string]map[string]struct{}
 	stats   Stats
-	now     func() time.Time
+}
+
+// shardCount picks the power-of-two shard count for a capacity: 1 for
+// small caches (strict global LRU), scaling up to maxShards so that each
+// shard keeps at least minEntriesPerShard entries.
+func shardCount(capacity int) int {
+	n := 1
+	for n < maxShards && capacity/(n*2) >= minEntriesPerShard {
+		n *= 2
+	}
+	return n
 }
 
 func newStore(capacity int) *store {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &store{
-		cap:     capacity,
-		entries: make(map[string]*entry),
-		lru:     list.New(),
-		byDep:   make(map[string]map[string]struct{}),
-		now:     time.Now,
+	n := shardCount(capacity)
+	s := &store{
+		shards: make([]*shard, n),
+		mask:   uint32(n - 1),
+		now:    time.Now,
 	}
+	for i := range s.shards {
+		// Distribute the capacity exactly: the first capacity%n shards
+		// take one extra entry, so per-shard caps sum to capacity.
+		cap := capacity / n
+		if i < capacity%n {
+			cap++
+		}
+		s.shards[i] = &shard{
+			cap:     cap,
+			entries: make(map[string]*entry),
+			lru:     list.New(),
+			byDep:   make(map[string]map[string]struct{}),
+		}
+	}
+	return s
+}
+
+// shardFor hashes key onto its shard (FNV-1a).
+func (s *store) shardFor(key string) *shard {
+	if s.mask == 0 {
+		return s.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return s.shards[h&s.mask]
 }
 
 func (s *store) get(key string) (interface{}, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok {
-		s.stats.Misses++
+		sh.stats.Misses++
 		return nil, false
 	}
 	if !e.expires.IsZero() && s.now().After(e.expires) {
-		s.removeLocked(e)
-		s.stats.Expirations++
-		s.stats.Misses++
+		sh.removeLocked(e)
+		sh.stats.Expirations++
+		sh.stats.Misses++
 		return nil, false
 	}
-	s.lru.MoveToFront(e.elem)
-	s.stats.Hits++
+	sh.lru.MoveToFront(e.elem)
+	sh.stats.Hits++
 	return e.val, true
 }
 
 func (s *store) put(key string, val interface{}, deps []string, ttl time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.entries[key]; ok {
-		s.removeLocked(old)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.entries[key]; ok {
+		sh.removeLocked(old)
+	}
+	// Make room before inserting, so the shard never holds more than its
+	// capacity — not even transiently (a capacity-1 cache holds 1 entry,
+	// never 2, and eviction counts stay exact under sharding).
+	for len(sh.entries) >= sh.cap {
+		back := sh.lru.Back()
+		if back == nil {
+			break
+		}
+		sh.removeLocked(back.Value.(*entry))
+		sh.stats.Evictions++
 	}
 	e := &entry{key: key, val: val, deps: deps}
 	if ttl > 0 {
 		e.expires = s.now().Add(ttl)
 	}
-	e.elem = s.lru.PushFront(e)
-	s.entries[key] = e
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
 	for _, d := range deps {
-		set, ok := s.byDep[d]
+		set, ok := sh.byDep[d]
 		if !ok {
 			set = make(map[string]struct{})
-			s.byDep[d] = set
+			sh.byDep[d] = set
 		}
 		set[key] = struct{}{}
 	}
-	s.stats.Puts++
-	for len(s.entries) > s.cap {
-		back := s.lru.Back()
-		if back == nil {
-			break
-		}
-		s.removeLocked(back.Value.(*entry))
-		s.stats.Evictions++
-	}
+	sh.stats.Puts++
 }
 
 // invalidate drops every entry depending on any of the given tags and
-// returns how many entries were removed.
+// returns how many entries were removed, across all shards.
 func (s *store) invalidate(deps ...string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	removed := 0
-	for _, d := range deps {
-		for key := range s.byDep[d] {
-			if e, ok := s.entries[key]; ok {
-				s.removeLocked(e)
-				removed++
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n := 0
+		for _, d := range deps {
+			for key := range sh.byDep[d] {
+				if e, ok := sh.entries[key]; ok {
+					sh.removeLocked(e)
+					n++
+				}
 			}
 		}
+		sh.stats.Invalidations += int64(n)
+		removed += n
+		sh.mu.Unlock()
 	}
-	s.stats.Invalidations += int64(removed)
 	return removed
 }
 
-func (s *store) removeLocked(e *entry) {
-	delete(s.entries, e.key)
-	s.lru.Remove(e.elem)
+func (sh *shard) removeLocked(e *entry) {
+	delete(sh.entries, e.key)
+	sh.lru.Remove(e.elem)
 	for _, d := range e.deps {
-		if set, ok := s.byDep[d]; ok {
+		if set, ok := sh.byDep[d]; ok {
 			delete(set, e.key)
 			if len(set) == 0 {
-				delete(s.byDep, d)
+				delete(sh.byDep, d)
 			}
 		}
 	}
 }
 
 func (s *store) flush() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.entries = make(map[string]*entry)
-	s.lru.Init()
-	s.byDep = make(map[string]map[string]struct{})
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[string]*entry)
+		sh.lru.Init()
+		sh.byDep = make(map[string]map[string]struct{})
+		sh.mu.Unlock()
+	}
 }
 
 func (s *store) len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 func (s *store) statsCopy() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var out Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out.Hits += sh.stats.Hits
+		out.Misses += sh.stats.Misses
+		out.Puts += sh.stats.Puts
+		out.Evictions += sh.stats.Evictions
+		out.Invalidations += sh.stats.Invalidations
+		out.Expirations += sh.stats.Expirations
+		sh.mu.Unlock()
+	}
+	return out
 }
+
+// shardCountOf reports how many shards back this store (for tests and
+// stats endpoints).
+func (s *store) shardCountOf() int { return len(s.shards) }

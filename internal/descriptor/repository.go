@@ -20,6 +20,9 @@ type Repository struct {
 	pages     map[string]*Page
 	config    *Config
 	templates map[string]string // template name -> markup
+	// schedules memoizes the unit-computation plan per page; an entry is
+	// dropped when its page descriptor is hot-swapped.
+	schedules map[string]*Schedule
 }
 
 // NewRepository returns an empty repository.
@@ -29,6 +32,7 @@ func NewRepository() *Repository {
 		pages:     make(map[string]*Page),
 		config:    &Config{},
 		templates: make(map[string]string),
+		schedules: make(map[string]*Schedule),
 	}
 }
 
@@ -58,11 +62,42 @@ func (r *Repository) Units() []*Unit {
 	return out
 }
 
-// PutPage stores (or replaces) a page descriptor.
+// PutPage stores (or replaces) a page descriptor and drops its memoized
+// schedule, so the next request recomputes the plan against the new
+// topology (Section 8's hot redeployment).
 func (r *Repository) PutPage(p *Page) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pages[p.ID] = p
+	delete(r.schedules, p.ID)
+}
+
+// Schedule returns the memoized computation plan of a page, building it
+// on first use. It errors when the page is unknown or its topology is
+// invalid (cycle, edge to a unit not on the page).
+func (r *Repository) Schedule(pageID string) (*Schedule, error) {
+	r.mu.RLock()
+	s, ok := r.schedules[pageID]
+	pd := r.pages[pageID]
+	r.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	if pd == nil {
+		return nil, fmt.Errorf("descriptor: no page %q", pageID)
+	}
+	s, err := ComputeSchedule(pd)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	// A concurrent hot-swap wins: only memoize against the descriptor the
+	// schedule was computed from.
+	if r.pages[pageID] == pd {
+		r.schedules[pageID] = s
+	}
+	r.mu.Unlock()
+	return s, nil
 }
 
 // Page returns the descriptor for a page ID, or nil.

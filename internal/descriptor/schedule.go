@@ -1,0 +1,115 @@
+package descriptor
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Schedule is the precomputed unit-computation plan of one page: the
+// topological order of its units along the transport-link edges, the
+// same units grouped into levels (every unit's inputs are produced by
+// strictly earlier levels, so the units of one level may compute
+// concurrently), and the incoming-edge index used to propagate
+// parameters. Page topology is fixed between descriptor deployments, so
+// the Repository memoizes one Schedule per page and recomputes it only
+// when the page descriptor is hot-swapped.
+type Schedule struct {
+	// Order lists unit IDs so every edge source precedes its targets;
+	// units not constrained by edges keep their display order.
+	Order []string
+	// Levels partitions Order: level k holds the units whose longest
+	// dependency chain has length k. All inputs of a level-k unit come
+	// from levels < k.
+	Levels [][]string
+	// Incoming maps a unit ID to its incoming parameter-propagation
+	// edges.
+	Incoming map[string][]Edge
+}
+
+// posHeap is a min-heap of unit display positions (the stable
+// tie-breaker of the topological sort).
+type posHeap []int
+
+func (h posHeap) Len() int            { return len(h) }
+func (h posHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *posHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ComputeSchedule builds the Schedule of a page descriptor. The model
+// validator guarantees acyclicity; a cycle in a hand-edited descriptor
+// is reported as an error, as are edges naming unknown units.
+func ComputeSchedule(pd *Page) (*Schedule, error) {
+	n := len(pd.Units)
+	ids := make([]string, n)
+	indeg := make([]int, n)
+	depth := make([]int, n)
+	pos := make(map[string]int, n)
+	for i, u := range pd.Units {
+		ids[i] = u.ID
+		pos[u.ID] = i
+	}
+	adj := make(map[int][]int)
+	var incoming map[string][]Edge
+	for _, e := range pd.Edges {
+		from, ok := pos[e.From]
+		if !ok {
+			return nil, fmt.Errorf("descriptor: page %q edge from unknown unit %q", pd.ID, e.From)
+		}
+		to, ok := pos[e.To]
+		if !ok {
+			return nil, fmt.Errorf("descriptor: page %q edge to unknown unit %q", pd.ID, e.To)
+		}
+		adj[from] = append(adj[from], to)
+		indeg[to]++
+		if incoming == nil {
+			incoming = make(map[string][]Edge)
+		}
+		incoming[e.To] = append(incoming[e.To], e)
+	}
+
+	// Kahn's algorithm over a position-ordered heap: the ready unit
+	// earliest in display order runs next (stable, and O(n log n) rather
+	// than an O(n²) ready-list scan).
+	ready := make(posHeap, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	heap.Init(&ready)
+	order := make([]string, 0, n)
+	maxDepth := 0
+	byDepth := make(map[int][]string)
+	for ready.Len() > 0 {
+		i := heap.Pop(&ready).(int)
+		order = append(order, ids[i])
+		byDepth[depth[i]] = append(byDepth[depth[i]], ids[i])
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+		for _, next := range adj[i] {
+			if d := depth[i] + 1; d > depth[next] {
+				depth[next] = d
+			}
+			indeg[next]--
+			if indeg[next] == 0 {
+				heap.Push(&ready, next)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("descriptor: page %q has a cycle in its unit topology", pd.ID)
+	}
+	levels := make([][]string, 0, maxDepth+1)
+	for d := 0; d <= maxDepth; d++ {
+		levels = append(levels, byDepth[d])
+	}
+	return &Schedule{Order: order, Levels: levels, Incoming: incoming}, nil
+}

@@ -1,0 +1,137 @@
+package descriptor
+
+import "testing"
+
+func diamondPage() *Page {
+	return &Page{
+		ID:    "diamond",
+		Units: []UnitRef{{ID: "a"}, {ID: "b"}, {ID: "c"}, {ID: "d"}},
+		Edges: []Edge{
+			{From: "a", To: "b"},
+			{From: "a", To: "c"},
+			{From: "b", To: "d"},
+			{From: "c", To: "d"},
+		},
+	}
+}
+
+func TestComputeScheduleLevels(t *testing.T) {
+	s, err := ComputeSchedule(diamondPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a"}, {"b", "c"}, {"d"}}
+	if len(s.Levels) != len(want) {
+		t.Fatalf("levels = %v", s.Levels)
+	}
+	for i, lvl := range want {
+		if len(s.Levels[i]) != len(lvl) {
+			t.Fatalf("level %d = %v, want %v", i, s.Levels[i], lvl)
+		}
+		for j, id := range lvl {
+			if s.Levels[i][j] != id {
+				t.Fatalf("level %d = %v, want %v", i, s.Levels[i], lvl)
+			}
+		}
+	}
+	if len(s.Order) != 4 || s.Order[0] != "a" || s.Order[3] != "d" {
+		t.Fatalf("order = %v", s.Order)
+	}
+	if len(s.Incoming["d"]) != 2 {
+		t.Fatalf("incoming[d] = %v", s.Incoming["d"])
+	}
+}
+
+// TestComputeScheduleLongestPathLevels checks depth is longest-path: a
+// unit fed both directly by the root and through a chain lands after the
+// whole chain.
+func TestComputeScheduleLongestPathLevels(t *testing.T) {
+	pd := &Page{
+		ID:    "p",
+		Units: []UnitRef{{ID: "a"}, {ID: "b"}, {ID: "c"}},
+		Edges: []Edge{
+			{From: "a", To: "c"}, // direct
+			{From: "a", To: "b"},
+			{From: "b", To: "c"}, // via chain
+		},
+	}
+	s, err := ComputeSchedule(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Levels) != 3 || s.Levels[2][0] != "c" {
+		t.Fatalf("levels = %v, want c alone at depth 2", s.Levels)
+	}
+}
+
+func TestScheduleMemoized(t *testing.T) {
+	r := NewRepository()
+	r.PutPage(diamondPage())
+	s1, err := r.Schedule("diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Schedule("diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("schedule not memoized (pointer identity lost)")
+	}
+}
+
+func TestScheduleInvalidatedOnHotSwap(t *testing.T) {
+	r := NewRepository()
+	r.PutPage(diamondPage())
+	s1, err := r.Schedule("diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot-swap the page with a different topology (Section 8).
+	r.PutPage(&Page{
+		ID:    "diamond",
+		Units: []UnitRef{{ID: "x"}, {ID: "y"}},
+		Edges: []Edge{{From: "x", To: "y"}},
+	})
+	s2, err := r.Schedule("diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 == s1 {
+		t.Fatal("hot-swap served the stale schedule")
+	}
+	if len(s2.Order) != 2 || s2.Order[0] != "x" {
+		t.Fatalf("new schedule = %v", s2.Order)
+	}
+}
+
+func TestScheduleUnknownPage(t *testing.T) {
+	r := NewRepository()
+	if _, err := r.Schedule("ghost"); err == nil {
+		t.Fatal("unknown page accepted")
+	}
+}
+
+func TestComputeScheduleErrors(t *testing.T) {
+	if _, err := ComputeSchedule(&Page{
+		ID:    "p",
+		Units: []UnitRef{{ID: "a"}, {ID: "b"}},
+		Edges: []Edge{{From: "a", To: "b"}, {From: "b", To: "a"}},
+	}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, err := ComputeSchedule(&Page{
+		ID:    "p",
+		Units: []UnitRef{{ID: "a"}},
+		Edges: []Edge{{From: "ghost", To: "a"}},
+	}); err == nil {
+		t.Fatal("unknown edge source accepted")
+	}
+	if _, err := ComputeSchedule(&Page{
+		ID:    "p",
+		Units: []UnitRef{{ID: "a"}},
+		Edges: []Edge{{From: "a", To: "ghost"}},
+	}); err == nil {
+		t.Fatal("unknown edge target accepted")
+	}
+}

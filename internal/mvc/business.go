@@ -2,6 +2,8 @@ package mvc
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 	"time"
 
 	"webmlgo/internal/cache"
@@ -105,9 +107,13 @@ func (b *LocalBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]V
 // CachedBusiness decorates a Business with the bean cache: unit beans of
 // cache-tagged descriptors are reused across requests, and operations
 // automatically invalidate the beans whose Reads intersect their Writes.
+// Concurrent misses of the same key are coalesced so exactly one
+// computation hits the database.
 type CachedBusiness struct {
 	Inner Business
 	Cache *cache.BeanCache
+
+	flights flightGroup
 }
 
 // NewCachedBusiness wraps inner with the bean cache.
@@ -115,7 +121,13 @@ func NewCachedBusiness(inner Business, c *cache.BeanCache) *CachedBusiness {
 	return &CachedBusiness{Inner: inner, Cache: c}
 }
 
-// ComputeUnit implements Business with bean caching.
+// ComputeUnit implements Business with bean caching and singleflight
+// coalescing: of K requests missing the same key concurrently, one (the
+// leader) computes against the database and the other K-1 wait for its
+// result. The invalidation version of the unit's read dependencies is
+// snapshotted before computing; PutIfFresh refuses the bean if an
+// operation invalidated any of them in the meantime, so a stale bean is
+// never cached.
 func (cb *CachedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	if d.Cache == nil || !d.Cache.Enabled {
 		return cb.Inner.ComputeUnit(d, inputs)
@@ -124,37 +136,74 @@ func (cb *CachedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Valu
 	if v, ok := cb.Cache.Get(key); ok {
 		return v.(*UnitBean), nil
 	}
+	f, leader := cb.flights.join(key, d.Reads)
+	if !leader {
+		<-f.done
+		return f.bean, f.err
+	}
+	v := cb.Cache.Version(d.Reads)
 	bean, err := cb.Inner.ComputeUnit(d, inputs)
+	current := cb.flights.finish(key, f, bean, err)
 	if err != nil {
 		return nil, err
 	}
-	ttl := time.Duration(0)
-	if d.Cache.TTLSeconds > 0 {
-		ttl = time.Duration(d.Cache.TTLSeconds) * time.Second
+	if current {
+		ttl := time.Duration(0)
+		if d.Cache.TTLSeconds > 0 {
+			ttl = time.Duration(d.Cache.TTLSeconds) * time.Second
+		}
+		cb.Cache.PutIfFresh(key, bean, d.Reads, ttl, v)
 	}
-	cb.Cache.Put(key, bean, d.Reads, ttl)
 	return bean, nil
 }
 
 // ExecuteOperation implements Business, invalidating dependent beans on
 // success — "the implementation of operations automatically invalidates
-// the affected cached objects" (Section 6).
+// the affected cached objects" (Section 6). In-flight computations
+// reading the written tags are forgotten first, so requests arriving
+// after the write never join a pre-write flight; PutIfFresh's version
+// check then keeps any still-finishing leader from caching its result.
 func (cb *CachedBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
 	res, err := cb.Inner.ExecuteOperation(d, inputs)
 	if err != nil {
 		return nil, err
 	}
 	if res.OK && len(d.Writes) > 0 {
+		cb.flights.forget(d.Writes...)
 		cb.Cache.Invalidate(d.Writes...)
 	}
 	return res, nil
 }
 
+// beanKeyBuilder assembles bean cache keys without the intermediate
+// map[string]string and per-value strings of the naive implementation;
+// instances are pooled. The output matches cache.Key byte for byte.
+type beanKeyBuilder struct {
+	names []string
+	buf   []byte
+}
+
+var beanKeyPool = sync.Pool{New: func() interface{} { return new(beanKeyBuilder) }}
+
 // beanKey builds the cache key from the unit ID and typed inputs.
 func beanKey(unitID string, inputs map[string]Value) string {
-	strs := make(map[string]string, len(inputs))
-	for k, v := range inputs {
-		strs[k] = FormatParam(v)
+	if len(inputs) == 0 {
+		return unitID
 	}
-	return cache.Key(unitID, strs)
+	kb := beanKeyPool.Get().(*beanKeyBuilder)
+	kb.names = kb.names[:0]
+	for n := range inputs {
+		kb.names = append(kb.names, n)
+	}
+	slices.Sort(kb.names)
+	kb.buf = append(kb.buf[:0], unitID...)
+	for _, n := range kb.names {
+		kb.buf = append(kb.buf, '|')
+		kb.buf = append(kb.buf, n...)
+		kb.buf = append(kb.buf, '=')
+		kb.buf = rdb.AppendValue(kb.buf, inputs[n])
+	}
+	key := string(kb.buf)
+	beanKeyPool.Put(kb)
+	return key
 }

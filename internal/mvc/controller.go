@@ -79,6 +79,15 @@ func NewController(repo *descriptor.Repository, business Business, renderer Rend
 	}
 }
 
+// SetPageWorkers bounds the page service's per-request worker pool (<=1
+// keeps sequential computation). It only applies to the in-process page
+// service; a remote page service computes on the application server.
+func (c *Controller) SetPageWorkers(n int) {
+	if ps, ok := c.Pages.(*PageService); ok {
+		ps.Workers = n
+	}
+}
+
 // ServeHTTP implements http.Handler. Routes:
 //
 //	GET  /page/<id>   page actions

@@ -1,0 +1,99 @@
+package mvc
+
+import "sync"
+
+// flight is one in-progress unit computation shared by every request that
+// asked for the same cache key while it ran.
+type flight struct {
+	done chan struct{}
+	bean *UnitBean
+	err  error
+	deps []string
+}
+
+// flightGroup coalesces concurrent cache misses of the same key so that
+// exactly one computation hits the database, in the spirit of Section 6's
+// bean cache "making [beans] reusable by multiple requests" — here even
+// by requests that overlap in time. Unlike a plain singleflight it is
+// invalidation-aware: operations forget the in-flight computations whose
+// read dependencies they write, so a request arriving after the write
+// starts a fresh computation instead of joining a flight that may return
+// pre-write data. The zero value is ready to use.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flight
+	// byDep indexes live flights by read-dependency tag for forget().
+	byDep map[string]map[string]*flight
+}
+
+// join returns the flight for key, creating it when absent; leader
+// reports whether the caller created it (and must therefore compute the
+// value and call finish).
+func (g *flightGroup) join(key string, deps []string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.calls[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{}), deps: deps}
+	if g.calls == nil {
+		g.calls = make(map[string]*flight)
+		g.byDep = make(map[string]map[string]*flight)
+	}
+	g.calls[key] = f
+	for _, d := range deps {
+		set, ok := g.byDep[d]
+		if !ok {
+			set = make(map[string]*flight)
+			g.byDep[d] = set
+		}
+		set[key] = f
+	}
+	return f, true
+}
+
+// finish publishes the leader's result to every waiter and retires the
+// flight. It reports whether the flight was still current — false means a
+// forget() intervened (an operation wrote one of the read dependencies
+// while the computation ran), so the result must not be cached.
+func (g *flightGroup) finish(key string, f *flight, bean *UnitBean, err error) bool {
+	g.mu.Lock()
+	current := g.calls[key] == f
+	if current {
+		g.removeLocked(key, f)
+	}
+	g.mu.Unlock()
+	f.bean = bean
+	f.err = err
+	close(f.done)
+	return current
+}
+
+// forget retires every in-flight computation reading any of the given
+// dependency tags. Waiters already joined still receive the leader's
+// result (their requests overlapped the write, so pre-write data is a
+// linearizable answer), but later requests start a fresh computation.
+func (g *flightGroup) forget(deps ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, d := range deps {
+		for key, f := range g.byDep[d] {
+			if g.calls[key] == f {
+				g.removeLocked(key, f)
+			}
+		}
+	}
+}
+
+// removeLocked unlinks a flight from the call table and dep index.
+func (g *flightGroup) removeLocked(key string, f *flight) {
+	delete(g.calls, key)
+	for _, d := range f.deps {
+		if set, ok := g.byDep[d]; ok {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(g.byDep, d)
+			}
+		}
+	}
+}

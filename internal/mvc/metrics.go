@@ -3,6 +3,7 @@ package mvc
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,36 +25,44 @@ func (s ActionStats) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
+// actionCounters is the live per-action accumulator. Counters are
+// atomics so the per-request hot path never takes a lock once the action
+// row exists (the set of actions is small and stabilizes immediately).
+type actionCounters struct {
+	count  atomic.Int64
+	errors atomic.Int64
+	total  atomic.Int64 // nanoseconds
+}
+
 type metrics struct {
-	mu      sync.Mutex
-	actions map[string]*ActionStats
+	actions sync.Map // action string -> *actionCounters
 }
 
 func (m *metrics) record(action string, d time.Duration, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.actions == nil {
-		m.actions = make(map[string]*ActionStats)
-	}
-	s, ok := m.actions[action]
+	v, ok := m.actions.Load(action)
 	if !ok {
-		s = &ActionStats{Action: action}
-		m.actions[action] = s
+		v, _ = m.actions.LoadOrStore(action, &actionCounters{})
 	}
-	s.Count++
-	s.Total += d
+	c := v.(*actionCounters)
+	c.count.Add(1)
+	c.total.Add(int64(d))
 	if failed {
-		s.Errors++
+		c.errors.Add(1)
 	}
 }
 
 func (m *metrics) snapshot() []ActionStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]ActionStats, 0, len(m.actions))
-	for _, s := range m.actions {
-		out = append(out, *s)
-	}
+	out := make([]ActionStats, 0, 16)
+	m.actions.Range(func(k, v interface{}) bool {
+		c := v.(*actionCounters)
+		out = append(out, ActionStats{
+			Action: k.(string),
+			Count:  c.count.Load(),
+			Errors: c.errors.Load(),
+			Total:  time.Duration(c.total.Load()),
+		})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Action < out[j].Action })
 	return out
 }

@@ -2,6 +2,8 @@ package mvc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"webmlgo/internal/descriptor"
 )
@@ -15,6 +17,10 @@ import (
 type PageService struct {
 	Repo     *descriptor.Repository
 	Business Business
+	// Workers bounds the per-request worker pool: units of the same
+	// topological level compute concurrently on up to Workers goroutines.
+	// <=1 selects sequential computation (the default).
+	Workers int
 }
 
 // PageState is the set of unit beans computed for one request — the
@@ -27,9 +33,10 @@ type PageState struct {
 }
 
 // ComputePage exposes the single computePage() function of the paper's
-// page service: it topologically orders the page's units along the
-// transport-link edges, propagates parameters, and invokes the unit
-// services.
+// page service: it computes the page's units level by level along the
+// transport-link edges — every unit whose inputs are already resolved
+// may run concurrently with its level peers — propagating parameters
+// and invoking the unit services.
 //
 // request carries the typed HTTP parameters; formState (may be nil)
 // carries sticky entry-unit values and validation errors keyed by entry
@@ -39,63 +46,134 @@ func (ps *PageService) ComputePage(pageID string, request map[string]Value, form
 	if pd == nil {
 		return nil, fmt.Errorf("mvc: no page descriptor %q", pageID)
 	}
-	order, err := topoOrder(pd)
+	sched, err := ps.Repo.Schedule(pageID)
 	if err != nil {
 		return nil, err
 	}
-	state := &PageState{PageID: pageID, Beans: make(map[string]*UnitBean, len(pd.Units))}
-	for _, ur := range pd.Units {
-		state.Order = append(state.Order, ur.ID)
+	state := &PageState{
+		PageID: pageID,
+		Beans:  make(map[string]*UnitBean, len(pd.Units)),
+		Order:  make([]string, len(pd.Units)),
+	}
+	for i, ur := range pd.Units {
+		state.Order[i] = ur.ID
 	}
 
-	// Edges into each unit.
-	incoming := map[string][]descriptor.Edge{}
-	for _, e := range pd.Edges {
-		incoming[e.To] = append(incoming[e.To], e)
-	}
-
-	for _, unitID := range order {
-		ud := ps.Repo.Unit(unitID)
-		if ud == nil {
-			return nil, fmt.Errorf("mvc: page %q references missing unit descriptor %q", pageID, unitID)
-		}
-		inputs := make(map[string]Value)
-		// Request parameters bind by input name.
-		for _, p := range ud.Inputs {
-			if v, ok := request[p.Name]; ok {
-				inputs[p.Name] = v
+	for _, level := range sched.Levels {
+		if ps.Workers > 1 && len(level) > 1 {
+			if err := ps.computeLevel(pd, sched, level, request, formState, state); err != nil {
+				return nil, err
 			}
+			continue
 		}
-		// Intra-page edges override: "parameters are passed from one
-		// query to another one" (Section 4).
-		for _, e := range incoming[unitID] {
-			src := state.Beans[e.From]
-			if src == nil || src.Missing || len(src.Nodes) == 0 {
-				continue
+		for _, unitID := range level {
+			bean, err := ps.computeOne(pd, sched, unitID, request, formState, state)
+			if err != nil {
+				return nil, err
 			}
-			current := src.Nodes[0].Values
-			for _, pm := range e.Params {
-				if v, ok := current[pm.Source]; ok {
-					inputs[pm.Target] = v
-				}
-			}
+			state.Beans[unitID] = bean
 		}
-		// Sticky form state for entry units.
-		if fs := formState[unitID]; fs != nil {
-			for k, v := range fs.Values {
-				inputs[k] = v
-			}
-		}
-		bean, err := ps.Business.ComputeUnit(ud, inputs)
-		if err != nil {
-			return nil, err
-		}
-		if fs := formState[unitID]; fs != nil && len(fs.Errors) > 0 {
-			bean.Errors = fs.Errors
-		}
-		state.Beans[unitID] = bean
 	}
 	return state, nil
+}
+
+// computeLevel runs one topological level's units concurrently on a
+// bounded worker pool. Beans merge deterministically (each unit writes
+// its own slot, merged in level order after the barrier); on failure the
+// error of the earliest unit in level order is returned, and units not
+// yet started are skipped.
+func (ps *PageService) computeLevel(pd *descriptor.Page, sched *descriptor.Schedule, level []string, request map[string]Value, formState map[string]*FormState, state *PageState) error {
+	workers := ps.Workers
+	if workers > len(level) {
+		workers = len(level)
+	}
+	beans := make([]*UnitBean, len(level))
+	errs := make([]error, len(level))
+	var failed atomic.Bool
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, unitID := range level {
+		if failed.Load() {
+			break // first-error cancellation: stop scheduling
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, unitID string) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			bean, err := ps.computeOne(pd, sched, unitID, request, formState, state)
+			if err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+			beans[i] = bean
+		}(i, unitID)
+	}
+	wg.Wait()
+	for i := range level {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	for i, unitID := range level {
+		if beans[i] != nil {
+			state.Beans[unitID] = beans[i]
+		}
+	}
+	return nil
+}
+
+// computeOne resolves one unit's inputs (request parameters, intra-page
+// edges, sticky form state) and invokes its service. It only reads beans
+// of strictly earlier levels from state, so level peers may run it
+// concurrently.
+func (ps *PageService) computeOne(pd *descriptor.Page, sched *descriptor.Schedule, unitID string, request map[string]Value, formState map[string]*FormState, state *PageState) (*UnitBean, error) {
+	ud := ps.Repo.Unit(unitID)
+	if ud == nil {
+		return nil, fmt.Errorf("mvc: page %q references missing unit descriptor %q", pd.ID, unitID)
+	}
+	inputs := make(map[string]Value)
+	// Request parameters bind by input name.
+	for _, p := range ud.Inputs {
+		if v, ok := request[p.Name]; ok {
+			inputs[p.Name] = v
+		}
+	}
+	// Intra-page edges override: "parameters are passed from one
+	// query to another one" (Section 4).
+	for _, e := range sched.Incoming[unitID] {
+		src := state.Beans[e.From]
+		if src == nil || src.Missing || len(src.Nodes) == 0 {
+			continue
+		}
+		current := src.Nodes[0].Values
+		for _, pm := range e.Params {
+			if v, ok := current[pm.Source]; ok {
+				inputs[pm.Target] = v
+			}
+		}
+	}
+	// Sticky form state for entry units.
+	if fs := formState[unitID]; fs != nil {
+		for k, v := range fs.Values {
+			inputs[k] = v
+		}
+	}
+	bean, err := ps.Business.ComputeUnit(ud, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if fs := formState[unitID]; fs != nil && len(fs.Errors) > 0 {
+		// Copy-on-write: the bean may come from the shared cache, and
+		// validation errors belong to this request only.
+		clone := *bean
+		clone.Errors = fs.Errors
+		bean = &clone
+	}
+	return bean, nil
 }
 
 // FormState carries an entry unit's sticky values and validation errors
@@ -107,54 +185,11 @@ type FormState struct {
 
 // topoOrder returns the page's unit IDs in an order where every edge
 // source precedes its target; units not involved in edges keep their
-// display order. The model validator guarantees acyclicity; a cycle in a
-// hand-edited descriptor is reported as an error.
+// display order. It delegates to the descriptor-level schedule.
 func topoOrder(pd *descriptor.Page) ([]string, error) {
-	indeg := make(map[string]int, len(pd.Units))
-	adj := make(map[string][]string)
-	pos := make(map[string]int, len(pd.Units))
-	for i, u := range pd.Units {
-		indeg[u.ID] = 0
-		pos[u.ID] = i
+	s, err := descriptor.ComputeSchedule(pd)
+	if err != nil {
+		return nil, err
 	}
-	for _, e := range pd.Edges {
-		if _, ok := indeg[e.From]; !ok {
-			return nil, fmt.Errorf("mvc: page %q edge from unknown unit %q", pd.ID, e.From)
-		}
-		if _, ok := indeg[e.To]; !ok {
-			return nil, fmt.Errorf("mvc: page %q edge to unknown unit %q", pd.ID, e.To)
-		}
-		adj[e.From] = append(adj[e.From], e.To)
-		indeg[e.To]++
-	}
-	// Kahn's algorithm with stable tie-breaking on display order.
-	var ready []string
-	for _, u := range pd.Units {
-		if indeg[u.ID] == 0 {
-			ready = append(ready, u.ID)
-		}
-	}
-	var order []string
-	for len(ready) > 0 {
-		// Pick the ready unit earliest in display order.
-		best := 0
-		for i := 1; i < len(ready); i++ {
-			if pos[ready[i]] < pos[ready[best]] {
-				best = i
-			}
-		}
-		id := ready[best]
-		ready = append(ready[:best], ready[best+1:]...)
-		order = append(order, id)
-		for _, next := range adj[id] {
-			indeg[next]--
-			if indeg[next] == 0 {
-				ready = append(ready, next)
-			}
-		}
-	}
-	if len(order) != len(pd.Units) {
-		return nil, fmt.Errorf("mvc: page %q has a cycle in its unit topology", pd.ID)
-	}
-	return order, nil
+	return s.Order, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mvc
+
+const raceEnabled = false

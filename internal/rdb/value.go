@@ -12,6 +12,7 @@ package rdb
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -234,19 +235,34 @@ func truthy(v Value) bool {
 
 // FormatValue renders a value the way result dumps and tests expect.
 func FormatValue(v Value) string {
+	if x, ok := v.(string); ok {
+		return x
+	}
+	return string(AppendValue(nil, v))
+}
+
+// AppendValue appends FormatValue's rendering of v to dst and returns the
+// extended slice — the allocation-free building block for hot-path key
+// construction.
+func AppendValue(dst []byte, v Value) []byte {
 	switch x := v.(type) {
 	case nil:
-		return "NULL"
+		return append(dst, "NULL"...)
 	case string:
-		return x
+		return append(dst, x...)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case float64:
+		// Match fmt's %v rendering of float64 ('g', shortest).
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
 	case time.Time:
-		return x.Format(time.RFC3339)
+		return x.AppendFormat(dst, time.RFC3339)
 	case bool:
 		if x {
-			return "true"
+			return append(dst, "true"...)
 		}
-		return "false"
+		return append(dst, "false"...)
 	default:
-		return fmt.Sprintf("%v", x)
+		return fmt.Appendf(dst, "%v", x)
 	}
 }
