@@ -28,6 +28,7 @@ import (
 	"webmlgo/internal/cache"
 	"webmlgo/internal/codegen"
 	"webmlgo/internal/descriptor"
+	"webmlgo/internal/edge"
 	"webmlgo/internal/ejb"
 	"webmlgo/internal/mvc"
 	"webmlgo/internal/rdb"
@@ -47,11 +48,12 @@ type App struct {
 	Renderer   *render.Engine
 	Business   mvc.Business
 
-	// BeanCache / FragmentCache / PageCache are non-nil when the
+	// BeanCache / FragmentCache / PageCache / Edge are non-nil when the
 	// corresponding options were set.
 	BeanCache     *cache.BeanCache
 	FragmentCache *cache.FragmentCache
 	PageCache     *cache.PageCache
+	Edge          *edge.Surrogate
 
 	// Remote is the application-server client when WithAppServer is set.
 	Remote *ejb.RemoteBusiness
@@ -75,6 +77,9 @@ type config struct {
 	pageCache     int
 	pageTTL       time.Duration
 	pageWorkers   int
+	withEdge      bool
+	edgeCache     int
+	edgeTTL       time.Duration
 }
 
 // Option configures New.
@@ -104,6 +109,17 @@ func WithFragmentCache(capacity int, ttl time.Duration) Option {
 // E6 comparison point and for purely anonymous read-only deployments.
 func WithPageCache(capacity int, ttl time.Duration) Option {
 	return func(c *config) { c.withPageCache = true; c.pageCache = capacity; c.pageTTL = ttl }
+}
+
+// WithEdgeCache puts the ESI surrogate edge tier in front of the
+// application: pages are served assembled from independently cached
+// fragments, each under its descriptor's cache policy, with
+// stale-while-revalidate refresh and model-driven purge (operations
+// push their written dependency tags to the edge). Unlike WithPageCache
+// it stays exact — a write purges precisely the dependent fragments —
+// and it supersedes WithPageCache in Handler when both are set.
+func WithEdgeCache(capacity int, ttl time.Duration) Option {
+	return func(c *config) { c.withEdge = true; c.edgeCache = capacity; c.edgeTTL = ttl }
 }
 
 // WithPageWorkers bounds the page service's worker pool: units of the
@@ -197,6 +213,16 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 		app.BeanCache = cache.NewBeanCache(cfg.beanCache)
 		app.Business = mvc.NewCachedBusiness(app.Business, app.BeanCache)
 	}
+	if cfg.withEdge {
+		// In-process write-event bus: every successful operation pushes
+		// its written tags to the edge, after the bean cache (inner
+		// decorator) has already invalidated its own level.
+		app.Business = &mvc.NotifyingBusiness{Inner: app.Business, OnWrite: func(tags []string) {
+			if app.Edge != nil {
+				app.Edge.Invalidate(tags...)
+			}
+		}}
+	}
 
 	// Presentation.
 	switch {
@@ -234,12 +260,22 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 		app.PageCache = cache.NewPageCache(cfg.pageCache, cfg.pageTTL)
 		app.PageCache.BypassCookie = "WSESSION"
 	}
+	if cfg.withEdge {
+		app.Controller.EdgeFragments = true
+		app.Edge = edge.New(app.Controller, cfg.edgeCache, cfg.edgeTTL)
+		app.Edge.BypassCookie = "WSESSION"
+		app.Edge.VaryUserAgent = cfg.runtime != nil
+	}
 	return app, nil
 }
 
-// Handler returns the application's HTTP entry point (with the whole-page
-// cache in front when WithPageCache was set).
+// Handler returns the application's HTTP entry point: the edge surrogate
+// when WithEdgeCache was set, else the whole-page cache when
+// WithPageCache was set, else the Controller directly.
 func (a *App) Handler() http.Handler {
+	if a.Edge != nil {
+		return a.Edge
+	}
 	if a.PageCache != nil {
 		return a.PageCache.Wrap(a.Controller)
 	}
@@ -250,15 +286,19 @@ func (a *App) Handler() http.Handler {
 // app runs against an application server. Use it to register plug-in
 // unit services and custom components.
 func (a *App) LocalBusiness() *mvc.LocalBusiness {
-	switch b := a.Business.(type) {
-	case *mvc.LocalBusiness:
-		return b
-	case *mvc.CachedBusiness:
-		if lb, ok := b.Inner.(*mvc.LocalBusiness); ok {
-			return lb
+	b := a.Business
+	for {
+		switch t := b.(type) {
+		case *mvc.LocalBusiness:
+			return t
+		case *mvc.CachedBusiness:
+			b = t.Inner
+		case *mvc.NotifyingBusiness:
+			b = t.Inner
+		default:
+			return nil
 		}
 	}
-	return nil
 }
 
 // DeployContainer deploys this application's business tier — unit,

@@ -457,3 +457,55 @@ func BenchmarkE6WholePageCache(b *testing.B) {
 		doGet(h, "/page/volumePage?volume=1")
 	}
 }
+
+// --- E6c: the ESI surrogate edge tier (internal/edge). ---
+
+// BenchmarkE6cEdgeAssembled serves the hot page assembled from edge-
+// cached fragments: no unit computation, no template walk — literal
+// copies plus fragment lookups, while staying exactly coherent (unlike
+// the whole-page cache).
+func BenchmarkE6cEdgeAssembled(b *testing.B) {
+	app := benchApp(b, WithEdgeCache(8192, time.Minute))
+	b.Cleanup(app.Edge.Close)
+	h := app.Handler()
+	doGet(h, "/page/volumePage?volume=1") // warm container + fragments
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doGet(h, "/page/volumePage?volume=1")
+	}
+}
+
+// BenchmarkE6cEdgeAssembledWithWrites runs the full three-level stack
+// (edge + bean cache) with 1 write per 64 reads: every write purges the
+// dependent fragments at both levels, so refill cost is measured too.
+func BenchmarkE6cEdgeAssembledWithWrites(b *testing.B) {
+	app := benchApp(b, WithEdgeCache(8192, time.Minute), WithBeanCache(4096))
+	b.Cleanup(app.Edge.Close)
+	h := app.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			doGet(h, fmt.Sprintf("/op/createVolume?title=V%d&year=2003", i))
+			continue
+		}
+		doGet(h, "/page/volumePage?volume=1")
+	}
+}
+
+// BenchmarkE6cEdgeAssembledParallel hammers the assembled page from
+// many goroutines (the heavy-traffic shape of the ROADMAP north star).
+func BenchmarkE6cEdgeAssembledParallel(b *testing.B) {
+	app := benchApp(b, WithEdgeCache(8192, time.Minute))
+	b.Cleanup(app.Edge.Close)
+	h := app.Handler()
+	doGet(h, "/page/volumePage?volume=1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			doGet(h, "/page/volumePage?volume=1")
+		}
+	})
+}

@@ -15,7 +15,7 @@
 //	webratio validate -model acm
 //	webratio stats    -model acer
 //	webratio generate -model acm -out ./generated [-style b2c]
-//	webratio serve    -model acm -addr :8080 [-style b2c] [-cache]
+//	webratio serve    -model acm -addr :8080 [-style b2c] [-cache] [-edge]
 package main
 
 import (
@@ -133,6 +133,7 @@ func usage() {
   generate -model <name> -out <dir>      emit descriptors, config, templates, DDL
   stats    -model <name>                 print model and artifact statistics
   serve    -model <name> -addr <addr>    run the generated application
+           [-cache] [-edge]              two-level cache / ESI surrogate edge tier
   export   -model <name> [-out file]     write the model's XML document
   import   -in <file>                    load and validate an XML document
   diagram  -model <name> [-out file]     emit the hypertext diagram (DOT)
@@ -283,6 +284,7 @@ func cmdServe(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	styleName := fs.String("style", "b2c", "presentation rule set")
 	cacheOn := fs.Bool("cache", false, "enable the two-level cache")
+	edgeOn := fs.Bool("edge", false, "enable the ESI surrogate edge tier")
 	rows := fs.Int("rows", 50, "rows per entity for synthetic models")
 	fs.Parse(args) //nolint:errcheck
 	m, synthetic, err := loadModel(*model)
@@ -300,9 +302,16 @@ func cmdServe(args []string) {
 	if *cacheOn {
 		opts = append(opts, webmlgo.WithBeanCache(8192), webmlgo.WithFragmentCache(8192, time.Minute))
 	}
+	if *edgeOn {
+		opts = append(opts, webmlgo.WithEdgeCache(8192, time.Minute))
+	}
 	app, err := webmlgo.New(m, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if app.Edge != nil {
+		defer app.Edge.Close()
+		log.Printf("webratio: edge tier on (fragments assembled at the surrogate; purge via POST /edge/invalidate)")
 	}
 	if synthetic {
 		if err := workload.Populate(app.DB, *rows, 7); err != nil {

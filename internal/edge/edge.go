@@ -1,0 +1,506 @@
+package edge
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webmlgo/internal/cache"
+)
+
+// Capability is the Surrogate-Capability token the edge advertises on
+// every origin fetch; the origin switches to ESI container output when
+// it sees the ESI/1.0 capability.
+const Capability = `webmlgo="ESI/1.0"`
+
+// maxIncludeDepth bounds recursive fragment assembly (fragments that are
+// themselves ESI containers).
+const maxIncludeDepth = 3
+
+// Surrogate is the edge tier: an http.Handler in front of the MVC
+// controller that caches ESI containers and unit fragments in the
+// sharded LRU/TTL store and assembles pages from them. Coherence is the
+// paper's: operation services push the dependency tags they write
+// (Invalidate / POST /edge/invalidate), and the purge drops exactly the
+// fragments whose read dependencies intersect them.
+type Surrogate struct {
+	// Origin serves cache misses (normally the Controller, possibly with
+	// further middleware between).
+	Origin http.Handler
+	// Store holds containers and fragments, tagged with their unit read
+	// dependencies for model-driven purge.
+	Store *cache.BeanCache
+	// DefaultTTL applies to responses without Surrogate-Control max-age
+	// (page containers in particular).
+	DefaultTTL time.Duration
+	// StaleWindow is how long past expiry an entry may still be served
+	// while a background refresh runs (stale-while-revalidate). Expired
+	// entries beyond the window are evicted by the store itself.
+	StaleWindow time.Duration
+	// Workers bounds the background refresh pool (<=0 selects 2).
+	Workers int
+	// BypassCookie, when set, exempts requests carrying the cookie:
+	// session-bound (personalized) traffic goes straight to the origin.
+	BypassCookie string
+	// VaryUserAgent mixes the User-Agent into every cache key; set when
+	// the origin styles markup per device (runtime presentation rules).
+	VaryUserAgent bool
+	// Now overrides the freshness clock (tests).
+	Now func() time.Time
+
+	// epoch is advanced under mu by every Invalidate; fills snapshot it
+	// before fetching and refuse to store across a purge, so a response
+	// computed against pre-write state never outlives the write's purge.
+	mu    sync.RWMutex
+	epoch uint64
+
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	startWorkers sync.Once
+	closeOnce    sync.Once
+	jobs         chan refreshJob
+	stop         chan struct{}
+}
+
+// flight coalesces concurrent misses of one key: the leader fetches, the
+// others wait. A flight is only joinable within the epoch it started in —
+// after a purge, waiters must refetch rather than adopt a pre-purge fill.
+type flight struct {
+	done  chan struct{}
+	epoch uint64
+	e     *entry
+	err   error
+}
+
+// entry is one cached origin response: a page container (esi=true, segs
+// pre-parsed) or a unit fragment / plain body.
+type entry struct {
+	status int
+	header http.Header
+	body   []byte
+	esi    bool
+	segs   []Segment
+	deps   []string
+	ttl    time.Duration
+	// expires is the logical freshness deadline; between expires and
+	// expires+StaleWindow the entry is served stale while one background
+	// refresh runs.
+	expires   time.Time
+	cacheable bool
+	uri, ua   string
+
+	refreshing atomic.Bool
+}
+
+type refreshJob struct {
+	key string
+	old *entry
+}
+
+// New returns a surrogate over origin with the given store capacity and
+// default TTL (<=0 selects one minute). The stale window defaults to the
+// TTL; tune the exported fields before serving.
+func New(origin http.Handler, capacity int, defaultTTL time.Duration) *Surrogate {
+	if defaultTTL <= 0 {
+		defaultTTL = time.Minute
+	}
+	return &Surrogate{
+		Origin:      origin,
+		Store:       cache.NewBeanCache(capacity),
+		DefaultTTL:  defaultTTL,
+		StaleWindow: defaultTTL,
+		jobs:        make(chan refreshJob, 256),
+		stop:        make(chan struct{}),
+	}
+}
+
+func (s *Surrogate) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// ServeHTTP caches anonymous page GETs and answers the invalidation
+// endpoint; everything else passes through to the origin untouched.
+func (s *Surrogate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/edge/invalidate" {
+		s.invalidateEndpoint(w, r)
+		return
+	}
+	if r.Method != http.MethodGet || !strings.HasPrefix(r.URL.Path, "/page/") || s.bypass(r) {
+		s.Origin.ServeHTTP(w, r)
+		return
+	}
+	e, xc, err := s.resolve(r.URL.RequestURI(), r.UserAgent())
+	if err != nil {
+		http.Error(w, "edge: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	if !e.esi {
+		// Non-container responses (errors, redirects, the origin's
+		// personalized inline fallback) are relayed as-is.
+		writeEntry(w, e, xc)
+		return
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(e.body) * 2)
+	if err := s.assemble(&buf, e, r.UserAgent(), 0); err != nil {
+		// A fragment failed to resolve: fall back to one full inline
+		// render at the origin rather than serving a broken page.
+		s.Origin.ServeHTTP(w, r)
+		return
+	}
+	body := buf.Bytes()
+	copyHeader(w.Header(), e.header)
+	w.Header().Set("X-Cache", xc)
+	// Content-addressed ETag over the assembled page — identical bytes to
+	// an inline render produce the identical validator.
+	h := fnv.New64a()
+	h.Write(body) //nolint:errcheck // hash writes cannot fail
+	etag := fmt.Sprintf(`"%x"`, h.Sum64())
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Write(body) //nolint:errcheck // client disconnects are not actionable
+}
+
+func (s *Surrogate) bypass(r *http.Request) bool {
+	if s.BypassCookie == "" {
+		return false
+	}
+	_, err := r.Cookie(s.BypassCookie)
+	return err == nil
+}
+
+// assemble concatenates a container's literals with its fragments'
+// bodies, resolving each fragment through the cache.
+func (s *Surrogate) assemble(buf *bytes.Buffer, e *entry, ua string, depth int) error {
+	for _, seg := range e.segs {
+		if seg.Src == "" {
+			buf.Write(seg.Literal)
+			continue
+		}
+		if depth >= maxIncludeDepth {
+			return fmt.Errorf("include depth exceeded at %s", seg.Src)
+		}
+		fe, _, err := s.resolve(seg.Src, ua)
+		if err != nil {
+			return err
+		}
+		if fe.status != http.StatusOK {
+			return fmt.Errorf("fragment %s: status %d", seg.Src, fe.status)
+		}
+		if fe.esi {
+			if err := s.assemble(buf, fe, ua, depth+1); err != nil {
+				return err
+			}
+			continue
+		}
+		buf.Write(fe.body)
+	}
+	return nil
+}
+
+// resolve returns the entry for an internal URI: a fresh cache hit, a
+// stale entry with a background refresh scheduled, or a coalesced origin
+// fetch. The second return is the X-Cache disposition.
+func (s *Surrogate) resolve(uri, ua string) (*entry, string, error) {
+	key := s.key(uri, ua)
+	if v, ok := s.Store.Get(key); ok {
+		e := v.(*entry)
+		if s.now().Before(e.expires) {
+			return e, "HIT", nil
+		}
+		s.scheduleRefresh(key, e)
+		return e, "STALE", nil
+	}
+	e, err := s.fetch(key, uri, ua)
+	return e, "MISS", err
+}
+
+func (s *Surrogate) key(uri, ua string) string {
+	if !s.VaryUserAgent {
+		return uri
+	}
+	return uri + "\x00" + ua
+}
+
+// fetch coalesces concurrent misses of one key and stores the result if
+// no purge intervened since the epoch snapshot.
+func (s *Surrogate) fetch(key, uri, ua string) (*entry, error) {
+	s.mu.RLock()
+	epoch := s.epoch
+	s.mu.RUnlock()
+
+	s.fmu.Lock()
+	if f, ok := s.flights[key]; ok && f.epoch == epoch {
+		s.fmu.Unlock()
+		<-f.done
+		return f.e, f.err
+	}
+	f := &flight{done: make(chan struct{}), epoch: epoch}
+	if s.flights == nil {
+		s.flights = make(map[string]*flight)
+	}
+	s.flights[key] = f
+	s.fmu.Unlock()
+
+	e, err := s.roundTrip(uri, ua)
+	if err == nil && e.cacheable {
+		s.putIfCurrent(key, e, epoch)
+	}
+	f.e, f.err = e, err
+	s.fmu.Lock()
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	s.fmu.Unlock()
+	close(f.done)
+	return e, err
+}
+
+// roundTrip performs one internal origin request, advertising the ESI
+// capability, and interprets the surrogate-facing response headers.
+func (s *Surrogate) roundTrip(uri, ua string) (*entry, error) {
+	req, err := http.NewRequest(http.MethodGet, uri, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Surrogate-Capability", Capability)
+	if ua != "" {
+		req.Header.Set("User-Agent", ua)
+	}
+	rec := &originRecorder{header: make(http.Header)}
+	s.Origin.ServeHTTP(rec, req)
+
+	e := &entry{
+		status: rec.status(),
+		header: clientHeader(rec.header),
+		body:   append([]byte(nil), rec.buf.Bytes()...),
+		uri:    uri,
+		ua:     ua,
+	}
+	sc := rec.header.Get("Surrogate-Control")
+	e.ttl = s.DefaultTTL
+	if maxAge, ok := surrogateMaxAge(sc); ok {
+		e.ttl = maxAge
+	}
+	if strings.Contains(sc, `content="ESI/1.0"`) {
+		e.esi = true
+		e.segs = ParseESI(e.body)
+	}
+	deps, surrogateAware := rec.header[http.CanonicalHeaderKey("X-Webml-Deps")]
+	if len(deps) > 0 {
+		e.deps = strings.Fields(deps[0])
+	}
+	// Surrogate-Control addresses this tier and wins over Cache-Control
+	// (which addresses browsers and shared HTTP caches); a dependency
+	// header — even an empty one — likewise marks a surrogate-aware
+	// fragment response whose Cache-Control: no-store targets browsers.
+	cc := rec.header.Get("Cache-Control")
+	switch {
+	case sc != "":
+		e.cacheable = e.status == http.StatusOK && !strings.Contains(sc, "no-store")
+	case surrogateAware:
+		e.cacheable = e.status == http.StatusOK
+	default:
+		e.cacheable = e.status == http.StatusOK &&
+			!strings.Contains(cc, "no-store") && !strings.Contains(cc, "private")
+	}
+	e.expires = s.now().Add(e.ttl)
+	return e, nil
+}
+
+// putIfCurrent stores an entry unless a purge advanced the epoch since
+// the caller snapshotted it — the edge equivalent of the bean cache's
+// versioned PutIfFresh. It reports whether the entry was stored.
+func (s *Surrogate) putIfCurrent(key string, e *entry, epoch uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.epoch != epoch {
+		return false
+	}
+	s.Store.Put(key, e, e.deps, e.ttl+s.StaleWindow)
+	return true
+}
+
+// Invalidate purges every cached container and fragment depending on any
+// of the given tags and reports how many entries were dropped. The epoch
+// bump makes it a barrier: fetches and refreshes in flight across the
+// call cannot store their (pre-write) results.
+func (s *Surrogate) Invalidate(tags ...string) int {
+	if len(tags) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.Store.Invalidate(tags...)
+}
+
+// Flush empties the store (and acts as a purge barrier like Invalidate).
+func (s *Surrogate) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	s.Store.Flush()
+}
+
+// invalidateEndpoint is the out-of-process purge channel: POST
+// /edge/invalidate with tags=<space/comma separated dependency tags>
+// (repeatable). An edge deployed in a separate process subscribes to
+// writes through this endpoint exactly as the in-process bus does.
+func (s *Surrogate) invalidateEndpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	_ = r.ParseForm() //nolint:errcheck // malformed bodies yield empty form
+	var tags []string
+	for _, raw := range r.Form["tags"] {
+		tags = append(tags, strings.Fields(strings.ReplaceAll(raw, ",", " "))...)
+	}
+	n := s.Invalidate(tags...)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "purged %d\n", n)
+}
+
+// scheduleRefresh enqueues one background revalidation of a stale entry;
+// at most one refresh per entry runs at a time, and a full queue simply
+// leaves the entry stale for a later request to retry.
+func (s *Surrogate) scheduleRefresh(key string, e *entry) {
+	if !e.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	s.startWorkers.Do(s.spawnWorkers)
+	select {
+	case s.jobs <- refreshJob{key: key, old: e}:
+	default:
+		e.refreshing.Store(false)
+	}
+}
+
+func (s *Surrogate) spawnWorkers() {
+	n := s.Workers
+	if n <= 0 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		go func() {
+			for {
+				select {
+				case <-s.stop:
+					return
+				case j := <-s.jobs:
+					s.refresh(j)
+				}
+			}
+		}()
+	}
+}
+
+func (s *Surrogate) refresh(j refreshJob) {
+	s.mu.RLock()
+	epoch := s.epoch
+	s.mu.RUnlock()
+	e, err := s.roundTrip(j.old.uri, j.old.ua)
+	if err == nil && e.cacheable && s.putIfCurrent(j.key, e, epoch) {
+		return
+	}
+	// The refresh did not replace the entry (origin error, now-uncacheable
+	// response, or a purge raced us); let a later request retry.
+	j.old.refreshing.Store(false)
+}
+
+// Close stops the background refresh workers.
+func (s *Surrogate) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+}
+
+// Stats returns the edge store's counters.
+func (s *Surrogate) Stats() cache.Stats { return s.Store.Stats() }
+
+// Len returns the number of cached containers and fragments.
+func (s *Surrogate) Len() int { return s.Store.Len() }
+
+// originRecorder captures the origin's response to an internal fetch.
+type originRecorder struct {
+	code   int
+	header http.Header
+	buf    bytes.Buffer
+}
+
+func (r *originRecorder) Header() http.Header { return r.header }
+
+func (r *originRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *originRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.buf.Write(p)
+}
+
+func (r *originRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// clientHeader filters an origin response header down to what the edge
+// replays to clients: surrogate-internal headers and per-fetch metadata
+// (ETag is recomputed over assembled bytes; Set-Cookie must never be
+// replayed across users) are dropped.
+func clientHeader(h http.Header) http.Header {
+	out := make(http.Header, len(h))
+	for k, vs := range h {
+		switch http.CanonicalHeaderKey(k) {
+		case "Surrogate-Control", "X-Webml-Deps", "Set-Cookie", "Etag", "Content-Length":
+			continue
+		}
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		dst[k] = append([]string(nil), vs...)
+	}
+}
+
+func writeEntry(w http.ResponseWriter, e *entry, xc string) {
+	copyHeader(w.Header(), e.header)
+	w.Header().Set("X-Cache", xc)
+	w.WriteHeader(e.status)
+	w.Write(e.body) //nolint:errcheck // client disconnects are not actionable
+}
+
+// surrogateMaxAge parses the max-age directive of a Surrogate-Control
+// header value.
+func surrogateMaxAge(sc string) (time.Duration, bool) {
+	for _, part := range strings.Split(sc, ",") {
+		part = strings.TrimSpace(part)
+		if v, ok := strings.CutPrefix(part, "max-age="); ok {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				return time.Duration(n) * time.Second, true
+			}
+		}
+	}
+	return 0, false
+}

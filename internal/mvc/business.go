@@ -175,6 +175,37 @@ func (cb *CachedBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string
 	return res, nil
 }
 
+// NotifyingBusiness decorates a Business with a write-event bus: after
+// every successful operation it publishes the operation's written
+// dependency tags. The edge tier subscribes to extend Section 6's
+// model-driven invalidation beyond the bean cache — one write event
+// purges the dependency closure at every cache level.
+type NotifyingBusiness struct {
+	Inner Business
+	// OnWrite receives the Writes tags of each successful operation.
+	OnWrite func(tags []string)
+}
+
+// ComputeUnit implements Business by delegation.
+func (nb *NotifyingBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	return nb.Inner.ComputeUnit(d, inputs)
+}
+
+// ExecuteOperation implements Business, publishing the written tags on
+// success. The inner business (CachedBusiness) has already invalidated
+// its own level when the event fires, so subscribers refilling from the
+// origin observe post-write state.
+func (nb *NotifyingBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	res, err := nb.Inner.ExecuteOperation(d, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if res.OK && len(d.Writes) > 0 && nb.OnWrite != nil {
+		nb.OnWrite(d.Writes)
+	}
+	return res, nil
+}
+
 // beanKeyBuilder assembles bean cache keys without the intermediate
 // map[string]string and per-value strings of the naive implementation;
 // instances are pooled. The output matches cache.Key byte for byte.

@@ -19,6 +19,21 @@ type Renderer interface {
 	RenderPage(pd *descriptor.Page, state *PageState, ctx *RequestContext) ([]byte, error)
 }
 
+// ContainerRenderer is the View's edge mode (Section 6's ESI surrogate
+// architecture): render a page as a container whose unit slots are
+// <esi:include> placeholders, leaving all unit computation to the
+// per-fragment endpoints. internal/render implements it.
+type ContainerRenderer interface {
+	RenderContainer(pd *descriptor.Page, ctx *RequestContext) ([]byte, error)
+}
+
+// FragmentRenderer renders exactly the markup RenderPage would inline
+// for one unit — the response body of the edge tier's fragment
+// endpoints. internal/render implements it.
+type FragmentRenderer interface {
+	RenderUnitFragment(pd *descriptor.Page, state *PageState, ctx *RequestContext, unitID string) ([]byte, error)
+}
+
 // RequestContext carries per-request information to the View.
 type RequestContext struct {
 	// Params are the request parameters (typed).
@@ -52,6 +67,11 @@ type Controller struct {
 	// MaxChain bounds operation chain length (OK links targeting further
 	// operations). 0 selects the default of 8.
 	MaxChain int
+	// EdgeFragments enables the edge-tier protocol: fragment/<page>/<unit>
+	// endpoints answer with Surrogate-Control policies, and page actions
+	// from an ESI-capable surrogate get container output instead of a
+	// full inline render.
+	EdgeFragments bool
 
 	metrics metrics
 }
@@ -95,8 +115,15 @@ func (c *Controller) SetPageWorkers(n int) {
 //	POST /login       sets the session principal (parameter "user")
 //	POST /logout      clears it
 func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	session := c.Sessions.Resolve(w, r)
 	path := strings.TrimPrefix(r.URL.Path, "/")
+	if strings.HasPrefix(path, "fragment/") {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		c.safeFragment(sr, r, path)
+		c.metrics.record(path, time.Since(start), sr.status >= 400)
+		return
+	}
+	session := c.resolveSession(w, r)
 	switch {
 	case strings.HasPrefix(path, "page/") || strings.HasPrefix(path, "op/"):
 		start := time.Now()
@@ -121,6 +148,26 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// resolveSession returns the request's session. A surrogate fetch (the
+// edge advertises Surrogate-Capability) without a session cookie gets a
+// detached session: the edge serves shared anonymous content, so minting
+// a registered session (and a Set-Cookie) per internal fetch would leak
+// server-side state and poison the shared cache with cookies.
+func (c *Controller) resolveSession(w http.ResponseWriter, r *http.Request) *Session {
+	if c.EdgeFragments && isSurrogate(r) {
+		if _, err := r.Cookie(sessionCookie); err != nil {
+			return c.Sessions.Detached()
+		}
+	}
+	return c.Sessions.Resolve(w, r)
+}
+
+// isSurrogate reports whether the request comes from an ESI-capable
+// surrogate (the edge tier).
+func isSurrogate(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Surrogate-Capability"), "ESI/1.0")
 }
 
 // safeDispatch shields the Controller from panics in user-supplied
@@ -214,16 +261,50 @@ func (c *Controller) pageAction(w http.ResponseWriter, r *http.Request, session 
 		return
 	}
 	formState := takeFormState(session, pd)
-	state, err := c.Pages.ComputePage(m.Page, params, formState)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
 	ctx := &RequestContext{
 		Params:    params,
 		Session:   session,
 		UserAgent: r.UserAgent(),
 		Error:     stringParam(params, "_error"),
+	}
+
+	// Cache metadata. Runtime styling dispatches on the User-Agent, so
+	// any cache between here and the browser must key on it; content tied
+	// to a principal or to one-shot form state must not be stored at all.
+	h := w.Header()
+	if c.variesByUserAgent() {
+		h.Add("Vary", "User-Agent")
+	}
+	personalized := pd.Protected || session.User() != "" || len(formState) > 0
+	if personalized {
+		h.Set("Cache-Control", "private, no-store")
+	} else {
+		// Anonymous pages revalidate against the content-addressed ETag.
+		h.Set("Cache-Control", "public, max-age=0, must-revalidate")
+	}
+
+	// Edge mode: an ESI-capable surrogate asking for a shareable page
+	// gets the container — placeholders only, no unit computation here.
+	// Personalized requests fall through to a full inline render, which
+	// the surrogate relays without caching (no-store above).
+	if c.EdgeFragments && !personalized && isSurrogate(r) {
+		if cr, ok := c.Renderer.(ContainerRenderer); ok {
+			out, err := cr.RenderContainer(pd, ctx)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			h.Set("Surrogate-Control", `content="ESI/1.0"`)
+			h.Set("Content-Type", "text/html; charset=utf-8")
+			w.Write(out) //nolint:errcheck // client disconnects are not actionable
+			return
+		}
+	}
+
+	state, err := c.Pages.ComputePage(m.Page, params, formState)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
 	out, err := c.Renderer.RenderPage(pd, state, ctx)
 	if err != nil {
@@ -246,6 +327,104 @@ func bodyHash(b []byte) uint64 {
 	h := fnv.New64a()
 	h.Write(b) //nolint:errcheck // hash writes cannot fail
 	return h.Sum64()
+}
+
+// variesByUserAgent reports whether the View dispatches on User-Agent
+// (runtime presentation rules), in which case responses carry Vary.
+func (c *Controller) variesByUserAgent() bool {
+	v, ok := c.Renderer.(interface{ VariesByUserAgent() bool })
+	return ok && v.VariesByUserAgent()
+}
+
+// safeFragment is safeDispatch for fragment endpoints.
+func (c *Controller) safeFragment(w http.ResponseWriter, r *http.Request, path string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			http.Error(w, fmt.Sprintf("internal error in %s: %v", path, rec),
+				http.StatusInternalServerError)
+		}
+	}()
+	c.fragmentAction(w, r, path)
+}
+
+// fragmentAction answers one edge-tier fragment request:
+//
+//	GET /fragment/<page>/<unit>?<page params>
+//
+// renders exactly the markup RenderPage would inline for that unit of
+// that page, with the surrogate cache policy derived from the unit's
+// descriptor (Surrogate-Control max-age from the conceptual cache TTL,
+// X-Webml-Deps from the unit's read dependency tags) — the per-fragment
+// "different policies" of Section 6's ESI architecture, driven entirely
+// by the model.
+func (c *Controller) fragmentAction(w http.ResponseWriter, r *http.Request, path string) {
+	if !c.EdgeFragments {
+		http.NotFound(w, r)
+		return
+	}
+	pageID, unitID, ok := strings.Cut(strings.TrimPrefix(path, "fragment/"), "/")
+	if !ok || pageID == "" || unitID == "" {
+		http.NotFound(w, r)
+		return
+	}
+	pd := c.Repo.Page(pageID)
+	if pd == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if pd.Protected {
+		// Protected pages never decompose into shared fragments.
+		http.Error(w, "authentication required", http.StatusUnauthorized)
+		return
+	}
+	fr, ok := c.Renderer.(FragmentRenderer)
+	if !ok {
+		http.Error(w, "renderer lacks fragment support", http.StatusNotImplemented)
+		return
+	}
+	params := requestParams(r)
+	state, err := c.Pages.ComputePage(pageID, params, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ctx := &RequestContext{Params: params, Session: c.Sessions.Detached(), UserAgent: r.UserAgent()}
+	out, err := fr.RenderUnitFragment(pd, state, ctx, unitID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	if d := c.Repo.Unit(unitID); d != nil {
+		if d.Cache != nil && d.Cache.Enabled && d.Cache.TTLSeconds > 0 {
+			h.Set("Surrogate-Control", fmt.Sprintf("max-age=%d", d.Cache.TTLSeconds))
+		}
+		// Always present (possibly empty): the header marks the response
+		// surrogate-cacheable and carries the tags whose writes purge it.
+		h.Set("X-Webml-Deps", strings.Join(d.Reads, " "))
+	}
+	if c.variesByUserAgent() {
+		h.Add("Vary", "User-Agent")
+	}
+	// Fragments are surrogate-internal: browsers and shared HTTP caches
+	// must never store partial page markup.
+	h.Set("Cache-Control", "no-store")
+	h.Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(out) //nolint:errcheck // client disconnects are not actionable
+}
+
+// FragmentURL builds the edge fragment URL of one unit: the fragment
+// endpoint carrying the page's request parameters in sorted order
+// (stable surrogate cache keys). Internal parameters (leading
+// underscore, e.g. _error) stay at the container level.
+func FragmentURL(pageID, unitID string, params map[string]Value) string {
+	out := make(map[string]string, len(params))
+	for k, v := range params {
+		if !strings.HasPrefix(k, "_") {
+			out[k] = FormatParam(v)
+		}
+	}
+	return ActionURL("fragment/"+pageID+"/"+unitID, out)
 }
 
 // operationAction executes one operation and resolves the next action.

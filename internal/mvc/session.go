@@ -96,6 +96,14 @@ func (m *SessionManager) Resolve(w http.ResponseWriter, r *http.Request) *Sessio
 	return s
 }
 
+// Detached returns a session that is not registered in the manager and
+// sets no cookie — used for surrogate (edge-tier) fetches, which serve
+// shared anonymous content and must not mint per-fetch server-side
+// sessions.
+func (m *SessionManager) Detached() *Session {
+	return &Session{values: make(map[string]interface{}), touched: m.now()}
+}
+
 // Len returns the number of live sessions.
 func (m *SessionManager) Len() int {
 	m.mu.Lock()

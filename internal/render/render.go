@@ -102,12 +102,57 @@ func (rc *Context) AnchorURL(a descriptor.Anchor, values mvc.Row) string {
 	return mvc.ActionURL(a.Action, params)
 }
 
-var _ mvc.Renderer = (*Engine)(nil)
+var (
+	_ mvc.Renderer          = (*Engine)(nil)
+	_ mvc.ContainerRenderer = (*Engine)(nil)
+	_ mvc.FragmentRenderer  = (*Engine)(nil)
+)
 
 // RenderPage implements mvc.Renderer: parse (or reuse) the page template,
 // optionally restyle it for the requesting device, then substitute every
 // custom tag with its unit's rendition, consulting the fragment cache.
 func (e *Engine) RenderPage(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.RequestContext) ([]byte, error) {
+	return e.render(pd, state, ctx, false)
+}
+
+// RenderContainer implements mvc.ContainerRenderer (the edge mode of
+// Section 6's ESI architecture): the template renders with every unit
+// slot replaced by an <esi:include> placeholder pointing at the unit's
+// fragment endpoint. No unit is computed — the surrogate fetches and
+// caches each fragment independently, under its own descriptor policy.
+func (e *Engine) RenderContainer(pd *descriptor.Page, ctx *mvc.RequestContext) ([]byte, error) {
+	return e.render(pd, nil, ctx, true)
+}
+
+// RenderUnitFragment implements mvc.FragmentRenderer: one unit's markup,
+// byte-identical to what RenderPage inlines in its place (including the
+// placeholder comment for units the page did not compute), so an
+// edge-assembled page equals the in-process rendering exactly.
+func (e *Engine) RenderUnitFragment(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.RequestContext, unitID string) ([]byte, error) {
+	bean := state.Beans[unitID]
+	if bean == nil {
+		return []byte("<!-- unit " + unitID + " not computed -->"), nil
+	}
+	variant := ""
+	if e.Styler != nil {
+		variant = e.Styler.Variant(ctx.UserAgent)
+	}
+	rc := &Context{Page: pd, State: state, Request: ctx, engine: e}
+	markup, err := e.renderUnit(rc, pd, bean, variant)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(markup), nil
+}
+
+// VariesByUserAgent reports whether rendering dispatches on the request
+// User-Agent (runtime presentation rules), so the Controller and any
+// cache tier key and Vary on it.
+func (e *Engine) VariesByUserAgent() bool { return e.Styler != nil }
+
+// render is the shared template walk: edge mode emits ESI placeholders
+// where the inline mode substitutes computed unit markup.
+func (e *Engine) render(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.RequestContext, edge bool) ([]byte, error) {
 	tpl, err := e.template(pd.Template)
 	if err != nil {
 		return nil, err
@@ -134,6 +179,14 @@ func (e *Engine) RenderPage(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.
 			return true
 		}
 		unitID, _ := n.Attr("id")
+		if edge {
+			// The placeholder stands exactly where the inline markup
+			// would; the surrogate substitutes the fragment body
+			// textually, so assembly reproduces RenderPage byte for byte.
+			src := mvc.FragmentURL(pd.ID, unitID, ctx.Params)
+			n.ReplaceWith(dom.NewRaw(`<esi:include src="` + dom.EscapeAttr(src) + `"/>`))
+			return false
+		}
 		bean := state.Beans[unitID]
 		if bean == nil {
 			n.ReplaceWith(dom.NewComment(" unit " + unitID + " not computed "))

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"webmlgo/internal/cache"
 	"webmlgo/internal/er"
 	"webmlgo/internal/mvc"
 	"webmlgo/internal/rdb"
@@ -50,6 +51,43 @@ func RestoreDatabaseFile(path string) (*rdb.DB, error) {
 
 // Metrics returns the Controller's per-action statistics.
 func (a *App) Metrics() []mvc.ActionStats { return a.Controller.Metrics() }
+
+// CacheStats is the public snapshot of every cache level's counters —
+// the observability companion of Section 6's caching architecture. A
+// level not enabled by the App's options is nil.
+type CacheStats struct {
+	// Bean is the business-tier bean cache (WithBeanCache).
+	Bean *cache.Stats
+	// Fragment is the in-process template-fragment cache
+	// (WithFragmentCache).
+	Fragment *cache.Stats
+	// Edge is the ESI surrogate tier (WithEdgeCache).
+	Edge *cache.Stats
+	// Page is the first-generation whole-page cache (WithPageCache).
+	Page *cache.Stats
+}
+
+// CacheMetrics returns the counters of every enabled cache level.
+func (a *App) CacheMetrics() CacheStats {
+	var out CacheStats
+	if a.BeanCache != nil {
+		s := a.BeanCache.Stats()
+		out.Bean = &s
+	}
+	if a.FragmentCache != nil {
+		s := a.FragmentCache.Stats()
+		out.Fragment = &s
+	}
+	if a.Edge != nil {
+		s := a.Edge.Stats()
+		out.Edge = &s
+	}
+	if a.PageCache != nil {
+		s := a.PageCache.Stats()
+		out.Page = &s
+	}
+	return out
+}
 
 // Bootstrap reverse-engineers a conforming database (Section 1's
 // "pre-existing data sources"), derives the default browse hypertext
