@@ -30,6 +30,7 @@ import (
 	"webmlgo/internal/descriptor"
 	"webmlgo/internal/edge"
 	"webmlgo/internal/ejb"
+	"webmlgo/internal/fault"
 	"webmlgo/internal/mvc"
 	"webmlgo/internal/rdb"
 	"webmlgo/internal/render"
@@ -57,6 +58,10 @@ type App struct {
 
 	// Remote is the application-server client when WithAppServer is set.
 	Remote *ejb.RemoteBusiness
+	// Resilient is the retry decorator when WithRetries is set.
+	Resilient *mvc.ResilientBusiness
+	// Faults is the chaos injector when WithFaults is set.
+	Faults *fault.Injector
 }
 
 type config struct {
@@ -80,6 +85,11 @@ type config struct {
 	withEdge      bool
 	edgeCache     int
 	edgeTTL       time.Duration
+
+	faults         *fault.Schedule
+	retries        int
+	requestTimeout time.Duration
+	maxStale       time.Duration
 }
 
 // Option configures New.
@@ -168,6 +178,40 @@ func WithRemotePages() Option {
 	return func(c *config) { c.remotePages = true }
 }
 
+// WithRequestTimeout gives every request a deadline budget: the
+// controller derives a context that expires after d, and every tier
+// below — page workers, bean cache, gob client and container — observes
+// it. Requests past their budget answer 504 (or a degraded stale bean
+// when WithDegradedServing is also set).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) { c.requestTimeout = d }
+}
+
+// WithRetries retries failed idempotent unit reads up to n total
+// attempts with jittered exponential backoff (operations are never
+// retried). n <= 1 disables.
+func WithRetries(n int) Option {
+	return func(c *config) { c.retries = n }
+}
+
+// WithDegradedServing lets the bean cache serve TTL-expired beans no
+// older than maxStale when the business tier fails — availability over
+// freshness, bounded. Invalidated beans are removed outright, so
+// degraded mode never serves data an operation has written over.
+// Requires WithBeanCache.
+func WithDegradedServing(maxStale time.Duration) Option {
+	return func(c *config) { c.maxStale = maxStale }
+}
+
+// WithFaults injects deterministic chaos (latency spikes, error bursts,
+// panics) into the business tier under the seeded schedule — the
+// fault-injection harness behind `webratio serve -chaos`. Faults fire
+// below the retry and cache decorators, exactly where a flapping
+// container would.
+func WithFaults(sched fault.Schedule) Option {
+	return func(c *config) { s := sched; c.faults = &s }
+}
+
 // New validates the model, generates all artifacts, and assembles the
 // runtime.
 func New(model *webml.Model, opts ...Option) (*App, error) {
@@ -209,9 +253,27 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 	} else {
 		app.Business = mvc.NewLocalBusiness(app.DB)
 	}
+	// Resilience decorators stack below the caches: injected faults hit
+	// where a flapping container would, retries absorb what they can,
+	// and the bean cache's degraded mode covers the rest.
+	if cfg.faults != nil {
+		app.Faults = fault.New(*cfg.faults)
+		app.Business = fault.WrapBusiness(app.Business, app.Faults)
+	}
+	if cfg.retries > 1 {
+		seed := int64(1)
+		if cfg.faults != nil && cfg.faults.Seed != 0 {
+			seed = cfg.faults.Seed
+		}
+		app.Resilient = mvc.NewResilientBusiness(app.Business, seed)
+		app.Resilient.MaxAttempts = cfg.retries
+		app.Business = app.Resilient
+	}
 	if cfg.withBeanCache {
 		app.BeanCache = cache.NewBeanCache(cfg.beanCache)
-		app.Business = mvc.NewCachedBusiness(app.Business, app.BeanCache)
+		cached := mvc.NewCachedBusiness(app.Business, app.BeanCache)
+		cached.MaxStaleness = cfg.maxStale
+		app.Business = cached
 	}
 	if cfg.withEdge {
 		// In-process write-event bus: every successful operation pushes
@@ -247,6 +309,7 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 	}
 
 	app.Controller = mvc.NewController(art.Repo, app.Business, app.Renderer)
+	app.Controller.RequestTimeout = cfg.requestTimeout
 	if cfg.pageWorkers > 0 {
 		app.Controller.SetPageWorkers(cfg.pageWorkers)
 	}
@@ -294,6 +357,10 @@ func (a *App) LocalBusiness() *mvc.LocalBusiness {
 		case *mvc.CachedBusiness:
 			b = t.Inner
 		case *mvc.NotifyingBusiness:
+			b = t.Inner
+		case *mvc.ResilientBusiness:
+			b = t.Inner
+		case *fault.Business:
 			b = t.Inner
 		default:
 			return nil

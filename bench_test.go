@@ -7,6 +7,7 @@ package webmlgo
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -141,7 +142,7 @@ func BenchmarkE3GenericUnitService(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := business.ComputeUnit(d, inputs); err != nil {
+		if _, err := business.ComputeUnit(context.Background(), d, inputs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,7 +157,7 @@ func BenchmarkE4InContainerBusiness(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := app.Business.ComputeUnit(d, inputs); err != nil {
+		if _, err := app.Business.ComputeUnit(context.Background(), d, inputs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkE4AppServerBusiness(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := remote.ComputeUnit(d, inputs); err != nil {
+		if _, err := remote.ComputeUnit(context.Background(), d, inputs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -322,7 +323,7 @@ func BenchmarkE6ParallelPageCompute(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := app.Controller.Pages.ComputePage("volumePage", params, nil); err != nil {
+			if _, err := app.Controller.Pages.ComputePage(context.Background(), "volumePage", params, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -414,7 +415,7 @@ func BenchmarkE4AppServerWholePage(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pages.ComputePage("volumePage", params, nil); err != nil {
+		if _, err := pages.ComputePage(context.Background(), "volumePage", params, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -440,7 +441,7 @@ func BenchmarkE4AppServerPerUnitPage(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pages.ComputePage("volumePage", params, nil); err != nil {
+		if _, err := pages.ComputePage(context.Background(), "volumePage", params, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

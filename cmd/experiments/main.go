@@ -10,18 +10,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"webmlgo"
 	"webmlgo/internal/baseline"
+	"webmlgo/internal/cache"
 	"webmlgo/internal/codegen"
 	"webmlgo/internal/ejb"
+	"webmlgo/internal/fault"
 	"webmlgo/internal/fixture"
 	"webmlgo/internal/mvc"
 	"webmlgo/internal/rdb"
@@ -43,6 +47,7 @@ func main() {
 		{"e6", e6, "E6 (Sec. 6): two-level caching"},
 		{"e6c", e6c, "E6c (Sec. 6): ESI surrogate edge tier"},
 		{"e7", e7, "E7 (Sec. 8): Acer-Euro-scale generation"},
+		{"e7b", e7b, "E7b (Sec. 4): fault-tolerant business tier under chaos"},
 		{"e8", e8, "E8 (Sec. 1): scaling to thousands of page templates"},
 	}
 	want := map[string]bool{}
@@ -174,7 +179,7 @@ func e3() {
 	d := app.Repo().Unit("volumeData")
 	business := mvc.NewLocalBusiness(app.DB)
 	generic := timeOp(20000, func() {
-		business.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}) //nolint:errcheck
+		business.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}) //nolint:errcheck
 	})
 	dedicated := timeOp(20000, func() {
 		rows, _ := app.DB.Query("SELECT t.oid, t.title, t.year FROM volume t WHERE t.oid = ?", int64(1))
@@ -190,7 +195,7 @@ func e4() {
 	inputs := map[string]mvc.Value{"volume": int64(1)}
 
 	local := mvc.NewLocalBusiness(app.DB)
-	inProc := timeOp(20000, func() { local.ComputeUnit(d, inputs) }) //nolint:errcheck
+	inProc := timeOp(20000, func() { local.ComputeUnit(context.Background(), d, inputs) }) //nolint:errcheck
 
 	ctr := ejb.NewContainer(mvc.NewLocalBusiness(app.DB), 16)
 	addr, err := ctr.Serve("127.0.0.1:0")
@@ -199,7 +204,7 @@ func e4() {
 	remote, err := ejb.Dial(addr)
 	must(err)
 	defer remote.Close()
-	rem := timeOp(5000, func() { remote.ComputeUnit(d, inputs) }) //nolint:errcheck
+	rem := timeOp(5000, func() { remote.ComputeUnit(context.Background(), d, inputs) }) //nolint:errcheck
 
 	fmt.Println("Unit-service invocation cost (Figure 6 trade-off):")
 	fmt.Printf("  in servlet container (local call):   %10v\n", inProc)
@@ -376,6 +381,145 @@ func e7() {
 	fmt.Printf("\nOverride preservation (Sec. 6/8): %d/%d descriptors hand-optimized (%.1f%%), %d preserved across regeneration\n",
 		overridden, len(units), 100*float64(overridden)/float64(len(units)), preserved)
 	fmt.Println("  paper: \"less than 5% of the template source code and SQL queries needed manual retouching\"")
+}
+
+// e7b measures the fault-tolerant business tier: three containers serve
+// one web tier (retries + circuit breaking + failover + degraded
+// serving, with seeded chaos injected at the business boundary) while
+// container 0 flaps — killed and restarted on its address in a loop.
+// Phase 1 reports availability and latency percentiles under the storm;
+// phase 2 kills every container and shows degraded mode serving cached
+// beans within the staleness bound while /healthz turns 503.
+func e7b() {
+	backend := fixtureApp()
+	db := backend.DB
+
+	addrs := make([]string, 3)
+	flapper, addr0, err := webmlgo.DeployContainer(fixture.Figure1Model(), db, 8, "127.0.0.1:0")
+	must(err)
+	addrs[0] = addr0
+	var others []*ejb.Container
+	for i := 1; i < 3; i++ {
+		ctr, addr, err := webmlgo.DeployContainer(fixture.Figure1Model(), db, 8, "127.0.0.1:0")
+		must(err)
+		others = append(others, ctr)
+		addrs[i] = addr
+	}
+
+	app, err := webmlgo.New(fixture.Figure1Model(),
+		webmlgo.WithAppServer(addrs...),
+		webmlgo.WithBeanCache(4096),
+		webmlgo.WithRetries(3),
+		webmlgo.WithRequestTimeout(2*time.Second),
+		webmlgo.WithDegradedServing(2*time.Second),
+		webmlgo.WithFaults(fault.Schedule{
+			Seed:        2003,
+			LatencyProb: 0.03, Latency: 2 * time.Millisecond,
+			ErrorProb: 0.02,
+			PanicProb: 0.001,
+		}))
+	must(err)
+	defer app.Remote.Close()
+	h := app.Handler()
+
+	// Container 0 flaps for the whole measured run.
+	stop := make(chan struct{})
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		ctr := flapper
+		for {
+			select {
+			case <-stop:
+				if ctr != nil {
+					ctr.Close()
+				}
+				return
+			default:
+			}
+			time.Sleep(30 * time.Millisecond)
+			if ctr != nil {
+				ctr.Close()
+				ctr = nil
+			}
+			time.Sleep(30 * time.Millisecond)
+			if nc, _, err := webmlgo.DeployContainer(fixture.Figure1Model(), db, 8, addrs[0]); err == nil {
+				ctr = nc
+			}
+		}
+	}()
+
+	const N = 2000
+	lats := make([]time.Duration, 0, N)
+	var failures int
+	var lastCreated string
+	for i := 0; i < N; i++ {
+		var path string
+		title := fmt.Sprintf("E7b%d", i)
+		switch {
+		case i%250 == 249:
+			path = "/op/createVolume?title=" + title + "&year=2004"
+		case i%2 == 0:
+			path = "/page/volumePage?volume=1"
+		default:
+			path = "/page/volumesPage"
+		}
+		start := time.Now()
+		code, _ := get(h, path)
+		lats = append(lats, time.Since(start))
+		if code >= 500 {
+			failures++
+		} else if strings.HasPrefix(path, "/op/") {
+			lastCreated = title
+		}
+	}
+	close(stop)
+	<-flapDone
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	health := app.Health()
+	fmt.Printf("Phase 1 — %d requests while 1 of 3 containers flaps (kill/restart every ~60ms):\n", N)
+	fmt.Printf("  availability: %.2f%% (%d/%d; %d failed)\n",
+		100*float64(N-failures)/float64(N), N-failures, N, failures)
+	fmt.Printf("  latency: p50=%v p99=%v\n", lats[N/2], lats[N*99/100])
+	fmt.Printf("  retries absorbed: %d; injected chaos: %+v; process crashes: 0\n", health.Retries, health.Faults)
+	for _, ep := range health.Endpoints {
+		fmt.Printf("  endpoint %s: breaker %s\n", ep.Addr, ep.State)
+	}
+	_, body := get(h, "/page/volumesPage")
+	fmt.Printf("  freshness: last successful write (%s) visible through the uncached index: %v\n",
+		lastCreated, strings.Contains(body, lastCreated))
+	fmt.Println("  (invalidation removes beans outright, so degraded mode can never serve")
+	fmt.Println("   written-over data — staleness is bounded by construction)")
+
+	// Phase 2: total outage. Re-warm the volumeData bean (the storm's
+	// last write invalidated it), age it past its TTL so only degraded
+	// serving can answer, then keep reading it.
+	d := app.Artifacts.Repo.Unit("volumeData")
+	key := cache.Key("volumeData", map[string]string{"volume": mvc.FormatParam(int64(1))})
+	for i := 0; i < 5; i++ {
+		get(h, "/page/volumePage?volume=1")
+		if _, ok := app.BeanCache.Get(key); ok {
+			break
+		}
+	}
+	for _, c := range others {
+		c.Close()
+	}
+	if v, ok := app.BeanCache.Get(key); ok {
+		app.BeanCache.Put(key, v, d.Reads, time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	okReads := 0
+	for i := 0; i < 20; i++ {
+		if _, err := app.Business.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}); err == nil {
+			okReads++
+		}
+	}
+	health = app.Health()
+	fmt.Printf("\nPhase 2 — every container down:\n")
+	fmt.Printf("  cached unit reads served stale-within-bound: %d/20 (degraded hits: %d)\n", okReads, health.DegradedHits)
+	fmt.Printf("  /healthz: ok=%v (every breaker open -> 503, cache is the last line of defence)\n", health.OK)
 }
 
 // e8 verifies the Section 1 scaling requirement: "the design and code

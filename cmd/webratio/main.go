@@ -19,18 +19,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"webmlgo"
 	"webmlgo/internal/codegen"
 	"webmlgo/internal/er"
+	"webmlgo/internal/fault"
 	"webmlgo/internal/fixture"
 	"webmlgo/internal/style"
 	"webmlgo/internal/webml"
@@ -134,6 +138,10 @@ func usage() {
   stats    -model <name>                 print model and artifact statistics
   serve    -model <name> -addr <addr>    run the generated application
            [-cache] [-edge]              two-level cache / ESI surrogate edge tier
+           [-timeout d] [-retries n]     per-request deadline / unit-read retries
+           [-max-stale d]                degraded-mode staleness bound (needs -cache)
+           [-chaos] [-chaos-seed n]      seeded fault injection below the resilience layer
+           [-drain d]                    graceful-shutdown drain budget (default 5s)
   export   -model <name> [-out file]     write the model's XML document
   import   -in <file>                    load and validate an XML document
   diagram  -model <name> [-out file]     emit the hypertext diagram (DOT)
@@ -286,6 +294,12 @@ func cmdServe(args []string) {
 	cacheOn := fs.Bool("cache", false, "enable the two-level cache")
 	edgeOn := fs.Bool("edge", false, "enable the ESI surrogate edge tier")
 	rows := fs.Int("rows", 50, "rows per entity for synthetic models")
+	timeout := fs.Duration("timeout", 0, "per-request deadline budget (0 = none)")
+	retries := fs.Int("retries", 0, "max attempts per idempotent unit read (<=1 = no retries)")
+	maxStale := fs.Duration("max-stale", 0, "serve TTL-expired beans up to this old when the business tier fails (0 = off; needs -cache)")
+	chaos := fs.Bool("chaos", false, "inject deterministic faults into the business tier")
+	chaosSeed := fs.Int64("chaos-seed", 2003, "seed of the -chaos fault schedule")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
 	fs.Parse(args) //nolint:errcheck
 	m, synthetic, err := loadModel(*model)
 	if err != nil {
@@ -305,6 +319,24 @@ func cmdServe(args []string) {
 	if *edgeOn {
 		opts = append(opts, webmlgo.WithEdgeCache(8192, time.Minute))
 	}
+	if *timeout > 0 {
+		opts = append(opts, webmlgo.WithRequestTimeout(*timeout))
+	}
+	if *retries > 1 {
+		opts = append(opts, webmlgo.WithRetries(*retries))
+	}
+	if *maxStale > 0 {
+		opts = append(opts, webmlgo.WithDegradedServing(*maxStale))
+	}
+	if *chaos {
+		opts = append(opts, webmlgo.WithFaults(fault.Schedule{
+			Seed:        *chaosSeed,
+			LatencyProb: 0.05,
+			Latency:     10 * time.Millisecond,
+			ErrorProb:   0.05,
+			PanicProb:   0.01,
+		}))
+	}
 	app, err := webmlgo.New(m, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -312,6 +344,9 @@ func cmdServe(args []string) {
 	if app.Edge != nil {
 		defer app.Edge.Close()
 		log.Printf("webratio: edge tier on (fragments assembled at the surrogate; purge via POST /edge/invalidate)")
+	}
+	if *chaos {
+		log.Printf("webratio: chaos on (seed %d): 5%% latency spikes, 5%% errors, 1%% panics below the resilience layer", *chaosSeed)
 	}
 	if synthetic {
 		if err := workload.Populate(app.DB, *rows, 7); err != nil {
@@ -322,9 +357,34 @@ func cmdServe(args []string) {
 			log.Fatal(err)
 		}
 	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", app.Handler())
+	mux.Handle("/healthz", app.HealthHandler())
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting, in-flight
+	// requests drain within the -drain budget, then the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
 	home := "/page/" + m.SiteViews[0].Home
-	log.Printf("webratio: serving model %q on %s (try %s)", m.Name, *addr, home)
-	log.Fatal(http.ListenAndServe(*addr, app.Handler()))
+	log.Printf("webratio: serving model %q on %s (try %s; probe /healthz)", m.Name, *addr, home)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("webratio: shutting down (draining up to %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("webratio: drain incomplete: %v", err)
+			srv.Close() //nolint:errcheck // last resort
+		}
+	}
 }
 
 // cmdDiagram is wired from main via the "diagram" subcommand.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -56,7 +57,7 @@ func main() {
 
 	// --- A non-Web client shares the same business logic (Section 4). ---
 	d := backend.Repo().Unit("volIndex")
-	bean, err := web.Remote.ComputeUnit(d, nil)
+	bean, err := web.Remote.ComputeUnit(context.Background(), d, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+package webmlgo
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"webmlgo/internal/ejb"
+)
+
+// Health is the web tier's /healthz snapshot: circuit-breaker state per
+// container endpoint, resilience counters, and cache degradation — the
+// operator's view of whether the tier split is currently absorbing
+// failures or surfacing them.
+type Health struct {
+	OK bool `json:"ok"`
+	// Endpoints is the client-side view of each container address
+	// (empty without WithAppServer).
+	Endpoints []ejb.EndpointHealth `json:"endpoints,omitempty"`
+	// Retries counts unit-read retry attempts (WithRetries).
+	Retries int64 `json:"retries,omitempty"`
+	// DegradedHits counts stale beans served while the business tier
+	// was failing (WithDegradedServing).
+	DegradedHits int64 `json:"degradedHits,omitempty"`
+	// Faults reports injected chaos counts when -chaos is active.
+	Faults interface{} `json:"faults,omitempty"`
+}
+
+// Health snapshots the application's resilience state. OK is false only
+// when every container endpoint's breaker is open — the web tier can
+// still answer from cache (degraded), but new business work will fail.
+func (a *App) Health() Health {
+	h := Health{OK: true}
+	if a.Remote != nil {
+		h.Endpoints = a.Remote.Health()
+		allOpen := len(h.Endpoints) > 0
+		for _, ep := range h.Endpoints {
+			if ep.State != ejb.BreakerOpen {
+				allOpen = false
+			}
+		}
+		h.OK = !allOpen
+	}
+	if a.Resilient != nil {
+		h.Retries = a.Resilient.Retries.Load()
+	}
+	if a.BeanCache != nil {
+		h.DegradedHits = a.BeanCache.Stats().DegradedHits
+	}
+	if a.Faults != nil {
+		h.Faults = a.Faults.Counts()
+	}
+	return h
+}
+
+// HealthHandler returns the /healthz endpoint: Health as JSON, 200
+// while at least one path to the business tier works, 503 once every
+// breaker is open.
+func (a *App) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := a.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort probe response
+	})
+}

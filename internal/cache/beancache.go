@@ -29,9 +29,13 @@ type BeanCache struct {
 }
 
 // NewBeanCache returns a bean cache bounded to capacity entries
-// (<=0 selects the default, 4096).
+// (<=0 selects the default, 4096). TTL-expired beans are retained
+// (demoted in the LRU) so GetStale can serve them in degraded mode;
+// invalidated beans are removed outright and never resurface.
 func NewBeanCache(capacity int) *BeanCache {
-	return &BeanCache{s: newStore(capacity), gens: make(map[string]uint64)}
+	s := newStore(capacity)
+	s.keepStale = true
+	return &BeanCache{s: s, gens: make(map[string]uint64)}
 }
 
 // keyBuilder assembles canonical cache keys without intermediate maps or
@@ -69,6 +73,16 @@ func Key(unitID string, inputs map[string]string) string {
 
 // Get returns the cached bean for key, if present and fresh.
 func (c *BeanCache) Get(key string) (interface{}, bool) { return c.s.get(key) }
+
+// GetStale returns the bean for key even if its TTL has lapsed, as long
+// as it was stored no more than maxStale ago, together with its age. It
+// is the degraded-mode read path used when the business tier is
+// unreachable; hits are counted separately as Stats.DegradedHits.
+// Invalidate removes beans outright, so GetStale can never return data
+// an operation has written over.
+func (c *BeanCache) GetStale(key string, maxStale time.Duration) (interface{}, time.Duration, bool) {
+	return c.s.getStale(key, maxStale)
+}
 
 // Put stores a bean under key, tagged with its dependency tags and an
 // optional TTL (0 disables time-based expiry).

@@ -29,6 +29,10 @@ type Stats struct {
 	Evictions     int64
 	Invalidations int64 // entries removed by dependency invalidation
 	Expirations   int64
+	// DegradedHits counts expired entries served through GetStale while
+	// the origin was unavailable (Section 6's cache acting as the last
+	// line of defence when the business tier is down).
+	DegradedHits int64
 }
 
 // HitRatio returns hits / (hits + misses), or 0 for an unused cache.
@@ -44,7 +48,9 @@ type entry struct {
 	key     string
 	val     interface{}
 	deps    []string
+	stored  time.Time // when the value was put (staleness bound)
 	expires time.Time // zero = no TTL
+	expired bool      // TTL lapse already counted in stats
 	elem    *list.Element
 }
 
@@ -63,6 +69,11 @@ type store struct {
 	mask   uint32
 	// now is the clock hook shared by every shard (tests override it).
 	now func() time.Time
+	// keepStale retains TTL-expired entries (demoted to the LRU tail)
+	// instead of dropping them on lookup, so getStale can serve them in
+	// degraded mode. Invalidated entries are always removed outright —
+	// degraded mode never resurrects written-over data.
+	keepStale bool
 }
 
 // shard is one independent slice of the keyspace.
@@ -136,14 +147,44 @@ func (s *store) get(key string) (interface{}, bool) {
 		return nil, false
 	}
 	if !e.expires.IsZero() && s.now().After(e.expires) {
-		sh.removeLocked(e)
-		sh.stats.Expirations++
+		if s.keepStale {
+			// Keep the zombie for degraded-mode serving, but demote it
+			// so capacity pressure reclaims it first.
+			if !e.expired {
+				e.expired = true
+				sh.stats.Expirations++
+			}
+			sh.lru.MoveToBack(e.elem)
+		} else {
+			sh.removeLocked(e)
+			sh.stats.Expirations++
+		}
 		sh.stats.Misses++
 		return nil, false
 	}
 	sh.lru.MoveToFront(e.elem)
 	sh.stats.Hits++
 	return e.val, true
+}
+
+// getStale returns the entry for key regardless of TTL expiry, as long
+// as it was stored no more than maxStale ago. It is the degraded-mode
+// read path: Invalidate removes entries outright, so anything getStale
+// finds was never written over — only aged past its freshness TTL.
+func (s *store) getStale(key string, maxStale time.Duration) (interface{}, time.Duration, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	age := s.now().Sub(e.stored)
+	if age > maxStale {
+		return nil, 0, false
+	}
+	sh.stats.DegradedHits++
+	return e.val, age, true
 }
 
 func (s *store) put(key string, val interface{}, deps []string, ttl time.Duration) {
@@ -164,7 +205,7 @@ func (s *store) put(key string, val interface{}, deps []string, ttl time.Duratio
 		sh.removeLocked(back.Value.(*entry))
 		sh.stats.Evictions++
 	}
-	e := &entry{key: key, val: val, deps: deps}
+	e := &entry{key: key, val: val, deps: deps, stored: s.now()}
 	if ttl > 0 {
 		e.expires = s.now().Add(ttl)
 	}
@@ -246,6 +287,7 @@ func (s *store) statsCopy() Stats {
 		out.Evictions += sh.stats.Evictions
 		out.Invalidations += sh.stats.Invalidations
 		out.Expirations += sh.stats.Expirations
+		out.DegradedHits += sh.stats.DegradedHits
 		sh.mu.Unlock()
 	}
 	return out

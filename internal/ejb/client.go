@@ -1,6 +1,7 @@
 package ejb
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -11,27 +12,55 @@ import (
 	"webmlgo/internal/mvc"
 )
 
+// maxPooledPerEndpoint caps idle connections kept per container.
+const maxPooledPerEndpoint = 64
+
 // RemoteBusiness is the client stub: it implements mvc.Business by
 // calling components deployed in one or more remote containers. The
 // action classes in the servlet container "call the appropriate business
 // objects, which implement the actual application functions" (Section 4).
-// Connections are pooled; multiple addresses are balanced round-robin.
+//
+// The stub is the resilience boundary of the tier split: each container
+// address gets its own connection pool and circuit breaker, calls carry
+// the request deadline onto the socket (a hung container can never wedge
+// a servlet worker), and idempotent calls (units, pages) transparently
+// fail over to the next healthy container. Operations never fail over
+// once the request may have reached a container — a write either
+// happened or its error surfaces.
 type RemoteBusiness struct {
-	addrs []string
+	endpoints []*endpoint
 	// Latency, when positive, injects an artificial network delay per
 	// call — a stand-in for a real machine boundary when benchmarking on
 	// loopback.
 	Latency time.Duration
+	// CallTimeout caps each remote call even when the request context
+	// carries no deadline (0 = uncapped). When both are set, the earlier
+	// one wins.
+	CallTimeout time.Duration
+
+	mu   sync.Mutex
+	next int
+}
+
+// endpoint is one container address: its breaker, its idle-connection
+// pool, and a generation counter. Any observed connection failure bumps
+// the generation and retires the whole pool — the container behind those
+// connections died or restarted, so none of them can be trusted again
+// (a dead pooled connection must never be handed out twice).
+type endpoint struct {
+	addr string
+	brk  *breaker
 
 	mu   sync.Mutex
 	pool []*conn
-	next int
+	gen  uint64
 }
 
 type conn struct {
 	c   net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	gen uint64
 }
 
 // Dial returns a client for the given container addresses.
@@ -39,23 +68,39 @@ func Dial(addrs ...string) (*RemoteBusiness, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("ejb: no container addresses")
 	}
-	return &RemoteBusiness{addrs: addrs}, nil
+	r := &RemoteBusiness{endpoints: make([]*endpoint, len(addrs))}
+	for i, a := range addrs {
+		r.endpoints[i] = &endpoint{addr: a, brk: newBreaker(0, 0)}
+	}
+	return r, nil
+}
+
+// SetBreaker reconfigures every endpoint's circuit breaker (zero values
+// select the defaults: threshold 3, cooldown 200ms).
+func (r *RemoteBusiness) SetBreaker(threshold int, cooldown time.Duration) {
+	for _, ep := range r.endpoints {
+		ep.brk = newBreaker(threshold, cooldown)
+	}
 }
 
 var _ mvc.Business = (*RemoteBusiness)(nil)
 
-// ComputeUnit implements mvc.Business remotely.
-func (r *RemoteBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
-	resp, err := r.call(&request{Kind: "unit", Descriptor: d, Inputs: inputs})
+// ComputeUnit implements mvc.Business remotely. Unit reads are
+// idempotent, so they fail over across containers.
+func (r *RemoteBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+	resp, err := r.call(ctx, &request{Kind: "unit", Descriptor: d, Inputs: inputs})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Bean, nil
 }
 
-// ExecuteOperation implements mvc.Business remotely.
-func (r *RemoteBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.OpResult, error) {
-	resp, err := r.call(&request{Kind: "operation", Descriptor: d, Inputs: inputs})
+// ExecuteOperation implements mvc.Business remotely. Operations fail
+// over only while the request provably never left this process (dial
+// errors, open breakers) — once it may have reached a container, the
+// error surfaces rather than risking a double write.
+func (r *RemoteBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.OpResult, error) {
+	resp, err := r.call(ctx, &request{Kind: "operation", Descriptor: d, Inputs: inputs})
 	if err != nil {
 		return nil, err
 	}
@@ -69,74 +114,228 @@ func (r *RemoteBusiness) Pages() mvc.PageComputer { return remotePages{rb: r} }
 
 type remotePages struct{ rb *RemoteBusiness }
 
-// ComputePage implements mvc.PageComputer remotely.
-func (p remotePages) ComputePage(pageID string, params map[string]mvc.Value, formState map[string]*mvc.FormState) (*mvc.PageState, error) {
-	resp, err := p.rb.call(&request{Kind: "page", PageID: pageID, Inputs: params, FormState: formState})
+// ComputePage implements mvc.PageComputer remotely. Page computations
+// are idempotent reads and fail over like units.
+func (p remotePages) ComputePage(ctx context.Context, pageID string, params map[string]mvc.Value, formState map[string]*mvc.FormState) (*mvc.PageState, error) {
+	resp, err := p.rb.call(ctx, &request{Kind: "page", PageID: pageID, Inputs: params, FormState: formState})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Page, nil
 }
 
-func (r *RemoteBusiness) call(req *request) (*response, error) {
+// call routes one invocation: starting from the round-robin cursor, it
+// tries each endpoint whose breaker admits the call, failing over on
+// transport errors (idempotent kinds only) until an endpoint answers or
+// all are exhausted.
+func (r *RemoteBusiness) call(ctx context.Context, req *request) (*response, error) {
 	if r.Latency > 0 {
 		time.Sleep(r.Latency)
 	}
-	cn, err := r.get()
-	if err != nil {
-		return nil, err
+	deadline := r.deadline(ctx)
+	if !deadline.IsZero() {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.DeadlineMS = ms
 	}
-	var resp response
-	if err := cn.enc.Encode(req); err != nil {
+	readOnly := req.Kind != "operation"
+	r.mu.Lock()
+	start := r.next
+	r.next++
+	r.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(r.endpoints); i++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, lastErr
+		}
+		ep := r.endpoints[(start+i)%len(r.endpoints)]
+		if !ep.brk.allow() {
+			lastErr = fmt.Errorf("ejb: %s: circuit open", ep.addr)
+			continue
+		}
+		resp, sent, err := r.callOn(ep, req, deadline, readOnly)
+		if err == nil {
+			if resp.Err != "" {
+				// Application-level error: the container is healthy and
+				// already executed the call; failing over would just run
+				// it again for the same answer.
+				return nil, fmt.Errorf("ejb: remote: %s", resp.Err)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if sent && !readOnly {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// deadline resolves the effective absolute deadline of one call from
+// the context and CallTimeout (zero time = unbounded).
+func (r *RemoteBusiness) deadline(ctx context.Context) time.Time {
+	d, ok := ctx.Deadline()
+	if r.CallTimeout > 0 {
+		if c := time.Now().Add(r.CallTimeout); !ok || c.Before(d) {
+			return c
+		}
+	}
+	if !ok {
+		return time.Time{}
+	}
+	return d
+}
+
+// callOn performs one invocation against a single endpoint, retrying
+// once on a fresh connection when a pooled one fails (the container may
+// have restarted since it was pooled — one fresh dial distinguishes a
+// stale connection from a dead endpoint). sent reports whether the
+// request may have reached the container (operations must not be
+// resent once it did).
+func (r *RemoteBusiness) callOn(ep *endpoint, req *request, deadline time.Time, readOnly bool) (*response, bool, error) {
+	sent := false
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cn, pooled, err := ep.get()
+		if err != nil {
+			ep.brk.failure()
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, sent, lastErr
+		}
+		resp, err := exchange(cn, req, deadline)
+		if err == nil {
+			ep.put(cn)
+			ep.brk.success()
+			return resp, true, nil
+		}
+		// Any exchange attempt may have flushed bytes to the container
+		// before failing; from here an operation is unsafe to resend.
+		sent = true
 		cn.c.Close()
+		ep.dropGeneration(cn.gen)
+		ep.brk.failure()
+		lastErr = err
+		if !pooled || !readOnly {
+			break
+		}
+	}
+	return nil, sent, lastErr
+}
+
+// exchange runs one request/response pair on a connection, bounding
+// both the write and the read by the call deadline so a hung container
+// surfaces as a timeout instead of a wedged goroutine.
+func exchange(cn *conn, req *request, deadline time.Time) (*response, error) {
+	if !deadline.IsZero() {
+		cn.c.SetDeadline(deadline) //nolint:errcheck // failure surfaces on the I/O below
+	}
+	if err := cn.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("ejb: send: %w", err)
 	}
+	var resp response
 	if err := cn.dec.Decode(&resp); err != nil {
-		cn.c.Close()
 		return nil, fmt.Errorf("ejb: receive: %w", err)
 	}
-	r.put(cn)
-	if resp.Err != "" {
-		return nil, fmt.Errorf("ejb: remote: %s", resp.Err)
+	if !deadline.IsZero() {
+		// Clear the deadline before the connection returns to the pool.
+		cn.c.SetDeadline(time.Time{}) //nolint:errcheck // failure surfaces on next use
 	}
 	return &resp, nil
 }
 
-// get borrows a pooled connection or dials the next container.
-func (r *RemoteBusiness) get() (*conn, error) {
-	r.mu.Lock()
-	if n := len(r.pool); n > 0 {
-		cn := r.pool[n-1]
-		r.pool = r.pool[:n-1]
-		r.mu.Unlock()
-		return cn, nil
+// get borrows a pooled connection (skipping retired generations) or
+// dials a fresh one. pooled reports which.
+func (ep *endpoint) get() (*conn, bool, error) {
+	ep.mu.Lock()
+	for n := len(ep.pool); n > 0; n = len(ep.pool) {
+		cn := ep.pool[n-1]
+		ep.pool = ep.pool[:n-1]
+		if cn.gen != ep.gen {
+			// Retired generation: its container died since this
+			// connection was pooled.
+			cn.c.Close()
+			continue
+		}
+		ep.mu.Unlock()
+		return cn, true, nil
 	}
-	addr := r.addrs[r.next%len(r.addrs)]
-	r.next++
-	r.mu.Unlock()
-	c, err := net.Dial("tcp", addr)
+	gen := ep.gen
+	ep.mu.Unlock()
+	c, err := net.Dial("tcp", ep.addr)
 	if err != nil {
-		return nil, fmt.Errorf("ejb: dial %s: %w", addr, err)
+		return nil, false, fmt.Errorf("ejb: dial %s: %w", ep.addr, err)
 	}
-	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), gen: gen}, false, nil
 }
 
-func (r *RemoteBusiness) put(cn *conn) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.pool) >= 64 {
+func (ep *endpoint) put(cn *conn) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if cn.gen != ep.gen || len(ep.pool) >= maxPooledPerEndpoint {
 		cn.c.Close()
 		return
 	}
-	r.pool = append(r.pool, cn)
+	ep.pool = append(ep.pool, cn)
+}
+
+// dropGeneration retires the generation a failed connection belonged
+// to: the counter advances (unless a concurrent failure already did)
+// and every pooled connection of a retired generation is closed, so a
+// connection whose container died is never handed out again.
+func (ep *endpoint) dropGeneration(gen uint64) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if gen == ep.gen {
+		ep.gen++
+	}
+	keep := ep.pool[:0]
+	for _, cn := range ep.pool {
+		if cn.gen != ep.gen {
+			cn.c.Close()
+		} else {
+			keep = append(keep, cn)
+		}
+	}
+	ep.pool = keep
+}
+
+// EndpointHealth is the client-side view of one container address,
+// surfaced through /healthz.
+type EndpointHealth struct {
+	Addr     string `json:"addr"`
+	State    string `json:"state"`
+	Failures int    `json:"failures"`
+	Pooled   int    `json:"pooled"`
+}
+
+// Health snapshots every endpoint's breaker state and pool size.
+func (r *RemoteBusiness) Health() []EndpointHealth {
+	out := make([]EndpointHealth, len(r.endpoints))
+	for i, ep := range r.endpoints {
+		state, failures := ep.brk.snapshot()
+		ep.mu.Lock()
+		pooled := len(ep.pool)
+		ep.mu.Unlock()
+		out[i] = EndpointHealth{Addr: ep.addr, State: state, Failures: failures, Pooled: pooled}
+	}
+	return out
 }
 
 // Close drops all pooled connections.
 func (r *RemoteBusiness) Close() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, cn := range r.pool {
-		cn.c.Close()
+	for _, ep := range r.endpoints {
+		ep.mu.Lock()
+		for _, cn := range ep.pool {
+			cn.c.Close()
+		}
+		ep.pool = nil
+		ep.mu.Unlock()
 	}
-	r.pool = nil
 }

@@ -1,12 +1,16 @@
 package ejb
 
 import (
+	"context"
 	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
+	"time"
 
 	"webmlgo/internal/mvc"
 )
@@ -31,8 +35,10 @@ type Container struct {
 	served    int64
 	maxActive int
 
-	ln net.Listener
-	wg sync.WaitGroup
+	ln        net.Listener
+	healthSrv *http.Server
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
 }
 
 // NewContainer wraps a business tier with the given initial capacity
@@ -58,10 +64,17 @@ func (c *Container) Serve(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	c.ServeOn(ln)
+	return ln.Addr().String(), nil
+}
+
+// ServeOn starts accepting connections on an existing listener — the
+// fault harness wraps listeners with connection-drop chaos before
+// handing them here.
+func (c *Container) ServeOn(ln net.Listener) {
 	c.ln = ln
 	c.wg.Add(1)
 	go c.acceptLoop(ln)
-	return ln.Addr().String(), nil
 }
 
 func (c *Container) acceptLoop(ln net.Listener) {
@@ -81,6 +94,24 @@ func (c *Container) acceptLoop(ln net.Listener) {
 
 func (c *Container) serveConn(conn net.Conn) {
 	defer conn.Close()
+	// Track the connection so Close can sever it: an idle keep-alive
+	// connection would otherwise pin its handler goroutine in Decode
+	// forever and wedge the container shutdown.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if c.conns == nil {
+		c.conns = make(map[net.Conn]struct{})
+	}
+	c.conns[conn] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
@@ -92,22 +123,48 @@ func (c *Container) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := c.invoke(&req)
+		resp := c.serveOne(&req)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
+// serveOne derives the invocation context from the caller's wire
+// deadline and contains panics: a panicking component (user-supplied
+// custom services run arbitrary code) becomes that invocation's error
+// response instead of killing the container process — per-connection
+// handler goroutines would otherwise take the whole tier down.
+func (c *Container) serveOne(req *request) (resp *response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &response{Err: fmt.Sprintf("ejb: component panicked: %v", r)}
+		}
+	}()
+	ctx := context.Background()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	return c.invoke(ctx, req)
+}
+
 // invoke runs one component call under the capacity gate.
-func (c *Container) invoke(req *request) *response {
+func (c *Container) invoke(ctx context.Context, req *request) *response {
 	c.mu.Lock()
-	for c.active >= c.capacity && !c.closed {
+	for c.active >= c.capacity && !c.closed && ctx.Err() == nil {
 		c.cond.Wait()
 	}
 	if c.closed {
 		c.mu.Unlock()
 		return &response{Err: "ejb: container closed"}
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller's budget ran out while this invocation queued for
+		// capacity; don't burn an instance slot on a dead request.
+		c.mu.Unlock()
+		return &response{Err: err.Error()}
 	}
 	c.active++
 	if c.active > c.maxActive {
@@ -129,21 +186,21 @@ func (c *Container) invoke(req *request) *response {
 			resp.Err = "ejb: container has no deployed page service"
 			return resp
 		}
-		state, err := c.pages.ComputePage(req.PageID, req.Inputs, req.FormState)
+		state, err := c.pages.ComputePage(ctx, req.PageID, req.Inputs, req.FormState)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
 		}
 		resp.Page = state
 	case "unit":
-		bean, err := c.business.ComputeUnit(req.Descriptor, req.Inputs)
+		bean, err := c.business.ComputeUnit(ctx, req.Descriptor, req.Inputs)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
 		}
 		resp.Bean = bean
 	case "operation":
-		res, err := c.business.ExecuteOperation(req.Descriptor, req.Inputs)
+		res, err := c.business.ExecuteOperation(ctx, req.Descriptor, req.Inputs)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
@@ -182,15 +239,77 @@ func (c *Container) Metrics() Metrics {
 	return Metrics{Capacity: c.capacity, Active: c.active, MaxActive: c.maxActive, Served: c.served}
 }
 
-// Close stops accepting connections and unblocks waiting invocations.
+// HealthHandler returns an http.Handler answering /healthz for this
+// container: capacity state as JSON, 200 while open and 503 once
+// closed — the probe an operator (or load balancer) points at the
+// application-server tier.
+func (c *Container) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		m := Metrics{Capacity: c.capacity, Active: c.active, MaxActive: c.maxActive, Served: c.served}
+		closed := c.closed
+		c.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		status := http.StatusOK
+		ok := true
+		if closed {
+			status = http.StatusServiceUnavailable
+			ok = false
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]interface{}{ //nolint:errcheck // best-effort probe response
+			"ok":        ok,
+			"capacity":  m.Capacity,
+			"active":    m.Active,
+			"maxActive": m.MaxActive,
+			"served":    m.Served,
+		})
+	})
+}
+
+// ServeHealth starts an HTTP /healthz listener for the container on
+// addr and returns the bound address. It stops when the container
+// closes.
+func (c *Container) ServeHealth(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", c.HealthHandler())
+	srv := &http.Server{Handler: mux}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		srv.Serve(ln) //nolint:errcheck // exits on listener close
+	}()
+	c.mu.Lock()
+	c.healthSrv = srv
+	c.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting connections, severs open ones, and unblocks
+// waiting invocations.
 func (c *Container) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	healthSrv := c.healthSrv
+	conns := make([]net.Conn, 0, len(c.conns))
+	for cn := range c.conns {
+		conns = append(conns, cn)
+	}
 	c.mu.Unlock()
 	c.cond.Broadcast()
 	var err error
 	if c.ln != nil {
 		err = c.ln.Close()
+	}
+	for _, cn := range conns {
+		cn.Close() //nolint:errcheck // shutdown path
+	}
+	if healthSrv != nil {
+		healthSrv.Close() //nolint:errcheck // shutdown path
 	}
 	c.wg.Wait()
 	return err

@@ -1,6 +1,7 @@
 package ejb
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -50,7 +51,7 @@ func startApp(t *testing.T, capacity int) (*Container, *RemoteBusiness, *rdb.DB,
 func TestRemoteComputeUnit(t *testing.T) {
 	_, client, _, art := startApp(t, 4)
 	d := art.Repo.Unit("volumeData")
-	bean, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)})
+	bean, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRemoteComputeUnit(t *testing.T) {
 func TestRemoteHierarchicalBeanSurvivesGob(t *testing.T) {
 	_, client, _, art := startApp(t, 4)
 	d := art.Repo.Unit("issuesPapers")
-	bean, err := client.ComputeUnit(d, map[string]mvc.Value{"parent": int64(1)})
+	bean, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"parent": int64(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRemoteHierarchicalBeanSurvivesGob(t *testing.T) {
 func TestRemoteOperation(t *testing.T) {
 	_, client, db, art := startApp(t, 4)
 	d := art.Repo.Unit("createVolume")
-	res, err := client.ExecuteOperation(d, map[string]mvc.Value{"title": "Remote Vol", "year": int64(2003)})
+	res, err := client.ExecuteOperation(context.Background(), d, map[string]mvc.Value{"title": "Remote Vol", "year": int64(2003)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +96,12 @@ func TestRemoteErrorPropagates(t *testing.T) {
 	d := art.Repo.Unit("volumeData")
 	bad := *d
 	bad.Query = "SELECT nothing FROM nowhere"
-	_, err := client.ComputeUnit(&bad, map[string]mvc.Value{"volume": int64(1)})
+	_, err := client.ComputeUnit(context.Background(), &bad, map[string]mvc.Value{"volume": int64(1)})
 	if err == nil || !strings.Contains(err.Error(), "ejb: remote") {
 		t.Fatalf("err = %v", err)
 	}
 	// The connection survives an application error.
-	if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+	if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
 		t.Fatalf("connection poisoned: %v", err)
 	}
 }
@@ -110,7 +111,7 @@ func TestNonWebClientSharesBusinessLogic(t *testing.T) {
 	// client, no HTTP controller) calls the same deployed components.
 	_, client, _, art := startApp(t, 4)
 	d := art.Repo.Unit("manageIndex")
-	bean, err := client.ComputeUnit(d, nil)
+	bean, err := client.ComputeUnit(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestCapacityGateAndElasticScaling(t *testing.T) {
 		defer wg.Done()
 		// Every goroutine needs its own pooled connection; the shared
 		// client handles that.
-		if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+		if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
 			t.Error(err)
 		}
 	}
@@ -181,7 +182,7 @@ func TestLoadBalancingAcrossClones(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+			if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -197,7 +198,7 @@ func TestLatencyInjection(t *testing.T) {
 	client.Latency = 5 * time.Millisecond
 	d := art.Repo.Unit("volumeData")
 	start := time.Now()
-	if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+	if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
@@ -209,7 +210,7 @@ func TestClosedContainerRefuses(t *testing.T) {
 	ctr, client, _, art := startApp(t, 4)
 	ctr.Close()
 	d := art.Repo.Unit("volumeData")
-	if _, err := client.ComputeUnit(d, map[string]mvc.Value{"volume": int64(1)}); err == nil {
+	if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}); err == nil {
 		t.Fatal("call to closed container succeeded")
 	}
 }
@@ -224,7 +225,7 @@ func TestRemotePageService(t *testing.T) {
 	ctr, client, db, art := startApp(t, 4)
 	ctr.DeployPages(&mvc.PageService{Repo: art.Repo, Business: mvc.NewLocalBusiness(db)})
 	pages := client.Pages()
-	state, err := pages.ComputePage("volumePage", map[string]mvc.Value{"volume": int64(1)}, nil)
+	state, err := pages.ComputePage(context.Background(), "volumePage", map[string]mvc.Value{"volume": int64(1)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestRemotePageService(t *testing.T) {
 
 func TestRemotePageServiceWithoutDeploymentFails(t *testing.T) {
 	_, client, _, _ := startApp(t, 4)
-	if _, err := client.Pages().ComputePage("volumePage", nil, nil); err == nil {
+	if _, err := client.Pages().ComputePage(context.Background(), "volumePage", nil, nil); err == nil {
 		t.Fatal("undeployed page service accepted")
 	}
 }

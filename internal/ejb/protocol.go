@@ -31,6 +31,12 @@ type request struct {
 	// of Figure 6: the whole computePage runs server-side).
 	PageID    string
 	FormState map[string]*mvc.FormState
+	// DeadlineMS is the caller's remaining request budget in
+	// milliseconds (0 = none). The container derives its invocation
+	// context from it, so a deadline set in the servlet tier bounds work
+	// in the application server too — the budget crosses the tier
+	// boundary with the call.
+	DeadlineMS int64
 }
 
 // response is the invocation result.

@@ -1,6 +1,7 @@
 package mvc
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -27,7 +28,7 @@ func BenchmarkE6PageComputeLatencySequential(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ps.ComputePage("fan", nil, nil); err != nil {
+		if _, err := ps.ComputePage(context.Background(), "fan", nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -43,7 +44,7 @@ func BenchmarkE6PageComputeLatencyParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ps.ComputePage("fan", nil, nil); err != nil {
+		if _, err := ps.ComputePage(context.Background(), "fan", nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,12 +58,12 @@ type naiveCached struct {
 	c     *cache.BeanCache
 }
 
-func (n *naiveCached) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func (n *naiveCached) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	key := beanKey(d.ID, inputs)
 	if v, ok := n.c.Get(key); ok {
 		return v.(*UnitBean), nil
 	}
-	bean, err := n.inner.ComputeUnit(d, inputs)
+	bean, err := n.inner.ComputeUnit(context.Background(), d, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -70,8 +71,8 @@ func (n *naiveCached) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (
 	return bean, nil
 }
 
-func (n *naiveCached) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
-	res, err := n.inner.ExecuteOperation(d, inputs)
+func (n *naiveCached) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	res, err := n.inner.ExecuteOperation(context.Background(), d, inputs)
 	if err == nil && res.OK && len(d.Writes) > 0 {
 		n.c.Invalidate(d.Writes...)
 	}
@@ -85,7 +86,7 @@ type cpuBusiness struct {
 	spin     int
 }
 
-func (c *cpuBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func (c *cpuBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	c.computes.Add(1)
 	x := uint32(1)
 	for i := 0; i < c.spin; i++ {
@@ -94,7 +95,7 @@ func (c *cpuBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (
 	return &UnitBean{UnitID: d.ID, Kind: d.Kind, Nodes: []Node{{Values: Row{"x": int64(x)}}}}, nil
 }
 
-func (c *cpuBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+func (c *cpuBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
 	return &OpResult{OK: true}, nil
 }
 
@@ -108,7 +109,7 @@ func benchMissStorm(b *testing.B, business Business, inner *cpuBusiness) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := business.ExecuteOperation(op, nil); err != nil {
+		if _, err := business.ExecuteOperation(context.Background(), op, nil); err != nil {
 			b.Fatal(err)
 		}
 		start := make(chan struct{})
@@ -118,7 +119,7 @@ func benchMissStorm(b *testing.B, business Business, inner *cpuBusiness) {
 			go func() {
 				defer wg.Done()
 				<-start
-				if _, err := business.ComputeUnit(d, nil); err != nil {
+				if _, err := business.ComputeUnit(context.Background(), d, nil); err != nil {
 					b.Error(err)
 				}
 			}()

@@ -1,6 +1,7 @@
 package mvc
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -16,11 +17,16 @@ import (
 // "servlet container"; internal/ejb provides a remote implementation
 // living in the application server (Figure 6), and CachedBusiness wraps
 // either with the Section 6 bean cache.
+//
+// Every call carries the request context: the controller derives a
+// per-request deadline and each tier below (worker pool, bean cache,
+// gob client) observes it, so a hung container can never wedge a
+// servlet worker past the request budget.
 type Business interface {
 	// ComputeUnit produces the unit bean for a descriptor and inputs.
-	ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
+	ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
 	// ExecuteOperation runs an operation and reports OK/KO.
-	ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
+	ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
 }
 
 // LocalBusiness executes services in-process against the database.
@@ -74,8 +80,13 @@ func (b *LocalBusiness) RegisterCustomOperation(name string, s OperationService)
 	b.CustomOps[name] = s
 }
 
-// ComputeUnit implements Business.
-func (b *LocalBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+// ComputeUnit implements Business. Unit services run against the
+// in-process database and do not block, so the context is only checked
+// at entry: a request past its deadline stops before touching the DB.
+func (b *LocalBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if d.Service != "" {
 		if s, ok := b.Custom[d.Service]; ok {
 			return s.Compute(b.DB, d, inputs)
@@ -90,7 +101,10 @@ func (b *LocalBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value)
 }
 
 // ExecuteOperation implements Business.
-func (b *LocalBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+func (b *LocalBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if d.Service != "" {
 		if s, ok := b.CustomOps[d.Service]; ok {
 			return s.Execute(b.DB, d, inputs)
@@ -113,6 +127,16 @@ type CachedBusiness struct {
 	Inner Business
 	Cache *cache.BeanCache
 
+	// MaxStaleness bounds degraded-mode serving: when the inner business
+	// fails (container down, deadline expired), a TTL-expired bean no
+	// older than this may still be served instead of an error page —
+	// Section 6's cache acting as the last line of defence, mirroring the
+	// edge tier's stale-while-revalidate at the bean level. Invalidation
+	// removes beans outright, so degraded mode can only serve data aged
+	// past its TTL, never data written over by an operation. Zero
+	// disables degraded serving.
+	MaxStaleness time.Duration
+
 	flights flightGroup
 }
 
@@ -128,9 +152,9 @@ func NewCachedBusiness(inner Business, c *cache.BeanCache) *CachedBusiness {
 // snapshotted before computing; PutIfFresh refuses the bean if an
 // operation invalidated any of them in the meantime, so a stale bean is
 // never cached.
-func (cb *CachedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func (cb *CachedBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	if d.Cache == nil || !d.Cache.Enabled {
-		return cb.Inner.ComputeUnit(d, inputs)
+		return cb.Inner.ComputeUnit(ctx, d, inputs)
 	}
 	key := beanKey(d.ID, inputs)
 	if v, ok := cb.Cache.Get(key); ok {
@@ -138,14 +162,23 @@ func (cb *CachedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Valu
 	}
 	f, leader := cb.flights.join(key, d.Reads)
 	if !leader {
-		<-f.done
-		return f.bean, f.err
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			// Don't wait past this request's budget for someone else's
+			// leader; a stale bean within bound still beats an error.
+			return cb.degraded(key, ctx.Err())
+		}
+		if f.err != nil {
+			return cb.degraded(key, f.err)
+		}
+		return f.bean, nil
 	}
 	v := cb.Cache.Version(d.Reads)
-	bean, err := cb.Inner.ComputeUnit(d, inputs)
+	bean, err := cb.Inner.ComputeUnit(ctx, d, inputs)
 	current := cb.flights.finish(key, f, bean, err)
 	if err != nil {
-		return nil, err
+		return cb.degraded(key, err)
 	}
 	if current {
 		ttl := time.Duration(0)
@@ -157,14 +190,29 @@ func (cb *CachedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Valu
 	return bean, nil
 }
 
+// degraded is the fallback path of a failed cached computation: if
+// degraded serving is enabled and a bean no older than MaxStaleness is
+// still retained (TTL-expired beans are kept, invalidated ones are not),
+// serve it and swallow the failure; otherwise surface the original error.
+func (cb *CachedBusiness) degraded(key string, err error) (*UnitBean, error) {
+	if cb.MaxStaleness > 0 {
+		if v, _, ok := cb.Cache.GetStale(key, cb.MaxStaleness); ok {
+			return v.(*UnitBean), nil
+		}
+	}
+	return nil, err
+}
+
 // ExecuteOperation implements Business, invalidating dependent beans on
 // success — "the implementation of operations automatically invalidates
 // the affected cached objects" (Section 6). In-flight computations
 // reading the written tags are forgotten first, so requests arriving
 // after the write never join a pre-write flight; PutIfFresh's version
 // check then keeps any still-finishing leader from caching its result.
-func (cb *CachedBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
-	res, err := cb.Inner.ExecuteOperation(d, inputs)
+// Operations are never retried and never degrade: a write either
+// happened or its error surfaces.
+func (cb *CachedBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	res, err := cb.Inner.ExecuteOperation(ctx, d, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -187,16 +235,16 @@ type NotifyingBusiness struct {
 }
 
 // ComputeUnit implements Business by delegation.
-func (nb *NotifyingBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
-	return nb.Inner.ComputeUnit(d, inputs)
+func (nb *NotifyingBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	return nb.Inner.ComputeUnit(ctx, d, inputs)
 }
 
 // ExecuteOperation implements Business, publishing the written tags on
 // success. The inner business (CachedBusiness) has already invalidated
 // its own level when the event fires, so subscribers refilling from the
 // origin observe post-write state.
-func (nb *NotifyingBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
-	res, err := nb.Inner.ExecuteOperation(d, inputs)
+func (nb *NotifyingBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	res, err := nb.Inner.ExecuteOperation(ctx, d, inputs)
 	if err != nil {
 		return nil, err
 	}

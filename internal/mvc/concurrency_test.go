@@ -1,6 +1,7 @@
 package mvc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -31,7 +32,7 @@ func (g *gatedBusiness) setPayload(s string) {
 	g.mu.Unlock()
 }
 
-func (g *gatedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func (g *gatedBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	g.computes.Add(1)
 	// Capture the payload at entry: the computation reads its database
 	// snapshot when the query runs, not when the result is returned.
@@ -47,7 +48,7 @@ func (g *gatedBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value)
 	return &UnitBean{UnitID: d.ID, Kind: d.Kind, Nodes: []Node{{Values: Row{"v": p}}}}, nil
 }
 
-func (g *gatedBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+func (g *gatedBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
 	g.ops.Add(1)
 	return &OpResult{OK: true}, nil
 }
@@ -85,7 +86,7 @@ func TestSingleflightCoalescesMisses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			beans[i], errs[i] = cb.ComputeUnit(d, map[string]Value{"oid": int64(1)})
+			beans[i], errs[i] = cb.ComputeUnit(context.Background(), d, map[string]Value{"oid": int64(1)})
 		}(i)
 	}
 	<-inner.entered // the leader reached the database
@@ -106,7 +107,7 @@ func TestSingleflightCoalescesMisses(t *testing.T) {
 		}
 	}
 	// The coalesced result was cached: one more call is a pure hit.
-	if _, err := cb.ComputeUnit(d, map[string]Value{"oid": int64(1)}); err != nil {
+	if _, err := cb.ComputeUnit(context.Background(), d, map[string]Value{"oid": int64(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if n := inner.computes.Load(); n != 1 {
@@ -125,7 +126,7 @@ func TestOperationForgetsInFlight(t *testing.T) {
 
 	done := make(chan *UnitBean, 1)
 	go func() {
-		b, err := cb.ComputeUnit(d, nil)
+		b, err := cb.ComputeUnit(context.Background(), d, nil)
 		if err != nil {
 			t.Error(err)
 		}
@@ -134,7 +135,7 @@ func TestOperationForgetsInFlight(t *testing.T) {
 	<-inner.entered // leader is now inside the database call
 
 	// The write lands while the read is still computing.
-	if _, err := cb.ExecuteOperation(writeOp(), nil); err != nil {
+	if _, err := cb.ExecuteOperation(context.Background(), writeOp(), nil); err != nil {
 		t.Fatal(err)
 	}
 	inner.setPayload("post-write")
@@ -148,7 +149,7 @@ func TestOperationForgetsInFlight(t *testing.T) {
 	// recomputes and sees post-write data.
 	inner.gate = nil
 	inner.entered = nil
-	b2, err := cb.ComputeUnit(d, nil)
+	b2, err := cb.ComputeUnit(context.Background(), d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ type countingBusiness struct {
 	delay    time.Duration
 }
 
-func (c *countingBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func (c *countingBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	c.computes.Add(1)
 	if c.delay > 0 {
 		time.Sleep(c.delay)
@@ -180,7 +181,7 @@ func (c *countingBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Val
 	return &UnitBean{UnitID: d.ID, Kind: d.Kind, Nodes: []Node{{Values: vals}}}, nil
 }
 
-func (c *countingBusiness) ExecuteOperation(d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+func (c *countingBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
 	return &OpResult{OK: true}, nil
 }
 
@@ -218,11 +219,11 @@ func TestParallelPageComputeMatchesSequential(t *testing.T) {
 	parSvc := &PageService{Repo: repo, Business: &countingBusiness{}, Workers: 4}
 
 	req := map[string]Value{}
-	seq, err := seqSvc.ComputePage("fan", req, nil)
+	seq, err := seqSvc.ComputePage(context.Background(), "fan", req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := parSvc.ComputePage("fan", req, nil)
+	par, err := parSvc.ComputePage(context.Background(), "fan", req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,11 +255,11 @@ type failingBusiness struct {
 	failUnit string
 }
 
-func (f *failingBusiness) ComputeUnit(d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func (f *failingBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	if d.ID == f.failUnit {
 		return nil, fmt.Errorf("boom in %s", d.ID)
 	}
-	return f.countingBusiness.ComputeUnit(d, inputs)
+	return f.countingBusiness.ComputeUnit(context.Background(), d, inputs)
 }
 
 // TestParallelPageComputeFirstError checks deterministic error selection:
@@ -269,7 +270,7 @@ func TestParallelPageComputeFirstError(t *testing.T) {
 	fanPage(repo, 8)
 	svc := &PageService{Repo: repo, Business: &failingBusiness{failUnit: "mid03"}, Workers: 4}
 	for i := 0; i < 20; i++ {
-		_, err := svc.ComputePage("fan", nil, nil)
+		_, err := svc.ComputePage(context.Background(), "fan", nil, nil)
 		if err == nil {
 			t.Fatal("expected error")
 		}

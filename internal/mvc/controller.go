@@ -1,6 +1,8 @@
 package mvc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -51,7 +53,7 @@ type RequestContext struct {
 // implementation is PageService; internal/ejb provides a remote one (the
 // "Page EJBs" of Figure 6, one round trip per page).
 type PageComputer interface {
-	ComputePage(pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error)
+	ComputePage(ctx context.Context, pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error)
 }
 
 // Controller is the single servlet of the MVC 2 architecture (Figure 3):
@@ -72,6 +74,13 @@ type Controller struct {
 	// from an ESI-capable surrogate get container output instead of a
 	// full inline render.
 	EdgeFragments bool
+	// RequestTimeout is the per-request deadline budget handed to the
+	// business tier: page and operation actions derive a context that
+	// expires after this much time, and every tier below (worker pool,
+	// bean cache, gob client) observes it. A request past its budget
+	// answers 504 (or a degraded stale bean, if enabled). 0 disables the
+	// deadline — only client disconnect cancels.
+	RequestTimeout time.Duration
 
 	metrics metrics
 }
@@ -183,8 +192,29 @@ func (c *Controller) safeDispatch(w http.ResponseWriter, r *http.Request, sessio
 	c.dispatch(w, r, session, action)
 }
 
+// requestContext derives the per-request deadline context — the budget
+// every tier below (page workers, bean cache, gob client) observes.
+func (c *Controller) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if c.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), c.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// errStatus maps a business-tier failure to an HTTP status: a request
+// past its deadline budget is a 504 (the tier boundary timed out, not
+// the application logic), anything else stays a 500.
+func errStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
 // dispatch runs one action (and any operation chain it starts).
 func (c *Controller) dispatch(w http.ResponseWriter, r *http.Request, session *Session, action string) {
+	ctx, cancel := c.requestContext(r)
+	defer cancel()
 	params := requestParams(r)
 
 	// Multi-valued parameters (a multichoice selection) fan an operation
@@ -202,8 +232,8 @@ func (c *Controller) dispatch(w http.ResponseWriter, r *http.Request, session *S
 						fan[k] = pv
 					}
 					fan[name] = ConvertParam(v)
-					if res, err := c.Business.ExecuteOperation(d, fan); err != nil {
-						http.Error(w, err.Error(), http.StatusInternalServerError)
+					if res, err := c.Business.ExecuteOperation(ctx, d, fan); err != nil {
+						http.Error(w, err.Error(), errStatus(err))
 						return
 					} else if !res.OK {
 						c.redirect(w, r, m.KO, m.KOParams, res.Outputs, fan, res.Err)
@@ -228,10 +258,10 @@ func (c *Controller) dispatch(w http.ResponseWriter, r *http.Request, session *S
 		}
 		switch m.Type {
 		case "page":
-			c.pageAction(w, r, session, m, params)
+			c.pageAction(ctx, w, r, session, m, params)
 			return
 		case "operation":
-			next, nextParams, done := c.operationAction(w, r, session, m, params)
+			next, nextParams, done := c.operationAction(ctx, w, r, session, m, params)
 			if done {
 				return
 			}
@@ -249,7 +279,7 @@ func (c *Controller) dispatch(w http.ResponseWriter, r *http.Request, session *S
 
 // pageAction is the page action of Figure 4: extract the input from the
 // HTTP request, call the page service, then invoke the View.
-func (c *Controller) pageAction(w http.ResponseWriter, r *http.Request, session *Session, m *descriptor.Mapping, params map[string]Value) {
+func (c *Controller) pageAction(ctx context.Context, w http.ResponseWriter, r *http.Request, session *Session, m *descriptor.Mapping, params map[string]Value) {
 	pd := c.Repo.Page(m.Page)
 	if pd == nil {
 		http.Error(w, "missing page descriptor", http.StatusInternalServerError)
@@ -261,7 +291,7 @@ func (c *Controller) pageAction(w http.ResponseWriter, r *http.Request, session 
 		return
 	}
 	formState := takeFormState(session, pd)
-	ctx := &RequestContext{
+	vctx := &RequestContext{
 		Params:    params,
 		Session:   session,
 		UserAgent: r.UserAgent(),
@@ -289,7 +319,7 @@ func (c *Controller) pageAction(w http.ResponseWriter, r *http.Request, session 
 	// the surrogate relays without caching (no-store above).
 	if c.EdgeFragments && !personalized && isSurrogate(r) {
 		if cr, ok := c.Renderer.(ContainerRenderer); ok {
-			out, err := cr.RenderContainer(pd, ctx)
+			out, err := cr.RenderContainer(pd, vctx)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -301,12 +331,12 @@ func (c *Controller) pageAction(w http.ResponseWriter, r *http.Request, session 
 		}
 	}
 
-	state, err := c.Pages.ComputePage(m.Page, params, formState)
+	state, err := c.Pages.ComputePage(ctx, m.Page, params, formState)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), errStatus(err))
 		return
 	}
-	out, err := c.Renderer.RenderPage(pd, state, ctx)
+	out, err := c.Renderer.RenderPage(pd, state, vctx)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -382,14 +412,16 @@ func (c *Controller) fragmentAction(w http.ResponseWriter, r *http.Request, path
 		http.Error(w, "renderer lacks fragment support", http.StatusNotImplemented)
 		return
 	}
+	ctx, cancel := c.requestContext(r)
+	defer cancel()
 	params := requestParams(r)
-	state, err := c.Pages.ComputePage(pageID, params, nil)
+	state, err := c.Pages.ComputePage(ctx, pageID, params, nil)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), errStatus(err))
 		return
 	}
-	ctx := &RequestContext{Params: params, Session: c.Sessions.Detached(), UserAgent: r.UserAgent()}
-	out, err := fr.RenderUnitFragment(pd, state, ctx, unitID)
+	vctx := &RequestContext{Params: params, Session: c.Sessions.Detached(), UserAgent: r.UserAgent()}
+	out, err := fr.RenderUnitFragment(pd, state, vctx, unitID)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -430,7 +462,7 @@ func FragmentURL(pageID, unitID string, params map[string]Value) string {
 // operationAction executes one operation and resolves the next action.
 // It returns (nextAction, nextParams, false) to continue a chain, or
 // handles the response itself and returns done=true.
-func (c *Controller) operationAction(w http.ResponseWriter, r *http.Request, session *Session, m *descriptor.Mapping, params map[string]Value) (string, map[string]Value, bool) {
+func (c *Controller) operationAction(ctx context.Context, w http.ResponseWriter, r *http.Request, session *Session, m *descriptor.Mapping, params map[string]Value) (string, map[string]Value, bool) {
 	opID := strings.TrimPrefix(m.Action, "op/")
 	d := c.Repo.Unit(opID)
 	if d == nil {
@@ -450,9 +482,9 @@ func (c *Controller) operationAction(w http.ResponseWriter, r *http.Request, ses
 		}
 	}
 
-	res, err := c.Business.ExecuteOperation(d, params)
+	res, err := c.Business.ExecuteOperation(ctx, d, params)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), errStatus(err))
 		return "", nil, true
 	}
 	if !res.OK {

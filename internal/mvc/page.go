@@ -1,6 +1,7 @@
 package mvc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -40,8 +41,9 @@ type PageState struct {
 //
 // request carries the typed HTTP parameters; formState (may be nil)
 // carries sticky entry-unit values and validation errors keyed by entry
-// unit ID.
-func (ps *PageService) ComputePage(pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error) {
+// unit ID. ctx carries the request deadline: levels stop scheduling new
+// units once it is done, and the business tier below observes it.
+func (ps *PageService) ComputePage(ctx context.Context, pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error) {
 	pd := ps.Repo.Page(pageID)
 	if pd == nil {
 		return nil, fmt.Errorf("mvc: no page descriptor %q", pageID)
@@ -60,14 +62,17 @@ func (ps *PageService) ComputePage(pageID string, request map[string]Value, form
 	}
 
 	for _, level := range sched.Levels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if ps.Workers > 1 && len(level) > 1 {
-			if err := ps.computeLevel(pd, sched, level, request, formState, state); err != nil {
+			if err := ps.computeLevel(ctx, pd, sched, level, request, formState, state); err != nil {
 				return nil, err
 			}
 			continue
 		}
 		for _, unitID := range level {
-			bean, err := ps.computeOne(pd, sched, unitID, request, formState, state)
+			bean, err := ps.computeOne(ctx, pd, sched, unitID, request, formState, state)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +87,7 @@ func (ps *PageService) ComputePage(pageID string, request map[string]Value, form
 // its own slot, merged in level order after the barrier); on failure the
 // error of the earliest unit in level order is returned, and units not
 // yet started are skipped.
-func (ps *PageService) computeLevel(pd *descriptor.Page, sched *descriptor.Schedule, level []string, request map[string]Value, formState map[string]*FormState, state *PageState) error {
+func (ps *PageService) computeLevel(ctx context.Context, pd *descriptor.Page, sched *descriptor.Schedule, level []string, request map[string]Value, formState map[string]*FormState, state *PageState) error {
 	workers := ps.Workers
 	if workers > len(level) {
 		workers = len(level)
@@ -93,8 +98,8 @@ func (ps *PageService) computeLevel(pd *descriptor.Page, sched *descriptor.Sched
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, unitID := range level {
-		if failed.Load() {
-			break // first-error cancellation: stop scheduling
+		if failed.Load() || ctx.Err() != nil {
+			break // first-error / deadline cancellation: stop scheduling
 		}
 		sem <- struct{}{}
 		wg.Add(1)
@@ -103,7 +108,7 @@ func (ps *PageService) computeLevel(pd *descriptor.Page, sched *descriptor.Sched
 				<-sem
 				wg.Done()
 			}()
-			bean, err := ps.computeOne(pd, sched, unitID, request, formState, state)
+			bean, err := ps.computeOne(ctx, pd, sched, unitID, request, formState, state)
 			if err != nil {
 				errs[i] = err
 				failed.Store(true)
@@ -118,6 +123,9 @@ func (ps *PageService) computeLevel(pd *descriptor.Page, sched *descriptor.Sched
 			return errs[i]
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for i, unitID := range level {
 		if beans[i] != nil {
 			state.Beans[unitID] = beans[i]
@@ -129,8 +137,16 @@ func (ps *PageService) computeLevel(pd *descriptor.Page, sched *descriptor.Sched
 // computeOne resolves one unit's inputs (request parameters, intra-page
 // edges, sticky form state) and invokes its service. It only reads beans
 // of strictly earlier levels from state, so level peers may run it
-// concurrently.
-func (ps *PageService) computeOne(pd *descriptor.Page, sched *descriptor.Schedule, unitID string, request map[string]Value, formState map[string]*FormState, state *PageState) (*UnitBean, error) {
+// concurrently. A panicking unit service (user-supplied custom
+// components run arbitrary code) is contained here and surfaces as the
+// unit's error instead of killing the process — on the worker pool an
+// uncaught panic in a goroutine would otherwise be unrecoverable.
+func (ps *PageService) computeOne(ctx context.Context, pd *descriptor.Page, sched *descriptor.Schedule, unitID string, request map[string]Value, formState map[string]*FormState, state *PageState) (bean *UnitBean, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			bean, err = nil, fmt.Errorf("mvc: unit %s panicked: %v", unitID, r)
+		}
+	}()
 	ud := ps.Repo.Unit(unitID)
 	if ud == nil {
 		return nil, fmt.Errorf("mvc: page %q references missing unit descriptor %q", pd.ID, unitID)
@@ -162,7 +178,7 @@ func (ps *PageService) computeOne(pd *descriptor.Page, sched *descriptor.Schedul
 			inputs[k] = v
 		}
 	}
-	bean, err := ps.Business.ComputeUnit(ud, inputs)
+	bean, err = ps.Business.ComputeUnit(ctx, ud, inputs)
 	if err != nil {
 		return nil, err
 	}

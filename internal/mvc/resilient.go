@@ -1,0 +1,118 @@
+package mvc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webmlgo/internal/descriptor"
+)
+
+// ResilientBusiness decorates a Business with bounded retries for
+// idempotent unit reads: a transient business-tier failure (flapping
+// container, dropped connection, injected fault) is absorbed by backing
+// off and trying again instead of surfacing as an error page. Backoff
+// is exponential with full jitter so a burst of failing requests does
+// not re-converge on the recovering container in lockstep.
+//
+// Operations are never retried: the tier boundary cannot tell a lost
+// response from a lost request, and re-running a write risks executing
+// it twice. ExecuteOperation passes straight through.
+type ResilientBusiness struct {
+	Inner Business
+	// MaxAttempts bounds total tries per unit read (<=1 disables
+	// retries; 0 selects the default of 3).
+	MaxAttempts int
+	// BaseBackoff is the first retry's maximum sleep (default 2ms);
+	// each subsequent attempt doubles it, capped at MaxBackoff
+	// (default 50ms). The actual sleep is uniform in [0, cap) — full
+	// jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Retries counts retry attempts actually performed (for metrics).
+	Retries atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewResilientBusiness wraps inner with the default retry policy,
+// seeding the jitter source deterministically for reproducible tests.
+func NewResilientBusiness(inner Business, seed int64) *ResilientBusiness {
+	return &ResilientBusiness{Inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ComputeUnit implements Business with retry: failed attempts back off
+// and re-run against the inner business until one succeeds, the attempt
+// budget runs out, or the request context expires (context errors are
+// never retried — the budget is gone, more attempts cannot help).
+func (rb *ResilientBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	attempts := rb.MaxAttempts
+	if attempts == 0 {
+		attempts = 3
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			rb.Retries.Add(1)
+			if err := rb.sleep(ctx, attempt); err != nil {
+				return nil, lastErr
+			}
+		}
+		bean, err := rb.Inner.ComputeUnit(ctx, d, inputs)
+		if err == nil {
+			return bean, nil
+		}
+		lastErr = err
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// ExecuteOperation implements Business by pure delegation — writes are
+// not idempotent, so they get exactly one attempt.
+func (rb *ResilientBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	return rb.Inner.ExecuteOperation(ctx, d, inputs)
+}
+
+// sleep backs off before attempt n (1-based) with full jitter, waking
+// early if the request context expires.
+func (rb *ResilientBusiness) sleep(ctx context.Context, attempt int) error {
+	base := rb.BaseBackoff
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	max := rb.MaxBackoff
+	if max <= 0 {
+		max = 50 * time.Millisecond
+	}
+	cap := base << (attempt - 1)
+	if cap > max {
+		cap = max
+	}
+	rb.rngMu.Lock()
+	var d time.Duration
+	if rb.rng != nil {
+		d = time.Duration(rb.rng.Int63n(int64(cap) + 1))
+	} else {
+		d = cap / 2
+	}
+	rb.rngMu.Unlock()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
