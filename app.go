@@ -23,6 +23,7 @@ package webmlgo
 import (
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"webmlgo/internal/cache"
@@ -32,6 +33,7 @@ import (
 	"webmlgo/internal/ejb"
 	"webmlgo/internal/fault"
 	"webmlgo/internal/mvc"
+	"webmlgo/internal/obs"
 	"webmlgo/internal/rdb"
 	"webmlgo/internal/render"
 	"webmlgo/internal/style"
@@ -62,6 +64,11 @@ type App struct {
 	Resilient *mvc.ResilientBusiness
 	// Faults is the chaos injector when WithFaults is set.
 	Faults *fault.Injector
+	// Obs is the request tracer when WithObservability is set.
+	Obs *obs.Tracer
+
+	regOnce  sync.Once
+	registry *obs.Registry
 }
 
 type config struct {
@@ -90,6 +97,10 @@ type config struct {
 	retries        int
 	requestTimeout time.Duration
 	maxStale       time.Duration
+
+	withObs   bool
+	traceCap  int
+	slowTrace time.Duration
 }
 
 // Option configures New.
@@ -329,6 +340,7 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 		app.Edge.BypassCookie = "WSESSION"
 		app.Edge.VaryUserAgent = cfg.runtime != nil
 	}
+	app.wireObservability(&cfg)
 	return app, nil
 }
 

@@ -49,6 +49,7 @@ func main() {
 		{"e7", e7, "E7 (Sec. 8): Acer-Euro-scale generation"},
 		{"e7b", e7b, "E7b (Sec. 4): fault-tolerant business tier under chaos"},
 		{"e8", e8, "E8 (Sec. 1): scaling to thousands of page templates"},
+		{"e9", e9, "E9: observability — instrumentation overhead + slow-container diagnosis"},
 	}
 	want := map[string]bool{}
 	for _, a := range os.Args[1:] {
@@ -554,4 +555,96 @@ func e8() {
 			tModel.Round(time.Millisecond), tGen.Round(time.Millisecond))
 	}
 	fmt.Println("  (model build time includes full validation of the hypertext)")
+}
+
+// e9 measures the observability subsystem itself: (1) its overhead on
+// the hot page-serving path — always-on histograms plus full tracing
+// must stay within a few percent of the uninstrumented build — and (2)
+// its diagnostic power: with one of two containers slowed by injected
+// chaos, the slow-trace exemplar ring must pinpoint the bad endpoint
+// from a single request's span breakdown, no log spelunking.
+func e9() {
+	// Part 1: instrumentation overhead on the E6 hot-page benchmark.
+	// Three builds: uninstrumented; the production configuration
+	// (histograms always on, traces sampled 1-in-100); and full tracing
+	// of every request (the -trace debugging mode) for transparency.
+	const N = 4000
+	base := fixtureApp(webmlgo.WithBeanCache(4096), webmlgo.WithFragmentCache(4096, time.Minute))
+	sampled := fixtureApp(webmlgo.WithBeanCache(4096), webmlgo.WithFragmentCache(4096, time.Minute),
+		webmlgo.WithObservability(256, 0))
+	sampled.Obs.SampleEvery = 100
+	full := fixtureApp(webmlgo.WithBeanCache(4096), webmlgo.WithFragmentCache(4096, time.Minute),
+		webmlgo.WithObservability(256, 0))
+	apps := []*webmlgo.App{base, sampled, full}
+	for _, a := range apps {
+		get(a.Handler(), "/page/volumePage?volume=1") // warm
+	}
+	// Interleave the measurements to cancel machine drift.
+	lats := make([]time.Duration, len(apps))
+	for round := 0; round < 4; round++ {
+		for i, a := range apps {
+			lats[i] += timeOp(N/4, func() { get(a.Handler(), "/page/volumePage?volume=1") })
+		}
+	}
+	pct := func(i int) float64 { return 100 * (float64(lats[i]) - float64(lats[0])) / float64(lats[0]) }
+	fmt.Printf("Instrumentation overhead on the hot page path (%d requests each, interleaved):\n", N)
+	fmt.Printf("  uninstrumented:                  %10v per request\n", lats[0]/4)
+	fmt.Printf("  histograms + sampled traces:     %10v per request  (%+.1f%%, target < 3%%)\n", lats[1]/4, pct(1))
+	fmt.Printf("  histograms + every request traced:%9v per request  (%+.1f%%; debugging mode)\n", lats[2]/4, pct(2))
+	if s, _ := full.Obs.Stats(); s < int64(N) {
+		fmt.Printf("  WARNING: only %d of %d requests traced in full mode\n", s, N)
+	}
+
+	// Part 2: pinpointing a chaos-slowed container from one trace.
+	backend := fixtureApp()
+	db := backend.DB
+	fast, fastAddr, err := webmlgo.DeployContainer(fixture.Figure1Model(), db, 8, "127.0.0.1:0")
+	must(err)
+	defer fast.Close()
+	// The slow container is a stock container whose business tier is
+	// wrapped with a 100%-probability latency injector — every invoke
+	// inside it stalls 25ms, exactly like an overloaded JVM would.
+	slowInj := fault.New(fault.Schedule{Seed: 7, LatencyProb: 1.0, Latency: 25 * time.Millisecond})
+	slowCtr := ejb.NewContainer(fault.WrapBusiness(mvc.NewLocalBusiness(db), slowInj), 8)
+	slowAddr, err := slowCtr.Serve("127.0.0.1:0")
+	must(err)
+	defer slowCtr.Close()
+
+	app, err := webmlgo.New(fixture.Figure1Model(),
+		webmlgo.WithAppServer(fastAddr, slowAddr),
+		webmlgo.WithObservability(256, 10*time.Millisecond))
+	must(err)
+	defer app.Remote.Close()
+	h := app.Handler()
+	for i := 0; i < 40; i++ {
+		get(h, "/page/volumePage?volume=1")
+	}
+
+	views := app.Obs.Traces(0, true, 8) // slow exemplars only
+	fmt.Printf("\nChaos diagnosis: 1 of 2 round-robined containers slowed by 25ms injected latency.\n")
+	fmt.Printf("  slow traces captured (>=10ms): %d\n", len(views))
+	if len(views) == 0 {
+		fmt.Println("  FAIL: no slow exemplars captured")
+		return
+	}
+	v := views[0]
+	fmt.Printf("  exemplar %s (%s, %.1fms):\n", v.ID, v.Name, v.DurMS)
+	blame := map[string]int64{}
+	for _, sp := range v.Spans {
+		if sp.Name == "ejb.call" {
+			blame[sp.Labels["addr"]] += sp.DurUS
+		}
+		if sp.Name == "ejb.call" || sp.Name == "container.invoke" || sp.Name == "request" {
+			fmt.Printf("    %-18s %8.1fms  %v\n", sp.Name, float64(sp.DurUS)/1000, sp.Labels)
+		}
+	}
+	worstAddr, worstUS := "", int64(0)
+	for addr, us := range blame {
+		if us > worstUS {
+			worstAddr, worstUS = addr, us
+		}
+	}
+	fmt.Printf("  dominant endpoint in the trace: %s (%.1fms of %.1fms total)\n",
+		worstAddr, float64(worstUS)/1000, v.DurMS)
+	fmt.Printf("  correctly pinpoints the slowed container: %v (slow = %s)\n", worstAddr == slowAddr, slowAddr)
 }

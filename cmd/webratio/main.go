@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -142,6 +143,10 @@ func usage() {
            [-max-stale d]                degraded-mode staleness bound (needs -cache)
            [-chaos] [-chaos-seed n]      seeded fault injection below the resilience layer
            [-drain d]                    graceful-shutdown drain budget (default 5s)
+           [-trace] [-slow-trace d]      cross-tier request tracing at /debug/traces
+           [-trace-sample n]             trace 1 in n requests (production setting)
+           [-debug]                      net/http/pprof at /debug/pprof/
+           (always mounted: /metrics Prometheus exposition, /healthz)
   export   -model <name> [-out file]     write the model's XML document
   import   -in <file>                    load and validate an XML document
   diagram  -model <name> [-out file]     emit the hypertext diagram (DOT)
@@ -300,6 +305,10 @@ func cmdServe(args []string) {
 	chaos := fs.Bool("chaos", false, "inject deterministic faults into the business tier")
 	chaosSeed := fs.Int64("chaos-seed", 2003, "seed of the -chaos fault schedule")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
+	trace := fs.Bool("trace", false, "trace requests across tiers (/debug/traces)")
+	slowTrace := fs.Duration("slow-trace", 0, "slow-trace exemplar threshold (0 = default 250ms; needs -trace)")
+	traceSample := fs.Int("trace-sample", 1, "trace 1 in n requests (1 = every request; needs -trace)")
+	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Parse(args) //nolint:errcheck
 	m, synthetic, err := loadModel(*model)
 	if err != nil {
@@ -328,6 +337,9 @@ func cmdServe(args []string) {
 	if *maxStale > 0 {
 		opts = append(opts, webmlgo.WithDegradedServing(*maxStale))
 	}
+	if *trace {
+		opts = append(opts, webmlgo.WithObservability(0, *slowTrace))
+	}
 	if *chaos {
 		opts = append(opts, webmlgo.WithFaults(fault.Schedule{
 			Seed:        *chaosSeed,
@@ -340,6 +352,9 @@ func cmdServe(args []string) {
 	app, err := webmlgo.New(m, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if app.Obs != nil && *traceSample > 1 {
+		app.Obs.SampleEvery = *traceSample
 	}
 	if app.Edge != nil {
 		defer app.Edge.Close()
@@ -361,6 +376,16 @@ func cmdServe(args []string) {
 	mux := http.NewServeMux()
 	mux.Handle("/", app.Handler())
 	mux.Handle("/healthz", app.HealthHandler())
+	mux.Handle("/metrics", app.MetricsHandler())
+	mux.Handle("/debug/traces", app.TracesHandler())
+	if *debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("webratio: pprof on /debug/pprof/")
+	}
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, in-flight

@@ -3,6 +3,8 @@ package webmlgo
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
+	"time"
 
 	"webmlgo/internal/ejb"
 )
@@ -54,12 +56,19 @@ func (a *App) Health() Health {
 
 // HealthHandler returns the /healthz endpoint: Health as JSON, 200
 // while at least one path to the business tier works, 503 once every
-// breaker is open.
+// breaker is open. The 503 carries a Retry-After header derived from
+// the soonest breaker cooldown, so load balancers back off for exactly
+// as long as the client stub will keep failing fast.
 func (a *App) HealthHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h := a.Health()
 		w.Header().Set("Content-Type", "application/json")
 		if !h.OK {
+			retry := time.Second
+			if a.Remote != nil {
+				retry = a.Remote.RetryAfter()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort probe response

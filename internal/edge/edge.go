@@ -2,6 +2,7 @@ package edge
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"webmlgo/internal/cache"
+	"webmlgo/internal/obs"
 )
 
 // Capability is the Surrogate-Capability token the edge advertises on
@@ -51,8 +53,15 @@ type Surrogate struct {
 	// VaryUserAgent mixes the User-Agent into every cache key; set when
 	// the origin styles markup per device (runtime presentation rules).
 	VaryUserAgent bool
+	// Obs, when set, makes the edge the trace root: page GETs allocate
+	// the request trace here, and origin fetches carry it down to the
+	// controller through the request context.
+	Obs *obs.Tracer
 	// Now overrides the freshness clock (tests).
 	Now func() time.Time
+
+	// Disposition counters (X-Cache outcomes), folded into /metrics.
+	hitN, staleN, missN atomic.Int64
 
 	// epoch is advanced under mu by every Invalidate; fills snapshot it
 	// before fetching and refuse to store across a purge, so a response
@@ -139,7 +148,39 @@ func (s *Surrogate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.Origin.ServeHTTP(w, r)
 		return
 	}
-	e, xc, err := s.resolve(r.URL.RequestURI(), r.UserAgent())
+	ctx, finish := s.traceRequest(r)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.servePage(ctx, sw, r)
+	finish(sw.code)
+}
+
+// traceRequest makes the edge the trace root of a page GET when a tracer
+// is configured. finish records the response status once served.
+func (s *Surrogate) traceRequest(r *http.Request) (context.Context, func(status int)) {
+	ctx := r.Context()
+	if s.Obs == nil {
+		return ctx, func(int) {}
+	}
+	ctx, t := s.Obs.Start(ctx, "edge:"+r.URL.Path)
+	if t == nil { // sampled out
+		return ctx, func(int) {}
+	}
+	return ctx, func(status int) { s.Obs.Finish(t, status) }
+}
+
+// statusWriter captures the response status for the trace.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Surrogate) servePage(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	e, xc, err := s.resolve(ctx, r.URL.RequestURI(), r.UserAgent())
 	if err != nil {
 		http.Error(w, "edge: "+err.Error(), http.StatusBadGateway)
 		return
@@ -150,14 +191,17 @@ func (s *Surrogate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeEntry(w, e, xc)
 		return
 	}
+	asp := obs.Leaf(ctx, "edge.assemble")
 	var buf bytes.Buffer
 	buf.Grow(len(e.body) * 2)
-	if err := s.assemble(&buf, e, r.UserAgent(), 0); err != nil {
+	if err := s.assemble(ctx, &buf, e, r.UserAgent(), 0); err != nil {
 		// A fragment failed to resolve: fall back to one full inline
 		// render at the origin rather than serving a broken page.
-		s.Origin.ServeHTTP(w, r)
+		asp.EndErr(err)
+		s.Origin.ServeHTTP(w, r.WithContext(ctx))
 		return
 	}
+	asp.End()
 	body := buf.Bytes()
 	copyHeader(w.Header(), e.header)
 	w.Header().Set("X-Cache", xc)
@@ -184,7 +228,7 @@ func (s *Surrogate) bypass(r *http.Request) bool {
 
 // assemble concatenates a container's literals with its fragments'
 // bodies, resolving each fragment through the cache.
-func (s *Surrogate) assemble(buf *bytes.Buffer, e *entry, ua string, depth int) error {
+func (s *Surrogate) assemble(ctx context.Context, buf *bytes.Buffer, e *entry, ua string, depth int) error {
 	for _, seg := range e.segs {
 		if seg.Src == "" {
 			buf.Write(seg.Literal)
@@ -193,7 +237,7 @@ func (s *Surrogate) assemble(buf *bytes.Buffer, e *entry, ua string, depth int) 
 		if depth >= maxIncludeDepth {
 			return fmt.Errorf("include depth exceeded at %s", seg.Src)
 		}
-		fe, _, err := s.resolve(seg.Src, ua)
+		fe, _, err := s.resolve(ctx, seg.Src, ua)
 		if err != nil {
 			return err
 		}
@@ -201,7 +245,7 @@ func (s *Surrogate) assemble(buf *bytes.Buffer, e *entry, ua string, depth int) 
 			return fmt.Errorf("fragment %s: status %d", seg.Src, fe.status)
 		}
 		if fe.esi {
-			if err := s.assemble(buf, fe, ua, depth+1); err != nil {
+			if err := s.assemble(ctx, buf, fe, ua, depth+1); err != nil {
 				return err
 			}
 			continue
@@ -214,18 +258,31 @@ func (s *Surrogate) assemble(buf *bytes.Buffer, e *entry, ua string, depth int) 
 // resolve returns the entry for an internal URI: a fresh cache hit, a
 // stale entry with a background refresh scheduled, or a coalesced origin
 // fetch. The second return is the X-Cache disposition.
-func (s *Surrogate) resolve(uri, ua string) (*entry, string, error) {
+func (s *Surrogate) resolve(ctx context.Context, uri, ua string) (*entry, string, error) {
+	sp := obs.Leaf(ctx, "edge.resolve").Label("uri", uri)
 	key := s.key(uri, ua)
 	if v, ok := s.Store.Get(key); ok {
 		e := v.(*entry)
 		if s.now().Before(e.expires) {
+			s.hitN.Add(1)
+			sp.Label("outcome", "hit").End()
 			return e, "HIT", nil
 		}
 		s.scheduleRefresh(key, e)
+		s.staleN.Add(1)
+		sp.Label("outcome", "stale").End()
 		return e, "STALE", nil
 	}
-	e, err := s.fetch(key, uri, ua)
+	s.missN.Add(1)
+	e, err := s.fetch(ctx, key, uri, ua)
+	sp.Label("outcome", "miss").EndErr(err)
 	return e, "MISS", err
+}
+
+// Dispositions reports how many page/fragment resolutions were served
+// fresh, served stale (refresh scheduled), and fetched from the origin.
+func (s *Surrogate) Dispositions() (hit, stale, miss int64) {
+	return s.hitN.Load(), s.staleN.Load(), s.missN.Load()
 }
 
 func (s *Surrogate) key(uri, ua string) string {
@@ -237,7 +294,7 @@ func (s *Surrogate) key(uri, ua string) string {
 
 // fetch coalesces concurrent misses of one key and stores the result if
 // no purge intervened since the epoch snapshot.
-func (s *Surrogate) fetch(key, uri, ua string) (*entry, error) {
+func (s *Surrogate) fetch(ctx context.Context, key, uri, ua string) (*entry, error) {
 	s.mu.RLock()
 	epoch := s.epoch
 	s.mu.RUnlock()
@@ -255,7 +312,7 @@ func (s *Surrogate) fetch(key, uri, ua string) (*entry, error) {
 	s.flights[key] = f
 	s.fmu.Unlock()
 
-	e, err := s.roundTrip(uri, ua)
+	e, err := s.roundTrip(ctx, uri, ua)
 	if err == nil && e.cacheable {
 		s.putIfCurrent(key, e, epoch)
 	}
@@ -270,12 +327,15 @@ func (s *Surrogate) fetch(key, uri, ua string) (*entry, error) {
 }
 
 // roundTrip performs one internal origin request, advertising the ESI
-// capability, and interprets the surrogate-facing response headers.
-func (s *Surrogate) roundTrip(uri, ua string) (*entry, error) {
+// capability, and interprets the surrogate-facing response headers. The
+// context carries the trace down into the controller, so origin work
+// shows up under the edge's span tree.
+func (s *Surrogate) roundTrip(ctx context.Context, uri, ua string) (*entry, error) {
 	req, err := http.NewRequest(http.MethodGet, uri, nil)
 	if err != nil {
 		return nil, err
 	}
+	req = req.WithContext(ctx)
 	req.Header.Set("Surrogate-Capability", Capability)
 	if ua != "" {
 		req.Header.Set("User-Agent", ua)
@@ -413,7 +473,7 @@ func (s *Surrogate) refresh(j refreshJob) {
 	s.mu.RLock()
 	epoch := s.epoch
 	s.mu.RUnlock()
-	e, err := s.roundTrip(j.old.uri, j.old.ua)
+	e, err := s.roundTrip(context.Background(), j.old.uri, j.old.ua)
 	if err == nil && e.cacheable && s.putIfCurrent(j.key, e, epoch) {
 		return
 	}

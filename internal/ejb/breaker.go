@@ -28,14 +28,16 @@ const defaultCooldown = 200 * time.Millisecond
 // request: once tripped, calls fail fast to that address and the client
 // stub fails over to the next healthy one.
 type breaker struct {
-	mu        sync.Mutex
-	state     string
-	failures  int       // consecutive failures while closed
-	openedAt  time.Time // when the breaker last tripped
-	probing   bool      // a half-open probe is in flight
-	threshold int
-	cooldown  time.Duration
-	now       func() time.Time // clock hook for tests
+	mu         sync.Mutex
+	state      string
+	failures   int       // consecutive failures while closed
+	openedAt   time.Time // when the breaker last tripped
+	probing    bool      // a half-open probe is in flight
+	threshold  int
+	cooldown   time.Duration
+	opens      int64     // lifetime count of closed/half-open -> open trips
+	lastChange time.Time // when the state last transitioned
+	now        func() time.Time // clock hook for tests
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
@@ -63,6 +65,7 @@ func (b *breaker) allow() bool {
 			return false
 		}
 		b.state = BreakerHalfOpen
+		b.lastChange = b.now()
 		b.probing = true
 		return true
 	default: // half-open
@@ -79,6 +82,9 @@ func (b *breaker) allow() bool {
 func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.lastChange = b.now()
+	}
 	b.state = BreakerClosed
 	b.failures = 0
 	b.probing = false
@@ -91,16 +97,22 @@ func (b *breaker) failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == BreakerHalfOpen {
-		b.state = BreakerOpen
-		b.openedAt = b.now()
+		b.open()
 		b.probing = false
 		return
 	}
 	b.failures++
 	if b.state == BreakerClosed && b.failures >= b.threshold {
-		b.state = BreakerOpen
-		b.openedAt = b.now()
+		b.open()
 	}
+}
+
+// open trips the breaker (caller holds b.mu), stamping the transition.
+func (b *breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.lastChange = b.openedAt
+	b.opens++
 }
 
 // snapshot returns the current state name and consecutive-failure count.
@@ -108,4 +120,28 @@ func (b *breaker) snapshot() (string, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state, b.failures
+}
+
+// breakerStatus is the full observable state of one breaker, feeding
+// the /healthz transition report.
+type breakerStatus struct {
+	state      string
+	failures   int
+	opens      int64
+	openedAt   time.Time // zero if never opened
+	lastChange time.Time // zero if never transitioned
+	cooldown   time.Duration
+}
+
+func (b *breaker) status() breakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStatus{
+		state:      b.state,
+		failures:   b.failures,
+		opens:      b.opens,
+		openedAt:   b.openedAt,
+		lastChange: b.lastChange,
+		cooldown:   b.cooldown,
+	}
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webmlgo/internal/descriptor"
 	"webmlgo/internal/mvc"
+	"webmlgo/internal/obs"
 )
 
 // maxPooledPerEndpoint caps idle connections kept per container.
@@ -37,6 +39,10 @@ type RemoteBusiness struct {
 	// carries no deadline (0 = uncapped). When both are set, the earlier
 	// one wins.
 	CallTimeout time.Duration
+	// CallLat records per-endpoint remote call latency (created by Dial;
+	// always on, atomics only). Registered with the /metrics registry by
+	// the app wiring.
+	CallLat *obs.HistogramVec
 
 	mu   sync.Mutex
 	next int
@@ -50,6 +56,8 @@ type RemoteBusiness struct {
 type endpoint struct {
 	addr string
 	brk  *breaker
+
+	rejected atomic.Int64 // calls refused outright by the open breaker
 
 	mu   sync.Mutex
 	pool []*conn
@@ -68,7 +76,11 @@ func Dial(addrs ...string) (*RemoteBusiness, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("ejb: no container addresses")
 	}
-	r := &RemoteBusiness{endpoints: make([]*endpoint, len(addrs))}
+	r := &RemoteBusiness{
+		endpoints: make([]*endpoint, len(addrs)),
+		CallLat: obs.NewHistogramVec("webml_ejb_call_seconds",
+			"Remote EJB call latency by container address.", "addr"),
+	}
 	for i, a := range addrs {
 		r.endpoints[i] = &endpoint{addr: a, brk: newBreaker(0, 0)}
 	}
@@ -156,18 +168,33 @@ func (r *RemoteBusiness) call(ctx context.Context, req *request) (*response, err
 		ep := r.endpoints[(start+i)%len(r.endpoints)]
 		if !ep.brk.allow() {
 			lastErr = fmt.Errorf("ejb: %s: circuit open", ep.addr)
+			ep.rejected.Add(1)
+			// Instant span: the trace shows the breaker decision, not
+			// just the absence of a call.
+			obs.Leaf(ctx, "ejb.reject").Label("addr", ep.addr).EndErr(lastErr)
 			continue
 		}
+		sp := obs.Leaf(ctx, "ejb.call").Label("addr", ep.addr).Label("kind", req.Kind)
+		req.TraceID, req.SpanID = sp.Wire()
+		attempt := time.Now()
 		resp, sent, err := r.callOn(ep, req, deadline, readOnly)
+		if r.CallLat != nil {
+			r.CallLat.ObserveErr(ep.addr, time.Since(attempt), err != nil)
+		}
 		if err == nil {
+			sp.ImportRemote(resp.Spans)
 			if resp.Err != "" {
 				// Application-level error: the container is healthy and
 				// already executed the call; failing over would just run
 				// it again for the same answer.
-				return nil, fmt.Errorf("ejb: remote: %s", resp.Err)
+				err := fmt.Errorf("ejb: remote: %s", resp.Err)
+				sp.EndErr(err)
+				return nil, err
 			}
+			sp.End()
 			return resp, nil
 		}
+		sp.EndErr(err)
 		lastErr = err
 		if sent && !readOnly {
 			return nil, err
@@ -307,25 +334,83 @@ func (ep *endpoint) dropGeneration(gen uint64) {
 }
 
 // EndpointHealth is the client-side view of one container address,
-// surfaced through /healthz.
+// surfaced through /healthz: the point-in-time breaker state plus its
+// transition history — how many times it tripped, when it last opened,
+// and when the state last changed.
 type EndpointHealth struct {
 	Addr     string `json:"addr"`
 	State    string `json:"state"`
 	Failures int    `json:"failures"`
 	Pooled   int    `json:"pooled"`
+	// Opens counts how many times the breaker tripped open since start.
+	Opens int64 `json:"opens"`
+	// Rejected counts calls refused outright while the breaker was open.
+	Rejected int64 `json:"rejected"`
+	// LastOpenedAt is when the breaker last tripped (nil = never).
+	LastOpenedAt *time.Time `json:"lastOpenedAt,omitempty"`
+	// LastTransition is when the state last changed (nil = never left
+	// closed).
+	LastTransition *time.Time `json:"lastTransition,omitempty"`
 }
 
 // Health snapshots every endpoint's breaker state and pool size.
 func (r *RemoteBusiness) Health() []EndpointHealth {
 	out := make([]EndpointHealth, len(r.endpoints))
 	for i, ep := range r.endpoints {
-		state, failures := ep.brk.snapshot()
+		st := ep.brk.status()
 		ep.mu.Lock()
 		pooled := len(ep.pool)
 		ep.mu.Unlock()
-		out[i] = EndpointHealth{Addr: ep.addr, State: state, Failures: failures, Pooled: pooled}
+		h := EndpointHealth{
+			Addr:     ep.addr,
+			State:    st.state,
+			Failures: st.failures,
+			Pooled:   pooled,
+			Opens:    st.opens,
+			Rejected: ep.rejected.Load(),
+		}
+		if !st.openedAt.IsZero() {
+			t := st.openedAt
+			h.LastOpenedAt = &t
+		}
+		if !st.lastChange.IsZero() {
+			t := st.lastChange
+			h.LastTransition = &t
+		}
+		out[i] = h
 	}
 	return out
+}
+
+// RetryAfter estimates when a caller refused by open breakers should
+// retry: the soonest remaining cooldown among open endpoints, rounded
+// up to a whole second (minimum 1s) — the value behind /healthz's
+// Retry-After header on 503.
+func (r *RemoteBusiness) RetryAfter() time.Duration {
+	soonest := time.Duration(-1)
+	now := time.Now()
+	for _, ep := range r.endpoints {
+		st := ep.brk.status()
+		if st.state != BreakerOpen {
+			continue
+		}
+		left := st.cooldown - now.Sub(st.openedAt)
+		if left < 0 {
+			left = 0
+		}
+		if soonest < 0 || left < soonest {
+			soonest = left
+		}
+	}
+	if soonest < 0 {
+		soonest = 0
+	}
+	// Round up to whole seconds: Retry-After is integral.
+	secs := (soonest + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	return secs * time.Second
 }
 
 // Close drops all pooled connections.

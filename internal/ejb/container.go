@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"webmlgo/internal/mvc"
+	"webmlgo/internal/obs"
 )
 
 // Container hosts the business components and serves remote invocations.
@@ -35,6 +36,11 @@ type Container struct {
 	served    int64
 	maxActive int
 
+	// invokeLat records invocation latency by kind (page/unit/operation)
+	// — the container half of the per-stage histograms, exposed at the
+	// container's own /metrics.
+	invokeLat *obs.HistogramVec
+
 	ln        net.Listener
 	healthSrv *http.Server
 	conns     map[net.Conn]struct{}
@@ -47,15 +53,34 @@ func NewContainer(business mvc.Business, capacity int) *Container {
 	if capacity <= 0 {
 		capacity = 16
 	}
-	c := &Container{business: business, capacity: capacity}
+	c := &Container{
+		business: business,
+		capacity: capacity,
+		invokeLat: obs.NewHistogramVec("webml_container_invoke_seconds",
+			"Container invocation latency by request kind.", "kind"),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
 // DeployPages additionally deploys the generic page service (the "Page
 // EJBs" of Figure 6), so the web tier can request whole pages in one
-// round trip instead of one call per unit.
-func (c *Container) DeployPages(pages *mvc.PageService) { c.pages = pages }
+// round trip instead of one call per unit. The page service is
+// instrumented with the container's per-page/per-unit histograms unless
+// it already carries its own.
+func (c *Container) DeployPages(pages *mvc.PageService) {
+	if pages.PageLat == nil {
+		pages.PageLat = obs.NewHistogramVec("webml_page_compute_seconds",
+			"Page computation latency by page.", "page")
+	}
+	if pages.UnitLat == nil {
+		pages.UnitLat = obs.NewHistogramVec("webml_unit_compute_seconds",
+			"Unit service latency by unit.", "unit")
+	}
+	c.mu.Lock()
+	c.pages = pages
+	c.mu.Unlock()
+}
 
 // Serve starts accepting connections on addr ("127.0.0.1:0" picks a free
 // port) and returns the bound address.
@@ -136,12 +161,23 @@ func (c *Container) serveConn(conn net.Conn) {
 // response instead of killing the container process — per-connection
 // handler goroutines would otherwise take the whole tier down.
 func (c *Container) serveOne(req *request) (resp *response) {
+	// Reconstruct the caller's trace: same trace ID, span IDs offset by
+	// the calling span, parented under it — the response carries the
+	// spans back for client-side stitching (also on the panic path).
+	var rt *obs.Trace
 	defer func() {
 		if r := recover(); r != nil {
 			resp = &response{Err: fmt.Sprintf("ejb: component panicked: %v", r)}
 		}
+		if rt != nil && resp != nil {
+			resp.Spans = rt.Export()
+		}
 	}()
 	ctx := context.Background()
+	if req.TraceID != 0 {
+		rt = obs.NewRemoteTrace(req.TraceID, req.SpanID)
+		ctx = obs.ContextWithTrace(ctx, rt, req.SpanID)
+	}
 	if req.DeadlineMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
@@ -150,12 +186,33 @@ func (c *Container) serveOne(req *request) (resp *response) {
 	return c.invoke(ctx, req)
 }
 
-// invoke runs one component call under the capacity gate.
+// invoke runs one component call under the capacity gate, recording its
+// latency and (when traced) a container.invoke span — plus a
+// container.queue span whenever the call had to wait for an instance
+// slot, so a trace distinguishes queueing from computing.
 func (c *Container) invoke(ctx context.Context, req *request) *response {
+	start := time.Now()
+	sp := obs.Leaf(ctx, "container.invoke").Label("kind", req.Kind)
+	resp := c.doInvoke(ctx, req)
+	c.invokeLat.ObserveErr(req.Kind, time.Since(start), resp.Err != "")
+	if resp.Err != "" {
+		sp.EndErr(errors.New(resp.Err))
+	} else {
+		sp.End()
+	}
+	return resp
+}
+
+func (c *Container) doInvoke(ctx context.Context, req *request) *response {
 	c.mu.Lock()
+	var qsp *obs.SpanHandle
 	for c.active >= c.capacity && !c.closed && ctx.Err() == nil {
+		if qsp == nil {
+			qsp = obs.Leaf(ctx, "container.queue")
+		}
 		c.cond.Wait()
 	}
+	qsp.End()
 	if c.closed {
 		c.mu.Unlock()
 		return &response{Err: "ejb: container closed"}
@@ -255,6 +312,9 @@ func (c *Container) HealthHandler() http.Handler {
 		if closed {
 			status = http.StatusServiceUnavailable
 			ok = false
+			// A closed container never reopens; tell probes to back off
+			// rather than hammer it.
+			w.Header().Set("Retry-After", "5")
 		}
 		w.WriteHeader(status)
 		json.NewEncoder(w).Encode(map[string]interface{}{ //nolint:errcheck // best-effort probe response
@@ -267,9 +327,42 @@ func (c *Container) HealthHandler() http.Handler {
 	})
 }
 
-// ServeHealth starts an HTTP /healthz listener for the container on
-// addr and returns the bound address. It stops when the container
-// closes.
+// MetricsRegistry builds the container tier's /metrics exposition:
+// capacity gauges, the per-kind invocation histogram, and — when a page
+// service is deployed — the per-page/per-unit compute histograms, so
+// both tiers answer with the same model-derived series.
+func (c *Container) MetricsRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Gauge("webml_container_capacity", "Configured component instance capacity.", nil,
+		func() float64 { return float64(c.Metrics().Capacity) })
+	reg.Gauge("webml_container_active", "Currently active component instances.", nil,
+		func() float64 { return float64(c.Metrics().Active) })
+	reg.Gauge("webml_container_max_active", "High-water mark of active instances.", nil,
+		func() float64 { return float64(c.Metrics().MaxActive) })
+	reg.Counter("webml_container_served_total", "Invocations served since start.", nil,
+		func() float64 { return float64(c.Metrics().Served) })
+	reg.RegisterVec(c.invokeLat)
+	// The page service may be deployed after this registry is built, so
+	// its histograms resolve at scrape time.
+	reg.Register(func(e *obs.Exposition) {
+		c.mu.Lock()
+		p := c.pages
+		c.mu.Unlock()
+		if p != nil {
+			if p.PageLat != nil {
+				e.Histogram(p.PageLat)
+			}
+			if p.UnitLat != nil {
+				e.Histogram(p.UnitLat)
+			}
+		}
+	})
+	return reg
+}
+
+// ServeHealth starts an HTTP listener for the container's /healthz and
+// /metrics on addr and returns the bound address. It stops when the
+// container closes.
 func (c *Container) ServeHealth(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -277,6 +370,7 @@ func (c *Container) ServeHealth(addr string) (string, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/healthz", c.HealthHandler())
+	mux.Handle("/metrics", c.MetricsRegistry())
 	srv := &http.Server{Handler: mux}
 	c.wg.Add(1)
 	go func() {

@@ -15,6 +15,7 @@ import (
 
 	"webmlgo/internal/descriptor"
 	"webmlgo/internal/mvc"
+	"webmlgo/internal/obs"
 )
 
 // request is one remote invocation.
@@ -37,6 +38,12 @@ type request struct {
 	// in the application server too — the budget crosses the tier
 	// boundary with the call.
 	DeadlineMS int64
+	// TraceID and SpanID propagate the caller's trace across the tier
+	// boundary (0 = untraced). Gob ignores fields unknown to the peer
+	// and zeroes fields missing from the stream, so old clients and old
+	// containers interoperate with new ones.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // response is the invocation result.
@@ -46,6 +53,10 @@ type response struct {
 	Page *mvc.PageState
 	// Err is a serialized error ("" on success).
 	Err string
+	// Spans carries the container-side spans of a traced invocation back
+	// to the caller, which stitches them into the request trace — no
+	// distributed collector needed (empty when untraced).
+	Spans []obs.Span
 }
 
 func init() {

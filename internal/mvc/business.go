@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"strconv"
 	"sync"
 	"time"
 
 	"webmlgo/internal/cache"
 	"webmlgo/internal/descriptor"
+	"webmlgo/internal/obs"
 	"webmlgo/internal/rdb"
 )
 
@@ -157,16 +159,22 @@ func (cb *CachedBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, i
 		return cb.Inner.ComputeUnit(ctx, d, inputs)
 	}
 	key := beanKey(d.ID, inputs)
+	gsp := obs.Leaf(ctx, "cache.get").Label("unit", d.ID)
 	if v, ok := cb.Cache.Get(key); ok {
+		gsp.Label("outcome", "hit").End()
 		return v.(*UnitBean), nil
 	}
+	gsp.Label("outcome", "miss").End()
 	f, leader := cb.flights.join(key, d.Reads)
 	if !leader {
+		wsp := obs.Leaf(ctx, "cache.wait").Label("unit", d.ID)
 		select {
 		case <-f.done:
+			wsp.End()
 		case <-ctx.Done():
 			// Don't wait past this request's budget for someone else's
 			// leader; a stale bean within bound still beats an error.
+			wsp.EndErr(ctx.Err())
 			return cb.degraded(key, ctx.Err())
 		}
 		if f.err != nil {
@@ -185,7 +193,9 @@ func (cb *CachedBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, i
 		if d.Cache.TTLSeconds > 0 {
 			ttl = time.Duration(d.Cache.TTLSeconds) * time.Second
 		}
-		cb.Cache.PutIfFresh(key, bean, d.Reads, ttl, v)
+		psp := obs.Leaf(ctx, "cache.put").Label("unit", d.ID)
+		stored := cb.Cache.PutIfFresh(key, bean, d.Reads, ttl, v)
+		psp.Label("stored", strconv.FormatBool(stored)).End()
 	}
 	return bean, nil
 }

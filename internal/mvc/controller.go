@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"webmlgo/internal/descriptor"
+	"webmlgo/internal/obs"
 )
 
 // Renderer is the View of Figure 4: it turns a computed page state into
@@ -81,6 +82,11 @@ type Controller struct {
 	// answers 504 (or a degraded stale bean, if enabled). 0 disables the
 	// deadline — only client disconnect cancels.
 	RequestTimeout time.Duration
+	// Obs, when set, traces requests: a trace ID is allocated per
+	// request (or joined, when the edge tier already started one) and
+	// every tier below contributes spans. Nil disables tracing; the
+	// latency histograms stay on either way.
+	Obs *obs.Tracer
 
 	metrics metrics
 }
@@ -128,7 +134,9 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(path, "fragment/") {
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		r, finish := c.traceRequest(r, path)
 		c.safeFragment(sr, r, path)
+		finish(sr.status)
 		c.metrics.record(path, time.Since(start), sr.status >= 400)
 		return
 	}
@@ -137,7 +145,9 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(path, "page/") || strings.HasPrefix(path, "op/"):
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		r, finish := c.traceRequest(r, path)
 		c.safeDispatch(sr, r, session, path)
+		finish(sr.status)
 		c.metrics.record(path, time.Since(start), sr.status >= 400)
 	case path == "login":
 		user := r.FormValue("user")
@@ -157,6 +167,29 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// traceRequest attaches tracing to one request: if an upstream tier (the
+// edge surrogate, in-process) already started a trace, the controller
+// joins it with a child span; otherwise, with a tracer configured, it
+// becomes the trace root. The returned finish must be called with the
+// final status once the action completes. Untraced requests pay one
+// context lookup and get no-ops.
+func (c *Controller) traceRequest(r *http.Request, action string) (*http.Request, func(status int)) {
+	ctx := r.Context()
+	if t, _ := obs.FromContext(ctx); t != nil {
+		ctx, sp := obs.StartSpan(ctx, "controller")
+		sp.Label("action", action)
+		return r.WithContext(ctx), func(int) { sp.End() }
+	}
+	if c.Obs == nil {
+		return r, func(int) {}
+	}
+	ctx, t := c.Obs.Start(ctx, action)
+	if t == nil { // sampled out
+		return r, func(int) {}
+	}
+	return r.WithContext(ctx), func(status int) { c.Obs.Finish(t, status) }
 }
 
 // resolveSession returns the request's session. A surrogate fetch (the

@@ -1,20 +1,26 @@
 package mvc
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"webmlgo/internal/obs"
 )
 
 // ActionStats aggregates the Controller's activity for one action — the
 // operational visibility a centralized Controller makes trivial compared
-// to scattered page templates.
+// to scattered page templates. Statistics are derived from a per-action
+// latency histogram, so beyond the classical count/total the snapshot
+// carries the distribution: min, max and the p50/p95/p99 quantiles.
 type ActionStats struct {
 	Action string
 	Count  int64
 	Errors int64 // responses with status >= 400
 	Total  time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
 }
 
 // Mean returns the average service time of the action.
@@ -25,47 +31,54 @@ func (s ActionStats) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
-// actionCounters is the live per-action accumulator. Counters are
-// atomics so the per-request hot path never takes a lock once the action
-// row exists (the set of actions is small and stabilizes immediately).
-type actionCounters struct {
-	count  atomic.Int64
-	errors atomic.Int64
-	total  atomic.Int64 // nanoseconds
+// ErrorRate returns the fraction of requests that answered status >= 400.
+func (s ActionStats) ErrorRate() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(s.Count)
 }
 
+// metrics is the live per-action accumulator: one lock-free histogram
+// per action, shared with the /metrics exposition.
 type metrics struct {
-	actions sync.Map // action string -> *actionCounters
+	vec obs.HistogramVec
 }
 
 func (m *metrics) record(action string, d time.Duration, failed bool) {
-	v, ok := m.actions.Load(action)
-	if !ok {
-		v, _ = m.actions.LoadOrStore(action, &actionCounters{})
-	}
-	c := v.(*actionCounters)
-	c.count.Add(1)
-	c.total.Add(int64(d))
-	if failed {
-		c.errors.Add(1)
-	}
+	m.vec.ObserveErr(action, d, failed)
 }
 
 func (m *metrics) snapshot() []ActionStats {
 	out := make([]ActionStats, 0, 16)
-	m.actions.Range(func(k, v interface{}) bool {
-		c := v.(*actionCounters)
+	for _, s := range m.vec.Snapshot() {
 		out = append(out, ActionStats{
-			Action: k.(string),
-			Count:  c.count.Load(),
-			Errors: c.errors.Load(),
-			Total:  time.Duration(c.total.Load()),
+			Action: s.LabelValue,
+			Count:  int64(s.Hist.Count),
+			Errors: int64(s.Hist.Errs),
+			Total:  s.Hist.Sum,
+			Min:    s.Hist.Min,
+			Max:    s.Hist.Max,
+			P50:    s.Hist.Quantile(0.5),
+			P95:    s.Hist.Quantile(0.95),
+			P99:    s.Hist.Quantile(0.99),
 		})
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Action < out[j].Action })
+	}
 	return out
 }
 
-// Metrics returns per-action statistics collected since startup.
+// Metrics returns per-action statistics collected since startup, sorted
+// by action name.
 func (c *Controller) Metrics() []ActionStats { return c.metrics.snapshot() }
+
+// ActionHistograms exposes the per-action latency histograms backing
+// Metrics() — app wiring registers this with the /metrics registry. The
+// family metadata is stamped here (not on the hot path, which never
+// reads it).
+func (c *Controller) ActionHistograms() *obs.HistogramVec {
+	v := &c.metrics.vec
+	v.Name = "webml_action_seconds"
+	v.Help = "Controller action service time by mapped action."
+	v.Label = "action"
+	return v
+}

@@ -3,10 +3,13 @@ package mvc
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"webmlgo/internal/descriptor"
+	"webmlgo/internal/obs"
 )
 
 // PageService is the single generic page service of Figure 5 applied to
@@ -22,6 +25,11 @@ type PageService struct {
 	// topological level compute concurrently on up to Workers goroutines.
 	// <=1 selects sequential computation (the default).
 	Workers int
+	// PageLat / UnitLat, when set, record per-page and per-unit compute
+	// latency into the shared histogram families — the model-derived
+	// series behind the /metrics p50/p95/p99. Nil skips recording.
+	PageLat *obs.HistogramVec
+	UnitLat *obs.HistogramVec
 }
 
 // PageState is the set of unit beans computed for one request — the
@@ -44,6 +52,18 @@ type PageState struct {
 // unit ID. ctx carries the request deadline: levels stop scheduling new
 // units once it is done, and the business tier below observes it.
 func (ps *PageService) ComputePage(ctx context.Context, pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error) {
+	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "page.compute")
+	sp.Label("page", pageID)
+	state, err := ps.computePage(ctx, pageID, request, formState)
+	if ps.PageLat != nil {
+		ps.PageLat.ObserveErr(pageID, time.Since(start), err != nil)
+	}
+	sp.EndErr(err)
+	return state, err
+}
+
+func (ps *PageService) computePage(ctx context.Context, pageID string, request map[string]Value, formState map[string]*FormState) (*PageState, error) {
 	pd := ps.Repo.Page(pageID)
 	if pd == nil {
 		return nil, fmt.Errorf("mvc: no page descriptor %q", pageID)
@@ -61,23 +81,29 @@ func (ps *PageService) ComputePage(ctx context.Context, pageID string, request m
 		state.Order[i] = ur.ID
 	}
 
-	for _, level := range sched.Levels {
+	for li, level := range sched.Levels {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		lctx, lsp := obs.StartSpan(ctx, "page.level")
+		lsp.Label("level", strconv.Itoa(li)).Label("units", strconv.Itoa(len(level)))
 		if ps.Workers > 1 && len(level) > 1 {
-			if err := ps.computeLevel(ctx, pd, sched, level, request, formState, state); err != nil {
+			if err := ps.computeLevel(lctx, pd, sched, level, request, formState, state); err != nil {
+				lsp.EndErr(err)
 				return nil, err
 			}
+			lsp.End()
 			continue
 		}
 		for _, unitID := range level {
-			bean, err := ps.computeOne(ctx, pd, sched, unitID, request, formState, state)
+			bean, err := ps.computeOne(lctx, pd, sched, unitID, request, formState, state)
 			if err != nil {
+				lsp.EndErr(err)
 				return nil, err
 			}
 			state.Beans[unitID] = bean
 		}
+		lsp.End()
 	}
 	return state, nil
 }
@@ -142,6 +168,16 @@ func (ps *PageService) computeLevel(ctx context.Context, pd *descriptor.Page, sc
 // unit's error instead of killing the process — on the worker pool an
 // uncaught panic in a goroutine would otherwise be unrecoverable.
 func (ps *PageService) computeOne(ctx context.Context, pd *descriptor.Page, sched *descriptor.Schedule, unitID string, request map[string]Value, formState map[string]*FormState, state *PageState) (bean *UnitBean, err error) {
+	start := time.Now()
+	sp := obs.Leaf(ctx, "unit").Label("unit", unitID)
+	// Registered before the recover defer (LIFO): the panic handler sets
+	// err first, then this defer records the outcome.
+	defer func() {
+		if ps.UnitLat != nil {
+			ps.UnitLat.ObserveErr(unitID, time.Since(start), err != nil)
+		}
+		sp.EndErr(err)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			bean, err = nil, fmt.Errorf("mvc: unit %s panicked: %v", unitID, r)
@@ -151,6 +187,7 @@ func (ps *PageService) computeOne(ctx context.Context, pd *descriptor.Page, sche
 	if ud == nil {
 		return nil, fmt.Errorf("mvc: page %q references missing unit descriptor %q", pd.ID, unitID)
 	}
+	sp.Label("entity", ud.Entity)
 	inputs := make(map[string]Value)
 	// Request parameters bind by input name.
 	for _, p := range ud.Inputs {

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry aggregates metric sources from every tier into one
+// Prometheus-text-format exposition. Sources register a write callback;
+// scrape time walks them in registration order. Families emitted by
+// multiple sources are grouped so HELP/TYPE headers appear exactly once.
+type Registry struct {
+	mu      sync.Mutex
+	sources []func(*Exposition)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a metric source invoked at every scrape.
+func (r *Registry) Register(fn func(*Exposition)) {
+	r.mu.Lock()
+	r.sources = append(r.sources, fn)
+	r.mu.Unlock()
+}
+
+// RegisterVec exposes a HistogramVec as a native Prometheus histogram
+// family plus derived quantile gauges (<family>_quantile{q=...}).
+func (r *Registry) RegisterVec(v *HistogramVec) {
+	r.Register(func(e *Exposition) { e.Histogram(v) })
+}
+
+// Gauge registers a single-value gauge read at scrape time.
+func (r *Registry) Gauge(name, help string, labels map[string]string, fn func() float64) {
+	r.Register(func(e *Exposition) { e.Gauge(name, help, labels, fn()) })
+}
+
+// Counter registers a single-value counter read at scrape time.
+func (r *Registry) Counter(name, help string, labels map[string]string, fn func() float64) {
+	r.Register(func(e *Exposition) { e.Counter(name, help, labels, fn()) })
+}
+
+// ServeHTTP renders the exposition.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.Write(w)
+}
+
+// Write renders every registered source, grouped by family.
+func (r *Registry) Write(w io.Writer) {
+	r.mu.Lock()
+	sources := make([]func(*Exposition), len(r.sources))
+	copy(sources, r.sources)
+	r.mu.Unlock()
+	e := &Exposition{families: map[string]*family{}}
+	for _, fn := range sources {
+		fn(e)
+	}
+	e.writeTo(w)
+}
+
+// Handler returns the registry as an http.Handler.
+func (r *Registry) Handler() http.Handler { return r }
+
+type family struct {
+	name  string
+	help  string
+	typ   string
+	order int
+	lines []string
+}
+
+// Exposition collects samples during one scrape. Sources call Gauge /
+// Counter / Histogram; duplicate family names from different sources
+// merge under one header.
+type Exposition struct {
+	families map[string]*family
+	next     int
+}
+
+func (e *Exposition) fam(name, help, typ string) *family {
+	f, ok := e.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, order: e.next}
+		e.next++
+		e.families[name] = f
+	}
+	return f
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels formats a label set as {k="v",...} with sorted keys, or
+// "" when empty.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Gauge emits one gauge sample.
+func (e *Exposition) Gauge(name, help string, labels map[string]string, v float64) {
+	f := e.fam(name, help, "gauge")
+	f.lines = append(f.lines, fmt.Sprintf("%s%s %s", name, renderLabels(labels), formatValue(v)))
+}
+
+// Counter emits one counter sample.
+func (e *Exposition) Counter(name, help string, labels map[string]string, v float64) {
+	f := e.fam(name, help, "counter")
+	f.lines = append(f.lines, fmt.Sprintf("%s%s %s", name, renderLabels(labels), formatValue(v)))
+}
+
+// Histogram emits a HistogramVec as a Prometheus histogram family
+// (seconds) plus a companion <name>_quantile gauge family carrying the
+// derived p50/p95/p99 — so dashboards get quantiles without needing
+// histogram_quantile(), and scripts can grep them directly.
+func (e *Exposition) Histogram(v *HistogramVec) {
+	f := e.fam(v.Name, v.Help, "histogram")
+	qf := e.fam(v.Name+"_quantile", v.Help+" (derived quantiles)", "gauge")
+	ef := e.fam(v.Name+"_errors_total", v.Help+" (errored observations)", "counter")
+	for _, s := range v.Snapshot() {
+		base := map[string]string{v.Label: s.LabelValue}
+		var cum uint64
+		for i := 0; i < numBuckets; i++ {
+			cum += s.Hist.Buckets[i]
+			le := formatValue(bucketBound(i) / 1e9)
+			f.lines = append(f.lines, fmt.Sprintf(`%s_bucket{%s="%s",le="%s"} %d`,
+				v.Name, v.Label, escapeLabel(s.LabelValue), le, cum))
+		}
+		f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %s", v.Name, renderLabels(base), formatValue(s.Hist.Sum.Seconds())))
+		f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", v.Name, renderLabels(base), s.Hist.Count))
+		for _, q := range []struct {
+			q float64
+			s string
+		}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+			labels := map[string]string{v.Label: s.LabelValue, "q": q.s}
+			qf.lines = append(qf.lines, fmt.Sprintf("%s_quantile%s %s",
+				v.Name, renderLabels(labels), formatValue(s.Hist.Quantile(q.q).Seconds())))
+		}
+		ef.lines = append(ef.lines, fmt.Sprintf("%s_errors_total%s %d", v.Name, renderLabels(base), s.Hist.Errs))
+	}
+}
+
+func (e *Exposition) writeTo(w io.Writer) {
+	fams := make([]*family, 0, len(e.families))
+	for _, f := range e.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].order < fams[j].order })
+	for _, f := range fams {
+		if len(f.lines) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ln := range f.lines {
+			fmt.Fprintln(w, ln)
+		}
+	}
+}

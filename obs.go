@@ -1,0 +1,160 @@
+package webmlgo
+
+import (
+	"net/http"
+	"time"
+
+	"webmlgo/internal/cache"
+	"webmlgo/internal/ejb"
+	"webmlgo/internal/mvc"
+	"webmlgo/internal/obs"
+)
+
+// WithObservability enables request tracing across every tier: the edge
+// (or controller, without an edge) allocates a trace per request, page
+// workers, caches and remote EJB calls contribute spans, and container
+// tiers stitch theirs back over the gob wire. Finished traces are kept
+// in a ring of traceCapacity (<=0 selects 256) served at /debug/traces;
+// traces at or past slowThreshold (<=0 selects 250ms) are additionally
+// retained as slow exemplars. It also turns on the per-page and
+// per-unit latency histograms feeding /metrics. For production
+// serving, set App.Obs.SampleEvery = n to trace 1-in-n requests —
+// histograms stay exact on every request regardless of sampling.
+func WithObservability(traceCapacity int, slowThreshold time.Duration) Option {
+	return func(c *config) {
+		c.withObs = true
+		c.traceCap = traceCapacity
+		c.slowTrace = slowThreshold
+	}
+}
+
+// wireObservability attaches the tracer and the model-derived histogram
+// families to an assembled app (called at the end of New).
+func (a *App) wireObservability(cfg *config) {
+	if !cfg.withObs {
+		return
+	}
+	a.Obs = obs.NewTracer(cfg.traceCap, cfg.slowTrace)
+	a.Controller.Obs = a.Obs
+	if ps, ok := a.Controller.Pages.(*mvc.PageService); ok {
+		ps.PageLat = obs.NewHistogramVec("webml_page_compute_seconds",
+			"Page computation latency by page.", "page")
+		ps.UnitLat = obs.NewHistogramVec("webml_unit_compute_seconds",
+			"Unit service latency by unit.", "unit")
+	}
+	if a.Edge != nil {
+		a.Edge.Obs = a.Obs
+	}
+}
+
+// MetricsRegistry returns the web tier's /metrics registry, built on
+// first use: per-action, per-page, per-unit and per-endpoint latency
+// histograms (p50/p95/p99 derived), every enabled cache level's
+// counters, edge dispositions, breaker states, retry/degraded counters
+// and trace-ring stats — one Prometheus-text exposition for the whole
+// stack.
+func (a *App) MetricsRegistry() *obs.Registry {
+	a.regOnce.Do(func() { a.registry = a.buildRegistry() })
+	return a.registry
+}
+
+// MetricsHandler returns the /metrics endpoint.
+func (a *App) MetricsHandler() http.Handler { return a.MetricsRegistry() }
+
+// TracesHandler returns the /debug/traces endpoint (404 without
+// WithObservability).
+func (a *App) TracesHandler() http.Handler {
+	if a.Obs == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "tracing disabled (WithObservability)", http.StatusNotFound)
+		})
+	}
+	return a.Obs.Handler()
+}
+
+func (a *App) buildRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.RegisterVec(a.Controller.ActionHistograms())
+	if ps, ok := a.Controller.Pages.(*mvc.PageService); ok {
+		if ps.PageLat != nil {
+			reg.RegisterVec(ps.PageLat)
+		}
+		if ps.UnitLat != nil {
+			reg.RegisterVec(ps.UnitLat)
+		}
+	}
+	if a.Remote != nil {
+		reg.RegisterVec(a.Remote.CallLat)
+		reg.Register(func(e *obs.Exposition) {
+			for _, ep := range a.Remote.Health() {
+				labels := map[string]string{"addr": ep.Addr}
+				state := 0.0
+				switch ep.State {
+				case ejb.BreakerOpen:
+					state = 1
+				case ejb.BreakerHalfOpen:
+					state = 0.5
+				}
+				e.Gauge("webml_breaker_open", "Breaker state per container endpoint (0 closed, 0.5 half-open, 1 open).", labels, state)
+				e.Counter("webml_breaker_opens_total", "Times the breaker tripped open.", labels, float64(ep.Opens))
+				e.Counter("webml_breaker_rejected_total", "Calls rejected by the open breaker.", labels, float64(ep.Rejected))
+			}
+		})
+	}
+	reg.Register(func(e *obs.Exposition) {
+		emit := func(level string, s *cache.Stats) {
+			if s == nil {
+				return
+			}
+			l := map[string]string{"cache": level}
+			e.Counter("webml_cache_hits_total", "Cache hits by level.", l, float64(s.Hits))
+			e.Counter("webml_cache_misses_total", "Cache misses by level.", l, float64(s.Misses))
+			e.Counter("webml_cache_puts_total", "Cache stores by level.", l, float64(s.Puts))
+			e.Counter("webml_cache_evictions_total", "Cache evictions by level.", l, float64(s.Evictions))
+			e.Counter("webml_cache_invalidations_total", "Model-driven invalidations by level.", l, float64(s.Invalidations))
+			e.Counter("webml_cache_expirations_total", "TTL expirations by level.", l, float64(s.Expirations))
+			e.Counter("webml_cache_degraded_hits_total", "Stale beans served in degraded mode.", l, float64(s.DegradedHits))
+		}
+		cs := a.CacheMetrics()
+		emit("bean", cs.Bean)
+		emit("fragment", cs.Fragment)
+		emit("edge", cs.Edge)
+		emit("page", cs.Page)
+	})
+	if a.Edge != nil {
+		reg.Register(func(e *obs.Exposition) {
+			hit, stale, miss := a.Edge.Dispositions()
+			for _, d := range []struct {
+				name string
+				v    int64
+			}{{"hit", hit}, {"stale", stale}, {"miss", miss}} {
+				e.Counter("webml_edge_resolutions_total", "Edge resolutions by X-Cache disposition.",
+					map[string]string{"disposition": d.name}, float64(d.v))
+			}
+		})
+	}
+	if a.Resilient != nil {
+		reg.Counter("webml_retries_total", "Unit-read retry attempts.", nil,
+			func() float64 { return float64(a.Resilient.Retries.Load()) })
+	}
+	if a.Faults != nil {
+		reg.Register(func(e *obs.Exposition) {
+			c := a.Faults.Counts()
+			for _, f := range []struct {
+				kind string
+				v    int64
+			}{{"latency", c.Latencies}, {"error", c.Errors}, {"panic", c.Panics}, {"drop", c.Drops}} {
+				e.Counter("webml_faults_injected_total", "Injected chaos events by kind.",
+					map[string]string{"kind": f.kind}, float64(f.v))
+			}
+		})
+	}
+	if a.Obs != nil {
+		reg.Register(func(e *obs.Exposition) {
+			started, slow := a.Obs.Stats()
+			e.Counter("webml_traces_total", "Requests traced.", nil, float64(started))
+			e.Counter("webml_traces_slow_total", "Traces past the slow threshold.", nil, float64(slow))
+		})
+	}
+	return reg
+}
