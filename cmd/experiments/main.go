@@ -18,6 +18,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"webmlgo"
@@ -30,6 +32,7 @@ import (
 	"webmlgo/internal/mvc"
 	"webmlgo/internal/rdb"
 	"webmlgo/internal/style"
+	"webmlgo/internal/webml"
 	"webmlgo/internal/workload"
 )
 
@@ -50,6 +53,7 @@ func main() {
 		{"e7b", e7b, "E7b (Sec. 4): fault-tolerant business tier under chaos"},
 		{"e8", e8, "E8 (Sec. 1): scaling to thousands of page templates"},
 		{"e9", e9, "E9: observability — instrumentation overhead + slow-container diagnosis"},
+		{"e10", e10, "E10 (Sec. 4): wire protocol v2 — multiplexing + level-batched invocation"},
 	}
 	want := map[string]bool{}
 	for _, a := range os.Args[1:] {
@@ -647,4 +651,155 @@ func e9() {
 	fmt.Printf("  dominant endpoint in the trace: %s (%.1fms of %.1fms total)\n",
 		worstAddr, float64(worstUS)/1000, v.DurMS)
 	fmt.Printf("  correctly pinpoints the slowed container: %v (slow = %s)\n", worstAddr == slowAddr, slowAddr)
+}
+
+// e10Model is the wide-fan workload for the wire-protocol experiment:
+// one page whose eight index units have no incoming transport edges, so
+// the scheduler places them all in level 0 — the widest level the
+// Figure 1 fixture family produces, and the shape the level batch was
+// built for.
+func e10Model() *webml.Model {
+	b := webml.NewBuilder("acm-fan", fixture.ACMSchema())
+	pub := b.SiteView("public", "Wide Fan")
+	page := pub.Page("fanPage", "Fan Page").Landmark().Layout("one-column")
+	kinds := []struct {
+		entity string
+		attrs  []string
+	}{
+		{"Paper", []string{"Title", "Pages"}},
+		{"Issue", []string{"Number", "Month"}},
+		{"Volume", []string{"Title", "Year"}},
+		{"Keyword", []string{"Word"}},
+	}
+	for i := 0; i < 8; i++ {
+		k := kinds[i%len(kinds)]
+		idx := page.Index(fmt.Sprintf("fan%d", i), k.entity, k.attrs...)
+		idx.Order = []webml.OrderKey{{Attr: k.attrs[0]}}
+	}
+	return b.MustBuild()
+}
+
+// e10 measures what the wire-v2 work buys on a remote level fan-out:
+// the same page, the same two containers, three client configurations —
+// the legacy one-exchange-per-connection gob protocol, the framed
+// multiplexed protocol with per-unit calls, and framed plus level
+// batching (all eight units of the level in one frame). Sixteen
+// concurrent clients hammer the page per mode; throughput and p95 are
+// reported against the gob baseline, after verifying all three modes
+// render byte-identical pages.
+func e10() {
+	model := e10Model()
+	backend, err := webmlgo.New(model)
+	must(err)
+	must(fixture.Seed(backend.DB))
+	db := backend.DB
+
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ctr, addr, err := webmlgo.DeployContainer(model, db, 32, "127.0.0.1:0")
+		must(err)
+		defer ctr.Close()
+		addrs[i] = addr
+	}
+
+	mkApp := func(opts ...webmlgo.Option) *webmlgo.App {
+		opts = append([]webmlgo.Option{
+			webmlgo.WithAppServer(addrs...),
+			webmlgo.WithPageWorkers(16),
+		}, opts...)
+		app, err := webmlgo.New(model, opts...)
+		must(err)
+		return app
+	}
+	modes := []struct {
+		name string
+		app  *webmlgo.App
+	}{
+		{"legacy gob (one exchange per conn)", mkApp(webmlgo.WithWireProtocol(ejb.WireGob))},
+		{"framed, per-unit calls", mkApp(webmlgo.WithWireProtocol(ejb.WireFramed), webmlgo.WithoutUnitBatch())},
+		{"framed + level batch", mkApp(webmlgo.WithWireProtocol(ejb.WireFramed))},
+	}
+	defer func() {
+		for _, m := range modes {
+			m.app.Remote.Close()
+		}
+	}()
+
+	// Correctness gate: every mode must produce the same bytes.
+	const path = "/page/fanPage"
+	bodies := make([]string, len(modes))
+	for i, m := range modes {
+		code, body := get(m.app.Handler(), path)
+		if code != 200 {
+			fmt.Printf("  FAIL: %s answered %d\n", m.name, code)
+			return
+		}
+		bodies[i] = body
+	}
+	identical := bodies[0] == bodies[1] && bodies[1] == bodies[2]
+	fmt.Printf("pages byte-identical across wire modes: %v (%d bytes, 8-unit level)\n\n", identical, len(bodies[0]))
+
+	// Load phase: K clients, N requests per mode, shared work counter.
+	const (
+		K = 16
+		N = 1600
+	)
+	type result struct {
+		rps  float64
+		p95  time.Duration
+		p50  time.Duration
+	}
+	run := func(app *webmlgo.App) result {
+		h := app.Handler()
+		for i := 0; i < 32; i++ { // warm conns, caches, breakers
+			get(h, path)
+		}
+		var next atomic.Int64
+		lats := make([][]time.Duration, K)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < K; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for next.Add(1) <= N {
+					t0 := time.Now()
+					code, _ := get(h, path)
+					if code != 200 {
+						continue
+					}
+					lats[c] = append(lats[c], time.Since(t0))
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return result{
+			rps: float64(len(all)) / wall.Seconds(),
+			p95: all[len(all)*95/100],
+			p50: all[len(all)/2],
+		}
+	}
+
+	fmt.Printf("  %d concurrent clients, %d requests per mode, 8 remote units per page, 2 containers:\n", K, N)
+	results := make([]result, len(modes))
+	for i, m := range modes {
+		results[i] = run(m.app)
+	}
+	base := results[0]
+	for i, m := range modes {
+		r := results[i]
+		fmt.Printf("  %-36s %8.0f req/s  p50=%-10v p95=%-10v (x%.2f throughput, x%.2f p95)\n",
+			m.name, r.rps, r.p50, r.p95, r.rps/base.rps, float64(r.p95)/float64(base.p95))
+	}
+	best := results[len(results)-1]
+	fmt.Printf("\n  E10 RESULT: framed+batch vs gob: x%.2f throughput, x%.2f p95, byte-identical: %v\n",
+		best.rps/base.rps, float64(best.p95)/float64(base.p95), identical)
+	sent, recv, _ := modes[2].app.Remote.FrameStats()
+	fmt.Printf("  frames on the batch client: %d sent / %d received (batch replies stream per item)\n", sent, recv)
 }

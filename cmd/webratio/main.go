@@ -58,6 +58,8 @@ func main() {
 		cmdStats(args)
 	case "serve":
 		cmdServe(args)
+	case "container":
+		cmdContainer(args)
 	case "export":
 		cmdExport(args)
 	case "import":
@@ -146,7 +148,13 @@ func usage() {
            [-trace] [-slow-trace d]      cross-tier request tracing at /debug/traces
            [-trace-sample n]             trace 1 in n requests (production setting)
            [-debug]                      net/http/pprof at /debug/pprof/
+           [-app-server a1,a2]           remote business tier (container addresses)
+           [-wire auto|framed|gob]       EJB wire protocol (needs -app-server)
+           [-ejb-conns n]                wire-v2 connections per endpoint
+           [-no-unit-batch]              disable level-batched unit invocation
            (always mounted: /metrics Prometheus exposition, /healthz)
+  container -model <name> -addr <addr>   run the application-server tier alone
+           [-capacity n]                 concurrent business invocations (default 16)
   export   -model <name> [-out file]     write the model's XML document
   import   -in <file>                    load and validate an XML document
   diagram  -model <name> [-out file]     emit the hypertext diagram (DOT)
@@ -309,6 +317,10 @@ func cmdServe(args []string) {
 	slowTrace := fs.Duration("slow-trace", 0, "slow-trace exemplar threshold (0 = default 250ms; needs -trace)")
 	traceSample := fs.Int("trace-sample", 1, "trace 1 in n requests (1 = every request; needs -trace)")
 	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	appServer := fs.String("app-server", "", "comma-separated container addresses (empty = in-process business tier)")
+	wire := fs.String("wire", "auto", "EJB wire protocol: auto (negotiate v2, fall back to gob), framed (require v2), gob (legacy)")
+	ejbConns := fs.Int("ejb-conns", 0, "multiplexed wire-v2 connections per container endpoint (<=0 = 3; needs -app-server)")
+	noBatch := fs.Bool("no-unit-batch", false, "disable level-batched unit invocation on the framed protocol")
 	fs.Parse(args) //nolint:errcheck
 	m, synthetic, err := loadModel(*model)
 	if err != nil {
@@ -327,6 +339,16 @@ func cmdServe(args []string) {
 	}
 	if *edgeOn {
 		opts = append(opts, webmlgo.WithEdgeCache(8192, time.Minute))
+	}
+	if *appServer != "" {
+		opts = append(opts, webmlgo.WithAppServer(strings.Split(*appServer, ",")...),
+			webmlgo.WithWireProtocol(*wire))
+		if *ejbConns > 0 {
+			opts = append(opts, webmlgo.WithEJBConns(*ejbConns))
+		}
+		if *noBatch {
+			opts = append(opts, webmlgo.WithoutUnitBatch())
+		}
 	}
 	if *timeout > 0 {
 		opts = append(opts, webmlgo.WithRequestTimeout(*timeout))
@@ -362,6 +384,9 @@ func cmdServe(args []string) {
 	}
 	if *chaos {
 		log.Printf("webratio: chaos on (seed %d): 5%% latency spikes, 5%% errors, 1%% panics below the resilience layer", *chaosSeed)
+	}
+	if app.Remote != nil {
+		log.Printf("webratio: business tier on %s (wire=%s, batch=%v)", *appServer, *wire, !*noBatch)
 	}
 	if synthetic {
 		if err := workload.Populate(app.DB, *rows, 7); err != nil {
@@ -410,6 +435,49 @@ func cmdServe(args []string) {
 			srv.Close() //nolint:errcheck // last resort
 		}
 	}
+}
+
+// cmdContainer runs the application-server tier of Figure 6 on its own:
+// a container serving the model's business services to remote web tiers
+// (webratio serve -app-server <addr>). It speaks wire v2 and falls back
+// to the legacy gob exchange per connection, so old and new web tiers
+// can share it during a rollout.
+func cmdContainer(args []string) {
+	fs := flag.NewFlagSet("container", flag.ExitOnError)
+	model := fs.String("model", "acm", "model name")
+	addr := fs.String("addr", ":9090", "listen address")
+	capacity := fs.Int("capacity", 16, "concurrent business invocations")
+	rows := fs.Int("rows", 50, "rows per entity for synthetic models")
+	fs.Parse(args) //nolint:errcheck
+	m, synthetic, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Build the schema and data the same way serve does; in this
+	// reproduction every process owns an in-memory database copy.
+	app, err := webmlgo.New(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if synthetic {
+		if err := workload.Populate(app.DB, *rows, 7); err != nil {
+			log.Fatal(err)
+		}
+	} else if *model == "acm" {
+		if err := fixture.Seed(app.DB); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctr, bound, err := webmlgo.DeployContainer(m, app.DB, *capacity, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("webratio: container serving model %q on %s (capacity %d, wire v2 + gob fallback)", m.Name, bound, *capacity)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("webratio: container shutting down")
+	ctr.Close()
 }
 
 // cmdDiagram is wired from main via the "diagram" subcommand.

@@ -3,8 +3,10 @@ package ejb
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,8 +16,24 @@ import (
 	"webmlgo/internal/obs"
 )
 
-// maxPooledPerEndpoint caps idle connections kept per container.
+// maxPooledPerEndpoint caps idle connections kept per container on the
+// legacy gob path (one exclusively-held connection per in-flight call).
 const maxPooledPerEndpoint = 64
+
+// defaultConnsPerEndpoint is the wire-v2 connection budget: a few
+// persistent multiplexed connections replace the legacy per-call pool.
+const defaultConnsPerEndpoint = 3
+
+// Wire protocol selection for RemoteBusiness.Wire.
+const (
+	// WireAuto negotiates wire v2 and falls back to the legacy gob
+	// exchange against an old container (the default).
+	WireAuto = "auto"
+	// WireFramed requires wire v2: a legacy peer is a call error.
+	WireFramed = "framed"
+	// WireGob forces the legacy gob exchange.
+	WireGob = "gob"
+)
 
 // RemoteBusiness is the client stub: it implements mvc.Business by
 // calling components deployed in one or more remote containers. The
@@ -23,45 +41,80 @@ const maxPooledPerEndpoint = 64
 // objects, which implement the actual application functions" (Section 4).
 //
 // The stub is the resilience boundary of the tier split: each container
-// address gets its own connection pool and circuit breaker, calls carry
-// the request deadline onto the socket (a hung container can never wedge
-// a servlet worker), and idempotent calls (units, pages) transparently
+// address gets its own circuit breaker, calls carry the request deadline
+// onto the wire and the socket (a hung container can never wedge a
+// servlet worker), and idempotent calls (units, pages) transparently
 // fail over to the next healthy container. Operations never fail over
 // once the request may have reached a container — a write either
 // happened or its error surfaces.
+//
+// Transport: by default the stub negotiates wire protocol v2 (framed,
+// multiplexed binary exchange — many frames in flight on a few
+// persistent connections per endpoint, plus level-batched unit
+// invocation) and transparently falls back to the legacy one-call-at-a-
+// time gob exchange against containers that predate it.
 type RemoteBusiness struct {
 	endpoints []*endpoint
 	// Latency, when positive, injects an artificial network delay per
 	// call — a stand-in for a real machine boundary when benchmarking on
-	// loopback.
+	// loopback. A batched level pays it once, not once per unit.
 	Latency time.Duration
 	// CallTimeout caps each remote call even when the request context
 	// carries no deadline (0 = uncapped). When both are set, the earlier
 	// one wins.
 	CallTimeout time.Duration
+	// Wire selects the wire protocol: WireAuto (default), WireFramed, or
+	// WireGob. Set before the first call.
+	Wire string
+	// ConnsPerEndpoint bounds the persistent multiplexed connections per
+	// container in framed mode (<=0 selects 3). The legacy gob path
+	// keeps its own per-call pool.
+	ConnsPerEndpoint int
+	// DisableBatch turns off level-batched unit invocation while keeping
+	// the framed transport (the per-call multiplexing still applies) —
+	// the middle variant of the E10 comparison.
+	DisableBatch bool
 	// CallLat records per-endpoint remote call latency (created by Dial;
 	// always on, atomics only). Registered with the /metrics registry by
-	// the app wiring.
+	// the app wiring. Batched items are observed individually as their
+	// reply frames arrive.
 	CallLat *obs.HistogramVec
+	// BatchLat records the wall time of one level-batched frame exchange
+	// per endpoint (created by Dial).
+	BatchLat *obs.HistogramVec
+
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	stats      *wireStats
 
 	mu   sync.Mutex
 	next int
 }
 
-// endpoint is one container address: its breaker, its idle-connection
-// pool, and a generation counter. Any observed connection failure bumps
-// the generation and retires the whole pool — the container behind those
-// connections died or restarted, so none of them can be trusted again
-// (a dead pooled connection must never be handed out twice).
+// endpoint is one container address: its breaker, its connections, and a
+// generation counter. Any observed connection failure bumps the
+// generation and retires every connection of the old one — the container
+// behind them died or restarted, so none can be trusted again (a dead
+// pooled connection must never be handed out twice).
 type endpoint struct {
 	addr string
 	brk  *breaker
 
 	rejected atomic.Int64 // calls refused outright by the open breaker
 
-	mu   sync.Mutex
-	pool []*conn
-	gen  uint64
+	// dialMu serializes framed dials so a cold or just-failed endpoint
+	// is probed by one handshake at a time.
+	dialMu sync.Mutex
+
+	mu     sync.Mutex
+	pool   []*conn  // legacy gob connections (exclusively held per call)
+	mconns []*mconn // wire-v2 multiplexed connections (shared)
+	mnext  int
+	gen    uint64
+	// legacyHint remembers that the container answered the handshake
+	// like a gob peer, so later calls skip the probe. Cleared on
+	// generation retirement: a restart may have upgraded the container.
+	legacyHint bool
 }
 
 type conn struct {
@@ -76,10 +129,17 @@ func Dial(addrs ...string) (*RemoteBusiness, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("ejb: no container addresses")
 	}
+	registerWireTypes()
 	r := &RemoteBusiness{
 		endpoints: make([]*endpoint, len(addrs)),
 		CallLat: obs.NewHistogramVec("webml_ejb_call_seconds",
 			"Remote EJB call latency by container address.", "addr"),
+		BatchLat: obs.NewHistogramVec("webml_ejb_batch_seconds",
+			"Level-batched remote unit invocation latency by container address.", "addr"),
+	}
+	r.stats = &wireStats{
+		framesSent: func() { r.framesSent.Add(1) },
+		framesRecv: func() { r.framesRecv.Add(1) },
 	}
 	for i, a := range addrs {
 		r.endpoints[i] = &endpoint{addr: a, brk: newBreaker(0, 0)}
@@ -95,7 +155,10 @@ func (r *RemoteBusiness) SetBreaker(threshold int, cooldown time.Duration) {
 	}
 }
 
-var _ mvc.Business = (*RemoteBusiness)(nil)
+var (
+	_ mvc.Business      = (*RemoteBusiness)(nil)
+	_ mvc.BatchComputer = (*RemoteBusiness)(nil)
+)
 
 // ComputeUnit implements mvc.Business remotely. Unit reads are
 // idempotent, so they fail over across containers.
@@ -117,6 +180,198 @@ func (r *RemoteBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Uni
 		return nil, err
 	}
 	return resp.Op, nil
+}
+
+// SupportsUnitBatch implements mvc.BatchComputer: level batching rides
+// the framed transport, so it is available unless the stub is pinned to
+// gob or batching is explicitly disabled. (Endpoints that turn out to
+// be legacy at handshake time degrade to per-unit calls internally.)
+func (r *RemoteBusiness) SupportsUnitBatch() bool {
+	return !r.DisableBatch && r.Wire != WireGob
+}
+
+// ComputeUnits implements mvc.BatchComputer: all unit computations of
+// one schedule level travel as a single batch frame, and the container
+// streams results back as they complete — one round trip per level
+// instead of one per unit. Reads are idempotent, so on a mid-batch
+// transport failure the unfinished items (and only those) are
+// re-submitted to the next endpoint; items that already answered —
+// including per-item application errors — are final.
+func (r *RemoteBusiness) ComputeUnits(ctx context.Context, calls []mvc.UnitCall) []mvc.UnitResult {
+	out := make([]mvc.UnitResult, len(calls))
+	if len(calls) == 0 {
+		return out
+	}
+	if r.Latency > 0 {
+		time.Sleep(r.Latency)
+	}
+	deadline := r.deadline(ctx)
+	var deadlineMS int64
+	if !deadline.IsZero() {
+		if ms := time.Until(deadline).Milliseconds(); ms < 1 {
+			deadlineMS = 1
+		} else {
+			deadlineMS = ms
+		}
+	}
+	bsp := obs.Leaf(ctx, "ejb.batch").Label("units", strconv.Itoa(len(calls)))
+	done := make([]bool, len(calls))
+	r.mu.Lock()
+	start := r.next
+	r.next++
+	r.mu.Unlock()
+	var lastErr error
+	remaining := len(calls)
+	for i := 0; i < len(r.endpoints) && remaining > 0; i++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		ep := r.endpoints[(start+i)%len(r.endpoints)]
+		if !ep.brk.allow() {
+			lastErr = fmt.Errorf("ejb: %s: circuit open", ep.addr)
+			ep.rejected.Add(1)
+			obs.Leaf(ctx, "ejb.reject").Label("addr", ep.addr).EndErr(lastErr)
+			continue
+		}
+		rem, err := r.batchOn(ctx, ep, calls, out, done, deadlineMS, deadline)
+		remaining = rem
+		if err != nil {
+			if errors.Is(err, errLegacyPeer) && r.Wire != WireFramed {
+				// The endpoint speaks gob: finish the level as individual
+				// remote calls (each with its own failover), the shape an
+				// old container expects.
+				r.fallbackUnits(ctx, calls, out, done)
+				bsp.End()
+				return out
+			}
+			lastErr = err
+		}
+	}
+	if lastErr == nil && remaining > 0 {
+		lastErr = fmt.Errorf("ejb: batch incomplete")
+	}
+	for i := range calls {
+		if !done[i] {
+			out[i] = mvc.UnitResult{Err: lastErr}
+		}
+	}
+	bsp.EndErr(lastErr)
+	return out
+}
+
+// batchOn submits the not-yet-done items to one endpoint (retrying once
+// on a fresh connection when a persistent one fails, like callOn) and
+// marks items done as their reply frames arrive. It returns how many
+// items remain and the transport error that stopped the batch, if any.
+func (r *RemoteBusiness) batchOn(ctx context.Context, ep *endpoint, calls []mvc.UnitCall, out []mvc.UnitResult, done []bool, deadlineMS int64, deadline time.Time) (int, error) {
+	count := func() int {
+		n := 0
+		for _, d := range done {
+			if !d {
+				n++
+			}
+		}
+		return n
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if !deadline.IsZero() && time.Until(deadline) <= 0 {
+			if lastErr == nil {
+				lastErr = context.DeadlineExceeded
+			}
+			return count(), lastErr
+		}
+		var idxs []int
+		for i, d := range done {
+			if !d {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			return 0, nil
+		}
+		mc, fresh, err := ep.framedConn(r, deadline)
+		if err != nil {
+			if errors.Is(err, errLegacyPeer) {
+				return count(), err
+			}
+			ep.brk.failure()
+			if lastErr == nil {
+				lastErr = err
+			}
+			return count(), lastErr
+		}
+		breq := &batchRequest{DeadlineMS: deadlineMS, Calls: make([]batchCall, len(idxs))}
+		spans := make([]*obs.SpanHandle, len(idxs))
+		for j, idx := range idxs {
+			sp := obs.Leaf(ctx, "ejb.call").Label("addr", ep.addr).Label("kind", "unit").Label("batch", "1")
+			tid, sid := sp.Wire()
+			breq.TraceID = tid
+			breq.Calls[j] = batchCall{SpanID: sid, Descriptor: calls[idx].D, Inputs: calls[idx].Inputs}
+			spans[j] = sp
+		}
+		started := time.Now()
+		err = mc.batch(breq, deadline, ctx.Done(), func(j int, resp *response) {
+			idx := idxs[j]
+			if r.CallLat != nil {
+				r.CallLat.ObserveErr(ep.addr, time.Since(started), resp.Err != "")
+			}
+			spans[j].ImportRemote(resp.Spans)
+			if resp.Err != "" {
+				// Application-level error: the container executed the item;
+				// re-running it elsewhere would produce the same answer.
+				e := fmt.Errorf("ejb: remote: %s", resp.Err)
+				spans[j].EndErr(e)
+				out[idx] = mvc.UnitResult{Err: e}
+			} else {
+				spans[j].End()
+				out[idx] = mvc.UnitResult{Bean: resp.Bean}
+			}
+			done[idx] = true
+		})
+		if r.BatchLat != nil {
+			r.BatchLat.ObserveErr(ep.addr, time.Since(started), err != nil)
+		}
+		if err == nil {
+			ep.brk.success()
+			return 0, nil
+		}
+		for j, idx := range idxs {
+			if !done[idx] {
+				spans[j].EndErr(err)
+			}
+		}
+		mc.fail(err)
+		ep.dropGeneration(mc.gen)
+		ep.brk.failure()
+		lastErr = err
+		if fresh {
+			break
+		}
+	}
+	return count(), lastErr
+}
+
+// fallbackUnits finishes a level against a legacy endpoint set: each
+// remaining item becomes an ordinary remote unit call with the stub's
+// full failover behavior, run concurrently like the scheduler would.
+func (r *RemoteBusiness) fallbackUnits(ctx context.Context, calls []mvc.UnitCall, out []mvc.UnitResult, done []bool) {
+	var wg sync.WaitGroup
+	for idx := range calls {
+		if done[idx] {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			bean, err := r.ComputeUnit(ctx, calls[idx].D, calls[idx].Inputs)
+			out[idx] = mvc.UnitResult{Bean: bean, Err: err}
+		}(idx)
+	}
+	wg.Wait()
 }
 
 // Pages returns a remote page computer over the same connections: the
@@ -177,7 +432,7 @@ func (r *RemoteBusiness) call(ctx context.Context, req *request) (*response, err
 		sp := obs.Leaf(ctx, "ejb.call").Label("addr", ep.addr).Label("kind", req.Kind)
 		req.TraceID, req.SpanID = sp.Wire()
 		attempt := time.Now()
-		resp, sent, err := r.callOn(ep, req, deadline, readOnly)
+		resp, sent, err := r.callOn(ctx, ep, req, deadline, readOnly)
 		if r.CallLat != nil {
 			r.CallLat.ObserveErr(ep.addr, time.Since(attempt), err != nil)
 		}
@@ -218,16 +473,78 @@ func (r *RemoteBusiness) deadline(ctx context.Context) time.Time {
 	return d
 }
 
+// useFramed decides the transport for one attempt against an endpoint.
+func (r *RemoteBusiness) useFramed(ep *endpoint) bool {
+	if r.Wire == WireGob {
+		return false
+	}
+	if r.Wire == WireFramed {
+		return true
+	}
+	ep.mu.Lock()
+	legacy := ep.legacyHint
+	ep.mu.Unlock()
+	return !legacy
+}
+
 // callOn performs one invocation against a single endpoint, retrying
-// once on a fresh connection when a pooled one fails (the container may
-// have restarted since it was pooled — one fresh dial distinguishes a
-// stale connection from a dead endpoint). sent reports whether the
-// request may have reached the container (operations must not be
-// resent once it did).
-func (r *RemoteBusiness) callOn(ep *endpoint, req *request, deadline time.Time, readOnly bool) (*response, bool, error) {
+// once on a fresh connection when an existing one fails (the container
+// may have restarted since — one fresh dial distinguishes a stale
+// connection from a dead endpoint). sent reports whether the request may
+// have reached the container (operations must not be resent once it
+// did). In framed mode the call shares a multiplexed connection; its
+// failure fails every frame in flight on it, and each affected call runs
+// this same failover loop independently.
+func (r *RemoteBusiness) callOn(ctx context.Context, ep *endpoint, req *request, deadline time.Time, readOnly bool) (*response, bool, error) {
 	sent := false
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
+		if !deadline.IsZero() && time.Until(deadline) <= 0 {
+			if lastErr == nil {
+				lastErr = context.DeadlineExceeded
+			}
+			return nil, sent, lastErr
+		}
+		if r.useFramed(ep) {
+			mc, fresh, err := ep.framedConn(r, deadline)
+			if err != nil {
+				if errors.Is(err, errLegacyPeer) {
+					if r.Wire == WireFramed {
+						ep.brk.failure()
+						if lastErr == nil {
+							lastErr = err
+						}
+						return nil, sent, lastErr
+					}
+					// Redo this attempt over the legacy exchange; the
+					// hint set by framedConn keeps later calls off the
+					// probe entirely.
+					attempt--
+					continue
+				}
+				ep.brk.failure()
+				if lastErr == nil {
+					lastErr = err
+				}
+				return nil, sent, lastErr
+			}
+			resp, err := mc.call(req, deadline, ctx.Done())
+			if err == nil {
+				ep.brk.success()
+				return resp, true, nil
+			}
+			// The frame may have reached the container before the
+			// connection died; from here an operation is unsafe to resend.
+			sent = true
+			mc.fail(err)
+			ep.dropGeneration(mc.gen)
+			ep.brk.failure()
+			lastErr = err
+			if fresh || !readOnly {
+				break
+			}
+			continue
+		}
 		cn, pooled, err := ep.get()
 		if err != nil {
 			ep.brk.failure()
@@ -256,12 +573,16 @@ func (r *RemoteBusiness) callOn(ep *endpoint, req *request, deadline time.Time, 
 	return nil, sent, lastErr
 }
 
-// exchange runs one request/response pair on a connection, bounding
-// both the write and the read by the call deadline so a hung container
-// surfaces as a timeout instead of a wedged goroutine.
+// exchange runs one request/response pair on a legacy gob connection,
+// bounding both the write and the read by the call deadline so a hung
+// container surfaces as a timeout instead of a wedged goroutine.
 func exchange(cn *conn, req *request, deadline time.Time) (*response, error) {
 	if !deadline.IsZero() {
 		cn.c.SetDeadline(deadline) //nolint:errcheck // failure surfaces on the I/O below
+		// Clear on every exit path: a deadline left behind would poison
+		// the next — possibly budget-less — request that reuses this
+		// pooled connection with a stale timeout.
+		defer cn.c.SetDeadline(time.Time{}) //nolint:errcheck // failure surfaces on next use
 	}
 	if err := cn.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("ejb: send: %w", err)
@@ -270,15 +591,68 @@ func exchange(cn *conn, req *request, deadline time.Time) (*response, error) {
 	if err := cn.dec.Decode(&resp); err != nil {
 		return nil, fmt.Errorf("ejb: receive: %w", err)
 	}
-	if !deadline.IsZero() {
-		// Clear the deadline before the connection returns to the pool.
-		cn.c.SetDeadline(time.Time{}) //nolint:errcheck // failure surfaces on next use
-	}
 	return &resp, nil
 }
 
-// get borrows a pooled connection (skipping retired generations) or
-// dials a fresh one. pooled reports which.
+// framedConn returns a live multiplexed connection for the endpoint:
+// round-robin over the persistent set, dialing a new one while under
+// the connection budget. fresh reports a just-dialed connection (its
+// failure condemns the endpoint attempt rather than warranting a retry).
+func (ep *endpoint) framedConn(r *RemoteBusiness, deadline time.Time) (*mconn, bool, error) {
+	limit := r.ConnsPerEndpoint
+	if limit <= 0 {
+		limit = defaultConnsPerEndpoint
+	}
+	ep.mu.Lock()
+	live := ep.mconns[:0]
+	for _, m := range ep.mconns {
+		if !m.isDead() {
+			live = append(live, m)
+		}
+	}
+	ep.mconns = live
+	if len(ep.mconns) >= limit {
+		ep.mnext++
+		m := ep.mconns[ep.mnext%len(ep.mconns)]
+		ep.mu.Unlock()
+		return m, false, nil
+	}
+	ep.mu.Unlock()
+
+	// One handshake probe at a time per endpoint; a waiter re-checks the
+	// set its predecessor may have filled.
+	ep.dialMu.Lock()
+	defer ep.dialMu.Unlock()
+	ep.mu.Lock()
+	if len(ep.mconns) >= limit {
+		ep.mnext++
+		m := ep.mconns[ep.mnext%len(ep.mconns)]
+		ep.mu.Unlock()
+		return m, false, nil
+	}
+	gen := ep.gen
+	ep.mu.Unlock()
+	m, err := framedDial(ep.addr, gen, deadline, r.stats)
+	if err != nil {
+		if errors.Is(err, errLegacyPeer) {
+			ep.mu.Lock()
+			ep.legacyHint = true
+			ep.mu.Unlock()
+		}
+		return nil, false, err
+	}
+	ep.mu.Lock()
+	// The dial itself proved the endpoint live just now, so the
+	// connection belongs to the current generation even if the one we
+	// started from was retired mid-dial.
+	m.gen = ep.gen
+	ep.mconns = append(ep.mconns, m)
+	ep.mu.Unlock()
+	return m, true, nil
+}
+
+// get borrows a pooled legacy connection (skipping retired generations)
+// or dials a fresh one. pooled reports which.
 func (ep *endpoint) get() (*conn, bool, error) {
 	ep.mu.Lock()
 	for n := len(ep.pool); n > 0; n = len(ep.pool) {
@@ -314,13 +688,16 @@ func (ep *endpoint) put(cn *conn) {
 
 // dropGeneration retires the generation a failed connection belonged
 // to: the counter advances (unless a concurrent failure already did)
-// and every pooled connection of a retired generation is closed, so a
-// connection whose container died is never handed out again.
+// and every connection of a retired generation — legacy pooled and
+// multiplexed alike — is closed, so a connection whose container died
+// is never handed out again. The legacy hint resets too: whatever
+// replaces the dead container may speak wire v2.
 func (ep *endpoint) dropGeneration(gen uint64) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if gen == ep.gen {
 		ep.gen++
+		ep.legacyHint = false
 	}
 	keep := ep.pool[:0]
 	for _, cn := range ep.pool {
@@ -331,6 +708,15 @@ func (ep *endpoint) dropGeneration(gen uint64) {
 		}
 	}
 	ep.pool = keep
+	keepM := ep.mconns[:0]
+	for _, m := range ep.mconns {
+		if m.gen != ep.gen {
+			m.fail(errConnClosed)
+		} else {
+			keepM = append(keepM, m)
+		}
+	}
+	ep.mconns = keepM
 }
 
 // EndpointHealth is the client-side view of one container address,
@@ -342,6 +728,8 @@ type EndpointHealth struct {
 	State    string `json:"state"`
 	Failures int    `json:"failures"`
 	Pooled   int    `json:"pooled"`
+	// Conns counts live wire-v2 multiplexed connections.
+	Conns int `json:"conns"`
 	// Opens counts how many times the breaker tripped open since start.
 	Opens int64 `json:"opens"`
 	// Rejected counts calls refused outright while the breaker was open.
@@ -353,19 +741,21 @@ type EndpointHealth struct {
 	LastTransition *time.Time `json:"lastTransition,omitempty"`
 }
 
-// Health snapshots every endpoint's breaker state and pool size.
+// Health snapshots every endpoint's breaker state and connection counts.
 func (r *RemoteBusiness) Health() []EndpointHealth {
 	out := make([]EndpointHealth, len(r.endpoints))
 	for i, ep := range r.endpoints {
 		st := ep.brk.status()
 		ep.mu.Lock()
 		pooled := len(ep.pool)
+		conns := len(ep.mconns)
 		ep.mu.Unlock()
 		h := EndpointHealth{
 			Addr:     ep.addr,
 			State:    st.state,
 			Failures: st.failures,
 			Pooled:   pooled,
+			Conns:    conns,
 			Opens:    st.opens,
 			Rejected: ep.rejected.Load(),
 		}
@@ -380,6 +770,19 @@ func (r *RemoteBusiness) Health() []EndpointHealth {
 		out[i] = h
 	}
 	return out
+}
+
+// FrameStats reports the framed transport's counters: frames sent,
+// frames received, and frames currently awaiting their reply.
+func (r *RemoteBusiness) FrameStats() (sent, recv, inflight int64) {
+	for _, ep := range r.endpoints {
+		ep.mu.Lock()
+		for _, m := range ep.mconns {
+			inflight += int64(m.pendingCount())
+		}
+		ep.mu.Unlock()
+	}
+	return r.framesSent.Load(), r.framesRecv.Load(), inflight
 }
 
 // RetryAfter estimates when a caller refused by open breakers should
@@ -413,7 +816,7 @@ func (r *RemoteBusiness) RetryAfter() time.Duration {
 	return secs * time.Second
 }
 
-// Close drops all pooled connections.
+// Close drops all connections, legacy and multiplexed.
 func (r *RemoteBusiness) Close() {
 	for _, ep := range r.endpoints {
 		ep.mu.Lock()
@@ -421,6 +824,11 @@ func (r *RemoteBusiness) Close() {
 			cn.c.Close()
 		}
 		ep.pool = nil
+		mcs := ep.mconns
+		ep.mconns = nil
 		ep.mu.Unlock()
+		for _, m := range mcs {
+			m.fail(errConnClosed)
+		}
 	}
 }

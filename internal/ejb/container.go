@@ -1,6 +1,7 @@
 package ejb
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webmlgo/internal/mvc"
@@ -41,6 +43,12 @@ type Container struct {
 	// container's own /metrics.
 	invokeLat *obs.HistogramVec
 
+	// Wire-v2 frame counters: frames read and written across all framed
+	// connections, plus frames currently being served.
+	framesIn    atomic.Int64
+	framesOut   atomic.Int64
+	frameActive atomic.Int64
+
 	ln        net.Listener
 	healthSrv *http.Server
 	conns     map[net.Conn]struct{}
@@ -53,6 +61,7 @@ func NewContainer(business mvc.Business, capacity int) *Container {
 	if capacity <= 0 {
 		capacity = 16
 	}
+	registerWireTypes()
 	c := &Container{
 		business: business,
 		capacity: capacity,
@@ -137,7 +146,26 @@ func (c *Container) serveConn(conn net.Conn) {
 		delete(c.conns, conn)
 		c.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	// Sniff the protocol: a wire-v2 client opens with the handshake
+	// magic; anything else is a legacy gob stream. The peek never hangs a
+	// real client — the magic is 6 bytes and the first gob message is
+	// larger still.
+	br := bufio.NewReader(conn)
+	peek, err := br.Peek(6)
+	if err == nil && isHandshake(peek) {
+		br.Discard(6) //nolint:errcheck // peeked bytes are buffered
+		if _, err := conn.Write(handshakeBytes()); err != nil {
+			return
+		}
+		c.serveFramed(conn, br)
+		return
+	}
+	c.serveGob(conn, br)
+}
+
+// serveGob is the legacy loop: one gob request/response pair at a time.
+func (c *Container) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req request
@@ -151,6 +179,85 @@ func (c *Container) serveConn(conn net.Conn) {
 		resp := c.serveOne(&req)
 		if err := enc.Encode(resp); err != nil {
 			return
+		}
+	}
+}
+
+// serveFramed is the wire-v2 loop: every call frame is served by its own
+// goroutine (the capacity gate in doInvoke is the actual concurrency
+// limiter), so many frames progress concurrently on one connection. A
+// batch frame fans its items out the same way and each result streams
+// back as its own ftBatchItem frame the moment it completes.
+func (c *Container) serveFramed(conn net.Conn, br *bufio.Reader) {
+	var wmu sync.Mutex
+	writeReply := func(ft byte, id uint64, idx int, resp *response) {
+		w := getWbuf()
+		w.byte(ft)
+		w.uvarint(id)
+		if ft == ftBatchItem {
+			w.uvarint(uint64(idx))
+		}
+		w.response(resp)
+		err := w.err
+		if err == nil {
+			wmu.Lock()
+			err = writeFrame(conn, w.b)
+			wmu.Unlock()
+		}
+		putWbuf(w)
+		if err != nil {
+			// Sever the connection so the read loop unblocks; the client
+			// fails its in-flight frames over.
+			conn.Close()
+			return
+		}
+		c.framesOut.Add(1)
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	serve := func(ft byte, id uint64, idx int, req *request) {
+		c.frameActive.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.frameActive.Add(-1)
+			writeReply(ft, id, idx, c.serveOne(req))
+		}()
+	}
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		c.framesIn.Add(1)
+		r := rbuf{b: payload}
+		ft := r.byte()
+		id := r.uvarint()
+		switch ft {
+		case ftCall:
+			req, err := r.request()
+			if err != nil {
+				return // corrupt stream: drop the connection
+			}
+			serve(ftReply, id, 0, req)
+		case ftBatch:
+			breq, err := r.batchRequest()
+			if err != nil {
+				return
+			}
+			for i := range breq.Calls {
+				item := &breq.Calls[i]
+				serve(ftBatchItem, id, i, &request{
+					Kind:       "unit",
+					Descriptor: item.Descriptor,
+					Inputs:     item.Inputs,
+					DeadlineMS: breq.DeadlineMS,
+					TraceID:    breq.TraceID,
+					SpanID:     item.SpanID,
+				})
+			}
+		default:
+			return // protocol violation: drop the connection
 		}
 	}
 }
@@ -341,6 +448,12 @@ func (c *Container) MetricsRegistry() *obs.Registry {
 		func() float64 { return float64(c.Metrics().MaxActive) })
 	reg.Counter("webml_container_served_total", "Invocations served since start.", nil,
 		func() float64 { return float64(c.Metrics().Served) })
+	reg.Counter("webml_container_frames_in_total", "Wire-v2 frames read since start.", nil,
+		func() float64 { return float64(c.framesIn.Load()) })
+	reg.Counter("webml_container_frames_out_total", "Wire-v2 frames written since start.", nil,
+		func() float64 { return float64(c.framesOut.Load()) })
+	reg.Gauge("webml_container_inflight_frames", "Wire-v2 frames currently being served.", nil,
+		func() float64 { return float64(c.frameActive.Load()) })
 	reg.RegisterVec(c.invokeLat)
 	// The page service may be deployed after this registry is built, so
 	// its histograms resolve at scrape time.

@@ -5,12 +5,16 @@
 // of active service instances adapts at runtime — the two limitations of
 // servlet-container-local services that Section 4 calls out.
 //
-// The wire protocol is length-free gob over TCP: each connection carries
-// a sequence of request/response pairs.
+// Two wire protocols are spoken. The legacy protocol is length-free gob
+// over TCP: each connection carries a sequence of request/response
+// pairs, one at a time. Wire v2 (wire.go, codec.go) is a framed,
+// multiplexed binary protocol negotiated by a handshake magic; either
+// side falls back to gob when the peer predates it.
 package ejb
 
 import (
 	"encoding/gob"
+	"sync"
 	"time"
 
 	"webmlgo/internal/descriptor"
@@ -59,12 +63,49 @@ type response struct {
 	Spans []obs.Span
 }
 
-func init() {
-	// Concrete types carried inside interface-typed fields.
-	gob.Register(int64(0))
-	gob.Register(float64(0))
-	gob.Register("")
-	gob.Register(false)
-	gob.Register(time.Time{})
-	gob.Register(map[string]interface{}{})
+// batchCall is one unit computation inside a batch frame. Each item
+// carries its own span ID so the container collects a distinct remote
+// trace per item and ships it back in that item's reply frame.
+type batchCall struct {
+	SpanID     uint64
+	Descriptor *descriptor.Unit
+	Inputs     map[string]mvc.Value
+}
+
+// batchRequest is the body of an ftBatch frame: all remote unit
+// computations of one schedule level, submitted in a single round trip.
+// The container fans the calls out to its worker pool and streams each
+// result back as an ftBatchItem frame as it completes.
+type batchRequest struct {
+	DeadlineMS int64
+	TraceID    uint64
+	Calls      []batchCall
+}
+
+// wireValueTypes is the single table of concrete types carried inside
+// interface-typed fields, shared by both protocols: the gob path
+// registers exactly these, and the v2 codec's value tags (codec.go)
+// encode exactly these.
+var wireValueTypes = []interface{}{
+	int64(0),
+	float64(0),
+	"",
+	false,
+	time.Time{},
+	map[string]interface{}{},
+	[]interface{}{},
+}
+
+var wireTypesOnce sync.Once
+
+// registerWireTypes performs the legacy path's gob registrations exactly
+// once (Dial and NewContainer both call it; sync.Once makes importing
+// both sides into one process — every test binary — safe by
+// construction instead of relying on gob tolerating re-registration).
+func registerWireTypes() {
+	wireTypesOnce.Do(func() {
+		for _, v := range wireValueTypes {
+			gob.Register(v)
+		}
+	})
 }

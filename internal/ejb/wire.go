@@ -1,0 +1,417 @@
+package ejb
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol v2: framed, multiplexed binary exchange.
+//
+// Handshake: the client opens with the 6-byte magic
+//
+//	0x05 'W' 'R' 'F' '2' <version>
+//
+// and the container echoes the same form back with its own version. The
+// leading 0x05 is deliberate: a legacy gob container reads it as a
+// 5-byte message length, consumes the 5 magic bytes, fails to parse
+// them as a gob type stream and drops the connection — so a new client
+// talking to an old container sees a fast EOF (not a hang) and falls
+// back to the legacy gob exchange on a fresh dial. A new container
+// peeks the first 6 bytes: magic means framed mode, anything else is a
+// legacy gob client served by the old loop.
+//
+// Frames (both directions, after the handshake):
+//
+//	uvarint payloadLen | payload
+//	payload = frameType byte | uvarint requestID | body
+//
+// Body encodings live in codec.go. Many frames are in flight per
+// connection: the client write side is mutex-serialized, a demux
+// goroutine routes replies by request ID.
+const (
+	wireVersion = 2
+
+	ftCall      byte = 1 // body: request
+	ftBatch     byte = 2 // body: batchRequest
+	ftReply     byte = 3 // body: response
+	ftBatchItem byte = 4 // body: uvarint item index | response
+
+	// maxFrame bounds one frame's payload; larger lengths mean a
+	// corrupt or hostile stream.
+	maxFrame = 64 << 20
+)
+
+// handshakeTimeout bounds the wait for the container's handshake ack
+// when the call itself carries no deadline: an old container drops the
+// connection almost instantly, so a silent peer past this is treated as
+// legacy too rather than wedging the first call.
+var handshakeTimeout = 2 * time.Second
+
+var hsMagic = [5]byte{0x05, 'W', 'R', 'F', '2'}
+
+func handshakeBytes() []byte {
+	return []byte{hsMagic[0], hsMagic[1], hsMagic[2], hsMagic[3], hsMagic[4], wireVersion}
+}
+
+func isHandshake(b []byte) bool {
+	return len(b) >= 6 && b[0] == hsMagic[0] && b[1] == hsMagic[1] &&
+		b[2] == hsMagic[2] && b[3] == hsMagic[3] && b[4] == hsMagic[4]
+}
+
+// errLegacyPeer reports that the far side does not speak wire v2.
+var errLegacyPeer = errors.New("ejb: peer speaks legacy gob protocol")
+
+// errConnClosed is the transport error surfaced to calls whose
+// connection died (fails all in-flight frames).
+var errConnClosed = errors.New("ejb: connection closed")
+
+// readFrame reads one length-prefixed frame payload.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("ejb: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one frame (length prefix + payload) as a single
+// vectored write. Callers serialize via their own mutex.
+func writeFrame(c net.Conn, payload []byte) error {
+	var head [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(head[:], uint64(len(payload)))
+	bufs := net.Buffers{head[:n], payload}
+	_, err := bufs.WriteTo(c)
+	return err
+}
+
+// demuxMsg is one routed reply: idx is the batch item index (0 for
+// single calls), resp the decoded response.
+type demuxMsg struct {
+	idx  int
+	resp *response
+}
+
+// wireStats aggregates frame counters across an endpoint set (owned by
+// RemoteBusiness; nil-safe).
+type wireStats struct {
+	framesSent func()
+	framesRecv func()
+}
+
+func (s *wireStats) sent() {
+	if s != nil && s.framesSent != nil {
+		s.framesSent()
+	}
+}
+
+func (s *wireStats) recv() {
+	if s != nil && s.framesRecv != nil {
+		s.framesRecv()
+	}
+}
+
+// mconn is one multiplexed client connection: many in-flight frames,
+// one demux goroutine. A connection failure — read error, write error,
+// or a call deadline expiring — fails every pending frame at once; the
+// per-call failover loop above then retries idempotent reads on the
+// next endpoint (operations are never re-sent).
+type mconn struct {
+	c     net.Conn
+	gen   uint64
+	stats *wireStats
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan demuxMsg
+	items   map[uint64]int // remaining batch items per request ID
+	nextID  uint64
+	dead    bool
+	deadErr error
+}
+
+// framedDial opens a wire-v2 connection: TCP dial, handshake, demux
+// goroutine. A legacy peer (no ack, connection dropped, or non-magic
+// ack) returns errLegacyPeer with the connection closed.
+func framedDial(addr string, gen uint64, deadline time.Time, stats *wireStats) (*mconn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ejb: dial %s: %w", addr, err)
+	}
+	ackBy := time.Now().Add(handshakeTimeout)
+	if !deadline.IsZero() && deadline.Before(ackBy) {
+		ackBy = deadline
+	}
+	c.SetDeadline(ackBy) //nolint:errcheck // failure surfaces on the I/O below
+	if _, err := c.Write(handshakeBytes()); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("ejb: handshake %s: %w", addr, err)
+	}
+	var ack [6]byte
+	if _, err := io.ReadFull(c, ack[:]); err != nil {
+		// EOF / reset: an old gob container chokes on the magic and
+		// drops the connection. Timeout: it swallowed the bytes and
+		// waits for more gob — either way, legacy.
+		c.Close()
+		return nil, errLegacyPeer
+	}
+	if !isHandshake(ack[:]) {
+		c.Close()
+		return nil, errLegacyPeer
+	}
+	c.SetDeadline(time.Time{}) //nolint:errcheck // failure surfaces on the I/O below
+	m := &mconn{
+		c:       c,
+		gen:     gen,
+		stats:   stats,
+		pending: make(map[uint64]chan demuxMsg),
+		items:   make(map[uint64]int),
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// readLoop is the demux goroutine: it reads frames until the connection
+// dies and routes each reply to its registered waiter by request ID.
+func (m *mconn) readLoop() {
+	br := bufio.NewReader(m.c)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			m.fail(errConnClosed)
+			return
+		}
+		m.stats.recv()
+		r := rbuf{b: payload}
+		ft := r.byte()
+		id := r.uvarint()
+		var idx int
+		if ft == ftBatchItem {
+			idx = int(r.uvarint())
+		} else if ft != ftReply {
+			m.fail(fmt.Errorf("ejb: unexpected frame type %d", ft))
+			return
+		}
+		resp, err := r.response()
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.route(ft, id, idx, resp)
+	}
+}
+
+// route delivers one reply. Channels are buffered to their full expected
+// count and only touched under the mutex, so sends never block and never
+// race fail's close.
+func (m *mconn) route(ft byte, id uint64, idx int, resp *response) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch, ok := m.pending[id]
+	if !ok {
+		return // abandoned call (e.g. context cancel); drop the late reply
+	}
+	if ft == ftBatchItem {
+		if left := m.items[id] - 1; left > 0 {
+			m.items[id] = left
+		} else {
+			delete(m.pending, id)
+			delete(m.items, id)
+		}
+	} else {
+		delete(m.pending, id)
+	}
+	ch <- demuxMsg{idx: idx, resp: resp}
+}
+
+// register allocates a request ID expecting n replies.
+func (m *mconn) register(n int) (uint64, chan demuxMsg, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead {
+		return 0, nil, m.deadErr
+	}
+	m.nextID++
+	id := m.nextID
+	ch := make(chan demuxMsg, n)
+	m.pending[id] = ch
+	if n > 1 {
+		m.items[id] = n
+	}
+	return id, ch, nil
+}
+
+// deregister abandons a pending call (its reply, if any, is dropped by
+// route). Used on context cancellation without killing the connection.
+func (m *mconn) deregister(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	delete(m.items, id)
+	m.mu.Unlock()
+}
+
+// fail kills the connection and wakes every in-flight frame: each
+// waiter's channel closes, which it reads as a transport error.
+func (m *mconn) fail(err error) {
+	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return
+	}
+	m.dead = true
+	m.deadErr = err
+	for id, ch := range m.pending {
+		close(ch)
+		delete(m.pending, id)
+	}
+	m.items = map[uint64]int{}
+	m.mu.Unlock()
+	m.c.Close()
+}
+
+func (m *mconn) isDead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dead
+}
+
+// pendingCount reports how many requests are awaiting replies.
+func (m *mconn) pendingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// send writes one frame, bounding the write by the call deadline.
+func (m *mconn) send(payload []byte, deadline time.Time) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if !deadline.IsZero() {
+		m.c.SetWriteDeadline(deadline) //nolint:errcheck // failure surfaces on the write
+	} else {
+		m.c.SetWriteDeadline(time.Time{}) //nolint:errcheck // failure surfaces on the write
+	}
+	if err := writeFrame(m.c, payload); err != nil {
+		return err
+	}
+	m.stats.sent()
+	return nil
+}
+
+// call runs one request/response pair over the multiplexed connection.
+// A deadline expiry is a transport failure: the connection cannot tell a
+// hung container from a slow one, so it is killed and every in-flight
+// frame fails over — exactly the legacy socket-deadline semantics.
+func (m *mconn) call(req *request, deadline time.Time, cancel <-chan struct{}) (*response, error) {
+	id, ch, err := m.register(1)
+	if err != nil {
+		return nil, err
+	}
+	w := getWbuf()
+	w.byte(ftCall)
+	w.uvarint(id)
+	w.request(req)
+	err = w.err
+	if err == nil {
+		err = m.send(w.b, deadline)
+	}
+	putWbuf(w)
+	if err != nil {
+		m.fail(err)
+		return nil, fmt.Errorf("ejb: send: %w", err)
+	}
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("ejb: receive: %w", m.deadError())
+		}
+		return msg.resp, nil
+	case <-timer:
+		m.fail(errConnClosed)
+		return nil, fmt.Errorf("ejb: receive: deadline exceeded awaiting %s", req.Kind)
+	case <-cancel:
+		m.deregister(id)
+		return nil, fmt.Errorf("ejb: receive: %w", context.Canceled)
+	}
+}
+
+// batch submits one level's unit computations as a single frame and
+// streams results back as the container completes them, invoking
+// onItem(index into breq.Calls, response) per arrival. It returns nil
+// once all items arrived, or the transport error that failed the rest
+// (items already delivered stay delivered).
+func (m *mconn) batch(breq *batchRequest, deadline time.Time, cancel <-chan struct{}, onItem func(int, *response)) error {
+	n := len(breq.Calls)
+	id, ch, err := m.register(n)
+	if err != nil {
+		return err
+	}
+	w := getWbuf()
+	w.byte(ftBatch)
+	w.uvarint(id)
+	w.batchRequest(breq)
+	err = w.err
+	if err == nil {
+		err = m.send(w.b, deadline)
+	}
+	putWbuf(w)
+	if err != nil {
+		m.fail(err)
+		return fmt.Errorf("ejb: send: %w", err)
+	}
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timer = t.C
+	}
+	for got := 0; got < n; got++ {
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				return fmt.Errorf("ejb: receive: %w", m.deadError())
+			}
+			if msg.idx < 0 || msg.idx >= n {
+				m.fail(errCodec)
+				return fmt.Errorf("ejb: receive: %w", errCodec)
+			}
+			onItem(msg.idx, msg.resp)
+		case <-timer:
+			m.fail(errConnClosed)
+			return fmt.Errorf("ejb: receive: deadline exceeded awaiting batch")
+		case <-cancel:
+			m.deregister(id)
+			return fmt.Errorf("ejb: receive: %w", context.Canceled)
+		}
+	}
+	return nil
+}
+
+func (m *mconn) deadError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.deadErr != nil {
+		return m.deadErr
+	}
+	return errConnClosed
+}

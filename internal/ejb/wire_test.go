@@ -1,0 +1,755 @@
+package ejb
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webmlgo/internal/descriptor"
+	"webmlgo/internal/mvc"
+	"webmlgo/internal/obs"
+)
+
+// ---- codec round-trips ----
+
+// fullRequest populates every request field the codec carries, including
+// every dynamic value type of the wireValueTypes table (nested maps and
+// slices, time.Time). Collections are non-empty or nil: like gob, the
+// codec normalizes empty collections to nil on decode.
+func fullRequest() *request {
+	return &request{
+		Kind: "unit",
+		Descriptor: &descriptor.Unit{
+			ID: "u1", Kind: "index", Entity: "Paper", Optimized: true,
+			Service: "custom.Svc", Query: "SELECT oid FROM paper WHERE a=?",
+			CountQuery: "SELECT COUNT(*) FROM paper", PageSize: 25,
+			Inputs:  []descriptor.ParamDef{{Name: "kw", Wildcard: true}, {Name: "oid"}},
+			Outputs: []descriptor.FieldDef{{Name: "Title", Column: "title"}},
+			Levels: []descriptor.Level{{Entity: "Issue", Query: "SELECT 1",
+				Outputs: []descriptor.FieldDef{{Name: "N", Column: "n"}}, Dep: "vol-iss"}},
+			Fields: []descriptor.FieldSpec{{Name: "q", Type: "TEXT", Required: true}},
+			Props:  []descriptor.Prop{{Name: "color", Value: "red"}},
+			Reads:  []string{"paper"}, Writes: []string{"paper", "issue"},
+			Cache: &descriptor.CachePolicy{Enabled: true, TTLSeconds: 30},
+		},
+		Inputs: map[string]mvc.Value{
+			"int":    int64(-42),
+			"float":  3.5,
+			"string": "x",
+			"bool":   true,
+			"nil":    nil,
+			"time":   time.Unix(1700000000, 123456789).UTC(),
+			"nested": map[string]interface{}{"k": int64(1), "deep": map[string]interface{}{"s": "v"}},
+			"list":   []interface{}{int64(1), "two", false},
+		},
+		PageID: "p1",
+		FormState: map[string]*mvc.FormState{
+			"e1":  {Values: map[string]mvc.Value{"q": "sticky"}, Errors: map[string]string{"q": "required"}},
+			"nil": nil,
+		},
+		DeadlineMS: 1500,
+		TraceID:    7,
+		SpanID:     9,
+	}
+}
+
+func fullResponse() *response {
+	return &response{
+		Bean: &mvc.UnitBean{
+			UnitID: "u1", Kind: "index",
+			Fields:      []string{"oid", "Title"},
+			LevelFields: [][]string{{"oid"}, {"N"}},
+			Nodes: []mvc.Node{
+				{Values: mvc.Row{"oid": int64(1), "Title": "A"},
+					Children: []mvc.Node{{Values: mvc.Row{"N": int64(2)}}}},
+				{Values: mvc.Row{"oid": int64(2), "t": time.Unix(1700000000, 0).UTC()}},
+			},
+			Missing: false, Total: 40, Offset: 20, PageSize: 10,
+			FormFields: []mvc.FormField{{Name: "q", Type: "TEXT", Required: true, Value: "v"}},
+			Errors:     map[string]string{"q": "bad"},
+			Props:      map[string]string{"p": "v"},
+		},
+		Op: &mvc.OpResult{OK: false, Err: "dup", Outputs: map[string]mvc.Value{"oid": int64(3)}},
+		Page: &mvc.PageState{PageID: "p1",
+			Beans: map[string]*mvc.UnitBean{"u1": {UnitID: "u1", Kind: "data"}, "missing": nil},
+			Order: []string{"u1"}},
+		Err: "boom",
+		Spans: []obs.Span{{ID: 1, Parent: 0, Name: "container.invoke",
+			Labels: []string{"kind", "unit"}, Start: 10, End: 20, Err: "x"}},
+	}
+}
+
+func TestCodecRequestRoundTrip(t *testing.T) {
+	req := fullRequest()
+	w := getWbuf()
+	w.request(req)
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	r := rbuf{b: w.b}
+	got, err := r.request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.remaining() != 0 {
+		t.Fatalf("%d trailing bytes after decode", r.remaining())
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, req)
+	}
+	putWbuf(w)
+}
+
+func TestCodecResponseRoundTrip(t *testing.T) {
+	resp := fullResponse()
+	w := getWbuf()
+	w.response(resp)
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	r := rbuf{b: w.b}
+	got, err := r.response()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, resp)
+	}
+	putWbuf(w)
+}
+
+func TestCodecBatchRequestRoundTrip(t *testing.T) {
+	breq := &batchRequest{
+		DeadlineMS: 900, TraceID: 5,
+		Calls: []batchCall{
+			{SpanID: 11, Descriptor: fullRequest().Descriptor, Inputs: map[string]mvc.Value{"a": int64(1)}},
+			{SpanID: 12, Descriptor: &descriptor.Unit{ID: "u2", Kind: "data"}},
+		},
+	}
+	w := getWbuf()
+	w.batchRequest(breq)
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	r := rbuf{b: w.b}
+	got, err := r.batchRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, breq) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, breq)
+	}
+	putWbuf(w)
+}
+
+// TestCodecRejectsUnknownValueType: an unregistered dynamic type must
+// poison the encoder rather than silently producing garbage.
+func TestCodecRejectsUnknownValueType(t *testing.T) {
+	w := getWbuf()
+	w.value(struct{ X int }{1})
+	if w.err == nil {
+		t.Fatal("unknown value type encoded without error")
+	}
+}
+
+// TestCodecTruncatedInputFails: every prefix of a valid encoding must
+// decode to an error, never to a silent partial request.
+func TestCodecTruncatedInputFails(t *testing.T) {
+	w := getWbuf()
+	w.request(fullRequest())
+	full := append([]byte(nil), w.b...)
+	putWbuf(w)
+	for n := 0; n < len(full); n++ {
+		r := rbuf{b: full[:n]}
+		if _, err := r.request(); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", n, len(full))
+		}
+	}
+}
+
+// FuzzCodecRequest feeds arbitrary bytes to the request decoder (it must
+// never panic or over-allocate) and, when they decode, checks the
+// byte-level fixpoint encode(decode(encode(x))) == encode(x). The
+// comparison is on encodings, not structs: a non-canonical wire time can
+// decode to a time.Location that is semantically identical but not
+// structurally DeepEqual to its re-decoded self.
+func FuzzCodecRequest(f *testing.F) {
+	w := getWbuf()
+	w.request(fullRequest())
+	f.Add(append([]byte(nil), w.b...))
+	putWbuf(w)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := rbuf{b: data}
+		req, err := r.request()
+		if err != nil {
+			return
+		}
+		w := getWbuf()
+		w.request(req)
+		if w.err != nil {
+			t.Fatalf("decoded request failed to re-encode: %v", w.err)
+		}
+		enc1 := append([]byte(nil), w.b...)
+		putWbuf(w)
+		r2 := rbuf{b: enc1}
+		req2, err := r2.request()
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		w2 := getWbuf()
+		w2.request(req2)
+		if w2.err != nil {
+			t.Fatalf("second re-encode failed: %v", w2.err)
+		}
+		if !bytes.Equal(enc1, w2.b) {
+			t.Fatalf("encoding not a fixpoint:\n first %x\nsecond %x", enc1, w2.b)
+		}
+		putWbuf(w2)
+	})
+}
+
+// FuzzCodecResponse is FuzzCodecRequest for the response shape.
+func FuzzCodecResponse(f *testing.F) {
+	w := getWbuf()
+	w.response(fullResponse())
+	f.Add(append([]byte(nil), w.b...))
+	putWbuf(w)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := rbuf{b: data}
+		resp, err := r.response()
+		if err != nil {
+			return
+		}
+		w := getWbuf()
+		w.response(resp)
+		if w.err != nil {
+			t.Fatalf("decoded response failed to re-encode: %v", w.err)
+		}
+		enc1 := append([]byte(nil), w.b...)
+		putWbuf(w)
+		r2 := rbuf{b: enc1}
+		resp2, err := r2.response()
+		if err != nil {
+			t.Fatalf("re-encoded response failed to decode: %v", err)
+		}
+		w2 := getWbuf()
+		w2.response(resp2)
+		if w2.err != nil {
+			t.Fatalf("second re-encode failed: %v", w2.err)
+		}
+		if !bytes.Equal(enc1, w2.b) {
+			t.Fatalf("encoding not a fixpoint:\n first %x\nsecond %x", enc1, w2.b)
+		}
+		putWbuf(w2)
+	})
+}
+
+// ---- protocol negotiation / mixed versions ----
+
+// gobOnlyServer simulates a container that predates wire v2: a plain gob
+// request/response loop with no handshake detection — the leading 0x05
+// of a v2 handshake reads as a bogus 5-byte gob message and kills the
+// connection, exactly like the legacy container code did.
+func gobOnlyServer(t *testing.T, b mvc.Business) string {
+	t.Helper()
+	registerWireTypes()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					resp := &response{}
+					bean, err := b.ComputeUnit(context.Background(), req.Descriptor, req.Inputs)
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.Bean = bean
+					}
+					if err := enc.Encode(resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func echoBusiness() mvc.Business {
+	return &funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			return &mvc.UnitBean{UnitID: d.ID, Kind: d.Kind,
+				Nodes: []mvc.Node{{Values: mvc.Row{"echo": inputs["x"]}}}}, nil
+		},
+		execute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.OpResult, error) {
+			return &mvc.OpResult{OK: true}, nil
+		},
+	}
+}
+
+// TestFramedNegotiation: a default client against a current container
+// must actually use the framed transport (frames flow, the legacy pool
+// stays empty).
+func TestFramedNegotiation(t *testing.T) {
+	_, client, _, art := startApp(t, 4)
+	d := art.Repo.Unit("volumeData")
+	if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	sent, recv, _ := client.FrameStats()
+	if sent == 0 || recv == 0 {
+		t.Fatalf("framed transport unused: sent=%d recv=%d", sent, recv)
+	}
+	h := client.Health()
+	if h[0].Pooled != 0 {
+		t.Fatalf("legacy gob pool used alongside framed: %+v", h[0])
+	}
+	if h[0].Conns == 0 {
+		t.Fatalf("no multiplexed connections tracked: %+v", h[0])
+	}
+}
+
+// TestNewClientOldContainer: wire negotiation against a gob-only peer
+// must fall back transparently — calls succeed over the legacy exchange
+// and batch submission degrades to per-unit calls.
+func TestNewClientOldContainer(t *testing.T) {
+	addr := gobOnlyServer(t, echoBusiness())
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	d := &descriptor.Unit{ID: "u1", Kind: "data"}
+	bean, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"x": int64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bean.Nodes[0].Values["echo"] != int64(7) {
+		t.Fatalf("bean = %+v", bean)
+	}
+	if sent, _, _ := client.FrameStats(); sent != 0 {
+		t.Fatalf("frames sent to a legacy peer: %d", sent)
+	}
+	if !client.SupportsUnitBatch() {
+		t.Fatal("batch support must not depend on endpoint probing")
+	}
+	res := client.ComputeUnits(context.Background(), []mvc.UnitCall{
+		{D: d, Inputs: map[string]mvc.Value{"x": int64(1)}},
+		{D: d, Inputs: map[string]mvc.Value{"x": int64(2)}},
+	})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("batch item %d over legacy peer: %v", i, r.Err)
+		}
+		if r.Bean.Nodes[0].Values["echo"] != int64(i+1) {
+			t.Fatalf("batch item %d = %+v", i, r.Bean)
+		}
+	}
+}
+
+// TestOldClientNewContainer: a gob-pinned client (standing in for an old
+// binary) against a current container must work via the container's
+// protocol sniff.
+func TestOldClientNewContainer(t *testing.T) {
+	_, client, _, art := startApp(t, 4)
+	client.Wire = WireGob
+	d := art.Repo.Unit("volumeData")
+	bean, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"volume": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bean.Nodes) != 1 {
+		t.Fatalf("bean = %+v", bean)
+	}
+	if sent, _, _ := client.FrameStats(); sent != 0 {
+		t.Fatalf("gob-pinned client sent %d frames", sent)
+	}
+}
+
+// TestWireFramedStrictRejectsLegacyPeer: Wire=framed must surface a
+// legacy peer as an error instead of silently downgrading.
+func TestWireFramedStrictRejectsLegacyPeer(t *testing.T) {
+	addr := gobOnlyServer(t, echoBusiness())
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Wire = WireFramed
+	_, err = client.ComputeUnit(context.Background(), &descriptor.Unit{ID: "u", Kind: "data"}, nil)
+	if !errors.Is(err, errLegacyPeer) {
+		t.Fatalf("err = %v, want errLegacyPeer", err)
+	}
+}
+
+// ---- level batching ----
+
+func TestBatchComputeUnits(t *testing.T) {
+	_, client, _, art := startApp(t, 8)
+	d := art.Repo.Unit("volumeData")
+	h := art.Repo.Unit("issuesPapers")
+	res := client.ComputeUnits(context.Background(), []mvc.UnitCall{
+		{D: d, Inputs: map[string]mvc.Value{"volume": int64(1)}},
+		{D: h, Inputs: map[string]mvc.Value{"parent": int64(1)}},
+		{D: d, Inputs: map[string]mvc.Value{"volume": int64(2)}},
+	})
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+	}
+	if res[0].Bean.Nodes[0].Values["Title"] != "TODS Volume 27" {
+		t.Fatalf("item 0 = %+v", res[0].Bean)
+	}
+	if len(res[1].Bean.Nodes) != 2 || len(res[1].Bean.Nodes[0].Children) == 0 {
+		t.Fatal("hierarchical bean lost in batch transport")
+	}
+	// The whole level crossed in one batch frame + one item frame per
+	// unit, not one call frame per unit.
+	if _, _, inflight := client.FrameStats(); inflight != 0 {
+		t.Fatalf("inflight = %d after batch completed", inflight)
+	}
+}
+
+// TestBatchItemErrorIsolated: one failing unit must not poison its level
+// peers, and its error keeps the remote-call shape.
+func TestBatchItemErrorIsolated(t *testing.T) {
+	registerWireTypes()
+	ctr := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			if d.ID == "bad" {
+				return nil, fmt.Errorf("no such entity")
+			}
+			return &mvc.UnitBean{UnitID: d.ID}, nil
+		},
+	}, 4)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res := client.ComputeUnits(context.Background(), []mvc.UnitCall{
+		{D: &descriptor.Unit{ID: "ok1", Kind: "data"}},
+		{D: &descriptor.Unit{ID: "bad", Kind: "data"}},
+		{D: &descriptor.Unit{ID: "ok2", Kind: "data"}},
+	})
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("healthy items failed: %v / %v", res[0].Err, res[2].Err)
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "ejb: remote: no such entity") {
+		t.Fatalf("item error = %v", res[1].Err)
+	}
+}
+
+// TestBatchFailoverMidKill: a batch whose connection dies mid-flight
+// must re-submit only the unanswered items to the next container.
+func TestBatchFailoverMidKill(t *testing.T) {
+	registerWireTypes()
+	var calls1 atomic.Int64
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	ctr1 := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			calls1.Add(1)
+			started <- struct{}{}
+			<-release
+			return &mvc.UnitBean{UnitID: d.ID}, nil
+		},
+	}, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := &trackListener{Listener: ln}
+	ctr1.ServeOn(tl)
+	defer ctr1.Close()
+	defer close(release)
+
+	ctr2 := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			return &mvc.UnitBean{UnitID: d.ID, Kind: "from2"}, nil
+		},
+	}, 8)
+	addr2, err := ctr2.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr2.Close()
+
+	client, err := Dial(ln.Addr().String(), addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var res []mvc.UnitResult
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res = client.ComputeUnits(context.Background(), []mvc.UnitCall{
+			{D: &descriptor.Unit{ID: "a", Kind: "data"}},
+			{D: &descriptor.Unit{ID: "b", Kind: "data"}},
+			{D: &descriptor.Unit{ID: "c", Kind: "data"}},
+		})
+	}()
+	// Wait until container 1 is actually computing the batch, then crash
+	// its connections out from under it.
+	<-started
+	tl.closeAll()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch did not fail over")
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d after failover: %v", i, r.Err)
+		}
+		if r.Bean.Kind != "from2" {
+			t.Fatalf("item %d not recomputed on container 2: %+v", i, r.Bean)
+		}
+	}
+	if calls1.Load() == 0 {
+		t.Fatal("container 1 never saw the batch")
+	}
+}
+
+// ---- satellite: stale socket deadlines on reused legacy connections ----
+
+// TestReusedGobConnDeadlineCleared: a budgeted call followed by an
+// unbudgeted slow call on the same pooled gob connection must not
+// inherit the first call's socket deadline.
+func TestReusedGobConnDeadlineCleared(t *testing.T) {
+	registerWireTypes()
+	var slow atomic.Bool
+	ctr := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			if slow.Load() {
+				time.Sleep(400 * time.Millisecond)
+			}
+			return &mvc.UnitBean{UnitID: d.ID}, nil
+		},
+	}, 4)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Wire = WireGob // the pooled-connection path under test
+	d := &descriptor.Unit{ID: "u", Kind: "data"}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := client.ComputeUnit(ctx, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The second call reuses the pooled connection, carries no budget,
+	// and completes well after the first call's absolute deadline. A
+	// stale socket deadline would fail it around the 200ms mark.
+	slow.Store(true)
+	if _, err := client.ComputeUnit(context.Background(), d, nil); err != nil {
+		t.Fatalf("unbudgeted call on reused connection: %v", err)
+	}
+	if h := client.Health(); h[0].Pooled == 0 {
+		t.Fatal("test did not exercise the pooled path")
+	}
+}
+
+// TestManyInFlightOnOneConn: the multiplexed transport must carry many
+// concurrent calls over a single connection budget without serializing
+// them (the legacy path would need one pooled connection each).
+func TestManyInFlightOnOneConn(t *testing.T) {
+	registerWireTypes()
+	var peak atomic.Int64
+	var cur atomic.Int64
+	ctr := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			cur.Add(-1)
+			return &mvc.UnitBean{UnitID: d.ID}, nil
+		},
+	}, 64)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.ConnsPerEndpoint = 1
+
+	var wg sync.WaitGroup
+	const K = 16
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = client.ComputeUnit(context.Background(), &descriptor.Unit{ID: "u", Kind: "data"}, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if h := client.Health(); h[0].Conns != 1 {
+		t.Fatalf("conns = %d, want 1", h[0].Conns)
+	}
+	if p := peak.Load(); p < 4 {
+		t.Fatalf("peak concurrency %d over one multiplexed connection; calls look serialized", p)
+	}
+}
+
+// ---- benchmarks (published as BENCH_wire.json by CI) ----
+
+func benchClient(b *testing.B, latency time.Duration) (*RemoteBusiness, *descriptor.Unit) {
+	b.Helper()
+	registerWireTypes()
+	ctr := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			return &mvc.UnitBean{UnitID: d.ID, Kind: "data",
+				Nodes: []mvc.Node{{Values: mvc.Row{"oid": int64(1), "Title": "T"}}}}, nil
+		},
+	}, 64)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ctr.Close() })
+	client, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(client.Close)
+	client.Latency = latency
+	return client, &descriptor.Unit{ID: "u", Kind: "data",
+		Outputs: []descriptor.FieldDef{{Name: "Title", Column: "title"}}}
+}
+
+func BenchmarkRemoteUnitGob(b *testing.B) {
+	client, d := benchClient(b, 0)
+	client.Wire = WireGob
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ComputeUnit(ctx, d, map[string]mvc.Value{"x": int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemoteUnitFramed(b *testing.B) {
+	client, d := benchClient(b, 0)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ComputeUnit(ctx, d, map[string]mvc.Value{"x": int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLevel runs one 8-unit level per iteration, the E10 shape.
+func benchLevel(b *testing.B, client *RemoteBusiness, d *descriptor.Unit, batch bool) {
+	b.Helper()
+	ctx := context.Background()
+	calls := make([]mvc.UnitCall, 8)
+	for i := range calls {
+		calls[i] = mvc.UnitCall{D: d, Inputs: map[string]mvc.Value{"x": int64(i)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			for j, r := range client.ComputeUnits(ctx, calls) {
+				if r.Err != nil {
+					b.Fatalf("item %d: %v", j, r.Err)
+				}
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(calls))
+		for j := range calls {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				_, errs[j] = client.ComputeUnit(ctx, calls[j].D, calls[j].Inputs)
+			}(j)
+		}
+		wg.Wait()
+		for j, err := range errs {
+			if err != nil {
+				b.Fatalf("call %d: %v", j, err)
+			}
+		}
+	}
+}
+
+func BenchmarkRemoteLevelGob(b *testing.B) {
+	client, d := benchClient(b, 0)
+	client.Wire = WireGob
+	benchLevel(b, client, d, false)
+}
+
+func BenchmarkRemoteLevelFramedNoBatch(b *testing.B) {
+	client, d := benchClient(b, 0)
+	client.DisableBatch = true
+	benchLevel(b, client, d, false)
+}
+
+func BenchmarkRemoteLevelFramedBatch(b *testing.B) {
+	client, d := benchClient(b, 0)
+	benchLevel(b, client, d, true)
+}

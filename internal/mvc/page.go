@@ -87,6 +87,18 @@ func (ps *PageService) computePage(ctx context.Context, pageID string, request m
 		}
 		lctx, lsp := obs.StartSpan(ctx, "page.level")
 		lsp.Label("level", strconv.Itoa(li)).Label("units", strconv.Itoa(len(level)))
+		if len(level) > 1 && SupportsUnitBatch(ps.Business) {
+			// The business tier batches (a wire-v2 remote stub at the
+			// bottom of the chain): submit the whole level in one call
+			// instead of one per unit — one round trip per level.
+			lsp.Label("batch", "1")
+			if err := ps.computeLevelBatch(lctx, pd, sched, level, request, formState, state); err != nil {
+				lsp.EndErr(err)
+				return nil, err
+			}
+			lsp.End()
+			continue
+		}
 		if ps.Workers > 1 && len(level) > 1 {
 			if err := ps.computeLevel(lctx, pd, sched, level, request, formState, state); err != nil {
 				lsp.EndErr(err)
@@ -160,6 +172,126 @@ func (ps *PageService) computeLevel(ctx context.Context, pd *descriptor.Page, sc
 	return nil
 }
 
+// computeLevelBatch runs one topological level through the business
+// tier's batch interface: inputs are resolved for every unit up front
+// (they only read beans of strictly earlier levels), the whole level
+// travels as one ComputeUnits call, and results merge with computeLevel's
+// exact semantics — deterministic bean merge, first error in level order
+// wins, sticky form-state errors cloned copy-on-write per request. Each
+// unit still gets its own "unit" span and UnitLat observation (the batch
+// wall time: units of a batched level finish together from the
+// scheduler's point of view).
+func (ps *PageService) computeLevelBatch(ctx context.Context, pd *descriptor.Page, sched *descriptor.Schedule, level []string, request map[string]Value, formState map[string]*FormState, state *PageState) error {
+	calls := make([]UnitCall, len(level))
+	for i, unitID := range level {
+		ud, inputs, err := ps.resolveInputs(pd, sched, unitID, request, formState, state)
+		if err != nil {
+			return err
+		}
+		calls[i] = UnitCall{D: ud, Inputs: inputs}
+	}
+	spans := make([]*obs.SpanHandle, len(level))
+	for i, unitID := range level {
+		spans[i] = obs.Leaf(ctx, "unit").Label("unit", unitID).Label("entity", calls[i].D.Entity)
+	}
+	start := time.Now()
+	res := ps.batchGuarded(ctx, calls)
+	elapsed := time.Since(start)
+	beans := make([]*UnitBean, len(level))
+	var firstErr error
+	for i, unitID := range level {
+		err := res[i].Err
+		if ps.UnitLat != nil {
+			ps.UnitLat.ObserveErr(unitID, elapsed, err != nil)
+		}
+		spans[i].EndErr(err)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		bean := res[i].Bean
+		if fs := formState[unitID]; fs != nil && len(fs.Errors) > 0 && bean != nil {
+			// Copy-on-write: the bean may come from the shared cache, and
+			// validation errors belong to this request only.
+			clone := *bean
+			clone.Errors = fs.Errors
+			bean = &clone
+		}
+		beans[i] = bean
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, unitID := range level {
+		if beans[i] != nil {
+			state.Beans[unitID] = beans[i]
+		}
+	}
+	return nil
+}
+
+// batchGuarded contains a panicking batch implementation the same way
+// the per-unit paths contain panicking unit services: every item of the
+// level gets the panic as its error, and a short result set is padded so
+// callers can index safely.
+func (ps *PageService) batchGuarded(ctx context.Context, calls []UnitCall) (res []UnitResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("mvc: batch panicked: %v", r)
+			res = make([]UnitResult, len(calls))
+			for i := range res {
+				res[i] = UnitResult{Err: err}
+			}
+		}
+	}()
+	res = ps.Business.(BatchComputer).ComputeUnits(ctx, calls)
+	for len(res) < len(calls) {
+		res = append(res, UnitResult{Err: fmt.Errorf("mvc: batch returned %d results for %d calls", len(res), len(calls))})
+	}
+	return res
+}
+
+// resolveInputs binds one unit's inputs — request parameters by name,
+// intra-page transport edges ("parameters are passed from one query to
+// another one", Section 4), then sticky form state for entry units — and
+// returns its descriptor. It only reads beans of strictly earlier levels
+// from state.
+func (ps *PageService) resolveInputs(pd *descriptor.Page, sched *descriptor.Schedule, unitID string, request map[string]Value, formState map[string]*FormState, state *PageState) (*descriptor.Unit, map[string]Value, error) {
+	ud := ps.Repo.Unit(unitID)
+	if ud == nil {
+		return nil, nil, fmt.Errorf("mvc: page %q references missing unit descriptor %q", pd.ID, unitID)
+	}
+	inputs := make(map[string]Value)
+	for _, p := range ud.Inputs {
+		if v, ok := request[p.Name]; ok {
+			inputs[p.Name] = v
+		}
+	}
+	for _, e := range sched.Incoming[unitID] {
+		src := state.Beans[e.From]
+		if src == nil || src.Missing || len(src.Nodes) == 0 {
+			continue
+		}
+		current := src.Nodes[0].Values
+		for _, pm := range e.Params {
+			if v, ok := current[pm.Source]; ok {
+				inputs[pm.Target] = v
+			}
+		}
+	}
+	if fs := formState[unitID]; fs != nil {
+		for k, v := range fs.Values {
+			inputs[k] = v
+		}
+	}
+	return ud, inputs, nil
+}
+
 // computeOne resolves one unit's inputs (request parameters, intra-page
 // edges, sticky form state) and invokes its service. It only reads beans
 // of strictly earlier levels from state, so level peers may run it
@@ -183,38 +315,11 @@ func (ps *PageService) computeOne(ctx context.Context, pd *descriptor.Page, sche
 			bean, err = nil, fmt.Errorf("mvc: unit %s panicked: %v", unitID, r)
 		}
 	}()
-	ud := ps.Repo.Unit(unitID)
-	if ud == nil {
-		return nil, fmt.Errorf("mvc: page %q references missing unit descriptor %q", pd.ID, unitID)
+	ud, inputs, err := ps.resolveInputs(pd, sched, unitID, request, formState, state)
+	if err != nil {
+		return nil, err
 	}
 	sp.Label("entity", ud.Entity)
-	inputs := make(map[string]Value)
-	// Request parameters bind by input name.
-	for _, p := range ud.Inputs {
-		if v, ok := request[p.Name]; ok {
-			inputs[p.Name] = v
-		}
-	}
-	// Intra-page edges override: "parameters are passed from one
-	// query to another one" (Section 4).
-	for _, e := range sched.Incoming[unitID] {
-		src := state.Beans[e.From]
-		if src == nil || src.Missing || len(src.Nodes) == 0 {
-			continue
-		}
-		current := src.Nodes[0].Values
-		for _, pm := range e.Params {
-			if v, ok := current[pm.Source]; ok {
-				inputs[pm.Target] = v
-			}
-		}
-	}
-	// Sticky form state for entry units.
-	if fs := formState[unitID]; fs != nil {
-		for k, v := range fs.Values {
-			inputs[k] = v
-		}
-	}
 	bean, err = ps.Business.ComputeUnit(ctx, ud, inputs)
 	if err != nil {
 		return nil, err

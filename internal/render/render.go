@@ -6,6 +6,7 @@
 package render
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -17,6 +18,27 @@ import (
 	"webmlgo/internal/dom"
 	"webmlgo/internal/mvc"
 )
+
+// bufPool recycles render buffers across requests: the final page
+// serialization (and the menu/fragment-key scratch) writes into a pooled
+// bytes.Buffer instead of growing a fresh one per page.
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps what returns to the pool: one pathological page must
+// not pin a giant buffer for the rest of the process.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
 
 // TagRenderer produces the HTML rendition of one unit kind from its bean
 // — the custom tag implementation of Section 3 ("WebML-aware tags,
@@ -206,14 +228,15 @@ func (e *Engine) render(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.Requ
 	// Landmark navigation menu, injected at the top of the body.
 	if len(pd.Menu) > 0 {
 		if body := tpl.Find(dom.ByTag("body")); body != nil {
-			var nb strings.Builder
+			nb := getBuf()
 			nb.WriteString(`<nav class="webml-menu">`)
 			for _, item := range pd.Menu {
-				fmt.Fprintf(&nb, `<a href="/%s">%s</a> `,
+				fmt.Fprintf(nb, `<a href="/%s">%s</a> `,
 					dom.EscapeAttr(item.Action), dom.EscapeText(item.Label))
 			}
 			nb.WriteString(`</nav>`)
 			menu := dom.NewRaw(nb.String())
+			putBuf(nb)
 			if len(body.Children) > 0 {
 				body.InsertBefore(menu, body.Children[0])
 			} else {
@@ -222,12 +245,15 @@ func (e *Engine) render(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.Requ
 		}
 	}
 
-	var b strings.Builder
+	b := getBuf()
+	defer putBuf(b)
 	if ctx.Error != "" {
-		fmt.Fprintf(&b, `<div class="webml-error">%s</div>`, dom.EscapeText(ctx.Error))
+		fmt.Fprintf(b, `<div class="webml-error">%s</div>`, dom.EscapeText(ctx.Error))
 	}
-	dom.Serialize(&b, tpl)
-	return []byte(b.String()), nil
+	dom.Serialize(b, tpl)
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out, nil
 }
 
 // renderUnit produces one unit's markup, reusing a cached fragment when
@@ -238,7 +264,16 @@ func (e *Engine) render(pd *descriptor.Page, state *mvc.PageState, ctx *mvc.Requ
 func (e *Engine) renderUnit(rc *Context, pd *descriptor.Page, bean *mvc.UnitBean, variant string) (string, error) {
 	var key string
 	if e.Fragments != nil {
-		key = pd.ID + "|" + bean.UnitID + "|" + variant + "|" + strconv.FormatUint(bean.Hash(), 16)
+		kb := getBuf()
+		kb.WriteString(pd.ID)
+		kb.WriteByte('|')
+		kb.WriteString(bean.UnitID)
+		kb.WriteByte('|')
+		kb.WriteString(variant)
+		kb.WriteByte('|')
+		kb.Write(strconv.AppendUint(kb.AvailableBuffer(), bean.Hash(), 16))
+		key = kb.String()
+		putBuf(kb)
 		if cached, ok := e.Fragments.Get(key); ok {
 			return string(cached), nil
 		}
