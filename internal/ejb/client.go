@@ -24,6 +24,13 @@ const maxPooledPerEndpoint = 64
 // persistent multiplexed connections replace the legacy per-call pool.
 const defaultConnsPerEndpoint = 3
 
+// legacyHintTTL bounds how long a legacy handshake verdict is trusted.
+// A v2 container that was merely slow to ack (accept backlog, startup
+// GC pause) would otherwise be pinned to the slower gob path until some
+// connection failure retired the generation; past the TTL the next call
+// re-probes wire v2. Variable for tests.
+var legacyHintTTL = time.Minute
+
 // Wire protocol selection for RemoteBusiness.Wire.
 const (
 	// WireAuto negotiates wire v2 and falls back to the legacy gob
@@ -113,8 +120,11 @@ type endpoint struct {
 	gen    uint64
 	// legacyHint remembers that the container answered the handshake
 	// like a gob peer, so later calls skip the probe. Cleared on
-	// generation retirement: a restart may have upgraded the container.
+	// generation retirement (a restart may have upgraded the container)
+	// and expired after legacyHintTTL (the peer may only have been slow
+	// to ack).
 	legacyHint bool
+	legacyAt   time.Time
 }
 
 type conn struct {
@@ -337,12 +347,18 @@ func (r *RemoteBusiness) batchOn(ctx context.Context, ep *endpoint, calls []mvc.
 		}
 		if err == nil {
 			ep.brk.success()
-			return 0, nil
+			return count(), nil
 		}
 		for j, idx := range idxs {
 			if !done[idx] {
 				spans[j].EndErr(err)
 			}
+		}
+		if errors.Is(err, context.Canceled) {
+			// Abandoned by the caller's context: mc.batch deregistered the
+			// frame, the shared connection stays healthy, and the container
+			// is blameless — no teardown, no breaker failure.
+			return count(), err
 		}
 		mc.fail(err)
 		ep.dropGeneration(mc.gen)
@@ -483,6 +499,10 @@ func (r *RemoteBusiness) useFramed(ep *endpoint) bool {
 	}
 	ep.mu.Lock()
 	legacy := ep.legacyHint
+	if legacy && time.Since(ep.legacyAt) >= legacyHintTTL {
+		ep.legacyHint = false
+		legacy = false
+	}
 	ep.mu.Unlock()
 	return !legacy
 }
@@ -532,6 +552,14 @@ func (r *RemoteBusiness) callOn(ctx context.Context, ep *endpoint, req *request,
 			if err == nil {
 				ep.brk.success()
 				return resp, true, nil
+			}
+			if errors.Is(err, context.Canceled) {
+				// The caller abandoned the call; mc.call already
+				// deregistered the frame and the shared connection stays
+				// healthy. Killing it would fail every unrelated in-flight
+				// frame and count a breaker failure against a container
+				// that did nothing wrong.
+				return nil, true, err
 			}
 			// The frame may have reached the container before the
 			// connection died; from here an operation is unsafe to resend.
@@ -637,6 +665,7 @@ func (ep *endpoint) framedConn(r *RemoteBusiness, deadline time.Time) (*mconn, b
 		if errors.Is(err, errLegacyPeer) {
 			ep.mu.Lock()
 			ep.legacyHint = true
+			ep.legacyAt = time.Now()
 			ep.mu.Unlock()
 		}
 		return nil, false, err

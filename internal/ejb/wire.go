@@ -350,6 +350,13 @@ func (m *mconn) call(req *request, deadline time.Time, cancel <-chan struct{}) (
 		m.fail(errConnClosed)
 		return nil, fmt.Errorf("ejb: receive: deadline exceeded awaiting %s", req.Kind)
 	case <-cancel:
+		// A context whose deadline drove the call fires this channel at
+		// the same instant as the timer; keep the deadline semantic
+		// (transport failure) deterministic rather than racing the select.
+		if !deadline.IsZero() && time.Until(deadline) <= 0 {
+			m.fail(errConnClosed)
+			return nil, fmt.Errorf("ejb: receive: deadline exceeded awaiting %s", req.Kind)
+		}
 		m.deregister(id)
 		return nil, fmt.Errorf("ejb: receive: %w", context.Canceled)
 	}
@@ -385,21 +392,31 @@ func (m *mconn) batch(breq *batchRequest, deadline time.Time, cancel <-chan stru
 		defer t.Stop()
 		timer = t.C
 	}
+	seen := make([]bool, n)
 	for got := 0; got < n; got++ {
 		select {
 		case msg, ok := <-ch:
 			if !ok {
 				return fmt.Errorf("ejb: receive: %w", m.deadError())
 			}
-			if msg.idx < 0 || msg.idx >= n {
+			// A duplicate index means the container double-delivered an
+			// item: the receive loop would otherwise complete with another
+			// item never arriving — a silently missing bean.
+			if msg.idx < 0 || msg.idx >= n || seen[msg.idx] {
 				m.fail(errCodec)
 				return fmt.Errorf("ejb: receive: %w", errCodec)
 			}
+			seen[msg.idx] = true
 			onItem(msg.idx, msg.resp)
 		case <-timer:
 			m.fail(errConnClosed)
 			return fmt.Errorf("ejb: receive: deadline exceeded awaiting batch")
 		case <-cancel:
+			// Same deadline-vs-cancel race as in call: deadline wins.
+			if !deadline.IsZero() && time.Until(deadline) <= 0 {
+				m.fail(errConnClosed)
+				return fmt.Errorf("ejb: receive: deadline exceeded awaiting batch")
+			}
 			m.deregister(id)
 			return fmt.Errorf("ejb: receive: %w", context.Canceled)
 		}

@@ -1,11 +1,13 @@
 package ejb
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"reflect"
 	"strings"
@@ -546,6 +548,225 @@ func TestBatchFailoverMidKill(t *testing.T) {
 	}
 	if calls1.Load() == 0 {
 		t.Fatal("container 1 never saw the batch")
+	}
+}
+
+// TestCancelDoesNotKillSharedConn: canceling one call's context must not
+// tear down the shared multiplexed connection, fail unrelated in-flight
+// calls on it, or count a breaker failure — the container did nothing
+// wrong; the frame is merely deregistered.
+func TestCancelDoesNotKillSharedConn(t *testing.T) {
+	registerWireTypes()
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	ctr := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			started <- struct{}{}
+			<-release
+			return &mvc.UnitBean{UnitID: d.ID}, nil
+		},
+	}, 4)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.ConnsPerEndpoint = 1 // both calls share one connection
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := make(chan error, 1)
+	go func() {
+		_, err := client.ComputeUnit(ctx, &descriptor.Unit{ID: "a", Kind: "data"}, nil)
+		canceled <- err
+	}()
+	survivor := make(chan error, 1)
+	go func() {
+		_, err := client.ComputeUnit(context.Background(), &descriptor.Unit{ID: "b", Kind: "data"}, nil)
+		survivor <- err
+	}()
+	<-started
+	<-started // both frames in flight on the shared connection
+	cancel()
+	if err := <-canceled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled call err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-survivor; err != nil {
+		t.Fatalf("in-flight peer failed after unrelated cancel: %v", err)
+	}
+	h := client.Health()
+	if h[0].State != BreakerClosed || h[0].Opens != 0 || h[0].Failures != 0 {
+		t.Fatalf("breaker counted the cancel as a container failure: %+v", h[0])
+	}
+	if h[0].Conns != 1 {
+		t.Fatalf("shared connection torn down by cancel: conns = %d, want 1", h[0].Conns)
+	}
+}
+
+// TestBatchCancelKeepsConnHealthy: TestCancelDoesNotKillSharedConn for
+// the level-batched path — canceling a batch deregisters its frame but
+// leaves the connection and breaker untouched.
+func TestBatchCancelKeepsConnHealthy(t *testing.T) {
+	registerWireTypes()
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	ctr := NewContainer(&funcBusiness{
+		compute: func(ctx context.Context, d *descriptor.Unit, inputs map[string]mvc.Value) (*mvc.UnitBean, error) {
+			started <- struct{}{}
+			<-release
+			return &mvc.UnitBean{UnitID: d.ID}, nil
+		},
+	}, 8)
+	addr, err := ctr.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.ConnsPerEndpoint = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resCh := make(chan []mvc.UnitResult, 1)
+	go func() {
+		resCh <- client.ComputeUnits(ctx, []mvc.UnitCall{
+			{D: &descriptor.Unit{ID: "a", Kind: "data"}},
+			{D: &descriptor.Unit{ID: "b", Kind: "data"}},
+		})
+	}()
+	<-started // the container is computing the batch
+	cancel()
+	res := <-resCh
+	for i, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("item %d err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+	close(release)
+	// The same connection must still carry a fresh call.
+	if _, err := client.ComputeUnit(context.Background(), &descriptor.Unit{ID: "c", Kind: "data"}, nil); err != nil {
+		t.Fatalf("call after batch cancel: %v", err)
+	}
+	h := client.Health()
+	if h[0].State != BreakerClosed || h[0].Opens != 0 || h[0].Failures != 0 {
+		t.Fatalf("breaker counted the batch cancel: %+v", h[0])
+	}
+	if h[0].Conns != 1 {
+		t.Fatalf("conns = %d after batch cancel, want the original 1", h[0].Conns)
+	}
+}
+
+// TestBatchDuplicateItemIndexSurfaces: a container that double-delivers
+// one batch item (and never delivers another) must fail the connection,
+// not complete the batch with a silently missing bean (Bean == nil,
+// Err == nil).
+func TestBatchDuplicateItemIndexSurfaces(t *testing.T) {
+	registerWireTypes()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		var hs [6]byte
+		if _, err := io.ReadFull(c, hs[:]); err != nil {
+			return
+		}
+		c.Write(handshakeBytes()) //nolint:errcheck
+		br := bufio.NewReader(c)
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		r := rbuf{b: payload}
+		r.byte() // ftBatch
+		id := r.uvarint()
+		// Deliver item 0 twice; item 1 never arrives.
+		for i := 0; i < 2; i++ {
+			w := getWbuf()
+			w.byte(ftBatchItem)
+			w.uvarint(id)
+			w.uvarint(0)
+			w.response(&response{Bean: &mvc.UnitBean{UnitID: "dup"}})
+			writeFrame(c, w.b) //nolint:errcheck
+			putWbuf(w)
+		}
+		// Hold the connection open: the client must detect the duplicate
+		// itself, not rely on a close.
+		io.Copy(io.Discard, br) //nolint:errcheck
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res := client.ComputeUnits(context.Background(), []mvc.UnitCall{
+		{D: &descriptor.Unit{ID: "a", Kind: "data"}},
+		{D: &descriptor.Unit{ID: "b", Kind: "data"}},
+	})
+	if res[0].Err != nil || res[0].Bean == nil {
+		t.Fatalf("first-delivered item lost: %+v", res[0])
+	}
+	if res[1].Err == nil {
+		t.Fatalf("undelivered item completed silently: %+v", res[1])
+	}
+}
+
+// TestLegacyHintExpires: a legacy handshake verdict must not pin the
+// endpoint to gob forever — past legacyHintTTL the next call re-probes
+// wire v2 (a transiently slow v2 container recovers; a real gob peer
+// just re-learns the hint and keeps working over the fallback).
+func TestLegacyHintExpires(t *testing.T) {
+	addr := gobOnlyServer(t, echoBusiness())
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	d := &descriptor.Unit{ID: "u", Kind: "data"}
+	if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"x": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	ep := client.endpoints[0]
+	ep.mu.Lock()
+	hinted := ep.legacyHint
+	ep.mu.Unlock()
+	if !hinted {
+		t.Fatal("legacy peer not hinted after the probe")
+	}
+	if client.useFramed(ep) {
+		t.Fatal("fresh legacy hint not honored")
+	}
+	// Age the hint past the TTL: the transport decision must re-probe.
+	ep.mu.Lock()
+	ep.legacyAt = time.Now().Add(-2 * legacyHintTTL)
+	ep.mu.Unlock()
+	if !client.useFramed(ep) {
+		t.Fatal("expired legacy hint still pins the endpoint to gob")
+	}
+	// The re-probe against the still-legacy peer falls back again and the
+	// call succeeds.
+	if _, err := client.ComputeUnit(context.Background(), d, map[string]mvc.Value{"x": int64(2)}); err != nil {
+		t.Fatalf("call after hint expiry: %v", err)
+	}
+	ep.mu.Lock()
+	rehinted := ep.legacyHint
+	ep.mu.Unlock()
+	if !rehinted {
+		t.Fatal("re-probe did not re-learn the legacy hint")
 	}
 }
 
