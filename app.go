@@ -368,6 +368,11 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 		app.Edge.BypassCookie = "WSESSION"
 		app.Edge.VaryUserAgent = cfg.runtime != nil
 	}
+	// A hand-tuned query injected via OverrideQuery (Section 6) must not
+	// leave the replaced SQL's compiled plan in the engine's cache.
+	art.Repo.OnQueryOverride = func(_, oldQuery, _ string) {
+		app.DB.InvalidatePlan(oldQuery)
+	}
 	app.wireObservability(&cfg)
 	return app, nil
 }

@@ -23,6 +23,13 @@ type Repository struct {
 	// schedules memoizes the unit-computation plan per page; an entry is
 	// dropped when its page descriptor is hot-swapped.
 	schedules map[string]*Schedule
+
+	// OnQueryOverride, when set, runs after OverrideQuery swaps a unit's
+	// SQL, outside the repository lock. App wiring uses it to drop the
+	// compiled plan cached for the replaced query, so the hot-swap cannot
+	// be served from a stale compilation. Set during assembly, before the
+	// repository is shared.
+	OnQueryOverride func(unitID, oldQuery, newQuery string)
 }
 
 // NewRepository returns an empty repository.
@@ -172,15 +179,21 @@ func (r *Repository) Counts() (units, pages, templates int) {
 // hand-tuned query.
 func (r *Repository) OverrideQuery(unitID, query string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	u, ok := r.units[unitID]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("descriptor: no unit %q", unitID)
 	}
+	old := u.Query
 	clone := *u
 	clone.Query = query
 	clone.Optimized = true
 	r.units[unitID] = &clone
+	hook := r.OnQueryOverride
+	r.mu.Unlock()
+	if hook != nil {
+		hook(unitID, old, query)
+	}
 	return nil
 }
 

@@ -3,11 +3,32 @@ package mvc
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"webmlgo/internal/descriptor"
+	"webmlgo/internal/obs"
 	"webmlgo/internal/rdb"
 	"webmlgo/internal/webml"
 )
+
+// QueryLat times every descriptor-driven query execution, keyed by the
+// unit whose descriptor carried the SQL. The series exist whether or not
+// observability is enabled (observing is lock-free and allocation-free);
+// app wiring registers the family with the /metrics registry. Together
+// with the engine's plan-cache and access-path counters it shows which
+// units hit indexes and which ones a data expert should hand-tune
+// (Section 6's optimization workflow).
+var QueryLat = obs.NewHistogramVec("webml_rdb_query_seconds",
+	"Descriptor query execution time by unit.", "unit")
+
+// timedQuery runs one descriptor query and records its latency under the
+// unit's ID.
+func timedQuery(db *rdb.DB, unitID, sql string, args ...rdb.Value) (*rdb.Rows, error) {
+	start := time.Now()
+	rows, err := db.Query(sql, args...)
+	QueryLat.ObserveErr(unitID, time.Since(start), err != nil)
+	return rows, err
+}
 
 // UnitService computes the content of one unit kind. One generic service
 // exists per kind; the descriptor carries everything unit-specific
@@ -114,7 +135,7 @@ func computeRowsUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*
 		bean.Missing = true
 		return bean, nil
 	}
-	rows, err := db.Query(d.Query, args...)
+	rows, err := timedQuery(db, d.ID, d.Query, args...)
 	if err != nil {
 		return nil, fmt.Errorf("mvc: unit %s: %w", d.ID, err)
 	}
@@ -144,7 +165,7 @@ func expandLevels(db *rdb.DB, d *descriptor.Unit, levels []descriptor.Level, nod
 	if !ok {
 		return fmt.Errorf("mvc: unit %s: hierarchical level needs oid output", d.ID)
 	}
-	rows, err := db.Query(lvl.Query, oid)
+	rows, err := timedQuery(db, d.ID, lvl.Query, oid)
 	if err != nil {
 		return fmt.Errorf("mvc: unit %s level %s: %w", d.ID, lvl.Entity, err)
 	}
@@ -195,7 +216,7 @@ func computeScrollerUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value
 		countArgs = args[:n-1]
 	}
 	if d.CountQuery != "" {
-		crows, err := db.Query(d.CountQuery, countArgs...)
+		crows, err := timedQuery(db, d.ID, d.CountQuery, countArgs...)
 		if err != nil {
 			return nil, fmt.Errorf("mvc: scroller %s count: %w", d.ID, err)
 		}
@@ -205,7 +226,7 @@ func computeScrollerUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value
 			}
 		}
 	}
-	rows, err := db.Query(d.Query, args...)
+	rows, err := timedQuery(db, d.ID, d.Query, args...)
 	if err != nil {
 		return nil, fmt.Errorf("mvc: scroller %s: %w", d.ID, err)
 	}

@@ -97,6 +97,73 @@ func BenchmarkIndexedJoin(b *testing.B) {
 	}
 }
 
+// planBenchDB is the fixture for the compiled-vs-interpreted pairs: a
+// 10k-row table with a composite (grp, price) index and an ordered name
+// index, so every planner access path has a benchmark.
+func planBenchDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open()
+	for _, s := range []string{
+		`CREATE TABLE prod (oid INTEGER PRIMARY KEY AUTOINCREMENT, grp INTEGER, price INTEGER, name TEXT NOT NULL)`,
+		`CREATE INDEX ix_prod ON prod(grp, price)`,
+		`CREATE ORDERED INDEX ord_prod_name ON prod(name)`,
+	} {
+		if _, err := db.Exec(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := db.Exec(`INSERT INTO prod (grp, price, name) VALUES (?, ?, ?)`,
+			int64(i%100), int64(i%500), fmt.Sprintf("p%06d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// runQueryBench runs one SQL through either engine; the Compiled/
+// Interpreted pairs below share it so the ratio isolates the planner.
+func runQueryBench(b *testing.B, interpreted bool, sql string, args ...Value) {
+	db := planBenchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if interpreted {
+			_, err = db.QueryInterpreted(sql, args...)
+		} else {
+			_, err = db.Query(sql, args...)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectiveLookupCompiled(b *testing.B) {
+	runQueryBench(b, false, `SELECT name FROM prod WHERE grp = ? AND price = ?`, int64(7), int64(107))
+}
+
+func BenchmarkSelectiveLookupInterpreted(b *testing.B) {
+	runQueryBench(b, true, `SELECT name FROM prod WHERE grp = ? AND price = ?`, int64(7), int64(107))
+}
+
+func BenchmarkCompositeRangeCompiled(b *testing.B) {
+	runQueryBench(b, false, `SELECT name FROM prod WHERE grp = ? AND price > ? AND price < ?`, int64(7), int64(100), int64(200))
+}
+
+func BenchmarkCompositeRangeInterpreted(b *testing.B) {
+	runQueryBench(b, true, `SELECT name FROM prod WHERE grp = ? AND price > ? AND price < ?`, int64(7), int64(100), int64(200))
+}
+
+func BenchmarkOrderByLimitCompiled(b *testing.B) {
+	runQueryBench(b, false, `SELECT name FROM prod ORDER BY name LIMIT 20`)
+}
+
+func BenchmarkOrderByLimitInterpreted(b *testing.B) {
+	runQueryBench(b, true, `SELECT name FROM prod ORDER BY name LIMIT 20`)
+}
+
 func BenchmarkInsertWithIndexes(b *testing.B) {
 	db := benchDB(b, 0, true)
 	b.ReportAllocs()

@@ -5,6 +5,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+)
+
+// Cache capacities. A WebML application's statement population is the
+// closed set of descriptor queries, far below both bounds; the bounds
+// exist so ad-hoc SQL (consoles, tests, fuzzing) cannot grow the caches
+// without limit.
+const (
+	stmtCacheCap = 1024
+	planCacheCap = 512
 )
 
 // DB is an embedded in-memory relational database. A DB is safe for
@@ -12,16 +22,64 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table // lower(name) -> table
+	// ddlEpoch increments on every schema change (CREATE TABLE, CREATE
+	// INDEX, DROP TABLE); compiled plans pin the epoch they were built
+	// under and are discarded when it moves. Guarded by mu.
+	ddlEpoch uint64
 
-	stmtMu    sync.RWMutex
-	stmtCache map[string]Statement
+	stmtMu    sync.Mutex
+	stmtCache *lruCache // sql -> Statement
+
+	planMu    sync.Mutex
+	planCache *lruCache // sql -> *SelectPlan
+
+	stats dbStats
+}
+
+// dbStats are monotonic counters kept atomic so queries under the
+// shared read lock can update them.
+type dbStats struct {
+	stmtHits, stmtMisses                atomic.Uint64
+	planHits, planMisses                atomic.Uint64
+	pointLookups, rangeScans, fullScans atomic.Uint64
+	indexedJoins, loopJoins             atomic.Uint64
+	sortsEliminated                     atomic.Uint64
+}
+
+// DBStats is a point-in-time snapshot of the database's internal
+// counters, exported for the observability registry.
+type DBStats struct {
+	StmtCacheHits, StmtCacheMisses uint64
+	PlanCacheHits, PlanCacheMisses uint64
+	PointLookups                   uint64
+	RangeScans                     uint64
+	FullScans                      uint64
+	IndexedJoins, LoopJoins        uint64
+	SortsEliminated                uint64
+}
+
+// Stats returns a snapshot of the query-engine counters.
+func (db *DB) Stats() DBStats {
+	return DBStats{
+		StmtCacheHits:   db.stats.stmtHits.Load(),
+		StmtCacheMisses: db.stats.stmtMisses.Load(),
+		PlanCacheHits:   db.stats.planHits.Load(),
+		PlanCacheMisses: db.stats.planMisses.Load(),
+		PointLookups:    db.stats.pointLookups.Load(),
+		RangeScans:      db.stats.rangeScans.Load(),
+		FullScans:       db.stats.fullScans.Load(),
+		IndexedJoins:    db.stats.indexedJoins.Load(),
+		LoopJoins:       db.stats.loopJoins.Load(),
+		SortsEliminated: db.stats.sortsEliminated.Load(),
+	}
 }
 
 // Open returns an empty database.
 func Open() *DB {
 	return &DB{
 		tables:    make(map[string]*table),
-		stmtCache: make(map[string]Statement),
+		stmtCache: newLRU(stmtCacheCap),
+		planCache: newLRU(planCacheCap),
 	}
 }
 
@@ -65,20 +123,59 @@ func (r *Rows) Maps() []map[string]Value {
 
 // prepare parses sql, consulting the statement cache first.
 func (db *DB) prepare(sql string) (Statement, error) {
-	db.stmtMu.RLock()
-	st, ok := db.stmtCache[sql]
-	db.stmtMu.RUnlock()
+	db.stmtMu.Lock()
+	v, ok := db.stmtCache.get(sql)
+	db.stmtMu.Unlock()
 	if ok {
-		return st, nil
+		db.stats.stmtHits.Add(1)
+		return v.(Statement), nil
 	}
+	db.stats.stmtMisses.Add(1)
 	st, err := ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
 	db.stmtMu.Lock()
-	db.stmtCache[sql] = st
+	db.stmtCache.put(sql, st)
 	db.stmtMu.Unlock()
 	return st, nil
+}
+
+// planFor returns the compiled plan for sql, building and caching it on
+// first use. A cached plan is revalidated against the current DDL epoch
+// and table size classes and rebuilt when stale, so CREATE INDEX or
+// substantial data growth take effect on the next query. The caller
+// must hold at least a read lock on db.mu.
+func (db *DB) planFor(sql string, sel *SelectStmt) (*SelectPlan, error) {
+	db.planMu.Lock()
+	if v, ok := db.planCache.get(sql); ok {
+		p := v.(*SelectPlan)
+		if p.valid(db) {
+			db.planMu.Unlock()
+			db.stats.planHits.Add(1)
+			return p, nil
+		}
+		db.planCache.remove(sql)
+	}
+	db.planMu.Unlock()
+	db.stats.planMisses.Add(1)
+	p, err := db.buildPlan(sel)
+	if err != nil {
+		return nil, err
+	}
+	db.planMu.Lock()
+	db.planCache.put(sql, p)
+	db.planMu.Unlock()
+	return p, nil
+}
+
+// InvalidatePlan drops the compiled plan cached for the given SQL text,
+// if any. Descriptor hot-swaps (OverrideQuery) call it so a replaced
+// query cannot be served from a stale compilation.
+func (db *DB) InvalidatePlan(sql string) {
+	db.planMu.Lock()
+	db.planCache.remove(sql)
+	db.planMu.Unlock()
 }
 
 // Exec runs a write or DDL statement. SELECT is rejected; use Query.
@@ -96,8 +193,36 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	return db.execLocked(st, cargs, nil)
 }
 
-// Query runs a SELECT and returns its materialized result.
+// Query runs a SELECT through its compiled plan and returns the
+// materialized result. The plan is compiled once per SQL text and
+// reused across calls with different parameters.
 func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	st, err := db.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("rdb: Query requires a SELECT statement, got %T", st)
+	}
+	cargs, err := coerceArgs(st, args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, err := db.planFor(sql, sel)
+	if err != nil {
+		return nil, err
+	}
+	return db.execPlan(p, cargs)
+}
+
+// QueryInterpreted runs a SELECT through the retained AST interpreter,
+// bypassing the plan compiler. It exists as the reference
+// implementation for differential tests and benchmarks; results must be
+// identical to Query's.
+func (db *DB) QueryInterpreted(sql string, args ...Value) (*Rows, error) {
 	st, err := db.prepare(sql)
 	if err != nil {
 		return nil, err
@@ -207,6 +332,7 @@ func (db *DB) execCreateTable(st *CreateTableStmt) (Result, error) {
 		return Result{}, err
 	}
 	db.tables[key] = t
+	db.ddlEpoch++
 	return Result{}, nil
 }
 
@@ -214,6 +340,19 @@ func (db *DB) execCreateIndex(st *CreateIndexStmt) (Result, error) {
 	t, ok := db.tables[strings.ToLower(st.Table)]
 	if !ok {
 		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
+	}
+	// A multi-column index is one composite sorted index over the column
+	// list; a single-column one keeps the seed's hash / ordered forms.
+	if len(st.Columns) > 1 {
+		name := st.Name
+		if name == "" {
+			name = strings.ToLower(st.Table) + "_" + strings.Join(st.Columns, "_")
+		}
+		if err := t.createCompositeIndex(name, st.Columns); err != nil {
+			return Result{}, err
+		}
+		db.ddlEpoch++
+		return Result{}, nil
 	}
 	for _, col := range st.Columns {
 		var err error
@@ -226,6 +365,7 @@ func (db *DB) execCreateIndex(st *CreateIndexStmt) (Result, error) {
 			return Result{}, err
 		}
 	}
+	db.ddlEpoch++
 	return Result{}, nil
 }
 
@@ -238,6 +378,7 @@ func (db *DB) execDropTable(st *DropTableStmt) (Result, error) {
 		return Result{}, fmt.Errorf("rdb: no such table %q", st.Name)
 	}
 	delete(db.tables, key)
+	db.ddlEpoch++
 	return Result{}, nil
 }
 

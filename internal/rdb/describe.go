@@ -25,7 +25,15 @@ type TableInfo struct {
 	// Indexes lists hash-indexed columns; OrderedIndexes the sorted ones.
 	Indexes        []string
 	OrderedIndexes []string
-	Rows           int
+	// CompositeIndexes maps index name -> ordered column list.
+	CompositeIndexes []CompositeIndexInfo
+	Rows             int
+}
+
+// CompositeIndexInfo describes one multi-column sorted index.
+type CompositeIndexInfo struct {
+	Name    string
+	Columns []string
 }
 
 // Describe returns the catalog entry of a table — the introspection
@@ -55,6 +63,11 @@ func (db *DB) Describe(tableName string) (*TableInfo, error) {
 		info.OrderedIndexes = append(info.OrderedIndexes, col)
 	}
 	sort.Strings(info.OrderedIndexes)
+	for _, ix := range t.composites {
+		info.CompositeIndexes = append(info.CompositeIndexes, CompositeIndexInfo{
+			Name: ix.name, Columns: append([]string(nil), ix.colNames...),
+		})
+	}
 	// Normalize FK column/table casing for callers.
 	for i := range info.ForeignKeys {
 		info.ForeignKeys[i].Column = strings.ToLower(info.ForeignKeys[i].Column)

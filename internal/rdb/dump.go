@@ -23,14 +23,23 @@ type dumpColumn struct {
 	Unique        bool
 }
 
+type dumpComposite struct {
+	Name string
+	Cols []string
+}
+
 type dumpTable struct {
 	Name    string
 	Columns []dumpColumn
 	FKs     []ForeignKeyDef
 	Indexes []string // hash-indexed column names
 	Ordered []string // ordered-indexed column names
-	AutoInc int64
-	Rows    []Row
+	// Composite lists multi-column sorted indexes. The field is additive:
+	// gob ignores it when absent, so snapshots from before it existed
+	// still restore (and Version stays 1).
+	Composite []dumpComposite
+	AutoInc   int64
+	Rows      []Row
 }
 
 type dumpFile struct {
@@ -77,6 +86,11 @@ func (db *DB) Dump(w io.Writer) error {
 			dt.Ordered = append(dt.Ordered, col)
 		}
 		sort.Strings(dt.Ordered)
+		for _, ix := range t.composites {
+			dt.Composite = append(dt.Composite, dumpComposite{
+				Name: ix.name, Cols: append([]string(nil), ix.colNames...),
+			})
+		}
 		for _, r := range t.rows {
 			if r == nil {
 				continue
@@ -132,6 +146,11 @@ func Restore(r io.Reader) (*DB, error) {
 		for _, idx := range dt.Ordered {
 			if err := t.createOrderedIndex(idx); err != nil {
 				return nil, fmt.Errorf("rdb: restore ordered index on %s.%s: %w", dt.Name, idx, err)
+			}
+		}
+		for _, ci := range dt.Composite {
+			if err := t.createCompositeIndex(ci.Name, ci.Cols); err != nil {
+				return nil, fmt.Errorf("rdb: restore composite index %s on %s: %w", ci.Name, dt.Name, err)
 			}
 		}
 		for _, row := range dt.Rows {

@@ -282,41 +282,36 @@ func toFloat(v Value) (float64, error) {
 	return 0, fmt.Errorf("rdb: %T is not numeric", v)
 }
 
-// likeMatch implements SQL LIKE with % and _ wildcards.
+// likeMatch implements SQL LIKE with % and _ wildcards using an
+// iterative two-pointer scan. On a mismatch past a %, the pattern
+// rewinds to just after the most recent % and the text restarts one
+// byte later — each position is retried at most once per %, so matching
+// is O(len(s) * len(pattern)) where the naive recursive formulation is
+// exponential on patterns like "%a%a%a%b" against a long run of 'a's.
 func likeMatch(s, pattern string) bool {
-	return likeRec(s, pattern)
-}
-
-func likeRec(s, p string) bool {
-	for len(p) > 0 {
-		switch p[0] {
-		case '%':
-			// Collapse consecutive %.
-			for len(p) > 0 && p[0] == '%' {
-				p = p[1:]
-			}
-			if len(p) == 0 {
-				return true
-			}
-			for i := 0; i <= len(s); i++ {
-				if likeRec(s[i:], p) {
-					return true
-				}
-			}
-			return false
-		case '_':
-			if len(s) == 0 {
-				return false
-			}
-			s, p = s[1:], p[1:]
+	var si, pi int
+	star, match := -1, 0 // position after the last %, text position it matched at
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi + 1
+			match = si
+			pi++
+		case pi < len(pattern) && (pattern[pi] == '_' || equalFoldByte(pattern[pi], s[si])):
+			si++
+			pi++
+		case star >= 0:
+			match++
+			si = match
+			pi = star
 		default:
-			if len(s) == 0 || !equalFoldByte(s[0], p[0]) {
-				return false
-			}
-			s, p = s[1:], p[1:]
+			return false
 		}
 	}
-	return len(s) == 0
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
 }
 
 func equalFoldByte(a, b byte) bool {
@@ -344,6 +339,13 @@ func evalScalarFunc(x *FuncExpr, en *env, args []Value) (Value, error) {
 		}
 		vals[i] = v
 	}
+	return applyScalarFunc(x, vals)
+}
+
+// applyScalarFunc applies a scalar function to already-evaluated
+// arguments — shared between the AST interpreter and compiled plans so
+// both paths have identical semantics.
+func applyScalarFunc(x *FuncExpr, vals []Value) (Value, error) {
 	switch x.Name {
 	case "LOWER":
 		if len(vals) != 1 {

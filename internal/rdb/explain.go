@@ -5,12 +5,13 @@ import (
 	"strings"
 )
 
-// Explain describes the access plan of a SELECT statement without
-// executing it: the access path of the base table (primary key, unique
-// column, secondary index, or full scan) and the strategy of each join
-// (indexed equi-join or nested loop). The data expert overriding a
-// descriptor query (Section 6) uses it to check that the hand-tuned SQL
-// actually hits an index.
+// Explain renders the compiled physical plan of a SELECT statement
+// without executing it: the chosen access path of the base table with
+// its cost estimate, the strategy of each join, and whether ORDER BY is
+// satisfied by index order or needs a sort. The data expert overriding
+// a descriptor query (Section 6) uses it to check that the hand-tuned
+// SQL actually hits an index. The output reflects the exact plan Query
+// executes — both go through planFor.
 func (db *DB) Explain(sql string) (string, error) {
 	st, err := db.prepare(sql)
 	if err != nil {
@@ -22,40 +23,53 @@ func (db *DB) Explain(sql string) (string, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	p, err := db.planFor(sql, sel)
+	if err != nil {
+		return "", err
+	}
 
-	base, ok := db.tables[strings.ToLower(sel.From.Table)]
-	if !ok {
-		return "", fmt.Errorf("rdb: no such table %q", sel.From.Table)
-	}
 	var b strings.Builder
-	baseName := sel.From.name()
-	if col, _, found := indexableEquality(sel.Where, base, baseName, len(sel.Joins) > 0); found {
-		fmt.Fprintf(&b, "ACCESS %s BY %s ON %s", sel.From.Table, accessKind(base, col), col)
-	} else if col, _, _, found := rangeConjuncts(sel.Where, base, baseName, len(sel.Joins) > 0, nil); found {
-		fmt.Fprintf(&b, "ACCESS %s BY RANGE ON %s", sel.From.Table, col)
-	} else {
-		fmt.Fprintf(&b, "SCAN %s (%d rows)", sel.From.Table, base.alive)
-	}
-	for _, j := range sel.Joins {
-		jt, ok := db.tables[strings.ToLower(j.Table.Table)]
-		if !ok {
-			return "", fmt.Errorf("rdb: no such table %q", j.Table.Table)
+	a := &p.access
+	switch a.kind {
+	case accessScan:
+		fmt.Fprintf(&b, "SCAN %s (%d rows)", p.baseTable, p.base.alive)
+	case accessRange:
+		if a.orderWalk {
+			fmt.Fprintf(&b, "ACCESS %s BY ORDERED INDEX ON %s (est %.0f rows)", p.baseTable, a.col, a.est)
+		} else {
+			fmt.Fprintf(&b, "ACCESS %s BY RANGE ON %s (est %.0f rows)", p.baseTable, a.col, a.est)
 		}
+	case accessComposite:
+		fmt.Fprintf(&b, "ACCESS %s BY COMPOSITE INDEX %s (%s) eq prefix %d",
+			p.baseTable, a.comp.name, strings.Join(a.comp.colNames, ", "), len(a.eq))
+		if a.rangeCol != "" {
+			fmt.Fprintf(&b, ", range on %s", a.rangeCol)
+		}
+		fmt.Fprintf(&b, " (est %.0f rows)", a.est)
+	default:
+		fmt.Fprintf(&b, "ACCESS %s BY %s ON %s (est %.0f rows)", p.baseTable, a.label, a.col, a.est)
+	}
+	for i := range p.joins {
+		j := &p.joins[i]
 		kind := "INNER"
-		if j.Left {
+		if j.left {
 			kind = "LEFT"
 		}
-		if col, _ := equiJoinKey(j.On, jt, j.Table.name()); col != "" {
-			fmt.Fprintf(&b, "\n%s JOIN %s BY %s ON %s", kind, j.Table.Table, accessKind(jt, col), col)
+		if j.kind == jkLoop {
+			fmt.Fprintf(&b, "\n%s JOIN %s BY NESTED LOOP (%d rows)", kind, j.displayTable, j.estRows)
 		} else {
-			fmt.Fprintf(&b, "\n%s JOIN %s BY NESTED LOOP (%d rows)", kind, j.Table.Table, jt.alive)
+			fmt.Fprintf(&b, "\n%s JOIN %s BY %s ON %s", kind, j.displayTable, j.label, j.col)
 		}
 	}
 	if len(sel.GroupBy) > 0 {
 		fmt.Fprintf(&b, "\nGROUP BY %d keys", len(sel.GroupBy))
 	}
 	if len(sel.OrderBy) > 0 {
-		fmt.Fprintf(&b, "\nSORT %d keys", len(sel.OrderBy))
+		if p.sortElim {
+			fmt.Fprintf(&b, "\nORDER BY INDEX (sort eliminated, %d keys)", len(sel.OrderBy))
+		} else {
+			fmt.Fprintf(&b, "\nSORT %d keys", len(sel.OrderBy))
+		}
 	}
 	if sel.Limit != nil {
 		b.WriteString("\nLIMIT")
@@ -63,6 +77,8 @@ func (db *DB) Explain(sql string) (string, error) {
 	return b.String(), nil
 }
 
+// accessKind names the point access path available on a column, in
+// display precedence: primary key, unique column, hash index, scan.
 func accessKind(t *table, col string) string {
 	lower := strings.ToLower(col)
 	i, ok := t.colIdx[lower]

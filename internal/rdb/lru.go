@@ -1,0 +1,62 @@
+package rdb
+
+import "container/list"
+
+// lruCache is a small bounded least-recently-used cache backing the
+// statement and plan caches. Descriptor-driven workloads present a
+// closed set of query shapes, so in steady state everything hits; the
+// bound exists so ad-hoc or fuzzed SQL cannot grow memory without
+// limit. Callers provide their own locking.
+type lruCache struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+func (c *lruCache) put(key string, val any) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruItem).key)
+	}
+}
+
+func (c *lruCache) remove(key string) {
+	if el, ok := c.m[key]; ok {
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

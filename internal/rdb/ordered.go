@@ -53,9 +53,9 @@ type rangeBound struct {
 	set       bool
 }
 
-// scan returns the row ids with lo <= val <= hi (subject to the bounds'
-// inclusivity); unset bounds are open.
-func (ix *orderedIndex) scan(lo, hi rangeBound) []int {
+// bounds returns the half-open entry range with lo <= val <= hi
+// (subject to the bounds' inclusivity); unset bounds are open.
+func (ix *orderedIndex) bounds(lo, hi rangeBound) (int, int) {
 	start := 0
 	if lo.set {
 		start = sort.Search(len(ix.entries), func(i int) bool {
@@ -82,6 +82,15 @@ func (ix *orderedIndex) scan(lo, hi rangeBound) []int {
 			return c >= 0
 		})
 	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// scan returns the row ids inside bounds(lo, hi).
+func (ix *orderedIndex) scan(lo, hi rangeBound) []int {
+	start, end := ix.bounds(lo, hi)
 	if start >= end {
 		return nil
 	}

@@ -1,0 +1,376 @@
+package rdb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func planDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	setup := []string{
+		`CREATE TABLE product (oid INTEGER PRIMARY KEY AUTOINCREMENT, family TEXT, code TEXT, price INTEGER, name TEXT NOT NULL)`,
+		`CREATE INDEX ix_family_price ON product(family, price)`,
+		`CREATE ORDERED INDEX ord_name ON product(name)`,
+		`CREATE TABLE family (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT)`,
+	}
+	for _, s := range setup {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		fam := fmt.Sprintf("fam%d", i%4)
+		if _, err := db.Exec(`INSERT INTO product (family, code, price, name) VALUES (?, ?, ?, ?)`,
+			fam, fmt.Sprintf("c%02d", i), (i*7)%50, fmt.Sprintf("n%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Exec(`INSERT INTO family (name) VALUES (?)`, fmt.Sprintf("fam%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCompositeIndexAccess(t *testing.T) {
+	db := planDB(t)
+	plan, err := db.Explain(`SELECT name FROM product WHERE family = 'fam1' AND price = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "COMPOSITE INDEX ix_family_price") || !strings.Contains(plan, "eq prefix 2") {
+		t.Fatalf("composite index not chosen: %q", plan)
+	}
+	got, err := db.Query(`SELECT name FROM product WHERE family = 'fam1' AND price = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.QueryInterpreted(`SELECT name FROM product WHERE family = 'fam1' AND price = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.Data) != fmt.Sprint(want.Data) {
+		t.Fatalf("plan path %v != interpreter %v", got.Data, want.Data)
+	}
+	if got.Len() == 0 {
+		t.Fatal("expected matching rows in fixture")
+	}
+}
+
+func TestCompositeRangeAfterPrefix(t *testing.T) {
+	db := planDB(t)
+	sql := `SELECT code FROM product WHERE family = 'fam2' AND price > 10 AND price < 40`
+	plan, err := db.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "COMPOSITE INDEX") || !strings.Contains(plan, "range on price") {
+		t.Fatalf("composite range not chosen: %q", plan)
+	}
+	got, _ := db.Query(sql)
+	want, _ := db.QueryInterpreted(sql)
+	if rowsMultiset(got) != rowsMultiset(want) {
+		t.Fatalf("plan path %v != interpreter %v", got.Data, want.Data)
+	}
+}
+
+func TestSortEliminationOrderedWalk(t *testing.T) {
+	db := planDB(t)
+	for _, c := range []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT name FROM product ORDER BY name`, "sort eliminated"},
+		{`SELECT name FROM product ORDER BY name DESC`, "sort eliminated"},
+		{`SELECT name FROM product WHERE name > 'n10' ORDER BY name`, "sort eliminated"},
+		{`SELECT family, price FROM product WHERE family = 'fam1' ORDER BY price`, "sort eliminated"},
+		{`SELECT family, price FROM product WHERE family = 'fam1' ORDER BY price DESC`, "sort eliminated"},
+	} {
+		plan, err := db.Explain(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if !strings.Contains(plan, c.want) {
+			t.Fatalf("%s: expected %q in plan %q", c.sql, c.want, plan)
+		}
+		got, err := db.Query(c.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.QueryInterpreted(c.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got.Data) != fmt.Sprint(want.Data) {
+			t.Fatalf("%s: order differs from interpreter:\n%v\n%v", c.sql, got.Data, want.Data)
+		}
+	}
+	if db.Stats().SortsEliminated == 0 {
+		t.Fatal("SortsEliminated counter did not move")
+	}
+}
+
+func TestNoEliminationOnNullableWalk(t *testing.T) {
+	db := planDB(t)
+	// code is nullable and only hash-indexable; an ordered walk over a
+	// nullable column would miss NULL rows, so the sort must stay.
+	if _, err := db.Exec(`CREATE ORDERED INDEX ord_code ON product(code)`); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.Explain(`SELECT code FROM product ORDER BY code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "SORT 1 keys") {
+		t.Fatalf("nullable ordered walk must not eliminate the sort: %q", plan)
+	}
+}
+
+func TestPlanCacheHitsAndDDLInvalidation(t *testing.T) {
+	db := planDB(t)
+	sql := `SELECT name FROM product WHERE code = 'c07'`
+	before := db.Stats()
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := db.Stats()
+	if mid.PlanCacheMisses-before.PlanCacheMisses != 1 {
+		t.Fatalf("expected exactly one plan build, got %d misses", mid.PlanCacheMisses-before.PlanCacheMisses)
+	}
+	if mid.PlanCacheHits-before.PlanCacheHits != 2 {
+		t.Fatalf("expected two plan cache hits, got %d", mid.PlanCacheHits-before.PlanCacheHits)
+	}
+	// The cached plan scans; creating an index must invalidate it.
+	if !strings.Contains(mustExplain(t, db, sql), "SCAN product") {
+		t.Fatalf("expected scan before index")
+	}
+	if _, err := db.Exec(`CREATE INDEX ix_code ON product(code)`); err != nil {
+		t.Fatal(err)
+	}
+	plan := mustExplain(t, db, sql)
+	if !strings.Contains(plan, "BY INDEX ON code") {
+		t.Fatalf("CREATE INDEX did not take effect on cached plan: %q", plan)
+	}
+}
+
+func TestPlanRevalidatedOnGrowth(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE g (oid INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT v FROM g WHERE v = 1`
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	m0 := db.Stats().PlanCacheMisses
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(`INSERT INTO g (v) VALUES (?)`, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().PlanCacheMisses == m0 {
+		t.Fatal("plan not rebuilt after table crossed size classes")
+	}
+}
+
+func TestInvalidatePlan(t *testing.T) {
+	db := planDB(t)
+	sql := `SELECT name FROM product WHERE oid = 1`
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	m0 := db.Stats().PlanCacheMisses
+	db.InvalidatePlan(sql)
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().PlanCacheMisses != m0+1 {
+		t.Fatal("InvalidatePlan did not drop the cached plan")
+	}
+}
+
+func TestAccessPathCounters(t *testing.T) {
+	db := planDB(t)
+	if _, err := db.Query(`SELECT name FROM product WHERE oid = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT name FROM product WHERE name > 'n30'`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT COUNT(*) FROM product`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT p.name, f.name FROM product p JOIN family f ON f.oid = p.oid`); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.PointLookups == 0 || s.RangeScans == 0 || s.FullScans == 0 || s.IndexedJoins == 0 {
+		t.Fatalf("counters did not move: %+v", s)
+	}
+}
+
+func TestCompositeJoin(t *testing.T) {
+	db := Open()
+	for _, s := range []string{
+		`CREATE TABLE a (oid INTEGER PRIMARY KEY AUTOINCREMENT, k INTEGER)`,
+		`CREATE TABLE b (oid INTEGER PRIMARY KEY AUTOINCREMENT, k INTEGER, sub INTEGER)`,
+		`CREATE INDEX ix_b ON b(k, sub)`,
+		`INSERT INTO a (k) VALUES (1), (2)`,
+		`INSERT INTO b (k, sub) VALUES (1, 10), (1, 11), (2, 20), (3, 30)`,
+	} {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	sql := `SELECT a.k, b.sub FROM a JOIN b ON b.k = a.k ORDER BY a.k, b.sub`
+	plan := mustExplain(t, db, sql)
+	if !strings.Contains(plan, "JOIN b BY COMPOSITE INDEX ix_b") {
+		t.Fatalf("composite join not chosen: %q", plan)
+	}
+	got, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.QueryInterpreted(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.Data) != fmt.Sprint(want.Data) {
+		t.Fatalf("composite join %v != interpreter %v", got.Data, want.Data)
+	}
+}
+
+func TestCompositeDumpRestore(t *testing.T) {
+	db := planDB(t)
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := db2.Describe("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.CompositeIndexes) != 1 || info.CompositeIndexes[0].Name != "ix_family_price" {
+		t.Fatalf("composite index lost across dump/restore: %+v", info.CompositeIndexes)
+	}
+	plan, err := db2.Explain(`SELECT name FROM product WHERE family = 'fam0' AND price = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "COMPOSITE INDEX ix_family_price") {
+		t.Fatalf("restored composite not used: %q", plan)
+	}
+}
+
+func TestStmtCacheLRUBound(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE t (oid INTEGER PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	// Issue more distinct statements than the cache holds; the cache must
+	// stay bounded and keep working.
+	for i := 0; i < stmtCacheCap+50; i++ {
+		if _, err := db.Query(fmt.Sprintf(`SELECT oid FROM t WHERE oid = %d`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.stmtMu.Lock()
+	n := db.stmtCache.len()
+	db.stmtMu.Unlock()
+	if n > stmtCacheCap {
+		t.Fatalf("statement cache unbounded: %d > %d", n, stmtCacheCap)
+	}
+	db.planMu.Lock()
+	pn := db.planCache.len()
+	db.planMu.Unlock()
+	if pn > planCacheCap {
+		t.Fatalf("plan cache unbounded: %d > %d", pn, planCacheCap)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // refresh a
+		t.Fatal("a missing")
+	}
+	c.put("c", 3) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	c.remove("a")
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+// TestLikePathologicalPattern pins the iterative matcher's worst-case
+// behavior: the previous recursive implementation took exponential time
+// on this input and would blow far past the timeout.
+func TestLikePathologicalPattern(t *testing.T) {
+	s := strings.Repeat("a", 3000) + "c"
+	pattern := "%a%a%a%a%a%a%b"
+	done := make(chan bool, 1)
+	go func() {
+		done <- likeMatch(s, pattern)
+	}()
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("pattern must not match")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("likeMatch did not terminate in time on pathological pattern")
+	}
+	// And the matcher still agrees with LIKE semantics on normal inputs.
+	for _, c := range []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "h%", true},
+		{"hello", "%LLO", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_l", false},
+		{"", "%", true},
+		{"", "", true},
+		{"x", "", false},
+		{"abc", "%%%", true},
+		{"abc", "a%c", true},
+		{"abc", "a%b", false},
+		{strings.Repeat("ab", 500), "%ab%ab%ab", true},
+	} {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Fatalf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func mustExplain(t *testing.T, db *DB, sql string) string {
+	t.Helper()
+	plan, err := db.Explain(sql)
+	if err != nil {
+		t.Fatalf("explain %s: %v", sql, err)
+	}
+	return plan
+}

@@ -32,6 +32,8 @@ type table struct {
 	uniques map[string]map[Value]int
 	// ordered maps lower(column name) -> sorted index (range scans).
 	ordered map[string]*orderedIndex
+	// composites are multi-column sorted indexes (see index.go).
+	composites []*compositeIndex
 }
 
 func errNoColumn(table, col string) error {
@@ -149,6 +151,9 @@ func (t *table) indexRow(id int, r Row) {
 			ix.insert(r[i], id)
 		}
 	}
+	for _, ix := range t.composites {
+		ix.insert(r, id)
+	}
 }
 
 func (t *table) unindexRow(id int, r Row) {
@@ -182,6 +187,9 @@ func (t *table) unindexRow(id int, r Row) {
 		if r[i] != nil {
 			ix.remove(r[i], id)
 		}
+	}
+	for _, ix := range t.composites {
+		ix.remove(r, id)
 	}
 }
 

@@ -85,7 +85,13 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return tx.db.execSelect(sel, cargs)
+	// The transaction already holds the exclusive lock, which planFor
+	// and execPlan require only shared access under.
+	p, err := tx.db.planFor(sql, sel)
+	if err != nil {
+		return nil, err
+	}
+	return tx.db.execPlan(p, cargs)
 }
 
 // Commit makes the transaction's writes permanent and releases the lock.

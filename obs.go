@@ -140,6 +140,26 @@ func (a *App) buildRegistry() *obs.Registry {
 			}
 		})
 	}
+	reg.RegisterVec(mvc.QueryLat)
+	reg.Register(func(e *obs.Exposition) {
+		s := a.DB.Stats()
+		e.Counter("webml_rdb_stmt_cache_hits_total", "Parsed-statement cache hits.", nil, float64(s.StmtCacheHits))
+		e.Counter("webml_rdb_stmt_cache_misses_total", "Parsed-statement cache misses.", nil, float64(s.StmtCacheMisses))
+		e.Counter("webml_rdb_plan_cache_hits_total", "Compiled-plan cache hits.", nil, float64(s.PlanCacheHits))
+		e.Counter("webml_rdb_plan_cache_misses_total", "Compiled-plan cache misses (first compile or revalidation).", nil, float64(s.PlanCacheMisses))
+		for _, p := range []struct {
+			path string
+			v    uint64
+		}{{"point", s.PointLookups}, {"range", s.RangeScans}, {"scan", s.FullScans}} {
+			e.Counter("webml_rdb_access_total", "Base-table accesses by chosen path.",
+				map[string]string{"path": p.path}, float64(p.v))
+		}
+		e.Counter("webml_rdb_joins_total", "Join executions by strategy.",
+			map[string]string{"strategy": "indexed"}, float64(s.IndexedJoins))
+		e.Counter("webml_rdb_joins_total", "Join executions by strategy.",
+			map[string]string{"strategy": "loop"}, float64(s.LoopJoins))
+		e.Counter("webml_rdb_sorts_eliminated_total", "ORDER BY clauses satisfied by index order.", nil, float64(s.SortsEliminated))
+	})
 	if a.Resilient != nil {
 		reg.Counter("webml_retries_total", "Unit-read retry attempts.", nil,
 			func() float64 { return float64(a.Resilient.Retries.Load()) })
