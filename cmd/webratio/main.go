@@ -140,6 +140,7 @@ func usage() {
   generate -model <name> -out <dir>      emit descriptors, config, templates, DDL
   stats    -model <name>                 print model and artifact statistics
   serve    -model <name> -addr <addr>    run the generated application
+           [-data-dir dir]               durable data tier (WAL + B-tree; survives restarts)
            [-cache] [-edge]              two-level cache / ESI surrogate edge tier
            [-timeout d] [-retries n]     per-request deadline / unit-read retries
            [-max-stale d]                degraded-mode staleness bound (needs -cache)
@@ -307,6 +308,7 @@ func cmdServe(args []string) {
 	cacheOn := fs.Bool("cache", false, "enable the two-level cache")
 	edgeOn := fs.Bool("edge", false, "enable the ESI surrogate edge tier")
 	rows := fs.Int("rows", 50, "rows per entity for synthetic models")
+	dataDir := fs.String("data-dir", "", "durable storage directory (WAL + page-backed B-tree; empty = in-memory)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline budget (0 = none)")
 	retries := fs.Int("retries", 0, "max attempts per idempotent unit read (<=1 = no retries)")
 	maxStale := fs.Duration("max-stale", 0, "serve TTL-expired beans up to this old when the business tier fails (0 = off; needs -cache)")
@@ -333,6 +335,19 @@ func cmdServe(args []string) {
 	var opts []webmlgo.Option
 	if rs != nil {
 		opts = append(opts, webmlgo.WithCompiledStyle(rs))
+	}
+	// Durable data tier: open (or recover) the WAL + page-file directory
+	// before the app assembles. A non-empty directory means the schema
+	// and content survived a restart, so DDL and seeding are skipped.
+	fresh := true
+	if *dataDir != "" {
+		ddb, err := webmlgo.OpenDurableDatabase(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ddb.Close()
+		fresh = len(ddb.TableNames()) == 0
+		opts = append(opts, webmlgo.WithDatabase(ddb))
 	}
 	if *cacheOn {
 		opts = append(opts, webmlgo.WithBeanCache(8192), webmlgo.WithFragmentCache(8192, time.Minute))
@@ -375,6 +390,21 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *dataDir != "" {
+		if fresh {
+			// WithDatabase skips DDL; a brand-new directory still needs
+			// the schema, and the statements land in the WAL like any
+			// other commit.
+			for _, stmt := range app.Artifacts.DDL {
+				if _, err := app.DB.Exec(stmt); err != nil {
+					log.Fatalf("webratio: applying DDL to %s: %v", *dataDir, err)
+				}
+			}
+			log.Printf("webratio: durable data tier initialized at %s", *dataDir)
+		} else {
+			log.Printf("webratio: durable data tier recovered from %s (%d tables)", *dataDir, len(app.DB.TableNames()))
+		}
+	}
 	if app.Obs != nil && *traceSample > 1 {
 		app.Obs.SampleEvery = *traceSample
 	}
@@ -388,13 +418,15 @@ func cmdServe(args []string) {
 	if app.Remote != nil {
 		log.Printf("webratio: business tier on %s (wire=%s, batch=%v)", *appServer, *wire, !*noBatch)
 	}
-	if synthetic {
-		if err := workload.Populate(app.DB, *rows, 7); err != nil {
-			log.Fatal(err)
-		}
-	} else if *model == "acm" {
-		if err := fixture.Seed(app.DB); err != nil {
-			log.Fatal(err)
+	if fresh {
+		if synthetic {
+			if err := workload.Populate(app.DB, *rows, 7); err != nil {
+				log.Fatal(err)
+			}
+		} else if *model == "acm" {
+			if err := fixture.Seed(app.DB); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 

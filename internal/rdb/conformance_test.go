@@ -9,22 +9,46 @@ import (
 // case runs against a fixed dataset and compares the formatted result
 // rows. It pins the engine's semantics (NULL handling, precedence,
 // grouping, joins) against regressions.
-func TestSQLConformance(t *testing.T) {
-	db := Open()
-	setup := []string{
-		`CREATE TABLE dept (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT, budget INTEGER)`,
-		`CREATE TABLE emp (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT, salary INTEGER, bonus INTEGER, dept_oid INTEGER)`,
-		`CREATE INDEX ie ON emp(dept_oid)`,
-		`INSERT INTO dept (name, budget) VALUES ('Eng', 100), ('Sales', 50), ('Empty', 10)`,
-		`INSERT INTO emp (name, salary, bonus, dept_oid) VALUES
-			('ann', 30, 5, 1), ('bob', 20, NULL, 1), ('cat', 25, 2, 2), ('dan', 20, 1, NULL)`,
-	}
-	for _, s := range setup {
+var conformanceSetup = []string{
+	`CREATE TABLE dept (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT, budget INTEGER)`,
+	`CREATE TABLE emp (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT, salary INTEGER, bonus INTEGER, dept_oid INTEGER)`,
+	`CREATE INDEX ie ON emp(dept_oid)`,
+	`INSERT INTO dept (name, budget) VALUES ('Eng', 100), ('Sales', 50), ('Empty', 10)`,
+	`INSERT INTO emp (name, salary, bonus, dept_oid) VALUES
+		('ann', 30, 5, 1), ('bob', 20, NULL, 1), ('cat', 25, 2, 2), ('dan', 20, 1, NULL)`,
+}
+
+func conformanceDB(t testing.TB, db *DB) *DB {
+	t.Helper()
+	for _, s := range conformanceSetup {
 		if _, err := db.Exec(s); err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
 	}
+	return db
+}
 
+func TestSQLConformance(t *testing.T) {
+	runConformance(t, conformanceDB(t, Open()))
+}
+
+// TestSQLConformanceDurable runs the same battery on the durable
+// engine — fresh, and again after a close/reopen recovery cycle — so
+// recovered state is pinned to exactly the same semantics.
+func TestSQLConformanceDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformanceDB(t, db)
+	runConformance(t, db)
+	db = reopen(t, db, dir)
+	defer db.Close()
+	runConformance(t, db)
+}
+
+func runConformance(t *testing.T, db *DB) {
 	cases := []struct {
 		name string
 		sql  string

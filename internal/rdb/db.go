@@ -17,8 +17,11 @@ const (
 	planCacheCap = 512
 )
 
-// DB is an embedded in-memory relational database. A DB is safe for
-// concurrent use: reads take a shared lock, writes an exclusive lock.
+// DB is an embedded relational database. A DB is safe for concurrent
+// use: reads take a shared lock, writes an exclusive lock, and
+// Snapshot reads take no lock at all (mvcc.go). Storage is pluggable:
+// the default engine keeps everything in memory; OpenDurable attaches
+// a WAL + page-file engine that persists every commit (durable.go).
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table // lower(name) -> table
@@ -26,6 +29,14 @@ type DB struct {
 	// INDEX, DROP TABLE); compiled plans pin the epoch they were built
 	// under and are discarded when it moves. Guarded by mu.
 	ddlEpoch uint64
+	// seq numbers commits; assigned under mu, carried by change-sets
+	// into the engine and by published heads into snapshots.
+	seq uint64
+	// engine persists committed change-sets; never nil (memEngine by
+	// default). Guarded by mu for Apply/Checkpoint/Close.
+	engine Engine
+	// head is the published MVCC snapshot state (mvcc.go).
+	head atomic.Pointer[snapState]
 
 	stmtMu    sync.Mutex
 	stmtCache *lruCache // sql -> Statement
@@ -44,6 +55,8 @@ type dbStats struct {
 	pointLookups, rangeScans, fullScans atomic.Uint64
 	indexedJoins, loopJoins             atomic.Uint64
 	sortsEliminated                     atomic.Uint64
+	snapshotsTaken                      atomic.Uint64
+	activeSnapshots                     atomic.Int64
 }
 
 // DBStats is a point-in-time snapshot of the database's internal
@@ -56,6 +69,9 @@ type DBStats struct {
 	FullScans                      uint64
 	IndexedJoins, LoopJoins        uint64
 	SortsEliminated                uint64
+	SnapshotsTaken                 uint64
+	ActiveSnapshots                int64
+	HeadSeq                        uint64
 }
 
 // Stats returns a snapshot of the query-engine counters.
@@ -71,16 +87,54 @@ func (db *DB) Stats() DBStats {
 		IndexedJoins:    db.stats.indexedJoins.Load(),
 		LoopJoins:       db.stats.loopJoins.Load(),
 		SortsEliminated: db.stats.sortsEliminated.Load(),
+		SnapshotsTaken:  db.stats.snapshotsTaken.Load(),
+		ActiveSnapshots: db.stats.activeSnapshots.Load(),
+		HeadSeq:         db.head.Load().seq,
 	}
 }
 
-// Open returns an empty database.
+// EngineName identifies the attached storage engine.
+func (db *DB) EngineName() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.Name()
+}
+
+// EngineStats reports the storage engine's durability counters (zeros
+// for the in-memory engine).
+func (db *DB) EngineStats() EngineStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.Stats()
+}
+
+// Checkpoint forces the engine to compact its persistent state (a
+// no-op for the in-memory engine). Writers wait while it runs.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.Checkpoint()
+}
+
+// Close flushes and detaches the storage engine. The database remains
+// queryable in memory, but further writes will fail on a durable
+// engine's closed files.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.Close()
+}
+
+// Open returns an empty database on the in-memory engine.
 func Open() *DB {
-	return &DB{
+	db := &DB{
 		tables:    make(map[string]*table),
+		engine:    memEngine{},
 		stmtCache: newLRU(stmtCacheCap),
 		planCache: newLRU(planCacheCap),
 	}
+	db.publishHead()
+	return db
 }
 
 // Result reports the outcome of a write statement.
@@ -179,6 +233,8 @@ func (db *DB) InvalidatePlan(sql string) {
 }
 
 // Exec runs a write or DDL statement. SELECT is rejected; use Query.
+// The call returns once the change is durable under the attached
+// engine (immediately, for the in-memory engine).
 func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	st, err := db.prepare(sql)
 	if err != nil {
@@ -188,9 +244,64 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cs := &ChangeSet{}
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execLocked(st, cargs, nil)
+	res, execErr := db.execLocked(sql, st, cargs, nil, cs)
+	// A failed statement may still have applied some operations (a
+	// multi-row INSERT rejecting its second row keeps the first, with
+	// no undo log in auto-commit mode); those must reach the engine so
+	// memory and durable state stay identical.
+	wait, applyErr := db.applyLocked(cs)
+	db.mu.Unlock()
+	var waitErr error
+	if wait != nil {
+		waitErr = wait()
+	}
+	if execErr != nil {
+		return res, execErr
+	}
+	if applyErr != nil {
+		return res, applyErr
+	}
+	return res, waitErr
+}
+
+// applyLocked commits a collected change-set: assigns its sequence
+// number, hands it to the engine and publishes the new MVCC head. It
+// returns the engine's durability wait function, to be called after
+// the exclusive lock is released (that ordering is what lets the
+// engine batch fsyncs across concurrent committers). The caller must
+// hold the exclusive lock. Empty change-sets are a no-op.
+func (db *DB) applyLocked(cs *ChangeSet) (func() error, error) {
+	if len(cs.Ops) == 0 {
+		return nil, nil
+	}
+	db.seq++
+	cs.Seq = db.seq
+	wait, err := db.engine.Apply(cs)
+	// The in-memory mutation already happened: publish it even when the
+	// engine rejects the change-set, so readers and snapshots stay
+	// consistent with memory. Engines fail stickily, so the divergence
+	// surfaces on this and every later commit rather than silently.
+	db.publishHead()
+	if err != nil {
+		return nil, err
+	}
+	return wait, nil
+}
+
+// applyDDLInTx commits a DDL-only change-set to the engine from inside
+// an open transaction WITHOUT publishing a new head: the transaction's
+// row writes are uncommitted and snapshots must not see them. The head
+// catches up at Commit or Rollback. The caller must hold the exclusive
+// lock.
+func (db *DB) applyDDLInTx(cs *ChangeSet) (func() error, error) {
+	if len(cs.Ops) == 0 {
+		return nil, nil
+	}
+	db.seq++
+	cs.Seq = db.seq
+	return db.engine.Apply(cs)
 }
 
 // Query runs a SELECT through its compiled plan and returns the
@@ -292,22 +403,36 @@ func coerceArgs(st Statement, args []Value) ([]Value, error) {
 	return out, nil
 }
 
-// execLocked dispatches a non-SELECT statement. The caller must hold the
-// write lock. If undo is non-nil, inverse operations are appended to it.
-func (db *DB) execLocked(st Statement, args []Value, undo *undoLog) (Result, error) {
+// execLocked dispatches a non-SELECT statement. The caller must hold
+// the write lock. If undo is non-nil, inverse operations are appended
+// to it. If cs is non-nil, applied operations are recorded for the
+// storage engine: row ops per affected row, DDL as its SQL text (only
+// when it actually changed the schema — IF [NOT] EXISTS no-ops log
+// nothing).
+func (db *DB) execLocked(sql string, st Statement, args []Value, undo *undoLog, cs *ChangeSet) (Result, error) {
 	switch x := st.(type) {
-	case *CreateTableStmt:
-		return db.execCreateTable(x)
-	case *CreateIndexStmt:
-		return db.execCreateIndex(x)
-	case *DropTableStmt:
-		return db.execDropTable(x)
+	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt:
+		epochBefore := db.ddlEpoch
+		var res Result
+		var err error
+		switch d := x.(type) {
+		case *CreateTableStmt:
+			res, err = db.execCreateTable(d)
+		case *CreateIndexStmt:
+			res, err = db.execCreateIndex(d)
+		case *DropTableStmt:
+			res, err = db.execDropTable(d)
+		}
+		if err == nil && cs != nil && db.ddlEpoch != epochBefore {
+			cs.add(ChangeOp{Kind: OpDDL, SQL: sql})
+		}
+		return res, err
 	case *InsertStmt:
-		return db.execInsert(x, args, undo)
+		return db.execInsert(x, args, undo, cs)
 	case *UpdateStmt:
-		return db.execUpdate(x, args, undo)
+		return db.execUpdate(x, args, undo, cs)
 	case *DeleteStmt:
-		return db.execDelete(x, args, undo)
+		return db.execDelete(x, args, undo, cs)
 	case *SelectStmt:
 		return Result{}, fmt.Errorf("rdb: use Query for SELECT")
 	}
@@ -382,7 +507,7 @@ func (db *DB) execDropTable(st *DropTableStmt) (Result, error) {
 	return Result{}, nil
 }
 
-func (db *DB) execInsert(st *InsertStmt, args []Value, undo *undoLog) (Result, error) {
+func (db *DB) execInsert(st *InsertStmt, args []Value, undo *undoLog, cs *ChangeSet) (Result, error) {
 	t, ok := db.tables[strings.ToLower(st.Table)]
 	if !ok {
 		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
@@ -418,6 +543,10 @@ func (db *DB) execInsert(st *InsertStmt, args []Value, undo *undoLog) (Result, e
 		}
 		if undo != nil {
 			undo.add(undoEntry{table: t, op: undoInsert, rowID: id})
+		}
+		if cs != nil {
+			// row now carries any assigned auto-increment key.
+			cs.add(ChangeOp{Kind: OpInsert, Table: lowerKey(st.Table), RowID: id, Row: row})
 		}
 		res.RowsAffected++
 		if t.pk >= 0 {
@@ -468,7 +597,7 @@ func (db *DB) checkForeignKeys(t *table, row Row) error {
 	return nil
 }
 
-func (db *DB) execUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result, error) {
+func (db *DB) execUpdate(st *UpdateStmt, args []Value, undo *undoLog, cs *ChangeSet) (Result, error) {
 	t, ok := db.tables[strings.ToLower(st.Table)]
 	if !ok {
 		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
@@ -513,12 +642,15 @@ func (db *DB) execUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result, e
 			copy(oldCopy, old)
 			undo.add(undoEntry{table: t, op: undoUpdate, rowID: id, oldRow: oldCopy})
 		}
+		if cs != nil {
+			cs.add(ChangeOp{Kind: OpUpdate, Table: lowerKey(st.Table), RowID: id, Row: newRow, OldRow: old})
+		}
 		res.RowsAffected++
 	}
 	return res, nil
 }
 
-func (db *DB) execDelete(st *DeleteStmt, args []Value, undo *undoLog) (Result, error) {
+func (db *DB) execDelete(st *DeleteStmt, args []Value, undo *undoLog, cs *ChangeSet) (Result, error) {
 	t, ok := db.tables[strings.ToLower(st.Table)]
 	if !ok {
 		return Result{}, fmt.Errorf("rdb: no such table %q", st.Table)
@@ -535,6 +667,9 @@ func (db *DB) execDelete(st *DeleteStmt, args []Value, undo *undoLog) (Result, e
 		}
 		if undo != nil {
 			undo.add(undoEntry{table: t, op: undoDelete, rowID: id, oldRow: old})
+		}
+		if cs != nil {
+			cs.add(ChangeOp{Kind: OpDelete, Table: lowerKey(st.Table), RowID: id, OldRow: old})
 		}
 		res.RowsAffected++
 	}

@@ -15,7 +15,11 @@ import (
 
 func diffFixture(t testing.TB) *DB {
 	t.Helper()
-	db := Open()
+	return diffSeed(t, Open())
+}
+
+func diffSeed(t testing.TB, db *DB) *DB {
+	t.Helper()
 	setup := []string{
 		`CREATE TABLE dept (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT NOT NULL, budget INTEGER)`,
 		`CREATE TABLE emp (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT NOT NULL, salary INTEGER, bonus INTEGER, dept_oid INTEGER)`,
@@ -164,6 +168,59 @@ func TestDifferentialCompiledVsInterpreted(t *testing.T) {
 		t.Run(c.sql, func(t *testing.T) {
 			compareEngines(t, db, c.sql, c.args)
 		})
+	}
+}
+
+// compareDBs runs the same query on two databases built from the same
+// statements and demands identical output (or identical errors) —
+// exact sequence under ORDER BY, multiset equality otherwise.
+func compareDBs(t testing.TB, label string, a, b *DB, sql string, args []Value) {
+	t.Helper()
+	got, gotErr := b.Query(sql, args...)
+	want, wantErr := a.Query(sql, args...)
+	if (gotErr != nil) != (wantErr != nil) {
+		t.Fatalf("%s: %s:\n%s err: %v\nmemory err: %v", label, sql, label, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: %s:\n%s err: %v\nmemory err: %v", label, sql, label, gotErr, wantErr)
+		}
+		return
+	}
+	if strings.Join(got.Columns, "\x00") != strings.Join(want.Columns, "\x00") {
+		t.Fatalf("%s: %s: columns differ: %v vs %v", label, sql, got.Columns, want.Columns)
+	}
+	if hasOrderBy(sql) {
+		if rowsExact(got) != rowsExact(want) {
+			t.Fatalf("%s: %s: row sequence differs:\n%s:\n%s\nmemory:\n%s", label, sql, label, rowsExact(got), rowsExact(want))
+		}
+	} else if rowsMultiset(got) != rowsMultiset(want) {
+		t.Fatalf("%s: %s: row multiset differs:\n%s:\n%s\nmemory:\n%s", label, sql, label, rowsMultiset(got), rowsMultiset(want))
+	}
+}
+
+// TestDifferentialDurableEngine runs the full corpus three ways on a
+// durable-engine database: compiled vs interpreted on the durable DB,
+// durable vs in-memory byte-for-byte, and both again after a
+// close/reopen recovery cycle. Compiled plans must execute unchanged
+// on either engine.
+func TestDifferentialDurableEngine(t *testing.T) {
+	mem := diffFixture(t)
+	dir := t.TempDir()
+	dur, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSeed(t, dur)
+	for _, c := range diffCorpus {
+		compareEngines(t, dur, c.sql, c.args)
+		compareDBs(t, "durable", mem, dur, c.sql, c.args)
+	}
+	dur = reopen(t, dur, dir)
+	defer dur.Close()
+	for _, c := range diffCorpus {
+		compareEngines(t, dur, c.sql, c.args)
+		compareDBs(t, "recovered", mem, dur, c.sql, c.args)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -107,63 +108,158 @@ func (db *DB) Dump(w io.Writer) error {
 	return nil
 }
 
-// Restore reads a snapshot produced by Dump into a fresh database.
+// Restore reads a snapshot produced by Dump into a fresh in-memory
+// database.
 func Restore(r io.Reader) (*DB, error) {
+	db := Open()
+	if err := db.LoadDump(r); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// LoadDump replays a snapshot produced by Dump into db, which must be
+// empty. The whole restore flows through the storage engine as one
+// committed change-set: under a durable engine it lands in the WAL
+// like any other commit and is crash-safe by the time LoadDump
+// returns. On error the database is in an undefined partial state and
+// must be discarded.
+func (db *DB) LoadDump(r io.Reader) error {
 	var f dumpFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("rdb: restore: %w", err)
+		return fmt.Errorf("rdb: restore: %w", err)
 	}
 	if f.Version != 1 {
-		return nil, fmt.Errorf("rdb: restore: unsupported snapshot version %d", f.Version)
+		return fmt.Errorf("rdb: restore: unsupported snapshot version %d", f.Version)
 	}
-	db := Open()
-	// Two passes: create all tables without FK enforcement concerns by
-	// building them directly, then load rows (FK targets may be restored
-	// in any order, and the snapshot is internally consistent).
-	for _, dt := range f.Tables {
-		st := &CreateTableStmt{Name: dt.Name}
-		for _, c := range dt.Columns {
-			st.Columns = append(st.Columns, ColumnDef{
+	ordered, err := topoTables(f.Tables)
+	if err != nil {
+		return err
+	}
+	cs := &ChangeSet{}
+	db.mu.Lock()
+	if len(db.tables) != 0 {
+		db.mu.Unlock()
+		return fmt.Errorf("rdb: restore: database is not empty")
+	}
+	if err := db.loadDumpLocked(ordered, cs); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	wait, err := db.applyLocked(cs)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+func (db *DB) loadDumpLocked(tables []dumpTable, cs *ChangeSet) error {
+	exec := func(sql string) error {
+		st, err := ParseStatement(sql)
+		if err != nil {
+			return fmt.Errorf("rdb: restore DDL %q: %w", sql, err)
+		}
+		if _, err := db.execLocked(sql, st, nil, nil, cs); err != nil {
+			return fmt.Errorf("rdb: restore DDL %q: %w", sql, err)
+		}
+		return nil
+	}
+	for _, dt := range tables {
+		cols := make([]ColumnDef, len(dt.Columns))
+		for i, c := range dt.Columns {
+			cols[i] = ColumnDef{
 				Name: c.Name, Type: c.Type,
 				PrimaryKey: c.PrimaryKey, AutoIncrement: c.AutoIncrement,
 				NotNull: c.NotNull, Unique: c.Unique,
-			})
-		}
-		st.ForeignKeys = dt.FKs
-		t, err := newTable(st)
-		if err != nil {
-			return nil, fmt.Errorf("rdb: restore table %q: %w", dt.Name, err)
-		}
-		db.tables[lowerKey(dt.Name)] = t
-	}
-	for _, dt := range f.Tables {
-		t := db.tables[lowerKey(dt.Name)]
-		for _, idx := range dt.Indexes {
-			if err := t.createIndex(idx); err != nil {
-				return nil, fmt.Errorf("rdb: restore index on %s.%s: %w", dt.Name, idx, err)
 			}
 		}
-		for _, idx := range dt.Ordered {
-			if err := t.createOrderedIndex(idx); err != nil {
-				return nil, fmt.Errorf("rdb: restore ordered index on %s.%s: %w", dt.Name, idx, err)
+		if err := exec(renderCreateTableSQL(dt.Name, cols, dt.FKs)); err != nil {
+			return err
+		}
+		key := lowerKey(dt.Name)
+		for _, col := range dt.Indexes {
+			if err := exec(fmt.Sprintf("CREATE INDEX ix_%s_%s ON %s (%s)", key, col, dt.Name, col)); err != nil {
+				return err
+			}
+		}
+		for _, col := range dt.Ordered {
+			if err := exec(fmt.Sprintf("CREATE ORDERED INDEX ord_%s_%s ON %s (%s)", key, col, dt.Name, col)); err != nil {
+				return err
 			}
 		}
 		for _, ci := range dt.Composite {
-			if err := t.createCompositeIndex(ci.Name, ci.Cols); err != nil {
-				return nil, fmt.Errorf("rdb: restore composite index %s on %s: %w", ci.Name, dt.Name, err)
+			if err := exec(fmt.Sprintf("CREATE INDEX %s ON %s (%s)", ci.Name, dt.Name, strings.Join(ci.Cols, ", "))); err != nil {
+				return err
 			}
 		}
+		// Rows bypass execInsert: the snapshot is internally consistent,
+		// so per-row foreign-key checks would only forbid row orderings
+		// Dump is free to produce.
+		t := db.tables[key]
 		for _, row := range dt.Rows {
 			if len(row) != len(t.cols) {
-				return nil, fmt.Errorf("rdb: restore: row arity mismatch in %q", dt.Name)
+				return fmt.Errorf("rdb: restore: row arity mismatch in %q", dt.Name)
 			}
-			if _, err := t.insert(row); err != nil {
-				return nil, fmt.Errorf("rdb: restore row into %q: %w", dt.Name, err)
+			id, err := t.insert(row)
+			if err != nil {
+				return fmt.Errorf("rdb: restore row into %q: %w", dt.Name, err)
 			}
+			cs.add(ChangeOp{Kind: OpInsert, Table: key, RowID: id, Row: row})
 		}
 		t.autoInc = dt.AutoInc
+		cs.add(ChangeOp{Kind: OpAutoInc, Table: key, AutoInc: dt.AutoInc})
 	}
-	return db, nil
+	return nil
+}
+
+// topoTables orders dumped tables so every foreign-key target is
+// created before its referrer (Dump stores them alphabetically, which
+// CREATE TABLE's reference check may reject). Self-references are
+// fine; cross-table cycles cannot have been created through DDL.
+func topoTables(tables []dumpTable) ([]dumpTable, error) {
+	byName := make(map[string]int, len(tables))
+	for i, dt := range tables {
+		byName[lowerKey(dt.Name)] = i
+	}
+	deps := make([][]int, len(tables)) // deps[i] -> tables waiting on i
+	indeg := make([]int, len(tables))
+	for i, dt := range tables {
+		seen := make(map[int]bool)
+		for _, fk := range dt.FKs {
+			j, ok := byName[lowerKey(fk.RefTable)]
+			if !ok || j == i || seen[j] {
+				continue
+			}
+			seen[j] = true
+			deps[j] = append(deps[j], i)
+			indeg[i]++
+		}
+	}
+	queue := make([]int, 0, len(tables))
+	for i := range tables {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	out := make([]dumpTable, 0, len(tables))
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		out = append(out, tables[i])
+		for _, j := range deps[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(out) != len(tables) {
+		return nil, fmt.Errorf("rdb: restore: foreign-key cycle across tables")
+	}
+	return out, nil
 }
 
 func lowerKey(s string) string {

@@ -1,0 +1,722 @@
+package rdb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"webmlgo/internal/rdb/storage/pager"
+	"webmlgo/internal/rdb/storage/wal"
+)
+
+// The durable engine pairs a write-ahead log with a page-backed B-tree
+// (internal/rdb/storage). The executor still runs entirely against the
+// in-memory tables — the engine shadows every committed change-set:
+//
+//	commit:  mutate tables  ->  Apply: append WAL frame + write through
+//	         (under db.mu)       to the B-tree's buffer pool
+//	         unlock          ->  wait(): group-commit fsync of the WAL
+//
+// The page file is rewritten only at checkpoints (compacted bulk load,
+// atomic rename), so it never contains torn pages; crash recovery is
+// "open page file, replay WAL frames newer than its checkpoint". Rows
+// are keyed by (tableID, recID): tables with an INTEGER primary key
+// derive recID from the key itself (order-preserving sign flip), other
+// tables draw from a per-table counter persisted in the catalog.
+
+// Filenames inside a durable database directory.
+const (
+	pagesFileName = "pages.db"
+	walFileName   = "wal.log"
+)
+
+// defaultCheckpointBytes is the WAL size that triggers an automatic
+// checkpoint during Apply.
+const defaultCheckpointBytes = 8 << 20
+
+// DurableOptions tune OpenDurable. Zero values select defaults.
+type DurableOptions struct {
+	// CheckpointBytes is the WAL length that triggers an automatic
+	// checkpoint (default 8 MiB).
+	CheckpointBytes int64
+	// PoolPages is the buffer-pool capacity in 4 KiB pages (default
+	// 2048, i.e. 8 MiB).
+	PoolPages int
+}
+
+// catTable is one table's entry in the persisted catalog. Schema is
+// carried as replayable SQL so the catalog can never diverge from what
+// the parser accepts.
+type catTable struct {
+	Name      string // lower-cased map key
+	CreateSQL string
+	IndexSQL  []string
+	TableID   uint32
+	IntPK     bool
+	NextRec   uint64
+	AutoInc   int64
+}
+
+// catalogFile is the blob stored in the page file at each checkpoint.
+// Tables appear in creation order so foreign-key references replay
+// cleanly.
+type catalogFile struct {
+	Version     int
+	NextTableID uint32
+	Tables      []catTable
+}
+
+func encodeCatalog(cf *catalogFile) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cf); err != nil {
+		return nil, fmt.Errorf("rdb: encode catalog: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCatalog(b []byte) (*catalogFile, error) {
+	var cf catalogFile
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("rdb: decode catalog: %w", err)
+	}
+	if cf.Version != 1 {
+		return nil, fmt.Errorf("rdb: unsupported catalog version %d", cf.Version)
+	}
+	return &cf, nil
+}
+
+// engTable is the engine's per-table bookkeeping.
+type engTable struct {
+	id    uint32
+	intPK bool
+	pkCol int // column index of the INTEGER primary key, -1 otherwise
+	// nextRec and recOf serve tables without an INTEGER primary key:
+	// records get synthetic ids from the counter, and recOf remembers
+	// the id behind each in-memory row slot for updates and deletes.
+	nextRec uint64
+	recOf   map[int]uint64
+}
+
+// pkRecID maps an int64 primary key onto the record-id space with its
+// sign bit flipped, so unsigned key order equals signed value order.
+func pkRecID(pk int64) uint64 { return uint64(pk) ^ (1 << 63) }
+
+// recIDPK inverts pkRecID.
+func recIDPK(rec uint64) int64 { return int64(rec ^ (1 << 63)) }
+
+// durableEngine implements Engine over a WAL and a page store. All
+// methods except the wait functions returned by Apply run with db.mu
+// held exclusively (Stats with at least the read lock).
+type durableEngine struct {
+	db    *DB
+	dir   string
+	pages string
+	log   *wal.Log
+	store *pager.Store
+
+	tables      map[string]*engTable
+	order       []string // creation order, for catalog replay
+	nextTableID uint32
+	lastSeq     uint64
+
+	ckptBytes   int64
+	checkpoints uint64
+	recovered   uint64
+	torn        int64
+
+	err error // sticky: once durability is in doubt, every commit fails
+}
+
+func (e *durableEngine) Name() string { return "durable" }
+
+func (e *durableEngine) fail(err error) error {
+	if e.err == nil {
+		e.err = err
+	}
+	return err
+}
+
+// Apply lowers the change-set to record-id operations, appends one WAL
+// frame, writes the rows through to the B-tree, and returns a wait
+// function that group-commits the frame to disk.
+func (e *durableEngine) Apply(cs *ChangeSet) (func() error, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	rec := walRecord{seq: cs.Seq}
+	tree := e.store.Tree()
+	for _, op := range cs.Ops {
+		switch op.Kind {
+		case OpDDL:
+			if err := e.applyDDL(op.SQL); err != nil {
+				return nil, e.fail(err)
+			}
+			rec.ops = append(rec.ops, walOp{kind: wopDDL, sql: op.SQL})
+		case OpInsert, OpUpdate:
+			et := e.tables[op.Table]
+			if et == nil {
+				return nil, e.fail(fmt.Errorf("rdb: durable: unknown table %q", op.Table))
+			}
+			var recID uint64
+			if et.intPK {
+				pk, ok := op.Row[et.pkCol].(int64)
+				if !ok {
+					return nil, e.fail(fmt.Errorf("rdb: durable: non-integer key in %q", op.Table))
+				}
+				recID = pkRecID(pk)
+				if op.Kind == OpUpdate {
+					// A key change moves the record: delete the old id.
+					if oldPK, ok := op.OldRow[et.pkCol].(int64); ok && oldPK != pk {
+						if _, err := tree.Delete(pager.MakeKey(et.id, pkRecID(oldPK))); err != nil {
+							return nil, e.fail(err)
+						}
+						rec.ops = append(rec.ops, walOp{kind: wopDel, table: op.Table, recID: pkRecID(oldPK)})
+					}
+				}
+			} else if op.Kind == OpInsert {
+				recID = et.nextRec
+				et.nextRec++
+				et.recOf[op.RowID] = recID
+			} else {
+				var ok bool
+				recID, ok = et.recOf[op.RowID]
+				if !ok {
+					return nil, e.fail(fmt.Errorf("rdb: durable: no record id for row %d of %q", op.RowID, op.Table))
+				}
+			}
+			data, err := encodeRow(op.Row)
+			if err != nil {
+				return nil, e.fail(err)
+			}
+			if err := tree.Put(pager.MakeKey(et.id, recID), data); err != nil {
+				return nil, e.fail(err)
+			}
+			rec.ops = append(rec.ops, walOp{kind: wopPut, table: op.Table, recID: recID, rowData: data})
+		case OpDelete:
+			et := e.tables[op.Table]
+			if et == nil {
+				return nil, e.fail(fmt.Errorf("rdb: durable: unknown table %q", op.Table))
+			}
+			var recID uint64
+			if et.intPK {
+				pk, ok := op.OldRow[et.pkCol].(int64)
+				if !ok {
+					return nil, e.fail(fmt.Errorf("rdb: durable: non-integer key in %q", op.Table))
+				}
+				recID = pkRecID(pk)
+			} else {
+				var ok bool
+				recID, ok = et.recOf[op.RowID]
+				if !ok {
+					return nil, e.fail(fmt.Errorf("rdb: durable: no record id for row %d of %q", op.RowID, op.Table))
+				}
+				delete(et.recOf, op.RowID)
+			}
+			if _, err := tree.Delete(pager.MakeKey(et.id, recID)); err != nil {
+				return nil, e.fail(err)
+			}
+			rec.ops = append(rec.ops, walOp{kind: wopDel, table: op.Table, recID: recID})
+		case OpAutoInc:
+			rec.ops = append(rec.ops, walOp{kind: wopAutoInc, table: op.Table, autoInc: op.AutoInc})
+		}
+	}
+	lsn, err := e.log.Append(encodeWALRecord(&rec))
+	if err != nil {
+		return nil, e.fail(err)
+	}
+	e.lastSeq = cs.Seq
+	if size, serr := e.log.FileSize(); serr == nil && size > e.ckptBytes {
+		// The checkpoint absorbs this change-set (and flushes the WAL),
+		// so the wait below returns immediately.
+		if err := e.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	log := e.log
+	return func() error { return log.Sync(lsn) }, nil
+}
+
+// applyDDL maintains the engine's table registry alongside a schema
+// change that has already been applied to the in-memory tables. Index
+// DDL needs no storage-side effect: secondary indexes rebuild from
+// rows at open.
+func (e *durableEngine) applyDDL(sql string) error {
+	st, err := ParseStatement(sql)
+	if err != nil {
+		return fmt.Errorf("rdb: durable: replay DDL: %w", err)
+	}
+	switch x := st.(type) {
+	case *CreateTableStmt:
+		key := lowerKey(x.Name)
+		if _, dup := e.tables[key]; dup {
+			return nil
+		}
+		et := &engTable{id: e.nextTableID, pkCol: -1, nextRec: 1}
+		e.nextTableID++
+		if t := e.db.tables[key]; t != nil && t.pk >= 0 && t.cols[t.pk].def.Type == TInt {
+			et.intPK = true
+			et.pkCol = t.pk
+		} else {
+			et.recOf = make(map[int]uint64)
+		}
+		e.tables[key] = et
+		e.order = append(e.order, key)
+	case *DropTableStmt:
+		key := lowerKey(x.Name)
+		et := e.tables[key]
+		if et == nil {
+			return nil
+		}
+		lo, hi := pager.TableBounds(et.id)
+		var keys []pager.Key
+		tree := e.store.Tree()
+		if err := tree.Scan(lo, hi, func(k pager.Key, _ []byte) error {
+			keys = append(keys, k)
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := tree.Delete(k); err != nil {
+				return err
+			}
+		}
+		delete(e.tables, key)
+		for i, name := range e.order {
+			if name == key {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// renderCatalog serializes the schema and per-table engine state for
+// the next checkpoint. It reads db.tables, which is safe: Checkpoint
+// runs with the exclusive lock held.
+func (e *durableEngine) renderCatalog() ([]byte, error) {
+	cf := catalogFile{Version: 1, NextTableID: e.nextTableID}
+	for _, key := range e.order {
+		et := e.tables[key]
+		t := e.db.tables[key]
+		if et == nil || t == nil {
+			return nil, fmt.Errorf("rdb: durable: catalog missing table %q", key)
+		}
+		cf.Tables = append(cf.Tables, catTable{
+			Name:      key,
+			CreateSQL: renderCreateTable(t),
+			IndexSQL:  renderIndexSQLs(t),
+			TableID:   et.id,
+			IntPK:     et.intPK,
+			NextRec:   et.nextRec,
+			AutoInc:   t.autoInc,
+		})
+	}
+	return encodeCatalog(&cf)
+}
+
+// Checkpoint rewrites the page file from the live tree (compacted,
+// atomically renamed over the old one) and truncates the WAL. Pending
+// Sync waiters are satisfied by the flush Reset performs first.
+func (e *durableEngine) Checkpoint() error {
+	if e.err != nil {
+		return e.err
+	}
+	catalog, err := e.renderCatalog()
+	if err != nil {
+		return e.fail(err)
+	}
+	old := e.store
+	err = pager.WriteCheckpoint(e.pages, e.lastSeq, catalog, func(emit func(pager.Key, []byte) error) error {
+		return old.Tree().Scan(pager.MinKey, pager.MaxKey, emit)
+	})
+	if err != nil {
+		return e.fail(fmt.Errorf("rdb: checkpoint: %w", err))
+	}
+	fresh, err := pager.Open(e.pages, 0)
+	if err != nil {
+		return e.fail(fmt.Errorf("rdb: checkpoint reopen: %w", err))
+	}
+	old.Close()
+	e.store = fresh
+	if err := e.log.Reset(); err != nil {
+		return e.fail(err)
+	}
+	e.checkpoints++
+	return nil
+}
+
+func (e *durableEngine) Stats() EngineStats {
+	ws := e.log.Stats()
+	ps := e.store.PoolStats()
+	return EngineStats{
+		WALAppends:       ws.Appends,
+		WALFsyncs:        ws.Fsyncs,
+		WALBatches:       ws.Batches,
+		WALBatchedRecs:   ws.BatchedRecords,
+		WALBytes:         ws.Bytes,
+		WALSize:          ws.Size,
+		PoolHits:         ps.Hits,
+		PoolMisses:       ps.Misses,
+		PoolEvictions:    ps.Evictions,
+		PoolResident:     ps.Resident,
+		PoolDirty:        ps.Dirty,
+		Checkpoints:      e.checkpoints,
+		RecoveredRecords: e.recovered,
+		TornBytes:        e.torn,
+	}
+}
+
+// Close checkpoints (making the WAL empty for the next open) and
+// releases both files. The sticky-error path skips the checkpoint: a
+// doubtful engine must not overwrite a good page file.
+func (e *durableEngine) Close() error {
+	if e.err == nil {
+		if err := e.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	cerr := e.log.Close()
+	if err := e.store.Close(); err != nil && cerr == nil {
+		cerr = err
+	}
+	e.fail(errors.New("rdb: durable engine closed"))
+	return cerr
+}
+
+// OpenDurable opens (or creates) a durable database rooted at dir and
+// recovers it to the last committed state: catalog DDL replays first,
+// then the checkpointed rows, then every WAL frame newer than the
+// checkpoint.
+func OpenDurable(dir string) (*DB, error) {
+	return OpenDurableOpts(dir, DurableOptions{})
+}
+
+// OpenDurableOpts is OpenDurable with explicit tuning.
+func OpenDurableOpts(dir string, opts DurableOptions) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rdb: open durable: %w", err)
+	}
+	pagesPath := filepath.Join(dir, pagesFileName)
+	if _, err := os.Stat(pagesPath); errors.Is(err, os.ErrNotExist) {
+		empty, err := encodeCatalog(&catalogFile{Version: 1})
+		if err != nil {
+			return nil, err
+		}
+		err = pager.WriteCheckpoint(pagesPath, 0, empty, func(func(pager.Key, []byte) error) error {
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rdb: init durable: %w", err)
+		}
+	} else if err != nil {
+		return nil, fmt.Errorf("rdb: open durable: %w", err)
+	}
+	store, err := pager.Open(pagesPath, opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	log, frames, torn, err := wal.Open(filepath.Join(dir, walFileName))
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	db := Open()
+	e := &durableEngine{
+		db:        db,
+		dir:       dir,
+		pages:     pagesPath,
+		log:       log,
+		store:     store,
+		tables:    make(map[string]*engTable),
+		ckptBytes: opts.CheckpointBytes,
+		torn:      torn,
+	}
+	if e.ckptBytes <= 0 {
+		e.ckptBytes = defaultCheckpointBytes
+	}
+	if err := e.recover(frames); err != nil {
+		log.Close()
+		store.Close()
+		return nil, err
+	}
+	db.engine = e
+	db.publishHead()
+	return db, nil
+}
+
+// recover rebuilds the in-memory database from the page file and the
+// WAL tail. It runs before the engine is attached, so the memory-side
+// replay cannot recurse into Apply.
+func (e *durableEngine) recover(frames []wal.Record) error {
+	blob, err := e.store.Catalog()
+	if err != nil {
+		return err
+	}
+	cf, err := decodeCatalog(blob)
+	if err != nil {
+		return err
+	}
+	e.nextTableID = cf.NextTableID
+	db := e.db
+	ckptSeq := e.store.Meta().CheckpointSeq
+	// recovery-only reverse maps: recID -> in-memory row slot, for
+	// tables without an INTEGER primary key.
+	rev := make(map[string]map[uint64]int)
+
+	for _, ct := range cf.Tables {
+		if err := e.replaySQL(ct.CreateSQL); err != nil {
+			return err
+		}
+		for _, sql := range ct.IndexSQL {
+			if err := e.replaySQL(sql); err != nil {
+				return err
+			}
+		}
+		// replaySQL registered the table through applyDDL with fresh
+		// counters; restore the persisted ones.
+		et := e.tables[ct.Name]
+		t := db.tables[ct.Name]
+		if et == nil || t == nil {
+			return fmt.Errorf("rdb: recover: catalog table %q did not replay", ct.Name)
+		}
+		et.id = ct.TableID
+		et.nextRec = ct.NextRec
+		if et.intPK != ct.IntPK {
+			return fmt.Errorf("rdb: recover: key mode mismatch for %q", ct.Name)
+		}
+		if !et.intPK {
+			rev[ct.Name] = make(map[uint64]int)
+		}
+		lo, hi := pager.TableBounds(et.id)
+		err := e.store.Tree().Scan(lo, hi, func(k pager.Key, v []byte) error {
+			row, err := decodeRow(v)
+			if err != nil {
+				return err
+			}
+			if len(row) != len(t.cols) {
+				return fmt.Errorf("rdb: recover: row arity mismatch in %q", ct.Name)
+			}
+			id, err := t.insert(row)
+			if err != nil {
+				return fmt.Errorf("rdb: recover %q: %w", ct.Name, err)
+			}
+			if !et.intPK {
+				et.recOf[id] = k.RecID()
+				rev[ct.Name][k.RecID()] = id
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t.autoInc = ct.AutoInc
+	}
+	// applyDDL above advanced nextTableID past every registration; the
+	// persisted value wins only if it is larger (ids of dropped tables
+	// must never be reused while their keys might linger in the WAL).
+	if cf.NextTableID > e.nextTableID {
+		e.nextTableID = cf.NextTableID
+	}
+	db.seq = ckptSeq
+
+	for _, fr := range frames {
+		rec, err := decodeWALRecord(fr.Payload)
+		if err != nil {
+			return err
+		}
+		if rec.seq <= ckptSeq {
+			continue
+		}
+		if err := e.replayRecord(rec, rev); err != nil {
+			return err
+		}
+		db.seq = rec.seq
+		e.recovered++
+	}
+	e.lastSeq = db.seq
+	return nil
+}
+
+// replaySQL runs one DDL statement against the in-memory tables and
+// the engine registry.
+func (e *durableEngine) replaySQL(sql string) error {
+	st, err := ParseStatement(sql)
+	if err != nil {
+		return fmt.Errorf("rdb: recover DDL %q: %w", sql, err)
+	}
+	if _, err := e.db.execLocked(sql, st, nil, nil, nil); err != nil {
+		return fmt.Errorf("rdb: recover DDL %q: %w", sql, err)
+	}
+	return e.applyDDL(sql)
+}
+
+// replayRecord applies one WAL record to both the in-memory tables and
+// the B-tree (whose page file predates the record).
+func (e *durableEngine) replayRecord(rec *walRecord, rev map[string]map[uint64]int) error {
+	tree := e.store.Tree()
+	for _, op := range rec.ops {
+		switch op.kind {
+		case wopDDL:
+			// A replayed CREATE TABLE starts synthetic ids at 1; later
+			// wopPut replays keep the counter ahead of every logged id.
+			if err := e.replaySQL(op.sql); err != nil {
+				return err
+			}
+		case wopPut:
+			et := e.tables[op.table]
+			t := e.db.tables[op.table]
+			if et == nil || t == nil {
+				return fmt.Errorf("rdb: recover: put into unknown table %q", op.table)
+			}
+			row, err := decodeRow(op.rowData)
+			if err != nil {
+				return err
+			}
+			if err := tree.Put(pager.MakeKey(et.id, op.recID), op.rowData); err != nil {
+				return err
+			}
+			if et.intPK {
+				pk := recIDPK(op.recID)
+				if id, ok := t.pkMap[Value(pk)]; ok {
+					if err := t.updateRow(id, row); err != nil {
+						return fmt.Errorf("rdb: recover %q: %w", op.table, err)
+					}
+				} else if _, err := t.insert(row); err != nil {
+					return fmt.Errorf("rdb: recover %q: %w", op.table, err)
+				}
+			} else {
+				rv := rev[op.table]
+				if rv == nil {
+					rv = make(map[uint64]int)
+					rev[op.table] = rv
+				}
+				if id, ok := rv[op.recID]; ok {
+					if err := t.updateRow(id, row); err != nil {
+						return fmt.Errorf("rdb: recover %q: %w", op.table, err)
+					}
+				} else {
+					id, err := t.insert(row)
+					if err != nil {
+						return fmt.Errorf("rdb: recover %q: %w", op.table, err)
+					}
+					et.recOf[id] = op.recID
+					rv[op.recID] = id
+				}
+				if op.recID >= et.nextRec {
+					et.nextRec = op.recID + 1
+				}
+			}
+		case wopDel:
+			et := e.tables[op.table]
+			t := e.db.tables[op.table]
+			if et == nil || t == nil {
+				return fmt.Errorf("rdb: recover: delete from unknown table %q", op.table)
+			}
+			if _, err := tree.Delete(pager.MakeKey(et.id, op.recID)); err != nil {
+				return err
+			}
+			if et.intPK {
+				if id, ok := t.pkMap[Value(recIDPK(op.recID))]; ok {
+					t.deleteRow(id)
+				}
+			} else if rv := rev[op.table]; rv != nil {
+				if id, ok := rv[op.recID]; ok {
+					t.deleteRow(id)
+					delete(et.recOf, id)
+					delete(rv, op.recID)
+				}
+			}
+		case wopAutoInc:
+			if t := e.db.tables[op.table]; t != nil {
+				t.autoInc = op.autoInc
+			}
+		}
+	}
+	return nil
+}
+
+// renderCreateTable reproduces a CREATE TABLE statement for the
+// runtime schema.
+func renderCreateTable(t *table) string {
+	cols := make([]ColumnDef, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.def
+	}
+	return renderCreateTableSQL(t.name, cols, t.fks)
+}
+
+// renderCreateTableSQL builds a CREATE TABLE statement in the exact
+// dialect the parser accepts (shared by the durable catalog and the
+// snapshot restore path).
+func renderCreateTableSQL(name string, cols []ColumnDef, fks []ForeignKeyDef) string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(name)
+	b.WriteString(" (")
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+		if c.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+		if c.AutoIncrement {
+			b.WriteString(" AUTOINCREMENT")
+		}
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+		if c.Unique {
+			b.WriteString(" UNIQUE")
+		}
+	}
+	for _, fk := range fks {
+		b.WriteString(", FOREIGN KEY (")
+		b.WriteString(fk.Column)
+		b.WriteString(") REFERENCES ")
+		b.WriteString(fk.RefTable)
+		b.WriteString("(")
+		b.WriteString(fk.RefColumn)
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// renderIndexSQLs reproduces the CREATE INDEX statements for every
+// secondary index on t, in deterministic order. Hash and ordered
+// indexes store only their column, so names are generated.
+func renderIndexSQLs(t *table) []string {
+	var out []string
+	key := lowerKey(t.name)
+	cols := make([]string, 0, len(t.indexes))
+	for col := range t.indexes {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	for _, col := range cols {
+		out = append(out, fmt.Sprintf("CREATE INDEX ix_%s_%s ON %s (%s)", key, col, t.name, col))
+	}
+	cols = cols[:0]
+	for col := range t.ordered {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	for _, col := range cols {
+		out = append(out, fmt.Sprintf("CREATE ORDERED INDEX ord_%s_%s ON %s (%s)", key, col, t.name, col))
+	}
+	for _, ix := range t.composites {
+		out = append(out, fmt.Sprintf("CREATE INDEX %s ON %s (%s)", ix.name, t.name, strings.Join(ix.colNames, ", ")))
+	}
+	return out
+}

@@ -649,15 +649,23 @@ func isConstExpr(e Expr) bool {
 	return false
 }
 
-// execSelect runs a SELECT. The caller must hold at least a read lock.
+// execSelect runs a SELECT over the live tables. The caller must hold
+// at least a read lock.
 func (db *DB) execSelect(st *SelectStmt, args []Value) (*Rows, error) {
-	base, ok := db.tables[strings.ToLower(st.From.Table)]
+	return execSelectTables(db.tables, st, args)
+}
+
+// execSelectTables runs a SELECT against an explicit table map: the
+// live tables under the read lock, or a frozen MVCC snapshot with no
+// lock at all (the interpreter reads nothing else from DB).
+func execSelectTables(tables map[string]*table, st *SelectStmt, args []Value) (*Rows, error) {
+	base, ok := tables[strings.ToLower(st.From.Table)]
 	if !ok {
 		return nil, fmt.Errorf("rdb: no such table %q", st.From.Table)
 	}
 	joinTables := make([]*table, len(st.Joins))
 	for i, j := range st.Joins {
-		jt, ok := db.tables[strings.ToLower(j.Table.Table)]
+		jt, ok := tables[strings.ToLower(j.Table.Table)]
 		if !ok {
 			return nil, fmt.Errorf("rdb: no such table %q", j.Table.Table)
 		}
@@ -665,7 +673,7 @@ func (db *DB) execSelect(st *SelectStmt, args []Value) (*Rows, error) {
 	}
 
 	// Produce joined environments.
-	envs, err := db.joinRows(st, base, joinTables, args)
+	envs, err := joinRows(st, base, joinTables, args)
 	if err != nil {
 		return nil, err
 	}
@@ -721,7 +729,7 @@ func (db *DB) execSelect(st *SelectStmt, args []Value) (*Rows, error) {
 
 // joinRows builds the cross-product environments restricted by the join
 // conditions, using index lookups for equi-joins when possible.
-func (db *DB) joinRows(st *SelectStmt, base *table, joinTables []*table, args []Value) ([]*env, error) {
+func joinRows(st *SelectStmt, base *table, joinTables []*table, args []Value) ([]*env, error) {
 	baseName := strings.ToLower(st.From.name())
 
 	// Seed with the base table rows, using a WHERE-derived index path.

@@ -1,0 +1,144 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// MVCC-lite snapshot reads.
+//
+// Writers are serialized by the exclusive lock; what snapshots add is
+// that read-only computations never wait behind them. After every
+// commit the database publishes an immutable head: a map of frozen
+// table views sharing the live row storage. Freezing is cheap because
+// rows are immutable once stored (updates swap whole Row slices) and
+// the rows slice itself is copy-on-write — publication marks it
+// shared, and the next in-place slot write under the exclusive lock
+// clones it first (appends are safe without cloning: a frozen view
+// never reads past its own length). Snapshot queries therefore touch
+// no lock but the statement cache and observe exactly the state at
+// the commit they captured.
+//
+// Frozen views carry no indexes (index maps mutate in place), so
+// snapshot queries run through the interpreter's scan paths. That is
+// the v1 trade: reads that must never block pay scan costs; reads
+// that want index speed use Query and share the RWMutex.
+
+// snapState is one published head: the commit it captured and the
+// frozen views.
+type snapState struct {
+	seq    uint64
+	tables map[string]*table
+}
+
+// frozenView builds the read-only clone of t shared with snapshots.
+// pk is forced to -1 and no index structures are carried: lookup on a
+// frozen view must report "no access path" so the interpreter falls
+// back to scanning (a nil pkMap with pk >= 0 would instead report
+// "indexed, no match").
+func (t *table) frozenView() *table {
+	return &table{
+		name:   t.name,
+		cols:   t.cols,
+		colIdx: t.colIdx,
+		pk:     -1,
+		fks:    t.fks,
+		rows:   t.rows[:len(t.rows):len(t.rows)],
+		alive:  t.alive,
+	}
+}
+
+// publishHead freezes the current state as the snapshot head. The
+// caller must hold the exclusive lock.
+func (db *DB) publishHead() {
+	m := make(map[string]*table, len(db.tables))
+	for k, t := range db.tables {
+		m[k] = t.frozenView()
+		t.shared = true // next in-place row write must copy first
+	}
+	db.head.Store(&snapState{seq: db.seq, tables: m})
+}
+
+// Snapshot captures the state as of the most recent commit without
+// taking the database lock: it never blocks behind writers, and
+// writers never block behind it. Close it when done so the active
+// gauge stays meaningful.
+type Snapshot struct {
+	db     *DB
+	st     *snapState
+	closed atomic.Bool
+}
+
+// Snapshot returns a consistent point-in-time read view.
+func (db *DB) Snapshot() *Snapshot {
+	st := db.head.Load()
+	db.stats.snapshotsTaken.Add(1)
+	db.stats.activeSnapshots.Add(1)
+	return &Snapshot{db: db, st: st}
+}
+
+// Seq returns the commit sequence number the snapshot captured.
+func (s *Snapshot) Seq() uint64 { return s.st.seq }
+
+// Close releases the snapshot (idempotent). The frozen state itself
+// is garbage-collected once unreferenced; Close only maintains the
+// active-snapshots gauge.
+func (s *Snapshot) Close() {
+	if !s.closed.Swap(true) {
+		s.db.stats.activeSnapshots.Add(-1)
+	}
+}
+
+// Query runs a SELECT against the snapshot through the interpreter.
+// It takes no database lock; see the file comment for the trade.
+func (s *Snapshot) Query(sql string, args ...Value) (*Rows, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("rdb: query on closed snapshot")
+	}
+	st, err := s.db.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("rdb: Snapshot.Query requires a SELECT statement, got %T", st)
+	}
+	cargs, err := coerceArgs(st, args)
+	if err != nil {
+		return nil, err
+	}
+	return execSelectTables(s.st.tables, sel, cargs)
+}
+
+// QueryRow runs a SELECT expected to return at most one row.
+func (s *Snapshot) QueryRow(sql string, args ...Value) (map[string]Value, error) {
+	rows, err := s.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if rows.Len() == 0 {
+		return nil, nil
+	}
+	return rows.Maps()[0], nil
+}
+
+// TableNames lists the tables visible in the snapshot, sorted.
+func (s *Snapshot) TableNames() []string {
+	names := make([]string, 0, len(s.st.tables))
+	for _, t := range s.st.tables {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RowCount returns the number of live rows the snapshot sees in the
+// named table.
+func (s *Snapshot) RowCount(tableName string) (int, error) {
+	t, ok := s.st.tables[lowerKey(tableName)]
+	if !ok {
+		return 0, fmt.Errorf("rdb: no such table %q", tableName)
+	}
+	return t.alive, nil
+}

@@ -19,11 +19,11 @@ type accessOp int
 
 const (
 	accessScan      accessOp = iota // full table scan
-	accessPK                          // primary-key point lookup
-	accessUnique                      // unique-column point lookup
-	accessHash                        // hash-index bucket lookup
-	accessRange                       // ordered-index range scan (single column)
-	accessComposite                   // composite-index prefix/range scan
+	accessPK                        // primary-key point lookup
+	accessUnique                    // unique-column point lookup
+	accessHash                      // hash-index bucket lookup
+	accessRange                     // ordered-index range scan (single column)
+	accessComposite                 // composite-index prefix/range scan
 )
 
 // boundCand is one not-yet-evaluated range bound; the tightest bound is
@@ -37,16 +37,16 @@ type boundCand struct {
 // inputs resolved to closures and its index structures resolved to
 // pointers (valid until the next DDL epoch bump).
 type accessPath struct {
-	kind    accessOp
-	col     string // display column for point/range paths (original case)
-	label   string // display label for point paths: PRIMARY KEY / UNIQUE / INDEX
-	hashIdx map[Value][]int
-	uniqMap map[Value]int
-	ord     *orderedIndex
-	comp    *compositeIndex
-	eq      []compiledExpr // point value, or composite equality prefix
-	los     []boundCand
-	his     []boundCand
+	kind      accessOp
+	col       string // display column for point/range paths (original case)
+	label     string // display label for point paths: PRIMARY KEY / UNIQUE / INDEX
+	hashIdx   map[Value][]int
+	uniqMap   map[Value]int
+	ord       *orderedIndex
+	comp      *compositeIndex
+	eq        []compiledExpr // point value, or composite equality prefix
+	los       []boundCand
+	his       []boundCand
 	rangeCol  string // display: bounded column of a composite range
 	orderWalk bool   // full index walk chosen purely for ORDER BY
 	reverse   bool   // DESC index-order scan (sort elimination)

@@ -25,7 +25,11 @@ type table struct {
 
 	rows  []Row // nil entries are deleted rows
 	alive int   // count of live rows
-	pkMap map[Value]int
+	// shared marks rows as referenced by a published MVCC snapshot
+	// (mvcc.go): in-place slot writes must clone the slice first.
+	// Appends are exempt — a frozen view never reads past its length.
+	shared bool
+	pkMap  map[Value]int
 	// indexes maps lower(column name) -> value -> row ids. The primary key
 	// is indexed through pkMap instead.
 	indexes map[string]map[Value][]int
@@ -193,6 +197,15 @@ func (t *table) unindexRow(id int, r Row) {
 	}
 }
 
+// cowRows makes t.rows safe for in-place slot writes, cloning the
+// slice when a published snapshot still shares its backing array.
+func (t *table) cowRows() {
+	if t.shared {
+		t.rows = append(make([]Row, 0, len(t.rows)+8), t.rows...)
+		t.shared = false
+	}
+}
+
 // deleteRow tombstones the row and fixes indexes. It returns the old row.
 func (t *table) deleteRow(id int) Row {
 	r := t.rows[id]
@@ -200,6 +213,7 @@ func (t *table) deleteRow(id int) Row {
 		return nil
 	}
 	t.unindexRow(id, r)
+	t.cowRows()
 	t.rows[id] = nil
 	t.alive--
 	return r
@@ -207,6 +221,7 @@ func (t *table) deleteRow(id int) Row {
 
 // restoreRow undoes a delete (transaction rollback support).
 func (t *table) restoreRow(id int, r Row) {
+	t.cowRows()
 	t.rows[id] = r
 	t.alive++
 	t.indexRow(id, r)
@@ -239,6 +254,7 @@ func (t *table) updateRow(id int, newRow Row) error {
 		}
 	}
 	t.unindexRow(id, old)
+	t.cowRows()
 	t.rows[id] = newRow
 	t.indexRow(id, newRow)
 	return nil

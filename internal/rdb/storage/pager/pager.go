@@ -1,0 +1,506 @@
+// Package pager implements the page store of the durable engine: a
+// single file of fixed 4 KiB pages holding a B-tree keyed by
+// (tableID, recID), fronted by an LRU buffer pool.
+//
+// Durability model (no-steal, full-rewrite checkpoints). The page file
+// is immutable between checkpoints: mutations dirty pages in the
+// buffer pool only, and dirty frames are never evicted or written
+// back. Recovery therefore never sees a torn page — the file on disk
+// is always a complete, internally consistent checkpoint image, and
+// everything since it is replayed from the WAL. A checkpoint rewrites
+// the whole tree, bulk-loaded and compacted, into a temporary file
+// that is fsynced and atomically renamed over the old one; the
+// checkpoint sequence number, B-tree root and catalog blob live inside
+// the same file (page 0 and a page chain), so the data, schema and
+// recovery horizon become durable in one rename.
+package pager
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the fixed page length. Every offset in the file is a
+// multiple of it; PageID n lives at byte n*PageSize.
+const PageSize = 4096
+
+const (
+	fileMagic   = 0x574D4C50 // "WMLP"
+	fileVersion = 1
+
+	pageLeaf     = 1
+	pageInterior = 2
+	pageOverflow = 3
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PageID identifies a page by position; 0 is the meta page.
+type PageID uint32
+
+// Meta is the decoded meta page: the recovery anchor for the file.
+type Meta struct {
+	// CheckpointSeq is the commit sequence number this image captures;
+	// WAL records at or below it are redundant and skipped on replay.
+	CheckpointSeq uint64
+	// Root is the B-tree root page.
+	Root PageID
+	// NPages is the allocation high-water mark (file length / PageSize).
+	NPages uint32
+	// CatalogHead is the first page of the schema-catalog chain (0 = empty).
+	CatalogHead PageID
+}
+
+func encodeMeta(m Meta) []byte {
+	d := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(d[0:4], fileMagic)
+	binary.LittleEndian.PutUint32(d[4:8], fileVersion)
+	binary.LittleEndian.PutUint64(d[8:16], m.CheckpointSeq)
+	binary.LittleEndian.PutUint32(d[16:20], uint32(m.Root))
+	binary.LittleEndian.PutUint32(d[20:24], m.NPages)
+	binary.LittleEndian.PutUint32(d[24:28], uint32(m.CatalogHead))
+	binary.LittleEndian.PutUint32(d[28:32], crc32.Checksum(d[0:28], castagnoli))
+	return d
+}
+
+func decodeMeta(d []byte) (Meta, error) {
+	if len(d) < 32 {
+		return Meta{}, errors.New("pager: short meta page")
+	}
+	if binary.LittleEndian.Uint32(d[0:4]) != fileMagic {
+		return Meta{}, errors.New("pager: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(d[4:8]); v != fileVersion {
+		return Meta{}, fmt.Errorf("pager: unsupported version %d", v)
+	}
+	if crc32.Checksum(d[0:28], castagnoli) != binary.LittleEndian.Uint32(d[28:32]) {
+		return Meta{}, errors.New("pager: meta checksum mismatch")
+	}
+	return Meta{
+		CheckpointSeq: binary.LittleEndian.Uint64(d[8:16]),
+		Root:          PageID(binary.LittleEndian.Uint32(d[16:20])),
+		NPages:        binary.LittleEndian.Uint32(d[20:24]),
+		CatalogHead:   PageID(binary.LittleEndian.Uint32(d[24:28])),
+	}, nil
+}
+
+// PoolStats is a snapshot of buffer-pool counters.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Resident  int // frames currently cached
+	Dirty     int // of those, dirtied since the last checkpoint
+}
+
+// Pool is the buffer pool: an LRU cache of page frames over the file.
+// Only clean, unpinned frames are evicted; dirty frames are pinned in
+// memory until the next checkpoint discards them (no-steal).
+type Pool struct {
+	mu     sync.Mutex
+	f      *os.File
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // of *frame; front = most recently used
+	npages uint32
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// Page is a pinned view of one page. Release it when done; the Data
+// slice must not be used after Release if the page was not dirtied.
+type Page struct {
+	fr   *frame
+	pool *Pool
+}
+
+func (p *Page) ID() PageID   { return p.fr.id }
+func (p *Page) Data() []byte { return p.fr.data }
+
+// MarkDirty pins the frame's contents into the pool until the next
+// checkpoint: dirty frames are never evicted or written back.
+func (p *Page) MarkDirty() {
+	p.pool.mu.Lock()
+	p.fr.dirty = true
+	p.pool.mu.Unlock()
+}
+
+// Release drops the pin taken by Get/Alloc.
+func (p *Page) Release() {
+	p.pool.mu.Lock()
+	p.fr.pins--
+	p.pool.mu.Unlock()
+}
+
+func newPool(f *os.File, capPages int, npages uint32) *Pool {
+	if capPages <= 0 {
+		capPages = 2048 // 8 MiB default
+	}
+	return &Pool{f: f, cap: capPages, frames: make(map[PageID]*frame), lru: list.New(), npages: npages}
+}
+
+// Get pins page id, reading it from the file on a miss.
+func (p *Pool) Get(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.frames[id]; ok {
+		fr.pins++
+		p.lru.MoveToFront(fr.elem)
+		p.hits.Add(1)
+		return &Page{fr: fr, pool: p}, nil
+	}
+	p.misses.Add(1)
+	if id == 0 || id >= PageID(p.npages) {
+		return nil, fmt.Errorf("pager: page %d out of range [1,%d)", id, p.npages)
+	}
+	data := make([]byte, PageSize)
+	if _, err := p.f.ReadAt(data, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	fr := &frame{id: id, data: data, pins: 1}
+	fr.elem = p.lru.PushFront(fr)
+	p.frames[id] = fr
+	p.evictLocked()
+	return &Page{fr: fr, pool: p}, nil
+}
+
+// Alloc creates a fresh page. It exists only in the pool (dirty) until
+// a checkpoint persists its contents in rewritten form.
+func (p *Pool) Alloc() *Page {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID(p.npages)
+	p.npages++
+	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true, pins: 1}
+	fr.elem = p.lru.PushFront(fr)
+	p.frames[id] = fr
+	return &Page{fr: fr, pool: p}
+}
+
+// Forget drops a frame whose contents are dead (freed overflow
+// chains), capping pool memory between checkpoints. No-op if pinned
+// or absent; any bytes still on disk leak until the next checkpoint
+// compacts them away.
+func (p *Pool) Forget(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.frames[id]; ok && fr.pins == 0 {
+		p.lru.Remove(fr.elem)
+		delete(p.frames, id)
+	}
+}
+
+func (p *Pool) evictLocked() {
+	for len(p.frames) > p.cap {
+		evicted := false
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			fr := e.Value.(*frame)
+			if fr.dirty || fr.pins > 0 {
+				continue // no-steal: dirty stays; pinned is in use
+			}
+			p.lru.Remove(e)
+			delete(p.frames, fr.id)
+			p.evictions.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything dirty or pinned: grow past cap
+		}
+	}
+}
+
+// Stats returns the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	resident := len(p.frames)
+	dirty := 0
+	for _, fr := range p.frames {
+		if fr.dirty {
+			dirty++
+		}
+	}
+	p.mu.Unlock()
+	return PoolStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+		Resident:  resident,
+		Dirty:     dirty,
+	}
+}
+
+// Store is an open page file: meta, pool and the mounted B-tree.
+type Store struct {
+	path string
+	f    *os.File
+	pool *Pool
+	meta Meta
+	tree *BTree
+}
+
+// Open opens an existing page file (use WriteCheckpoint to create
+// one). poolPages bounds the buffer pool; <=0 selects the default.
+func Open(path string, poolPages int) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, PageSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: read meta: %w", err)
+	}
+	meta, err := decodeMeta(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	pool := newPool(f, poolPages, meta.NPages)
+	s := &Store{path: path, f: f, pool: pool, meta: meta}
+	s.tree = &BTree{pool: pool, root: meta.Root}
+	return s, nil
+}
+
+// Meta returns the meta page read at open.
+func (s *Store) Meta() Meta { return s.meta }
+
+// Tree returns the mounted B-tree. Its root migrates in memory as the
+// tree splits; the on-disk root is only rewritten by checkpoints.
+func (s *Store) Tree() *BTree { return s.tree }
+
+// PoolStats exposes the buffer-pool counters.
+func (s *Store) PoolStats() PoolStats { return s.pool.Stats() }
+
+// Catalog reads the schema-catalog blob from its page chain.
+func (s *Store) Catalog() ([]byte, error) {
+	return readChain(s.pool, s.meta.CatalogHead)
+}
+
+// Close closes the underlying file. Dirty pool frames are discarded —
+// persistence is the checkpoint's job, not Close's.
+func (s *Store) Close() error { return s.f.Close() }
+
+func readChain(pool *Pool, head PageID) ([]byte, error) {
+	var out []byte
+	for id := head; id != 0; {
+		pg, err := pool.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		d := pg.Data()
+		if d[0] != pageOverflow {
+			pg.Release()
+			return nil, fmt.Errorf("pager: page %d: expected chain page, got type %d", id, d[0])
+		}
+		n := binary.LittleEndian.Uint16(d[2:4])
+		next := PageID(binary.LittleEndian.Uint32(d[4:8]))
+		out = append(out, d[ovfHdr:ovfHdr+int(n)]...)
+		pg.Release()
+		id = next
+	}
+	return out, nil
+}
+
+// --- checkpoint writer -------------------------------------------------
+
+// WriteCheckpoint bulk-loads a compacted B-tree image into path,
+// atomically replacing any previous file. scan must emit keys in
+// strictly ascending order (iterate a live tree, or nothing for a
+// fresh file); catalog is the schema blob stored alongside. The new
+// image, catalog and seq become visible in a single rename.
+func WriteCheckpoint(path string, seq uint64, catalog []byte, scan func(emit func(Key, []byte) error) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	b := &builder{f: f, next: 1}
+	catalogHead := PageID(0)
+	if len(catalog) > 0 {
+		catalogHead = b.writeChain(catalog)
+	}
+	root := b.buildTree(scan)
+	if b.err != nil {
+		f.Close()
+		return b.err
+	}
+	meta := encodeMeta(Meta{CheckpointSeq: seq, Root: root, NPages: uint32(b.next), CatalogHead: catalogHead})
+	if _, err := f.WriteAt(meta, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("pager: checkpoint fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
+type builder struct {
+	f    *os.File
+	next PageID
+	err  error
+}
+
+func (b *builder) emit(data []byte) PageID {
+	id := b.next
+	b.next++
+	if b.err == nil {
+		if _, err := b.f.WriteAt(data, int64(id)*PageSize); err != nil {
+			b.err = fmt.Errorf("pager: checkpoint write page %d: %w", id, err)
+		}
+	}
+	return id
+}
+
+// writeChain stores blob as a linked chain of overflow-format pages
+// and returns the head. Pages are emitted in order, so each page's
+// next pointer is simply the following allocation.
+func (b *builder) writeChain(blob []byte) PageID {
+	head := b.next
+	for off := 0; off < len(blob); {
+		n := len(blob) - off
+		if n > ovfCap {
+			n = ovfCap
+		}
+		d := make([]byte, PageSize)
+		d[0] = pageOverflow
+		binary.LittleEndian.PutUint16(d[2:4], uint16(n))
+		if off+n < len(blob) {
+			binary.LittleEndian.PutUint32(d[4:8], uint32(b.next+1))
+		}
+		copy(d[ovfHdr:], blob[off:off+n])
+		b.emit(d)
+		off += n
+	}
+	return head
+}
+
+type levelEntry struct {
+	first Key
+	id    PageID
+}
+
+// buildTree packs the scanned key/value stream into full leaves, then
+// builds interior levels bottom-up. Returns the root page.
+func (b *builder) buildTree(scan func(emit func(Key, []byte) error) error) PageID {
+	var leaves []levelEntry
+	var cells [][]byte
+	var used int // header + slots + cells
+	var prev Key
+	var have bool
+
+	flush := func() {
+		if len(cells) == 0 {
+			return
+		}
+		d := make([]byte, PageSize)
+		packLeaf(d, cells)
+		var first Key
+		copy(first[:], cells[0][:keySize])
+		leaves = append(leaves, levelEntry{first: first, id: b.emit(d)})
+		cells = cells[:0]
+		used = leafHdr
+	}
+	used = leafHdr
+
+	err := scan(func(k Key, v []byte) error {
+		if have && !prev.Less(k) {
+			return fmt.Errorf("pager: checkpoint scan out of order at %x", k[:])
+		}
+		prev, have = k, true
+		cell := b.buildCell(k, v)
+		if used+len(cell)+2 > PageSize {
+			flush()
+		}
+		cells = append(cells, cell)
+		used += len(cell) + 2
+		return nil
+	})
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	flush()
+
+	if len(leaves) == 0 {
+		d := make([]byte, PageSize)
+		packLeaf(d, nil)
+		return b.emit(d)
+	}
+	level := leaves
+	for len(level) > 1 {
+		var up []levelEntry
+		for lo := 0; lo < len(level); lo += maxFanout {
+			hi := lo + maxFanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			group := level[lo:hi]
+			d := make([]byte, PageSize)
+			d[0] = pageInterior
+			setIntN(d, len(group)-1)
+			for i, e := range group {
+				setChild(d, i, e.id)
+				if i > 0 {
+					setIntKey(d, i-1, e.first)
+				}
+			}
+			up = append(up, levelEntry{first: group[0].first, id: b.emit(d)})
+		}
+		level = up
+	}
+	return level[0].id
+}
+
+// buildCell encodes one key/value as a leaf cell, spilling large
+// values into an overflow chain emitted before the cell's leaf.
+func (b *builder) buildCell(k Key, v []byte) []byte {
+	if len(v) <= maxInline {
+		cell := make([]byte, keySize+3+len(v))
+		copy(cell, k[:])
+		cell[keySize] = 0
+		binary.LittleEndian.PutUint16(cell[keySize+1:], uint16(len(v)))
+		copy(cell[keySize+3:], v)
+		return cell
+	}
+	head := b.writeChain(v)
+	cell := make([]byte, keySize+9)
+	copy(cell, k[:])
+	cell[keySize] = 1
+	binary.LittleEndian.PutUint32(cell[keySize+1:], uint32(len(v)))
+	binary.LittleEndian.PutUint32(cell[keySize+5:], uint32(head))
+	return cell
+}
+
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

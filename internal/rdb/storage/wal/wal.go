@@ -1,0 +1,315 @@
+// Package wal implements the write-ahead log of the durable storage
+// engine: an append-only file of CRC-framed records with group commit.
+//
+// Framing. Each record is [length u32][crc32c u32][payload]; length and
+// CRC are little-endian and the CRC covers the payload only. A record
+// is committed exactly when its full frame is on stable storage, so a
+// crash mid-append leaves a torn tail that recovery detects (short
+// frame or CRC mismatch) and truncates. Callers put one transaction
+// per record, which makes transaction atomicity a framing property: no
+// separate begin/commit markers exist to get out of sync.
+//
+// Group commit. Append buffers a frame in memory and returns its LSN
+// (the logical end offset); Sync(lsn) blocks until that LSN is on
+// disk. The first syncer becomes the leader: it writes the whole
+// buffer and issues one fsync while later committers queue behind the
+// condition variable, so n concurrent commits cost one disk flush, not
+// n. Appends are ordered by the caller (the database's write lock),
+// which keeps the on-disk record order equal to commit order — replay
+// depends on that.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+const frameHeader = 8 // u32 length + u32 crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Appends is the number of records appended (committed transactions).
+	Appends uint64
+	// Fsyncs counts disk flushes; Appends/Fsyncs is the group-commit
+	// batching factor.
+	Fsyncs uint64
+	// Batches counts leader write rounds (== fsyncs that covered at
+	// least one record).
+	Batches uint64
+	// BatchedRecords sums the records covered per leader round, so
+	// BatchedRecords/Batches is the mean group size.
+	BatchedRecords uint64
+	// Bytes is the total frame bytes appended since open.
+	Bytes uint64
+	// Size is the current byte length of the log (buffered + durable).
+	Size int64
+}
+
+// Log is an append-only record log with group commit. Append must be
+// externally serialized (the database write lock); Sync is safe for
+// any number of concurrent callers.
+type Log struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	buf     []byte // frames appended but not yet written
+	bufRecs uint64 // records in buf
+	end     int64  // LSN after the last appended frame
+	durable int64  // LSN known to be on stable storage
+	syncing bool   // a leader is writing/flushing
+	err     error  // sticky failure (fsync error, closed)
+
+	appends, fsyncs, batches, batchedRecs, bytes atomic.Uint64
+}
+
+// Record is one recovered payload with the sequence position it held.
+type Record struct {
+	Payload []byte
+}
+
+// Open opens (creating if absent) the log at path and scans it,
+// returning the valid records and a Log positioned to append after
+// them. A torn tail — a short frame or one whose CRC does not match —
+// ends the scan and is truncated away. The number of truncated tail
+// bytes is returned for observability.
+func Open(path string) (*Log, []Record, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	recs, valid, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	torn := fi.Size() - valid
+	if torn > 0 {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	l := &Log{f: f, end: valid, durable: valid}
+	l.cond = sync.NewCond(&l.mu)
+	return l, recs, torn, nil
+}
+
+// scan reads frames from the start of f, stopping at the first frame
+// that is short or fails its checksum. It returns the records and the
+// byte offset of the end of the last valid frame.
+func scan(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var recs []Record
+	var off int64
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return recs, off, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<30 { // implausible length: treat as torn
+			return recs, off, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, off, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, off, nil // corrupt or torn frame
+		}
+		recs = append(recs, Record{Payload: payload})
+		off += int64(frameHeader) + int64(n)
+	}
+}
+
+// Append buffers one record and returns the LSN to pass to Sync. The
+// caller must serialize Append calls in commit order.
+func (l *Log) Append(payload []byte) (int64, error) {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	l.buf = append(l.buf, frame...)
+	l.bufRecs++
+	l.end += int64(len(frame))
+	l.appends.Add(1)
+	l.bytes.Add(uint64(len(frame)))
+	return l.end, nil
+}
+
+// Sync blocks until every record at or below lsn is on stable storage.
+// Concurrent callers share flushes: one becomes the leader and writes
+// the whole buffer with a single fsync while the rest wait.
+func (l *Log) Sync(lsn int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.durable >= lsn {
+			return nil
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		// Become the leader: take the buffer, write and flush it with
+		// the lock released, then publish the new durable LSN.
+		l.syncing = true
+		buf, recs, end := l.buf, l.bufRecs, l.end
+		l.buf, l.bufRecs = nil, 0
+		l.mu.Unlock()
+
+		err := l.writeAndFlush(buf)
+
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.err = err // a lost write makes every later commit unsafe
+		} else {
+			l.durable = end
+			l.fsyncs.Add(1)
+			if recs > 0 {
+				l.batches.Add(1)
+				l.batchedRecs.Add(recs)
+			}
+		}
+		l.cond.Broadcast()
+	}
+}
+
+func (l *Log) writeAndFlush(buf []byte) error {
+	if len(buf) > 0 {
+		if _, err := l.f.Write(buf); err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current logical length of the log in bytes,
+// including buffered-but-unflushed frames.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Reset truncates the log to empty after a checkpoint has made its
+// records redundant. Buffered frames are flushed first so no pending
+// Sync waiter is left referencing discarded bytes; LSNs keep growing
+// monotonically across the reset so outstanding Sync(lsn) calls with
+// lsn at or below the reset point return immediately.
+func (l *Log) Reset() error {
+	// Flush everything buffered (self-sync if no leader is active).
+	l.mu.Lock()
+	end := l.end
+	l.mu.Unlock()
+	if err := l.Sync(end); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset fsync: %w", err)
+	}
+	// Keep the LSN space monotonic: durable tracks end, the file is
+	// simply shorter than the logical offset from here on. Size-based
+	// checkpoint policies use FileSize below.
+	l.durable = l.end
+	return nil
+}
+
+// FileSize returns the physical byte length of the log file — the
+// growth signal for checkpoint policies (LSNs are monotonic across
+// Reset, so Size keeps growing while FileSize returns to zero).
+func (l *Log) FileSize() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	fi, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size() + int64(len(l.buf)), nil
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	size := l.end
+	l.mu.Unlock()
+	return Stats{
+		Appends:        l.appends.Load(),
+		Fsyncs:         l.fsyncs.Load(),
+		Batches:        l.batches.Load(),
+		BatchedRecords: l.batchedRecs.Load(),
+		Bytes:          l.bytes.Load(),
+		Size:           size,
+	}
+}
+
+// Close flushes buffered records and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	end := l.end
+	closed := l.err != nil
+	l.mu.Unlock()
+	if !closed {
+		if err := l.Sync(end); err != nil {
+			l.f.Close()
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		l.err = ErrClosed
+		l.cond.Broadcast()
+	}
+	return l.f.Close()
+}

@@ -39,6 +39,7 @@ func (u *undoLog) add(e undoEntry) { u.entries = append(u.entries, e) }
 type Tx struct {
 	db   *DB
 	undo undoLog
+	cs   ChangeSet // row ops staged for the engine at Commit
 	done bool
 }
 
@@ -65,7 +66,32 @@ func (tx *Tx) Exec(sql string, args ...Value) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return tx.db.execLocked(st, cargs, &tx.undo)
+	// DDL is not covered by the undo log (a rollback leaves schema
+	// changes in place, as before engines existed), so it cannot ride
+	// in the transaction's change-set either: a later Rollback would
+	// discard it and let durable state diverge from memory. Commit it
+	// to the engine immediately instead, waiting for durability inline
+	// — DDL mid-transaction is rare enough that holding the lock over
+	// one fsync is fine.
+	switch st.(type) {
+	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt:
+		cs := &ChangeSet{}
+		res, err := tx.db.execLocked(sql, st, cargs, nil, cs)
+		if err != nil {
+			return res, err
+		}
+		wait, err := tx.db.applyDDLInTx(cs)
+		if err != nil {
+			return res, err
+		}
+		if wait != nil {
+			if err := wait(); err != nil {
+				return res, err
+			}
+		}
+		return res, nil
+	}
+	return tx.db.execLocked(sql, st, cargs, &tx.undo, &tx.cs)
 }
 
 // Query runs a SELECT inside the transaction, observing its own writes.
@@ -94,14 +120,29 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 	return tx.db.execPlan(p, cargs)
 }
 
-// Commit makes the transaction's writes permanent and releases the lock.
+// Commit makes the transaction's writes permanent and releases the
+// lock. With a durable engine attached, Commit returns once the whole
+// change-set is on stable storage; the fsync happens after the lock
+// is released, so concurrent committers share flushes (group commit).
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
 	tx.undo.entries = nil
+	wait, err := tx.db.applyLocked(&tx.cs)
+	if len(tx.cs.Ops) == 0 {
+		// DDL-only (or empty) transaction: applyLocked was a no-op, but
+		// mid-transaction DDL deferred its head publication to now.
+		tx.db.publishHead()
+	}
 	tx.db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
 	return nil
 }
 
@@ -124,6 +165,7 @@ func (tx *Tx) Rollback() error {
 			if cur != nil {
 				e.table.unindexRow(e.rowID, cur)
 			}
+			e.table.cowRows()
 			e.table.rows[e.rowID] = e.oldRow
 			e.table.indexRow(e.rowID, e.oldRow)
 		case undoDelete:
@@ -131,6 +173,11 @@ func (tx *Tx) Rollback() error {
 		}
 	}
 	tx.undo.entries = nil
+	tx.cs.Ops = nil
+	// Any DDL executed inside the transaction survives rollback (it was
+	// applied to the engine immediately); republish the head so
+	// snapshots see the schema change too.
+	tx.db.publishHead()
 	tx.db.mu.Unlock()
 	return nil
 }

@@ -159,7 +159,26 @@ func (a *App) buildRegistry() *obs.Registry {
 		e.Counter("webml_rdb_joins_total", "Join executions by strategy.",
 			map[string]string{"strategy": "loop"}, float64(s.LoopJoins))
 		e.Counter("webml_rdb_sorts_eliminated_total", "ORDER BY clauses satisfied by index order.", nil, float64(s.SortsEliminated))
+		e.Counter("webml_rdb_snapshots_total", "MVCC snapshots taken.", nil, float64(s.SnapshotsTaken))
+		e.Gauge("webml_rdb_snapshots_active", "MVCC snapshots currently open.", nil, float64(s.ActiveSnapshots))
+		e.Gauge("webml_rdb_head_seq", "Sequence number of the published commit head.", nil, float64(s.HeadSeq))
 	})
+	if a.DB.EngineName() == "durable" {
+		reg.Register(func(e *obs.Exposition) {
+			s := a.DB.EngineStats()
+			e.Counter("webml_rdb_wal_appends_total", "Committed change-sets appended to the WAL.", nil, float64(s.WALAppends))
+			e.Counter("webml_rdb_wal_fsyncs_total", "WAL disk flushes (group commit amortizes these).", nil, float64(s.WALFsyncs))
+			e.Counter("webml_rdb_wal_batches_total", "Group-commit leader rounds.", nil, float64(s.WALBatches))
+			e.Counter("webml_rdb_wal_bytes_total", "WAL frame bytes appended since open.", nil, float64(s.WALBytes))
+			e.Gauge("webml_rdb_wal_size_bytes", "Current physical WAL length.", nil, float64(s.WALSize))
+			e.Counter("webml_rdb_pool_hits_total", "Buffer-pool page hits.", nil, float64(s.PoolHits))
+			e.Counter("webml_rdb_pool_misses_total", "Buffer-pool page misses (disk reads).", nil, float64(s.PoolMisses))
+			e.Counter("webml_rdb_pool_evictions_total", "Clean pages evicted from the buffer pool.", nil, float64(s.PoolEvictions))
+			e.Gauge("webml_rdb_pool_dirty_pages", "Dirty pages pinned until the next checkpoint.", nil, float64(s.PoolDirty))
+			e.Counter("webml_rdb_checkpoints_total", "Page-file checkpoints (WAL resets).", nil, float64(s.Checkpoints))
+			e.Counter("webml_rdb_recovered_records_total", "WAL records replayed at the last open.", nil, float64(s.RecoveredRecords))
+		})
+	}
 	if a.Resilient != nil {
 		reg.Counter("webml_retries_total", "Unit-read retry attempts.", nil,
 			func() float64 { return float64(a.Resilient.Retries.Load()) })

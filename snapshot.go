@@ -39,6 +39,28 @@ func (a *App) SnapshotFile(path string) error {
 // database, ready to pass to New via WithDatabase.
 func RestoreDatabase(r io.Reader) (*rdb.DB, error) { return rdb.Restore(r) }
 
+// OpenDurableDatabase opens (or creates) a durable database rooted at
+// dir — a write-ahead log plus a page-backed B-tree — and recovers it
+// to the last committed state. Pass the result to New via WithDatabase;
+// every later commit is on stable storage before the call returns.
+func OpenDurableDatabase(dir string) (*rdb.DB, error) { return rdb.OpenDurable(dir) }
+
+// RestoreDatabaseDurable loads a snapshot into a fresh durable
+// database rooted at dir. The restore replays through the storage
+// engine, so the rows land in the WAL and are crash-safe by the time
+// the call returns. dir must not already contain data.
+func RestoreDatabaseDurable(r io.Reader, dir string) (*rdb.DB, error) {
+	db, err := rdb.OpenDurable(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.LoadDump(r); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
 // RestoreDatabaseFile reads a snapshot file.
 func RestoreDatabaseFile(path string) (*rdb.DB, error) {
 	f, err := os.Open(path)
