@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"webmlgo/internal/admit"
 	"webmlgo/internal/cache"
 	"webmlgo/internal/codegen"
 	"webmlgo/internal/descriptor"
@@ -58,8 +59,16 @@ type App struct {
 	PageCache     *cache.PageCache
 	Edge          *edge.Surrogate
 
-	// Remote is the application-server client when WithAppServer is set.
+	// Remote is the application-server client when WithAppServer or
+	// WithElasticFleet is set.
 	Remote *ejb.RemoteBusiness
+	// Admission is the web tier's admission limiter when WithAdmission
+	// is set: every controller action acquires a slot (or is shed) here.
+	Admission *admit.Limiter
+	// Fleet is the elastic container supervisor when WithElasticFleet is
+	// set; Members is the membership it publishes scale events through.
+	Fleet   *ejb.Supervisor
+	Members *ejb.FleetMembership
 	// Resilient is the retry decorator when WithRetries is set.
 	Resilient *mvc.ResilientBusiness
 	// Faults is the chaos injector when WithFaults is set.
@@ -104,6 +113,15 @@ type config struct {
 	withObs   bool
 	traceCap  int
 	slowTrace time.Duration
+
+	withAdmission  bool
+	maxConcurrency int
+	admitQueue     int
+
+	withFleet     bool
+	fleetMin      int
+	fleetMax      int
+	fleetCapacity int
 }
 
 // Option configures New.
@@ -248,6 +266,41 @@ func WithFaults(sched fault.Schedule) Option {
 	return func(c *config) { s := sched; c.faults = &s }
 }
 
+// WithAdmission gates every controller action behind an admission
+// limiter: at most maxConcurrency actions run at once, up to maxQueue
+// more wait (briefly — a CoDel-style sojourn target sheds the queue
+// before it stands), and excess load answers 503 with a drain-rate
+// Retry-After instead of queueing toward collapse. Operations outrank
+// interactive reads, which outrank crawler/bulk traffic; under a
+// standing queue, bulk is shed on sight and a full queue displaces its
+// newest lowest-class waiter for a higher-class arrival. maxQueue <= 0
+// selects 4x maxConcurrency.
+func WithAdmission(maxConcurrency, maxQueue int) Option {
+	return func(c *config) {
+		c.withAdmission = true
+		c.maxConcurrency = maxConcurrency
+		c.admitQueue = maxQueue
+	}
+}
+
+// WithElasticFleet self-hosts an elastic application-server fleet:
+// between min and max container clones (each with the given instance
+// capacity; <=0 selects 8) are spawned in-process over the app's
+// database, published through a FleetMembership the client stub
+// subscribes to, and supervised — queue-depth, utilization and
+// windowed-p99 signals scale the fleet up, sustained idleness drains
+// and retires clones without failing an in-flight call. Mutually
+// exclusive with WithAppServer (which targets an external, fixed
+// fleet).
+func WithElasticFleet(min, max, capacity int) Option {
+	return func(c *config) {
+		c.withFleet = true
+		c.fleetMin = min
+		c.fleetMax = max
+		c.fleetCapacity = capacity
+	}
+}
+
 // New validates the model, generates all artifacts, and assembles the
 // runtime.
 func New(model *webml.Model, opts ...Option) (*App, error) {
@@ -277,8 +330,54 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 		}
 	}
 
-	// Business tier: local or application-server, optionally cached.
-	if len(cfg.appServer) > 0 {
+	if cfg.faults != nil {
+		app.Faults = fault.New(*cfg.faults)
+	}
+
+	// Business tier: local, application-server, or self-hosted elastic
+	// fleet — optionally cached.
+	switch {
+	case cfg.withFleet:
+		if len(cfg.appServer) > 0 {
+			return nil, fmt.Errorf("webmlgo: WithElasticFleet and WithAppServer are mutually exclusive")
+		}
+		capacity := cfg.fleetCapacity
+		if capacity <= 0 {
+			capacity = 8
+		}
+		app.Members = ejb.NewFleetMembership()
+		remote, err := ejb.DialMembership(app.Members)
+		if err != nil {
+			return nil, err
+		}
+		remote.Latency = cfg.latency
+		remote.Wire = cfg.wire
+		remote.ConnsPerEndpoint = cfg.ejbConns
+		remote.DisableBatch = cfg.noUnitBatch
+		app.Remote = remote
+		app.Business = remote
+		spawn := func() (*ejb.Clone, error) {
+			var business mvc.Business = mvc.NewLocalBusiness(app.DB)
+			if app.Faults != nil {
+				// Self-hosted fleet: faults fire inside the clone, where
+				// a flapping container actually lives, so injected
+				// latency occupies a container slot.
+				business = fault.WrapBusiness(business, app.Faults)
+			}
+			ctr := ejb.NewContainer(business, capacity)
+			ctr.DeployPages(&mvc.PageService{Repo: art.Repo, Business: business})
+			addr, err := ctr.Serve("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			return &ejb.Clone{Addr: addr, Ctr: ctr}, nil
+		}
+		app.Fleet = ejb.NewSupervisor(spawn, app.Members, cfg.fleetMin, cfg.fleetMax)
+		app.Fleet.ClientInFlight = remote.InFlight
+		if err := app.Fleet.Start(); err != nil {
+			return nil, err
+		}
+	case len(cfg.appServer) > 0:
 		remote, err := ejb.Dial(cfg.appServer...)
 		if err != nil {
 			return nil, err
@@ -289,14 +388,13 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 		remote.DisableBatch = cfg.noUnitBatch
 		app.Remote = remote
 		app.Business = remote
-	} else {
+	default:
 		app.Business = mvc.NewLocalBusiness(app.DB)
 	}
 	// Resilience decorators stack below the caches: injected faults hit
 	// where a flapping container would, retries absorb what they can,
 	// and the bean cache's degraded mode covers the rest.
-	if cfg.faults != nil {
-		app.Faults = fault.New(*cfg.faults)
+	if app.Faults != nil && !cfg.withFleet {
 		app.Business = fault.WrapBusiness(app.Business, app.Faults)
 	}
 	if cfg.retries > 1 {
@@ -349,6 +447,10 @@ func New(model *webml.Model, opts ...Option) (*App, error) {
 
 	app.Controller = mvc.NewController(art.Repo, app.Business, app.Renderer)
 	app.Controller.RequestTimeout = cfg.requestTimeout
+	if cfg.withAdmission {
+		app.Admission = admit.NewLimiter(cfg.maxConcurrency, cfg.admitQueue)
+		app.Controller.Admission = app.Admission
+	}
 	if cfg.pageWorkers > 0 {
 		app.Controller.SetPageWorkers(cfg.pageWorkers)
 	}
@@ -441,3 +543,18 @@ func DeployContainer(model *webml.Model, db *rdb.DB, capacity int, addr string) 
 // Repo exposes the generated descriptor repository (for query overrides
 // and inspection).
 func (a *App) Repo() *descriptor.Repository { return a.Artifacts.Repo }
+
+// Close shuts down the app's owned resources: the elastic fleet (every
+// clone drains and closes), the remote client, and the edge surrogate's
+// refresh workers. Apps without those options need no Close.
+func (a *App) Close() {
+	if a.Fleet != nil {
+		a.Fleet.Stop()
+	}
+	if a.Remote != nil {
+		a.Remote.Close()
+	}
+	if a.Edge != nil {
+		a.Edge.Close()
+	}
+}

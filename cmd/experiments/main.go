@@ -60,6 +60,7 @@ func main() {
 		{"e10", e10, "E10 (Sec. 4): wire protocol v2 — multiplexing + level-batched invocation"},
 		{"e11", e11, "E11 (Sec. 6): compiled query plans, composite indexes, cost-based planner"},
 		{"e12", e12, "E12 (Sec. 6): durable storage engine — WAL crash recovery + MVCC snapshot reads"},
+		{"e13", e13, "E13 (Sec. 4): overload survival — admission control, priority shedding, elastic fleet"},
 	}
 	// Hidden crash-child mode for e12: the parent re-executes this
 	// binary with the environment variable set and SIGKILLs it

@@ -153,6 +153,11 @@ func usage() {
            [-wire auto|framed|gob]       EJB wire protocol (needs -app-server)
            [-ejb-conns n]                wire-v2 connections per endpoint
            [-no-unit-batch]              disable level-batched unit invocation
+           [-max-concurrency n]          admission control: concurrent-action cap (sheds 503)
+           [-admit-queue n]              admission queue depth (default 4x cap)
+           [-autoscale]                  self-hosted elastic container fleet
+           [-min-containers n]           fleet floor (default 1; needs -autoscale)
+           [-max-containers n]           fleet ceiling (default 4; needs -autoscale)
            (always mounted: /metrics Prometheus exposition, /healthz)
   container -model <name> -addr <addr>   run the application-server tier alone
            [-capacity n]                 concurrent business invocations (default 16)
@@ -323,6 +328,11 @@ func cmdServe(args []string) {
 	wire := fs.String("wire", "auto", "EJB wire protocol: auto (negotiate v2, fall back to gob), framed (require v2), gob (legacy)")
 	ejbConns := fs.Int("ejb-conns", 0, "multiplexed wire-v2 connections per container endpoint (<=0 = 3; needs -app-server)")
 	noBatch := fs.Bool("no-unit-batch", false, "disable level-batched unit invocation on the framed protocol")
+	maxConcurrency := fs.Int("max-concurrency", 0, "admission control: max concurrent actions (0 = unlimited, no admission gate)")
+	admitQueue := fs.Int("admit-queue", 0, "admission queue depth (<=0 = 4x -max-concurrency; needs -max-concurrency)")
+	autoscale := fs.Bool("autoscale", false, "self-hosted elastic container fleet (mutually exclusive with -app-server)")
+	minContainers := fs.Int("min-containers", 1, "fleet size floor (needs -autoscale)")
+	maxContainers := fs.Int("max-containers", 4, "fleet size ceiling (needs -autoscale)")
 	fs.Parse(args) //nolint:errcheck
 	m, synthetic, err := loadModel(*model)
 	if err != nil {
@@ -355,6 +365,9 @@ func cmdServe(args []string) {
 	if *edgeOn {
 		opts = append(opts, webmlgo.WithEdgeCache(8192, time.Minute))
 	}
+	if *appServer != "" && *autoscale {
+		log.Fatal("webratio: -autoscale and -app-server are mutually exclusive")
+	}
 	if *appServer != "" {
 		opts = append(opts, webmlgo.WithAppServer(strings.Split(*appServer, ",")...),
 			webmlgo.WithWireProtocol(*wire))
@@ -364,6 +377,12 @@ func cmdServe(args []string) {
 		if *noBatch {
 			opts = append(opts, webmlgo.WithoutUnitBatch())
 		}
+	}
+	if *autoscale {
+		opts = append(opts, webmlgo.WithElasticFleet(*minContainers, *maxContainers, 16))
+	}
+	if *maxConcurrency > 0 {
+		opts = append(opts, webmlgo.WithAdmission(*maxConcurrency, *admitQueue))
 	}
 	if *timeout > 0 {
 		opts = append(opts, webmlgo.WithRequestTimeout(*timeout))
@@ -415,8 +434,15 @@ func cmdServe(args []string) {
 	if *chaos {
 		log.Printf("webratio: chaos on (seed %d): 5%% latency spikes, 5%% errors, 1%% panics below the resilience layer", *chaosSeed)
 	}
-	if app.Remote != nil {
+	if app.Fleet != nil {
+		defer app.Fleet.Stop()
+		log.Printf("webratio: elastic fleet on (%d..%d containers; scale events at /healthz)", *minContainers, *maxContainers)
+	} else if app.Remote != nil {
 		log.Printf("webratio: business tier on %s (wire=%s, batch=%v)", *appServer, *wire, !*noBatch)
+	}
+	if app.Admission != nil {
+		log.Printf("webratio: admission control on (%d slots, queue %d; overflow sheds 503 + Retry-After)",
+			*maxConcurrency, app.Admission.MaxQueue)
 	}
 	if fresh {
 		if synthetic {

@@ -6,18 +6,26 @@ import (
 	"strconv"
 	"time"
 
+	"webmlgo/internal/admit"
 	"webmlgo/internal/ejb"
 )
 
 // Health is the web tier's /healthz snapshot: circuit-breaker state per
-// container endpoint, resilience counters, and cache degradation — the
-// operator's view of whether the tier split is currently absorbing
-// failures or surfacing them.
+// container endpoint, admission-control pressure, fleet size,
+// resilience counters, and cache degradation — the operator's view of
+// whether the tier split is currently absorbing failures or surfacing
+// them.
 type Health struct {
 	OK bool `json:"ok"`
 	// Endpoints is the client-side view of each container address
-	// (empty without WithAppServer).
+	// (empty without WithAppServer or WithElasticFleet).
 	Endpoints []ejb.EndpointHealth `json:"endpoints,omitempty"`
+	// Admission is the limiter snapshot (WithAdmission): active slots,
+	// queue depth, standing-queue flag, per-class shed counters.
+	Admission *admit.Stats `json:"admission,omitempty"`
+	// Fleet is the supervisor snapshot (WithElasticFleet): current
+	// size, draining clones, and recent scale events.
+	Fleet *ejb.FleetStats `json:"fleet,omitempty"`
 	// Retries counts unit-read retry attempts (WithRetries).
 	Retries int64 `json:"retries,omitempty"`
 	// DegradedHits counts stale beans served while the business tier
@@ -30,6 +38,8 @@ type Health struct {
 // Health snapshots the application's resilience state. OK is false only
 // when every container endpoint's breaker is open — the web tier can
 // still answer from cache (degraded), but new business work will fail.
+// Admission pressure (even a standing queue) does not flip OK: a
+// shedding tier is degraded by policy, not down.
 func (a *App) Health() Health {
 	h := Health{OK: true}
 	if a.Remote != nil {
@@ -41,6 +51,14 @@ func (a *App) Health() Health {
 			}
 		}
 		h.OK = !allOpen
+	}
+	if a.Admission != nil {
+		s := a.Admission.Stats()
+		h.Admission = &s
+	}
+	if a.Fleet != nil {
+		s := a.Fleet.Stats()
+		h.Fleet = &s
 	}
 	if a.Resilient != nil {
 		h.Retries = a.Resilient.Retries.Load()
@@ -54,21 +72,37 @@ func (a *App) Health() Health {
 	return h
 }
 
+// retryAfter is the back-off the web tier advertises on a 503: the
+// larger of the soonest breaker recovery (failing containers) and the
+// admission queue's drain estimate (overload) — whichever condition
+// clears later governs when a retry can actually succeed.
+func (a *App) retryAfter() time.Duration {
+	retry := time.Second
+	if a.Remote != nil {
+		if d := a.Remote.RetryAfter(); d > retry {
+			retry = d
+		}
+	}
+	if a.Admission != nil {
+		if d := a.Admission.RetryAfter(); d > retry {
+			retry = d
+		}
+	}
+	return retry
+}
+
 // HealthHandler returns the /healthz endpoint: Health as JSON, 200
 // while at least one path to the business tier works, 503 once every
-// breaker is open. The 503 carries a Retry-After header derived from
-// the soonest breaker cooldown, so load balancers back off for exactly
-// as long as the client stub will keep failing fast.
+// breaker is open. The 503 carries a Retry-After header covering both
+// the soonest breaker cooldown and the admission queue's measured
+// drain time, so load balancers back off for exactly as long as
+// requests would keep failing or shedding.
 func (a *App) HealthHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h := a.Health()
 		w.Header().Set("Content-Type", "application/json")
 		if !h.OK {
-			retry := time.Second
-			if a.Remote != nil {
-				retry = a.Remote.RetryAfter()
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(int(a.retryAfter()/time.Second)))
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort probe response

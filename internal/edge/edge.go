@@ -62,6 +62,9 @@ type Surrogate struct {
 
 	// Disposition counters (X-Cache outcomes), folded into /metrics.
 	hitN, staleN, missN atomic.Int64
+	// shedKeepN counts refreshes the origin load-shed with the stale
+	// entry kept serving.
+	shedKeepN atomic.Int64
 
 	// epoch is advanced under mu by every Invalidate; fills snapshot it
 	// before fetching and refuse to store across a purge, so a response
@@ -477,10 +480,24 @@ func (s *Surrogate) refresh(j refreshJob) {
 	if err == nil && e.cacheable && s.putIfCurrent(j.key, e, epoch) {
 		return
 	}
-	// The refresh did not replace the entry (origin error, now-uncacheable
-	// response, or a purge raced us); let a later request retry.
+	if err == nil && e.status == http.StatusServiceUnavailable && e.header.Get("X-Webml-Shed") != "" {
+		// The origin shed the refresh as a load decision, not a failure:
+		// re-store the stale entry so it outlives the overload instead of
+		// aging out of the store mid-surge. It stays expired, so requests
+		// keep scheduling refreshes that will land once admission opens up.
+		s.shedKeepN.Add(1)
+		s.putIfCurrent(j.key, j.old, epoch)
+	}
+	// The refresh did not replace the entry (origin shed or error,
+	// now-uncacheable response, or a purge raced us); let a later request
+	// retry.
 	j.old.refreshing.Store(false)
 }
+
+// ShedKept reports how many background refreshes were load-shed by the
+// origin with the stale entry kept in service — the edge half of the
+// admission controller's degrade-over-queue policy.
+func (s *Surrogate) ShedKept() int64 { return s.shedKeepN.Load() }
 
 // Close stops the background refresh workers.
 func (s *Surrogate) Close() {

@@ -35,8 +35,8 @@ type breaker struct {
 	probing    bool      // a half-open probe is in flight
 	threshold  int
 	cooldown   time.Duration
-	opens      int64     // lifetime count of closed/half-open -> open trips
-	lastChange time.Time // when the state last transitioned
+	opens      int64            // lifetime count of closed/half-open -> open trips
+	lastChange time.Time        // when the state last transitioned
 	now        func() time.Time // clock hook for tests
 }
 

@@ -61,7 +61,6 @@ const (
 // invocation) and transparently falls back to the legacy one-call-at-a-
 // time gob exchange against containers that predate it.
 type RemoteBusiness struct {
-	endpoints []*endpoint
 	// Latency, when positive, injects an artificial network delay per
 	// call — a stand-in for a real machine boundary when benchmarking on
 	// loopback. A batched level pays it once, not once per unit.
@@ -94,8 +93,16 @@ type RemoteBusiness struct {
 	framesRecv atomic.Int64
 	stats      *wireStats
 
-	mu   sync.Mutex
-	next int
+	// brkThreshold/brkCooldown apply to endpoints discovered after
+	// SetBreaker (membership-driven adds inherit the configuration).
+	brkThreshold int
+	brkCooldown  time.Duration
+
+	mu        sync.Mutex
+	endpoints []*endpoint // copy-on-write: replaced wholesale, never mutated in place
+	draining  []*endpoint // removed from rotation, still finishing frames
+	next      int
+	stopWatch func()
 }
 
 // endpoint is one container address: its breaker, its connections, and a
@@ -108,6 +115,10 @@ type endpoint struct {
 	brk  *breaker
 
 	rejected atomic.Int64 // calls refused outright by the open breaker
+	// inflight counts invocations (calls and batches) currently issued
+	// against this endpoint — the client half of the drain handshake: a
+	// retiring container is closed only once this reaches zero.
+	inflight atomic.Int64
 
 	// dialMu serializes framed dials so a cold or just-failed endpoint
 	// is probed by one handshake at a time.
@@ -134,14 +145,22 @@ type conn struct {
 	gen uint64
 }
 
-// Dial returns a client for the given container addresses.
+// Dial returns a client for the given container addresses (a fixed
+// endpoint set — StaticMembership under the hood).
 func Dial(addrs ...string) (*RemoteBusiness, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("ejb: no container addresses")
 	}
+	return DialMembership(StaticMembership(addrs))
+}
+
+// DialMembership returns a client whose endpoint set follows the given
+// membership: additions become routable endpoints, removals leave the
+// rotation immediately (in-flight frames on them finish undisturbed).
+// An empty membership is legal — calls fail until an endpoint appears.
+func DialMembership(m Membership) (*RemoteBusiness, error) {
 	registerWireTypes()
 	r := &RemoteBusiness{
-		endpoints: make([]*endpoint, len(addrs)),
 		CallLat: obs.NewHistogramVec("webml_ejb_call_seconds",
 			"Remote EJB call latency by container address.", "addr"),
 		BatchLat: obs.NewHistogramVec("webml_ejb_batch_seconds",
@@ -151,16 +170,137 @@ func Dial(addrs ...string) (*RemoteBusiness, error) {
 		framesSent: func() { r.framesSent.Add(1) },
 		framesRecv: func() { r.framesRecv.Add(1) },
 	}
-	for i, a := range addrs {
-		r.endpoints[i] = &endpoint{addr: a, brk: newBreaker(0, 0)}
-	}
+	r.setEndpoints(m.Snapshot())
+	r.stopWatch = m.Watch(r.setEndpoints)
 	return r, nil
 }
 
-// SetBreaker reconfigures every endpoint's circuit breaker (zero values
-// select the defaults: threshold 3, cooldown 200ms).
-func (r *RemoteBusiness) SetBreaker(threshold int, cooldown time.Duration) {
+// eps returns the current endpoint set. The slice is copy-on-write:
+// setEndpoints always installs a fresh slice, so holders iterate a
+// stable snapshot without the lock.
+func (r *RemoteBusiness) eps() []*endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.endpoints
+}
+
+// setEndpoints reconciles the endpoint set against a membership
+// snapshot: kept addresses retain their endpoint state (breaker
+// history, connections, generation), new addresses get fresh
+// endpoints, and removed endpoints leave the rotation. A removed
+// endpoint's idle connections are closed; connections with frames in
+// flight are left alone — the retiring container answers them and the
+// supervisor closes it only once drained.
+func (r *RemoteBusiness) setEndpoints(addrs []string) {
+	r.mu.Lock()
+	old := make(map[string]*endpoint, len(r.endpoints))
 	for _, ep := range r.endpoints {
+		old[ep.addr] = ep
+	}
+	next := make([]*endpoint, 0, len(addrs))
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if ep, ok := old[a]; ok {
+			next = append(next, ep)
+			delete(old, a)
+			continue
+		}
+		next = append(next, &endpoint{addr: a, brk: newBreaker(r.brkThreshold, r.brkCooldown)})
+	}
+	r.endpoints = next
+	// Removed endpoints stay visible on the draining list until their
+	// last frame answers, so InFlight keeps reporting them to the
+	// supervisor's drain poll.
+	keepDraining := r.draining[:0]
+	for _, ep := range r.draining {
+		if !seen[ep.addr] && ep.inflight.Load() > 0 {
+			keepDraining = append(keepDraining, ep)
+		}
+	}
+	r.draining = keepDraining
+	for _, ep := range old {
+		r.draining = append(r.draining, ep)
+	}
+	r.mu.Unlock()
+	for _, ep := range old {
+		ep.quiesce()
+	}
+}
+
+// quiesce closes a removed endpoint's idle connections: the pooled gob
+// connections (only idle ones live in the pool) and any multiplexed
+// connection with no frames awaiting replies. Busy connections survive
+// until their frames answer; the container's own Close severs them
+// after the drain handshake.
+func (ep *endpoint) quiesce() {
+	ep.mu.Lock()
+	pool := ep.pool
+	ep.pool = nil
+	var idle []*mconn
+	keep := ep.mconns[:0]
+	for _, m := range ep.mconns {
+		if m.pendingCount() == 0 {
+			idle = append(idle, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	ep.mconns = keep
+	ep.mu.Unlock()
+	for _, cn := range pool {
+		cn.c.Close()
+	}
+	for _, m := range idle {
+		m.fail(errConnClosed)
+	}
+}
+
+// Endpoints returns the current endpoint addresses in rotation order.
+func (r *RemoteBusiness) Endpoints() []string {
+	eps := r.eps()
+	out := make([]string, len(eps))
+	for i, ep := range eps {
+		out[i] = ep.addr
+	}
+	return out
+}
+
+// InFlight reports how many invocations are currently issued against
+// the given endpoint address, counting endpoints removed from the
+// rotation but still finishing frames (0 for unknown addresses). The
+// supervisor polls it before closing a retiring container.
+func (r *RemoteBusiness) InFlight(addr string) int {
+	r.mu.Lock()
+	eps := r.endpoints
+	draining := append([]*endpoint(nil), r.draining...)
+	r.mu.Unlock()
+	n := 0
+	for _, ep := range eps {
+		if ep.addr == addr {
+			n += int(ep.inflight.Load())
+		}
+	}
+	for _, ep := range draining {
+		if ep.addr == addr {
+			n += int(ep.inflight.Load())
+		}
+	}
+	return n
+}
+
+// SetBreaker reconfigures every endpoint's circuit breaker (zero values
+// select the defaults: threshold 3, cooldown 200ms). Endpoints added
+// later by a membership change inherit the same configuration.
+func (r *RemoteBusiness) SetBreaker(threshold int, cooldown time.Duration) {
+	r.mu.Lock()
+	r.brkThreshold, r.brkCooldown = threshold, cooldown
+	eps := r.endpoints
+	r.mu.Unlock()
+	for _, ep := range eps {
 		ep.brk = newBreaker(threshold, cooldown)
 	}
 }
@@ -226,27 +366,33 @@ func (r *RemoteBusiness) ComputeUnits(ctx context.Context, calls []mvc.UnitCall)
 	}
 	bsp := obs.Leaf(ctx, "ejb.batch").Label("units", strconv.Itoa(len(calls)))
 	done := make([]bool, len(calls))
+	eps := r.eps()
 	r.mu.Lock()
 	start := r.next
 	r.next++
 	r.mu.Unlock()
 	var lastErr error
 	remaining := len(calls)
-	for i := 0; i < len(r.endpoints) && remaining > 0; i++ {
+	if len(eps) == 0 {
+		lastErr = fmt.Errorf("ejb: no container endpoints")
+	}
+	for i := 0; i < len(eps) && remaining > 0; i++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr == nil {
 				lastErr = err
 			}
 			break
 		}
-		ep := r.endpoints[(start+i)%len(r.endpoints)]
+		ep := eps[(start+i)%len(eps)]
 		if !ep.brk.allow() {
 			lastErr = fmt.Errorf("ejb: %s: circuit open", ep.addr)
 			ep.rejected.Add(1)
 			obs.Leaf(ctx, "ejb.reject").Label("addr", ep.addr).EndErr(lastErr)
 			continue
 		}
+		ep.inflight.Add(1)
 		rem, err := r.batchOn(ctx, ep, calls, out, done, deadlineMS, deadline)
+		ep.inflight.Add(-1)
 		remaining = rem
 		if err != nil {
 			if errors.Is(err, errLegacyPeer) && r.Wire != WireFramed {
@@ -424,19 +570,23 @@ func (r *RemoteBusiness) call(ctx context.Context, req *request) (*response, err
 		req.DeadlineMS = ms
 	}
 	readOnly := req.Kind != "operation"
+	eps := r.eps()
 	r.mu.Lock()
 	start := r.next
 	r.next++
 	r.mu.Unlock()
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("ejb: no container endpoints")
+	}
 	var lastErr error
-	for i := 0; i < len(r.endpoints); i++ {
+	for i := 0; i < len(eps); i++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr == nil {
 				lastErr = err
 			}
 			return nil, lastErr
 		}
-		ep := r.endpoints[(start+i)%len(r.endpoints)]
+		ep := eps[(start+i)%len(eps)]
 		if !ep.brk.allow() {
 			lastErr = fmt.Errorf("ejb: %s: circuit open", ep.addr)
 			ep.rejected.Add(1)
@@ -448,7 +598,9 @@ func (r *RemoteBusiness) call(ctx context.Context, req *request) (*response, err
 		sp := obs.Leaf(ctx, "ejb.call").Label("addr", ep.addr).Label("kind", req.Kind)
 		req.TraceID, req.SpanID = sp.Wire()
 		attempt := time.Now()
+		ep.inflight.Add(1)
 		resp, sent, err := r.callOn(ctx, ep, req, deadline, readOnly)
+		ep.inflight.Add(-1)
 		if r.CallLat != nil {
 			r.CallLat.ObserveErr(ep.addr, time.Since(attempt), err != nil)
 		}
@@ -772,8 +924,9 @@ type EndpointHealth struct {
 
 // Health snapshots every endpoint's breaker state and connection counts.
 func (r *RemoteBusiness) Health() []EndpointHealth {
-	out := make([]EndpointHealth, len(r.endpoints))
-	for i, ep := range r.endpoints {
+	eps := r.eps()
+	out := make([]EndpointHealth, len(eps))
+	for i, ep := range eps {
 		st := ep.brk.status()
 		ep.mu.Lock()
 		pooled := len(ep.pool)
@@ -804,7 +957,7 @@ func (r *RemoteBusiness) Health() []EndpointHealth {
 // FrameStats reports the framed transport's counters: frames sent,
 // frames received, and frames currently awaiting their reply.
 func (r *RemoteBusiness) FrameStats() (sent, recv, inflight int64) {
-	for _, ep := range r.endpoints {
+	for _, ep := range r.eps() {
 		ep.mu.Lock()
 		for _, m := range ep.mconns {
 			inflight += int64(m.pendingCount())
@@ -821,7 +974,7 @@ func (r *RemoteBusiness) FrameStats() (sent, recv, inflight int64) {
 func (r *RemoteBusiness) RetryAfter() time.Duration {
 	soonest := time.Duration(-1)
 	now := time.Now()
-	for _, ep := range r.endpoints {
+	for _, ep := range r.eps() {
 		st := ep.brk.status()
 		if st.state != BreakerOpen {
 			continue
@@ -845,9 +998,19 @@ func (r *RemoteBusiness) RetryAfter() time.Duration {
 	return secs * time.Second
 }
 
-// Close drops all connections, legacy and multiplexed.
+// Close cancels the membership watch and drops all connections, legacy
+// and multiplexed (draining endpoints included).
 func (r *RemoteBusiness) Close() {
-	for _, ep := range r.endpoints {
+	r.mu.Lock()
+	stop := r.stopWatch
+	r.stopWatch = nil
+	eps := append(append([]*endpoint(nil), r.endpoints...), r.draining...)
+	r.draining = nil
+	r.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	for _, ep := range eps {
 		ep.mu.Lock()
 		for _, cn := range ep.pool {
 			cn.c.Close()

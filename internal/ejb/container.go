@@ -37,11 +37,18 @@ type Container struct {
 
 	served    int64
 	maxActive int
+	// queued counts invocations waiting for an instance slot — the
+	// primary scale-up signal the elastic supervisor polls.
+	queued    int
+	maxQueued int
 
 	// invokeLat records invocation latency by kind (page/unit/operation)
 	// — the container half of the per-stage histograms, exposed at the
 	// container's own /metrics.
 	invokeLat *obs.HistogramVec
+	// queueLat records capacity-gate queue wait by kind: the container-
+	// side sojourn histogram behind the supervisor's p99 signal.
+	queueLat *obs.HistogramVec
 
 	// Wire-v2 frame counters: frames read and written across all framed
 	// connections, plus frames currently being served.
@@ -67,6 +74,8 @@ func NewContainer(business mvc.Business, capacity int) *Container {
 		capacity: capacity,
 		invokeLat: obs.NewHistogramVec("webml_container_invoke_seconds",
 			"Container invocation latency by request kind.", "kind"),
+		queueLat: obs.NewHistogramVec("webml_container_queue_seconds",
+			"Capacity-gate queue wait by request kind.", "kind"),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -313,11 +322,23 @@ func (c *Container) invoke(ctx context.Context, req *request) *response {
 func (c *Container) doInvoke(ctx context.Context, req *request) *response {
 	c.mu.Lock()
 	var qsp *obs.SpanHandle
+	var qstart time.Time
+	waited := false
 	for c.active >= c.capacity && !c.closed && ctx.Err() == nil {
-		if qsp == nil {
+		if !waited {
+			waited = true
 			qsp = obs.Leaf(ctx, "container.queue")
+			qstart = time.Now()
+			c.queued++
+			if c.queued > c.maxQueued {
+				c.maxQueued = c.queued
+			}
 		}
 		c.cond.Wait()
+	}
+	if waited {
+		c.queued--
+		c.queueLat.Observe(req.Kind, time.Since(qstart))
 	}
 	qsp.End()
 	if c.closed {
@@ -326,7 +347,12 @@ func (c *Container) doInvoke(ctx context.Context, req *request) *response {
 	}
 	if err := ctx.Err(); err != nil {
 		// The caller's budget ran out while this invocation queued for
-		// capacity; don't burn an instance slot on a dead request.
+		// capacity; don't burn an instance slot on a dead request — but
+		// pass the wakeup on, or the signal that woke this waiter would
+		// be lost and a live waiter could sleep through a free slot.
+		if waited && c.active < c.capacity {
+			c.cond.Signal()
+		}
 		c.mu.Unlock()
 		return &response{Err: err.Error()}
 	}
@@ -394,13 +420,41 @@ type Metrics struct {
 	Active    int
 	MaxActive int
 	Served    int64
+	// Queued is the number of invocations currently waiting for an
+	// instance slot; MaxQueued is its high-water mark.
+	Queued    int
+	MaxQueued int
 }
 
 // Metrics returns a snapshot of the container's counters.
 func (c *Container) Metrics() Metrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Metrics{Capacity: c.capacity, Active: c.active, MaxActive: c.maxActive, Served: c.served}
+	return Metrics{Capacity: c.capacity, Active: c.active, MaxActive: c.maxActive,
+		Served: c.served, Queued: c.queued, MaxQueued: c.maxQueued}
+}
+
+// QueueLatency snapshots the capacity-gate queue-wait histogram
+// aggregated across request kinds — the supervisor derives its
+// windowed p99 signal by differencing successive snapshots.
+func (c *Container) QueueLatency() obs.HistSnapshot {
+	var agg obs.HistSnapshot
+	for _, s := range c.queueLat.Snapshot() {
+		agg = agg.Merge(s.Hist)
+	}
+	return agg
+}
+
+// Quiesced reports whether the container holds no work at all: no
+// active invocations, no frames being served, and nothing queued for
+// capacity. The drain-then-retire handshake closes a container only
+// after Quiesced holds across consecutive polls (and the client stub
+// reports no in-flight calls against it).
+func (c *Container) Quiesced() bool {
+	c.mu.Lock()
+	idle := c.active == 0 && c.queued == 0
+	c.mu.Unlock()
+	return idle && c.frameActive.Load() == 0
 }
 
 // HealthHandler returns an http.Handler answering /healthz for this
@@ -410,7 +464,8 @@ func (c *Container) Metrics() Metrics {
 func (c *Container) HealthHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
-		m := Metrics{Capacity: c.capacity, Active: c.active, MaxActive: c.maxActive, Served: c.served}
+		m := Metrics{Capacity: c.capacity, Active: c.active, MaxActive: c.maxActive,
+			Served: c.served, Queued: c.queued, MaxQueued: c.maxQueued}
 		closed := c.closed
 		c.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
@@ -430,6 +485,8 @@ func (c *Container) HealthHandler() http.Handler {
 			"active":    m.Active,
 			"maxActive": m.MaxActive,
 			"served":    m.Served,
+			"queued":    m.Queued,
+			"maxQueued": m.MaxQueued,
 		})
 	})
 }
@@ -448,6 +505,11 @@ func (c *Container) MetricsRegistry() *obs.Registry {
 		func() float64 { return float64(c.Metrics().MaxActive) })
 	reg.Counter("webml_container_served_total", "Invocations served since start.", nil,
 		func() float64 { return float64(c.Metrics().Served) })
+	reg.Gauge("webml_container_queue_depth", "Invocations waiting for an instance slot.", nil,
+		func() float64 { return float64(c.Metrics().Queued) })
+	reg.Gauge("webml_container_queue_max", "High-water mark of the capacity-gate queue.", nil,
+		func() float64 { return float64(c.Metrics().MaxQueued) })
+	reg.RegisterVec(c.queueLat)
 	reg.Counter("webml_container_frames_in_total", "Wire-v2 frames read since start.", nil,
 		func() float64 { return float64(c.framesIn.Load()) })
 	reg.Counter("webml_container_frames_out_total", "Wire-v2 frames written since start.", nil,

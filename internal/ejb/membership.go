@@ -1,0 +1,125 @@
+package ejb
+
+import "sync"
+
+// Membership is the pluggable container-endpoint catalog: where the
+// client stub learns which container addresses exist. The static list
+// (Dial's historical behavior) stays the default; the elastic
+// supervisor drives a FleetMembership so scale events propagate to
+// every subscribed client without re-dialing.
+type Membership interface {
+	// Snapshot returns the current endpoint addresses.
+	Snapshot() []string
+	// Watch registers fn to be called with the full address list after
+	// every change (not with the current state). The returned cancel
+	// unregisters it. Implementations may call fn synchronously from
+	// the mutating goroutine; fn must not call back into the
+	// membership.
+	Watch(fn func([]string)) (cancel func())
+}
+
+// StaticMembership is a fixed address list — the default discovery
+// mode, equivalent to the addresses passed to Dial.
+type StaticMembership []string
+
+// Snapshot implements Membership.
+func (s StaticMembership) Snapshot() []string {
+	out := make([]string, len(s))
+	copy(out, s)
+	return out
+}
+
+// Watch implements Membership; a static list never changes.
+func (s StaticMembership) Watch(func([]string)) (cancel func()) { return func() {} }
+
+// FleetMembership is a mutable, watchable address list: the supervisor
+// adds a clone's address once it is serving and removes it *before*
+// draining it, so clients stop selecting an endpoint ahead of its
+// retirement — the ordering that makes scale-down lossless.
+type FleetMembership struct {
+	mu       sync.Mutex
+	addrs    []string
+	watchers map[int]func([]string)
+	nextID   int
+}
+
+// NewFleetMembership returns an empty fleet membership.
+func NewFleetMembership(addrs ...string) *FleetMembership {
+	m := &FleetMembership{watchers: map[int]func([]string){}}
+	m.addrs = append(m.addrs, addrs...)
+	return m
+}
+
+// Snapshot implements Membership.
+func (m *FleetMembership) Snapshot() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.addrs))
+	copy(out, m.addrs)
+	return out
+}
+
+// Add publishes a new endpoint to every watcher. Duplicate adds are
+// no-ops.
+func (m *FleetMembership) Add(addr string) {
+	m.mu.Lock()
+	for _, a := range m.addrs {
+		if a == addr {
+			m.mu.Unlock()
+			return
+		}
+	}
+	m.addrs = append(m.addrs, addr)
+	m.notifyLocked()
+}
+
+// Remove withdraws an endpoint from every watcher. Removing an unknown
+// address is a no-op.
+func (m *FleetMembership) Remove(addr string) {
+	m.mu.Lock()
+	keep := m.addrs[:0]
+	found := false
+	for _, a := range m.addrs {
+		if a == addr {
+			found = true
+			continue
+		}
+		keep = append(keep, a)
+	}
+	m.addrs = keep
+	if !found {
+		m.mu.Unlock()
+		return
+	}
+	m.notifyLocked()
+}
+
+// notifyLocked snapshots the list and watcher set under the lock, then
+// releases it before invoking callbacks (a watcher resizing connection
+// state must not deadlock against concurrent Add/Remove).
+func (m *FleetMembership) notifyLocked() {
+	snap := make([]string, len(m.addrs))
+	copy(snap, m.addrs)
+	fns := make([]func([]string), 0, len(m.watchers))
+	for _, fn := range m.watchers {
+		fns = append(fns, fn)
+	}
+	m.mu.Unlock()
+	for _, fn := range fns {
+		fn(snap)
+	}
+}
+
+// Watch implements Membership.
+func (m *FleetMembership) Watch(fn func([]string)) (cancel func()) {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	m.watchers[id] = fn
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.watchers, id)
+		m.mu.Unlock()
+	}
+}

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"time"
+)
+
+// SurgePhase is one step of a Surge shape: from At onward (until the
+// next phase) the offered load is multiplied by Multiplier.
+type SurgePhase struct {
+	At         time.Duration
+	Multiplier float64
+}
+
+// Surge is a deterministic offered-load shape for the open-loop
+// harness: a base multiplier, step phases (ramps, plateaus, cliffs),
+// and optional seeded spikes — so the chaos harness can compose
+// overload with container flap and a failing run replays exactly.
+// Multipliers scale the generator's base arrival rate; Surge itself
+// injects nothing.
+type Surge struct {
+	// Base is the multiplier before the first phase (0 selects 1).
+	Base float64
+	// Phases are the load steps, in any order (At sorts them).
+	Phases []SurgePhase
+
+	// Spikes: with probability SpikeProb per SpikeEvery bucket, the
+	// multiplier is additionally multiplied by SpikeFactor for that
+	// bucket. The decision is a pure hash of (Seed, bucket index), so
+	// the same seed yields the same spike train regardless of how often
+	// or in what order At is called.
+	Seed        int64
+	SpikeProb   float64
+	SpikeFactor float64
+	// SpikeEvery is the spike bucket width (0 selects 1s).
+	SpikeEvery time.Duration
+}
+
+// Step appends a phase and returns the surge for chaining.
+func (s *Surge) Step(at time.Duration, multiplier float64) *Surge {
+	s.Phases = append(s.Phases, SurgePhase{At: at, Multiplier: multiplier})
+	return s
+}
+
+// Ramp appends n evenly spaced steps interpolating the multiplier from
+// `from` (at start) to `to` (reached at end), a staircase
+// approximation of a linear traffic ramp.
+func (s *Surge) Ramp(start, end time.Duration, from, to float64, n int) *Surge {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		if n == 1 {
+			frac = 1
+		}
+		at := start + time.Duration(float64(end-start)*float64(i)/float64(n))
+		s.Step(at, from+(to-from)*frac)
+	}
+	return s
+}
+
+// At returns the offered-load multiplier at elapsed time t. It is a
+// pure function of (shape, t) and safe for concurrent use.
+func (s *Surge) At(t time.Duration) float64 {
+	m := s.Base
+	if m == 0 {
+		m = 1
+	}
+	// The phase in effect is the one with the largest At <= t; phases at
+	// the same offset resolve to the later-declared one. Linear scan —
+	// shapes are a handful of steps.
+	best := time.Duration(-1)
+	for _, p := range s.Phases {
+		if t >= p.At && p.At >= best {
+			best = p.At
+			m = p.Multiplier
+		}
+	}
+	if s.SpikeProb > 0 && s.SpikeFactor > 0 {
+		every := s.SpikeEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		bucket := uint64(t / every)
+		if splitmix(uint64(s.Seed)^bucket*0x9e3779b97f4a7c15) < s.SpikeProb {
+			m *= s.SpikeFactor
+		}
+	}
+	return m
+}
+
+// splitmix maps a 64-bit value to a uniform [0,1) float — a stateless
+// stand-in for a seeded rand stream, so spike decisions are a pure
+// function of (seed, bucket).
+func splitmix(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSurgeSteps(t *testing.T) {
+	s := (&Surge{Base: 1}).
+		Step(2*time.Second, 3).
+		Step(1*time.Second, 2). // out of order on purpose
+		Step(4*time.Second, 0.5)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 3},
+		{3999 * time.Millisecond, 3},
+		{4 * time.Second, 0.5},
+		{time.Hour, 0.5},
+	}
+	for _, c := range cases {
+		if got := s.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestSurgeZeroBaseDefaultsToOne(t *testing.T) {
+	s := &Surge{}
+	if got := s.At(0); got != 1 {
+		t.Fatalf("empty surge At(0) = %v, want 1", got)
+	}
+}
+
+func TestSurgeRamp(t *testing.T) {
+	s := (&Surge{Base: 1}).Ramp(time.Second, 3*time.Second, 1, 10, 4)
+	if got := s.At(0); got != 1 {
+		t.Fatalf("before ramp: %v, want 1", got)
+	}
+	// The staircase is non-decreasing and reaches the target.
+	prev := 0.0
+	for at := time.Second; at <= 3*time.Second; at += 100 * time.Millisecond {
+		got := s.At(at)
+		if got < prev {
+			t.Fatalf("ramp decreased at %v: %v < %v", at, got, prev)
+		}
+		prev = got
+	}
+	if got := s.At(4 * time.Second); got != 10 {
+		t.Fatalf("after ramp: %v, want 10", got)
+	}
+}
+
+func TestSurgeSpikesDeterministic(t *testing.T) {
+	mk := func(seed int64) *Surge {
+		return &Surge{Base: 1, Seed: seed, SpikeProb: 0.3, SpikeFactor: 5, SpikeEvery: 100 * time.Millisecond}
+	}
+	a, b := mk(42), mk(42)
+	spikes := 0
+	for i := 0; i < 200; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		va, vb := a.At(at), b.At(at)
+		if va != vb {
+			t.Fatalf("same seed diverged at %v: %v vs %v", at, va, vb)
+		}
+		if va == 5 {
+			spikes++
+		} else if va != 1 {
+			t.Fatalf("unexpected multiplier %v at %v", va, at)
+		}
+	}
+	if spikes == 0 || spikes == 200 {
+		t.Fatalf("spike count %d/200 is degenerate for prob 0.3", spikes)
+	}
+	// A different seed yields a different spike train.
+	c := mk(7)
+	same := 0
+	for i := 0; i < 200; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		if a.At(at) == c.At(at) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical spike trains")
+	}
+	// Repeated and out-of-order queries are stable (pure function).
+	if a.At(time.Second) != a.At(time.Second) {
+		t.Fatal("At is not stable across calls")
+	}
+}
+
+func BenchmarkSurgeAt(b *testing.B) {
+	s := (&Surge{Base: 1, Seed: 1, SpikeProb: 0.1, SpikeFactor: 3}).
+		Ramp(0, 10*time.Second, 1, 10, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(time.Duration(i%10000) * time.Millisecond)
+	}
+}

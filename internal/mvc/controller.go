@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"webmlgo/internal/admit"
 	"webmlgo/internal/descriptor"
 	"webmlgo/internal/obs"
 )
@@ -87,6 +88,16 @@ type Controller struct {
 	// every tier below contributes spans. Nil disables tracing; the
 	// latency histograms stay on either way.
 	Obs *obs.Tracer
+	// Admission, when set, gates every action behind the admission
+	// limiter: a request acquires a concurrency slot (possibly queueing)
+	// before any tier below runs, and holds it until the response is
+	// written. Shed requests answer 503 with a drain-rate Retry-After
+	// and an X-Webml-Shed marker so the edge can substitute a stale
+	// fragment instead of surfacing the error.
+	Admission *admit.Limiter
+	// ClassifyRequest maps a request to its admission priority; nil
+	// selects admit.Classify (operations > interactive > crawler).
+	ClassifyRequest func(*http.Request) admit.Priority
 
 	metrics metrics
 }
@@ -133,9 +144,15 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	if strings.HasPrefix(path, "fragment/") {
 		start := time.Now()
+		release, ok := c.admitRequest(w, r)
+		if !ok {
+			c.metrics.record(path, time.Since(start), true)
+			return
+		}
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r, finish := c.traceRequest(r, path)
 		c.safeFragment(sr, r, path)
+		release()
 		finish(sr.status)
 		c.metrics.record(path, time.Since(start), sr.status >= 400)
 		return
@@ -144,9 +161,15 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case strings.HasPrefix(path, "page/") || strings.HasPrefix(path, "op/"):
 		start := time.Now()
+		release, ok := c.admitRequest(w, r)
+		if !ok {
+			c.metrics.record(path, time.Since(start), true)
+			return
+		}
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r, finish := c.traceRequest(r, path)
 		c.safeDispatch(sr, r, session, path)
+		release()
 		finish(sr.status)
 		c.metrics.record(path, time.Since(start), sr.status >= 400)
 	case path == "login":
@@ -167,6 +190,38 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// admitRequest passes one request through the admission limiter. A
+// shed answers 503 immediately: Retry-After derived from the measured
+// drain rate, X-Webml-Shed so upstream caches know the error is a load
+// decision (and may serve stale), and the shed class for debugging.
+// The returned release frees the concurrency slot and must be called
+// once the action has written its response.
+func (c *Controller) admitRequest(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if c.Admission == nil {
+		return func() {}, true
+	}
+	classify := c.ClassifyRequest
+	if classify == nil {
+		classify = admit.Classify
+	}
+	pri := classify(r)
+	release, err := c.Admission.Acquire(r.Context(), pri)
+	if err == nil {
+		return release, true
+	}
+	if admit.IsShed(err) {
+		h := w.Header()
+		h.Set("Retry-After", strconv.Itoa(int(c.Admission.RetryAfter()/time.Second)))
+		h.Set("X-Webml-Shed", "1")
+		h.Set("X-Webml-Shed-Class", pri.String())
+		http.Error(w, "overloaded: "+err.Error(), http.StatusServiceUnavailable)
+	} else {
+		// Not a load decision: the client went away while queued.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+	return nil, false
 }
 
 // traceRequest attaches tracing to one request: if an upstream tier (the

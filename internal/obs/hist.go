@@ -120,6 +120,57 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Merge returns the element-wise sum of two snapshots — one histogram
+// covering both series.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := s
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	out.Count += o.Count
+	out.Sum += o.Sum
+	out.Errs += o.Errs
+	if s.Count == 0 || (o.Count > 0 && o.Min < s.Min) {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	return out
+}
+
+// Delta returns the observations recorded in s but not in prev — the
+// window between two snapshots of the same histogram, for windowed
+// quantiles (a supervisor watching recent p99 rather than
+// since-startup p99). Min/Max carry over from s: the log buckets bound
+// the quantile well enough for threshold decisions.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	out := s
+	for i := range out.Buckets {
+		if prev.Buckets[i] <= out.Buckets[i] {
+			out.Buckets[i] -= prev.Buckets[i]
+		} else {
+			out.Buckets[i] = 0
+		}
+	}
+	if prev.Count <= out.Count {
+		out.Count -= prev.Count
+	} else {
+		out.Count = 0
+	}
+	if prev.Sum <= out.Sum {
+		out.Sum -= prev.Sum
+	} else {
+		out.Sum = 0
+	}
+	if prev.Errs <= out.Errs {
+		out.Errs -= prev.Errs
+	} else {
+		out.Errs = 0
+	}
+	return out
+}
+
 // Mean returns the average observation.
 func (s HistSnapshot) Mean() time.Duration {
 	if s.Count == 0 {

@@ -179,6 +179,48 @@ func (a *App) buildRegistry() *obs.Registry {
 			e.Counter("webml_rdb_recovered_records_total", "WAL records replayed at the last open.", nil, float64(s.RecoveredRecords))
 		})
 	}
+	if a.Admission != nil {
+		reg.RegisterVec(a.Admission.Sojourn)
+		reg.Register(func(e *obs.Exposition) {
+			s := a.Admission.Stats()
+			e.Gauge("webml_admission_active", "Actions currently holding an admission slot.", nil, float64(s.Active))
+			e.Gauge("webml_admission_queued", "Actions waiting for an admission slot.", nil, float64(s.Queued))
+			e.Gauge("webml_admission_queued_high_water", "Peak admission queue depth.", nil, float64(s.QueuedHighWater))
+			standing := 0.0
+			if s.Standing {
+				standing = 1
+			}
+			e.Gauge("webml_admission_standing_queue", "1 while the CoDel detector sees a standing queue.", nil, standing)
+			e.Gauge("webml_admission_retry_after_seconds", "Drain-rate Retry-After currently advertised on sheds.", nil, s.RetryAfter)
+			for class, cs := range s.Classes {
+				l := map[string]string{"class": class}
+				e.Counter("webml_admission_admitted_total", "Admitted actions by priority class.", l, float64(cs.Admitted))
+				for _, sh := range []struct {
+					reason string
+					v      int64
+				}{{"full", cs.ShedFull}, {"timeout", cs.ShedTimeout}, {"displaced", cs.ShedDisplaced}, {"overload", cs.ShedOverload}} {
+					e.Counter("webml_admission_shed_total", "Shed actions by priority class and reason.",
+						map[string]string{"class": class, "reason": sh.reason}, float64(sh.v))
+				}
+			}
+		})
+	}
+	if a.Fleet != nil {
+		reg.Register(func(e *obs.Exposition) {
+			s := a.Fleet.Stats()
+			e.Gauge("webml_fleet_size", "Serving container clones.", nil, float64(s.Size))
+			e.Gauge("webml_fleet_min", "Fleet size floor.", nil, float64(s.Min))
+			e.Gauge("webml_fleet_max", "Fleet size ceiling.", nil, float64(s.Max))
+			e.Gauge("webml_fleet_draining", "Clones draining toward retirement.", nil, float64(s.Draining))
+			e.Counter("webml_fleet_scale_ups_total", "Clones added by the supervisor.", nil, float64(s.ScaleUps))
+			e.Counter("webml_fleet_scale_downs_total", "Clones drained and retired by the supervisor.", nil, float64(s.ScaleDowns))
+		})
+	}
+	if a.Edge != nil {
+		reg.Counter("webml_edge_shed_stale_kept_total",
+			"Background refreshes load-shed by the origin with the stale entry kept serving.", nil,
+			func() float64 { return float64(a.Edge.ShedKept()) })
+	}
 	if a.Resilient != nil {
 		reg.Counter("webml_retries_total", "Unit-read retry attempts.", nil,
 			func() float64 { return float64(a.Resilient.Retries.Load()) })

@@ -1,0 +1,187 @@
+package webmlgo
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webmlgo/internal/admit"
+	"webmlgo/internal/fault"
+	"webmlgo/internal/fixture"
+	"webmlgo/internal/workload"
+)
+
+// waitUntil polls cond until true, failing the test after 5s.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+// TestAdmissionShedsWithRetryAfter saturates an admission-gated app and
+// checks the overflow answers 503 with the shed marker and a
+// Retry-After, while admitted requests still succeed.
+func TestAdmissionShedsWithRetryAfter(t *testing.T) {
+	app, err := New(fixture.Figure1Model(), WithAdmission(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixture.Seed(app.DB); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic saturation: occupy both slots directly, then fill
+	// the queue with two requests, then overflow it.
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		release, err := app.Admission.Acquire(context.Background(), admit.Interactive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, release)
+	}
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rr, _ := request(t, app.Handler(), "/page/volumePage?volume=1", "")
+			if rr.Code == 200 {
+				ok.Add(1)
+			}
+		}()
+	}
+	waitUntil(t, func() bool { return app.Admission.Stats().Queued == 2 })
+
+	// Queue full: this one must shed immediately with the marker headers.
+	rr, _ := request(t, app.Handler(), "/page/volumePage?volume=1", "")
+	if rr.Code != 503 {
+		t.Fatalf("overflow request = %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("X-Webml-Shed") == "" {
+		t.Fatal("shed 503 missing X-Webml-Shed marker")
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("shed 503 missing Retry-After")
+	}
+	for _, release := range releases {
+		release()
+	}
+	wg.Wait()
+	if ok.Load() != 2 {
+		t.Fatalf("queued requests admitted after release: %d of 2 succeeded", ok.Load())
+	}
+	// /healthz stays 200 under load-shedding (degraded by policy, not
+	// down) and reports the admission snapshot.
+	rr, body := request(t, app.HealthHandler(), "/healthz", "")
+	if rr.Code != 200 {
+		t.Fatalf("healthz under shedding = %d", rr.Code)
+	}
+	var h struct {
+		Admission *struct {
+			Classes map[string]struct {
+				Admitted int64 `json:"admitted"`
+				Shed     int64 `json:"shed"`
+			} `json:"classes"`
+		} `json:"admission"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Admission == nil {
+		t.Fatalf("healthz missing admission snapshot: %s", body)
+	}
+	cls := h.Admission.Classes["interactive"]
+	if cls.Admitted == 0 || cls.Shed == 0 {
+		t.Fatalf("admission class counters empty: %s", body)
+	}
+}
+
+// TestElasticFleetServesThroughMembership assembles an app over a
+// self-hosted elastic fleet and checks pages compute through the
+// supervised containers, with the fleet visible in /healthz.
+func TestElasticFleetServesThroughMembership(t *testing.T) {
+	app, err := New(fixture.Figure1Model(), WithElasticFleet(1, 3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := fixture.Seed(app.DB); err != nil {
+		t.Fatal(err)
+	}
+	rr, body := request(t, app.Handler(), "/page/volumePage?volume=1", "")
+	if rr.Code != 200 {
+		t.Fatalf("fleet-backed page = %d %s", rr.Code, body)
+	}
+	if got := app.Fleet.FleetSize(); got != 1 {
+		t.Fatalf("fleet size = %d, want min 1", got)
+	}
+	rr, body = request(t, app.HealthHandler(), "/healthz", "")
+	if rr.Code != 200 {
+		t.Fatalf("healthz = %d", rr.Code)
+	}
+	var h struct {
+		Fleet *struct {
+			Size int `json:"size"`
+			Min  int `json:"min"`
+			Max  int `json:"max"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Fleet == nil || h.Fleet.Size != 1 || h.Fleet.Max != 3 {
+		t.Fatalf("healthz fleet snapshot = %s", body)
+	}
+}
+
+// TestOpenLoopAgainstAdmissionGate drives the open-loop generator at an
+// overload rate against an admission-gated app: goodput stays positive,
+// sheds carry honest Retry-After, and crawler traffic sheds before
+// operations (the priority order, observed end to end).
+func TestOpenLoopAgainstAdmissionGate(t *testing.T) {
+	// Every business call stalls 5ms inside the admission gate, so the
+	// offered rate is a genuine overload of the 4-slot limiter.
+	app, err := New(fixture.Figure1Model(), WithAdmission(4, 4),
+		WithFaults(fault.Schedule{Seed: 9, LatencyProb: 1, Latency: 5 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixture.Seed(app.DB); err != nil {
+		t.Fatal(err)
+	}
+	gen := &workload.OpenLoop{
+		Handler:      app.Handler(),
+		Rate:         800,
+		Duration:     400 * time.Millisecond,
+		Clicks:       2,
+		Pages:        []string{"/page/volumePage?volume=1", "/page/volumesPage"},
+		Ops:          []string{"/op/createVolume?title=L&year=2004"},
+		OpShare:      0.05,
+		CrawlerShare: 0.3,
+		SLO:          2 * time.Second,
+		Seed:         11,
+	}
+	rep := gen.Run(context.Background())
+	if rep.OK == 0 {
+		t.Fatalf("no goodput under admission control: %+v", rep)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("overload offered with no shedding: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("admission control must shed, not error: %+v", rep)
+	}
+	if rep.ShedByClass.Operations > 0 && rep.ShedByClass.Crawler == 0 {
+		t.Fatalf("priority inversion: ops shed while crawler skated: %+v", rep.ShedByClass)
+	}
+}
