@@ -114,6 +114,10 @@ type config struct {
 	traceCap  int
 	slowTrace time.Duration
 
+	withAnalysis bool
+	analyzeCap   int
+	analyzeMin   time.Duration
+
 	withAdmission  bool
 	maxConcurrency int
 	admitQueue     int

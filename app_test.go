@@ -1,6 +1,7 @@
 package webmlgo
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -196,7 +197,7 @@ func TestPluginEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	app.LocalBusiness().RegisterUnitService("clock", mvc.UnitServiceFunc(
-		func(_ *rdb.DB, d *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
+		func(_ context.Context, _ *rdb.DB, d *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
 			zone, _ := d.Prop("zone")
 			return &mvc.UnitBean{UnitID: d.ID, Kind: d.Kind,
 				Props: map[string]string{"zone": zone}}, nil

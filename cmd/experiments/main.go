@@ -61,6 +61,7 @@ func main() {
 		{"e11", e11, "E11 (Sec. 6): compiled query plans, composite indexes, cost-based planner"},
 		{"e12", e12, "E12 (Sec. 6): durable storage engine — WAL crash recovery + MVCC snapshot reads"},
 		{"e13", e13, "E13 (Sec. 4): overload survival — admission control, priority shedding, elastic fleet"},
+		{"e14", e14, "E14 (deep observability): EXPLAIN ANALYZE, data-tier tracing, slow-query flight recorder"},
 	}
 	// Hidden crash-child mode for e12: the parent re-executes this
 	// binary with the environment variable set and SIGKILLs it

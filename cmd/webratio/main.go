@@ -148,6 +148,7 @@ func usage() {
            [-drain d]                    graceful-shutdown drain budget (default 5s)
            [-trace] [-slow-trace d]      cross-tier request tracing at /debug/traces
            [-trace-sample n]             trace 1 in n requests (production setting)
+           [-analyze] [-slow-query d]    slow-query flight recorder at /debug/queries
            [-debug]                      net/http/pprof at /debug/pprof/
            [-app-server a1,a2]           remote business tier (container addresses)
            [-wire auto|framed|gob]       EJB wire protocol (needs -app-server)
@@ -158,7 +159,9 @@ func usage() {
            [-autoscale]                  self-hosted elastic container fleet
            [-min-containers n]           fleet floor (default 1; needs -autoscale)
            [-max-containers n]           fleet ceiling (default 4; needs -autoscale)
-           (always mounted: /metrics Prometheus exposition, /healthz)
+           (always mounted: /metrics, /healthz, /debug/traces,
+            /debug/queries, /debug/fleet — the debug endpoints answer
+            404 until their option is on)
   container -model <name> -addr <addr>   run the application-server tier alone
            [-capacity n]                 concurrent business invocations (default 16)
   export   -model <name> [-out file]     write the model's XML document
@@ -323,6 +326,8 @@ func cmdServe(args []string) {
 	trace := fs.Bool("trace", false, "trace requests across tiers (/debug/traces)")
 	slowTrace := fs.Duration("slow-trace", 0, "slow-trace exemplar threshold (0 = default 250ms; needs -trace)")
 	traceSample := fs.Int("trace-sample", 1, "trace 1 in n requests (1 = every request; needs -trace)")
+	analyze := fs.Bool("analyze", false, "slow-query flight recorder (/debug/queries)")
+	slowQuery := fs.Duration("slow-query", 25*time.Millisecond, "flight-recorder capture threshold (0 = capture every query; needs -analyze)")
 	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	appServer := fs.String("app-server", "", "comma-separated container addresses (empty = in-process business tier)")
 	wire := fs.String("wire", "auto", "EJB wire protocol: auto (negotiate v2, fall back to gob), framed (require v2), gob (legacy)")
@@ -396,6 +401,9 @@ func cmdServe(args []string) {
 	if *trace {
 		opts = append(opts, webmlgo.WithObservability(0, *slowTrace))
 	}
+	if *analyze {
+		opts = append(opts, webmlgo.WithQueryAnalysis(0, *slowQuery))
+	}
 	if *chaos {
 		opts = append(opts, webmlgo.WithFaults(fault.Schedule{
 			Seed:        *chaosSeed,
@@ -444,6 +452,9 @@ func cmdServe(args []string) {
 		log.Printf("webratio: admission control on (%d slots, queue %d; overflow sheds 503 + Retry-After)",
 			*maxConcurrency, app.Admission.MaxQueue)
 	}
+	if *analyze {
+		log.Printf("webratio: slow-query flight recorder on (threshold %v; captures at /debug/queries)", *slowQuery)
+	}
 	if fresh {
 		if synthetic {
 			if err := workload.Populate(app.DB, *rows, 7); err != nil {
@@ -461,6 +472,8 @@ func cmdServe(args []string) {
 	mux.Handle("/healthz", app.HealthHandler())
 	mux.Handle("/metrics", app.MetricsHandler())
 	mux.Handle("/debug/traces", app.TracesHandler())
+	mux.Handle("/debug/queries", app.QueriesHandler())
+	mux.Handle("/debug/fleet", app.FleetHandler())
 	if *debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +30,7 @@ import (
 // weatherService is the plug-in's unit service: the business component
 // behind the custom tag. A production plug-in would call a Web service;
 // this one simulates the payload deterministically per city.
-func weatherService(_ *rdb.DB, d *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
+func weatherService(_ context.Context, _ *rdb.DB, d *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
 	city, _ := d.Prop("city")
 	forecast := "sunny, 21C"
 	if strings.Contains(strings.ToLower(city), "milano") {

@@ -33,6 +33,16 @@ type Health struct {
 	DegradedHits int64 `json:"degradedHits,omitempty"`
 	// Faults reports injected chaos counts when -chaos is active.
 	Faults interface{} `json:"faults,omitempty"`
+	// Recorder is the slow-query flight recorder snapshot
+	// (WithQueryAnalysis): capture threshold and how many queries the
+	// ring has seen.
+	Recorder *RecorderHealth `json:"recorder,omitempty"`
+}
+
+// RecorderHealth summarizes the slow-query flight recorder.
+type RecorderHealth struct {
+	Threshold string `json:"threshold"`
+	Captured  uint64 `json:"captured"`
 }
 
 // Health snapshots the application's resilience state. OK is false only
@@ -68,6 +78,12 @@ func (a *App) Health() Health {
 	}
 	if a.Faults != nil {
 		h.Faults = a.Faults.Counts()
+	}
+	if enabled, threshold := a.DB.RecorderEnabled(); enabled {
+		h.Recorder = &RecorderHealth{
+			Threshold: threshold.String(),
+			Captured:  a.DB.Stats().QueriesRecorded,
+		}
 	}
 	return h
 }

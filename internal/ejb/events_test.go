@@ -1,0 +1,38 @@
+package ejb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestScaleEventRingBounded: the supervisor retains at most
+// maxScaleEvents scale events, overwriting the oldest, and Events()
+// returns the survivors in chronological order.
+func TestScaleEventRingBounded(t *testing.T) {
+	s := &Supervisor{}
+	total := maxScaleEvents + 40
+	for i := 0; i < total; i++ {
+		s.mu.Lock()
+		s.recordEventLocked(ScaleEvent{At: time.Unix(int64(i), 0), Reason: fmt.Sprintf("e%d", i)})
+		s.mu.Unlock()
+	}
+	ev := s.Events()
+	if len(ev) != maxScaleEvents {
+		t.Fatalf("ring holds %d events, want %d", len(ev), maxScaleEvents)
+	}
+	for i, e := range ev {
+		want := fmt.Sprintf("e%d", total-maxScaleEvents+i)
+		if e.Reason != want {
+			t.Fatalf("event %d = %q, want %q (ring order broken)", i, e.Reason, want)
+		}
+	}
+	// Stats trims to the newest 32.
+	st := s.Stats()
+	if len(st.Events) != 32 {
+		t.Fatalf("Stats kept %d events, want 32", len(st.Events))
+	}
+	if st.Events[31].Reason != fmt.Sprintf("e%d", total-1) {
+		t.Fatalf("Stats lost the newest event: %q", st.Events[31].Reason)
+	}
+}

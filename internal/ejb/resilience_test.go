@@ -399,7 +399,7 @@ func TestContainerSurvivesPanickingComponent(t *testing.T) {
 
 	biz := mvc.NewLocalBusiness(db)
 	biz.RegisterCustomComponent("explosive", mvc.UnitServiceFunc(
-		func(_ *rdb.DB, _ *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
+		func(_ context.Context, _ *rdb.DB, _ *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
 			panic("kaboom")
 		}))
 	ctr := NewContainer(biz, 4)

@@ -79,7 +79,8 @@ type Supervisor struct {
 
 	mu        sync.Mutex
 	clones    []*supervised
-	events    []ScaleEvent
+	events    []ScaleEvent // bounded ring of maxScaleEvents entries
+	eventPos  int          // next overwrite slot once the ring is full
 	lastUp    time.Time
 	idleSince time.Time
 	started   bool
@@ -97,6 +98,33 @@ type Supervisor struct {
 type supervised struct {
 	clone *Clone
 	prevQ obs.HistSnapshot
+}
+
+// maxScaleEvents bounds the retained scale-decision history: enough
+// for /debug/fleet to explain recent behavior, without a long-running
+// supervisor growing its event slice forever.
+const maxScaleEvents = 256
+
+// recordEventLocked appends a scale event into the bounded ring. The
+// caller must hold s.mu.
+func (s *Supervisor) recordEventLocked(e ScaleEvent) {
+	if len(s.events) < maxScaleEvents {
+		s.events = append(s.events, e)
+		return
+	}
+	s.events[s.eventPos] = e
+	s.eventPos = (s.eventPos + 1) % maxScaleEvents
+}
+
+// eventsLocked reconstructs the ring in chronological order. The
+// caller must hold s.mu.
+func (s *Supervisor) eventsLocked() []ScaleEvent {
+	n := len(s.events)
+	out := make([]ScaleEvent, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.events[(s.eventPos+i)%n]
+	}
+	return out
 }
 
 // NewSupervisor returns a supervisor over the spawn factory and
@@ -230,7 +258,7 @@ func (s *Supervisor) evaluate() {
 			s.clones = s.clones[:len(s.clones)-1]
 			s.idleSince = now // one retirement per idle period
 			from := n
-			s.events = append(s.events, ScaleEvent{At: now, Dir: "down",
+			s.recordEventLocked(ScaleEvent{At: now, Dir: "down",
 				Reason: fmt.Sprintf("idle %v, utilization %.2f", idleAfter, util),
 				Addr:   sc.clone.Addr, From: from, To: from - 1})
 			s.mu.Unlock()
@@ -255,7 +283,7 @@ func (s *Supervisor) scaleUp(reason string) error {
 	s.clones = append(s.clones, &supervised{clone: clone})
 	s.lastUp = time.Now()
 	s.idleSince = time.Time{}
-	s.events = append(s.events, ScaleEvent{At: s.lastUp, Dir: "up", Reason: reason,
+	s.recordEventLocked(ScaleEvent{At: s.lastUp, Dir: "up", Reason: reason,
 		Addr: clone.Addr, From: from, To: from + 1})
 	s.mu.Unlock()
 	s.scaleUps.Add(1)
@@ -327,7 +355,7 @@ func (s *Supervisor) Retire(addr string) bool {
 	}
 	s.clones = keep
 	if target != nil {
-		s.events = append(s.events, ScaleEvent{At: time.Now(), Dir: "down", Reason: "manual",
+		s.recordEventLocked(ScaleEvent{At: time.Now(), Dir: "down", Reason: "manual",
 			Addr: addr, From: len(keep) + 1, To: len(keep)})
 	}
 	s.mu.Unlock()
@@ -381,12 +409,10 @@ type FleetStats struct {
 // Stats snapshots the fleet (at most the last 32 scale events).
 func (s *Supervisor) Stats() FleetStats {
 	s.mu.Lock()
-	ev := s.events
-	if len(ev) > 32 {
-		ev = ev[len(ev)-32:]
+	events := s.eventsLocked()
+	if len(events) > 32 {
+		events = events[len(events)-32:]
 	}
-	events := make([]ScaleEvent, len(ev))
-	copy(events, ev)
 	size := len(s.clones)
 	s.mu.Unlock()
 	return FleetStats{
@@ -398,11 +424,10 @@ func (s *Supervisor) Stats() FleetStats {
 	}
 }
 
-// Events returns every scale event since start.
+// Events returns the retained scale events in chronological order (the
+// last maxScaleEvents of them — the ring overwrites older history).
 func (s *Supervisor) Events() []ScaleEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]ScaleEvent, len(s.events))
-	copy(out, s.events)
-	return out
+	return s.eventsLocked()
 }

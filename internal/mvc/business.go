@@ -91,7 +91,7 @@ func (b *LocalBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inp
 	}
 	if d.Service != "" {
 		if s, ok := b.Custom[d.Service]; ok {
-			return s.Compute(b.DB, d, inputs)
+			return s.Compute(ctx, b.DB, d, inputs)
 		}
 		return nil, fmt.Errorf("mvc: unit %s names unknown custom component %q", d.ID, d.Service)
 	}
@@ -99,7 +99,7 @@ func (b *LocalBusiness) ComputeUnit(ctx context.Context, d *descriptor.Unit, inp
 	if !ok {
 		return nil, fmt.Errorf("mvc: no generic service for unit kind %q", d.Kind)
 	}
-	return s.Compute(b.DB, d, inputs)
+	return s.Compute(ctx, b.DB, d, inputs)
 }
 
 // ExecuteOperation implements Business.
@@ -109,7 +109,7 @@ func (b *LocalBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit
 	}
 	if d.Service != "" {
 		if s, ok := b.CustomOps[d.Service]; ok {
-			return s.Execute(b.DB, d, inputs)
+			return s.Execute(ctx, b.DB, d, inputs)
 		}
 		return nil, fmt.Errorf("mvc: operation %s names unknown custom component %q", d.ID, d.Service)
 	}
@@ -117,7 +117,7 @@ func (b *LocalBusiness) ExecuteOperation(ctx context.Context, d *descriptor.Unit
 	if !ok {
 		return nil, fmt.Errorf("mvc: no generic service for operation kind %q", d.Kind)
 	}
-	return s.Execute(b.DB, d, inputs)
+	return s.Execute(ctx, b.DB, d, inputs)
 }
 
 // CachedBusiness decorates a Business with the bean cache: unit beans of

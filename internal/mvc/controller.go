@@ -144,13 +144,18 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	if strings.HasPrefix(path, "fragment/") {
 		start := time.Now()
-		release, ok := c.admitRequest(w, r)
+		release, pri, ok := c.admitRequest(w, r)
 		if !ok {
 			c.metrics.record(path, time.Since(start), true)
 			return
 		}
+		admitted := time.Now()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r, finish := c.traceRequest(r, path)
+		if c.Admission != nil {
+			// Retro-recorded: the wait happened before the trace existed.
+			obs.RecordSpan(r.Context(), "admission.wait", start, admitted, "class", pri.String())
+		}
 		c.safeFragment(sr, r, path)
 		release()
 		finish(sr.status)
@@ -161,13 +166,18 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case strings.HasPrefix(path, "page/") || strings.HasPrefix(path, "op/"):
 		start := time.Now()
-		release, ok := c.admitRequest(w, r)
+		release, pri, ok := c.admitRequest(w, r)
 		if !ok {
 			c.metrics.record(path, time.Since(start), true)
 			return
 		}
+		admitted := time.Now()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r, finish := c.traceRequest(r, path)
+		if c.Admission != nil {
+			// Retro-recorded: the wait happened before the trace existed.
+			obs.RecordSpan(r.Context(), "admission.wait", start, admitted, "class", pri.String())
+		}
 		c.safeDispatch(sr, r, session, path)
 		release()
 		finish(sr.status)
@@ -198,19 +208,25 @@ func (c *Controller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // decision (and may serve stale), and the shed class for debugging.
 // The returned release frees the concurrency slot and must be called
 // once the action has written its response.
-func (c *Controller) admitRequest(w http.ResponseWriter, r *http.Request) (func(), bool) {
+func (c *Controller) admitRequest(w http.ResponseWriter, r *http.Request) (func(), admit.Priority, bool) {
 	if c.Admission == nil {
-		return func() {}, true
+		return func() {}, 0, true
 	}
 	classify := c.ClassifyRequest
 	if classify == nil {
 		classify = admit.Classify
 	}
 	pri := classify(r)
+	acqStart := time.Now()
 	release, err := c.Admission.Acquire(r.Context(), pri)
 	if err == nil {
-		return release, true
+		return release, pri, true
 	}
+	// A shed on a request an upstream tier already traced (the edge
+	// surrogate) leaves its mark in that trace; controller-rooted traces
+	// don't exist yet at admission time, by design — admission runs
+	// before any per-request allocation.
+	obs.RecordSpan(r.Context(), "admission.shed", acqStart, time.Now(), "class", pri.String())
 	if admit.IsShed(err) {
 		h := w.Header()
 		h.Set("Retry-After", strconv.Itoa(int(c.Admission.RetryAfter()/time.Second)))
@@ -221,7 +237,7 @@ func (c *Controller) admitRequest(w http.ResponseWriter, r *http.Request) (func(
 		// Not a load decision: the client went away while queued.
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	}
-	return nil, false
+	return nil, pri, false
 }
 
 // traceRequest attaches tracing to one request: if an upstream tier (the

@@ -1,6 +1,7 @@
 package mvc_test
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -395,7 +396,7 @@ func TestCustomComponentOverride(t *testing.T) {
 	lb := mvc.NewLocalBusiness(db)
 	called := false
 	lb.RegisterCustomComponent("tuned.VolumeData", mvc.UnitServiceFunc(
-		func(_ *rdb.DB, d *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
+		func(_ context.Context, _ *rdb.DB, d *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
 			called = true
 			return &mvc.UnitBean{
 				UnitID: d.ID, Kind: d.Kind, Fields: []string{"Title"},
@@ -539,7 +540,7 @@ func TestPanickingCustomComponentBecomes500(t *testing.T) {
 	}
 	lb := mvc.NewLocalBusiness(db)
 	lb.RegisterCustomComponent("buggy", mvc.UnitServiceFunc(
-		func(_ *rdb.DB, _ *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
+		func(_ context.Context, _ *rdb.DB, _ *descriptor.Unit, _ map[string]mvc.Value) (*mvc.UnitBean, error) {
 			panic("component bug")
 		}))
 	ctl := mvc.NewController(art.Repo, lb, render.NewEngine(art.Repo))

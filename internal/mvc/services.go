@@ -1,6 +1,7 @@
 package mvc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -22,10 +23,11 @@ var QueryLat = obs.NewHistogramVec("webml_rdb_query_seconds",
 	"Descriptor query execution time by unit.", "unit")
 
 // timedQuery runs one descriptor query and records its latency under the
-// unit's ID.
-func timedQuery(db *rdb.DB, unitID, sql string, args ...rdb.Value) (*rdb.Rows, error) {
+// unit's ID. It goes through QueryContext so a traced request carries
+// its data-tier spans and slow executions reach the flight recorder.
+func timedQuery(ctx context.Context, db *rdb.DB, unitID, sql string, args ...rdb.Value) (*rdb.Rows, error) {
 	start := time.Now()
-	rows, err := db.Query(sql, args...)
+	rows, err := db.QueryContext(ctx, sql, args...)
 	QueryLat.ObserveErr(unitID, time.Since(start), err != nil)
 	return rows, err
 }
@@ -37,28 +39,28 @@ func timedQuery(db *rdb.DB, unitID, sql string, args ...rdb.Value) (*rdb.Rows, e
 // the SQL query to perform, the input parameters of such a query, and the
 // properties of the output data bean").
 type UnitService interface {
-	Compute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
+	Compute(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
 }
 
 // OperationService executes one operation kind against the database.
 type OperationService interface {
-	Execute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
+	Execute(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
 }
 
 // UnitServiceFunc adapts a function to UnitService.
-type UnitServiceFunc func(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
+type UnitServiceFunc func(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error)
 
 // Compute implements UnitService.
-func (f UnitServiceFunc) Compute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
-	return f(db, d, inputs)
+func (f UnitServiceFunc) Compute(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+	return f(ctx, db, d, inputs)
 }
 
 // OperationServiceFunc adapts a function to OperationService.
-type OperationServiceFunc func(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
+type OperationServiceFunc func(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error)
 
 // Execute implements OperationService.
-func (f OperationServiceFunc) Execute(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
-	return f(db, d, inputs)
+func (f OperationServiceFunc) Execute(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+	return f(ctx, db, d, inputs)
 }
 
 // CoreUnitServices returns the generic content-unit services for the six
@@ -119,7 +121,7 @@ func outputsOf(d *descriptor.Unit) []fieldDef {
 // computeRowsUnit is the generic service for data, index, multidata and
 // multichoice units: run the descriptor's query, package the rows, then
 // expand hierarchical levels.
-func computeRowsUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func computeRowsUnit(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	bean := &UnitBean{UnitID: d.ID, Kind: d.Kind}
 	fields := outputsOf(d)
 	bean.Fields = fieldNames(fields)
@@ -135,7 +137,7 @@ func computeRowsUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*
 		bean.Missing = true
 		return bean, nil
 	}
-	rows, err := timedQuery(db, d.ID, d.Query, args...)
+	rows, err := timedQuery(ctx, db, d.ID, d.Query, args...)
 	if err != nil {
 		return nil, fmt.Errorf("mvc: unit %s: %w", d.ID, err)
 	}
@@ -146,7 +148,7 @@ func computeRowsUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*
 	bean.Nodes = nodes
 	if len(d.Levels) > 0 {
 		for i := range bean.Nodes {
-			if err := expandLevels(db, d, d.Levels, &bean.Nodes[i]); err != nil {
+			if err := expandLevels(ctx, db, d, d.Levels, &bean.Nodes[i]); err != nil {
 				return nil, err
 			}
 		}
@@ -156,7 +158,7 @@ func computeRowsUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*
 
 // expandLevels fills node.Children by running the level query with the
 // node's OID, recursively for deeper levels.
-func expandLevels(db *rdb.DB, d *descriptor.Unit, levels []descriptor.Level, node *Node) error {
+func expandLevels(ctx context.Context, db *rdb.DB, d *descriptor.Unit, levels []descriptor.Level, node *Node) error {
 	if len(levels) == 0 {
 		return nil
 	}
@@ -165,7 +167,7 @@ func expandLevels(db *rdb.DB, d *descriptor.Unit, levels []descriptor.Level, nod
 	if !ok {
 		return fmt.Errorf("mvc: unit %s: hierarchical level needs oid output", d.ID)
 	}
-	rows, err := timedQuery(db, d.ID, lvl.Query, oid)
+	rows, err := timedQuery(ctx, db, d.ID, lvl.Query, oid)
 	if err != nil {
 		return fmt.Errorf("mvc: unit %s level %s: %w", d.ID, lvl.Entity, err)
 	}
@@ -179,7 +181,7 @@ func expandLevels(db *rdb.DB, d *descriptor.Unit, levels []descriptor.Level, nod
 	}
 	node.Children = children
 	for i := range node.Children {
-		if err := expandLevels(db, d, levels[1:], &node.Children[i]); err != nil {
+		if err := expandLevels(ctx, db, d, levels[1:], &node.Children[i]); err != nil {
 			return err
 		}
 	}
@@ -187,7 +189,7 @@ func expandLevels(db *rdb.DB, d *descriptor.Unit, levels []descriptor.Level, nod
 }
 
 // computeScrollerUnit runs the count query and one window of the result.
-func computeScrollerUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func computeScrollerUnit(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	bean := &UnitBean{UnitID: d.ID, Kind: d.Kind, PageSize: d.PageSize}
 	fields := outputsOf(d)
 	bean.Fields = fieldNames(fields)
@@ -216,7 +218,7 @@ func computeScrollerUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value
 		countArgs = args[:n-1]
 	}
 	if d.CountQuery != "" {
-		crows, err := timedQuery(db, d.ID, d.CountQuery, countArgs...)
+		crows, err := timedQuery(ctx, db, d.ID, d.CountQuery, countArgs...)
 		if err != nil {
 			return nil, fmt.Errorf("mvc: scroller %s count: %w", d.ID, err)
 		}
@@ -226,7 +228,7 @@ func computeScrollerUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value
 			}
 		}
 	}
-	rows, err := timedQuery(db, d.ID, d.Query, args...)
+	rows, err := timedQuery(ctx, db, d.ID, d.Query, args...)
 	if err != nil {
 		return nil, fmt.Errorf("mvc: scroller %s: %w", d.ID, err)
 	}
@@ -240,7 +242,7 @@ func computeScrollerUnit(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value
 
 // computeEntryUnit produces the form bean; sticky values and validation
 // errors are injected from the session by the page service.
-func computeEntryUnit(_ *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
+func computeEntryUnit(_ context.Context, _ *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*UnitBean, error) {
 	bean := &UnitBean{UnitID: d.ID, Kind: d.Kind}
 	for _, f := range d.Fields {
 		ff := FormField{Name: f.Name, Type: f.Type, Required: f.Required}
@@ -255,7 +257,7 @@ func computeEntryUnit(_ *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*
 // executeWrite is the generic operation service: it executes the
 // descriptor's write statement inside a transaction; any error rolls back
 // and reports KO.
-func executeWrite(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
+func executeWrite(ctx context.Context, db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpResult, error) {
 	args, ok := bindArgs(d, d.Inputs, inputs)
 	if !ok {
 		missing := []string{}
@@ -272,7 +274,7 @@ func executeWrite(db *rdb.DB, d *descriptor.Unit, inputs map[string]Value) (*OpR
 		tx.Rollback() //nolint:errcheck // rollback of a live tx cannot fail
 		return &OpResult{OK: false, Err: err.Error()}, nil
 	}
-	if err := tx.Commit(); err != nil {
+	if err := tx.CommitContext(ctx); err != nil {
 		return &OpResult{OK: false, Err: err.Error()}, nil
 	}
 	out := map[string]Value{"rows": int64(res.RowsAffected)}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Shared query-parameter validation for the /debug/* endpoints. Debug
+// handlers are operator-facing, so a malformed parameter answers 400
+// with a usage hint instead of being silently coerced — a negative
+// limit or an absurd duration is a typo worth catching, not a filter
+// worth honoring.
+
+// Bounds the debug endpoints enforce: a duration filter beyond a year
+// or a limit beyond 10k cannot be meant seriously against rings of a
+// few hundred entries.
+const (
+	maxDebugDuration = 365 * 24 * time.Hour
+	maxDebugLimit    = 10000
+)
+
+// ParseDebugDuration parses a min-duration filter: empty selects zero;
+// otherwise a non-negative Go duration no longer than a year.
+func ParseDebugDuration(name, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not a duration (want a Go duration like 100ms or 2s)", name, s)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("%s: must be non-negative, got %q", name, s)
+	}
+	if d > maxDebugDuration {
+		return 0, fmt.Errorf("%s: %q exceeds the maximum of %s", name, s, maxDebugDuration)
+	}
+	return d, nil
+}
+
+// ParseDebugLimit parses a result-count bound: empty selects zero (the
+// caller's default); otherwise a non-negative integer up to 10000.
+func ParseDebugLimit(name, s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not an integer", name, s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%s: must be non-negative, got %d", name, n)
+	}
+	if n > maxDebugLimit {
+		return 0, fmt.Errorf("%s: %d exceeds the maximum of %d", name, n, maxDebugLimit)
+	}
+	return n, nil
+}
+
+// ParseDebugBool parses a flag parameter: only "", "0", "1", "true"
+// and "false" are accepted.
+func ParseDebugBool(name, s string) (bool, error) {
+	switch s {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	}
+	return false, fmt.Errorf("%s: %q is not a flag (want 0, 1, true or false)", name, s)
+}
+
+// DebugParamError answers a parameter error as 400 plus the endpoint's
+// usage line.
+func DebugParamError(w http.ResponseWriter, err error, usage string) {
+	http.Error(w, "bad request: "+err.Error()+"\nusage: "+usage, http.StatusBadRequest)
+}

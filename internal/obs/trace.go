@@ -193,6 +193,37 @@ func (s *SpanHandle) ImportRemote(spans []Span) {
 	}
 }
 
+// TraceID returns the ID of the context's active trace, or 0 when the
+// request is untraced — the join key between externally captured
+// records (the rdb flight recorder) and /debug/traces.
+func TraceID(ctx context.Context) uint64 {
+	t, _ := FromContext(ctx)
+	if t == nil {
+		return 0
+	}
+	return t.ID
+}
+
+// RecordSpan appends an already-completed span with explicit start and
+// end times to the context's trace — for stages measured before the
+// trace existed (admission queue wait happens before the request span
+// opens) or measured by code that cannot hold a SpanHandle. A no-op on
+// untraced contexts.
+func RecordSpan(ctx context.Context, name string, start, end time.Time, labels ...string) {
+	t, parent := FromContext(ctx)
+	if t == nil {
+		return
+	}
+	t.append(Span{
+		ID:     t.newSpanID(),
+		Parent: parent,
+		Name:   name,
+		Labels: labels,
+		Start:  start.UnixNano(),
+		End:    end.UnixNano(),
+	})
+}
+
 // End completes the span successfully.
 func (s *SpanHandle) End() { s.EndErr(nil) }
 

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -222,27 +221,24 @@ func (tr *Tracer) Traces(min time.Duration, slowOnly bool, limit int) []TraceVie
 //	GET /debug/traces?min=100ms  traces at least this long
 //	GET /debug/traces?limit=10   bound the count
 func (tr *Tracer) Handler() http.Handler {
+	const usage = "/debug/traces?min=<duration>&slow=<0|1>&limit=<n>"
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
-		var min time.Duration
-		if s := q.Get("min"); s != "" {
-			d, err := time.ParseDuration(s)
-			if err != nil {
-				http.Error(w, "bad min: "+err.Error(), http.StatusBadRequest)
-				return
-			}
-			min = d
+		min, err := ParseDebugDuration("min", q.Get("min"))
+		if err != nil {
+			DebugParamError(w, err, usage)
+			return
 		}
-		limit := 0
-		if s := q.Get("limit"); s != "" {
-			n, err := strconv.Atoi(s)
-			if err != nil {
-				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
-				return
-			}
-			limit = n
+		limit, err := ParseDebugLimit("limit", q.Get("limit"))
+		if err != nil {
+			DebugParamError(w, err, usage)
+			return
 		}
-		slowOnly := q.Get("slow") == "1" || q.Get("slow") == "true"
+		slowOnly, err := ParseDebugBool("slow", q.Get("slow"))
+		if err != nil {
+			DebugParamError(w, err, usage)
+			return
+		}
 		started, slowN := tr.Stats()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

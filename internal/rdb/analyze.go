@@ -1,0 +1,190 @@
+package rdb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file adds runtime introspection to compiled plans: EXPLAIN
+// ANALYZE executes the plan with a per-execution counter struct
+// attached and renders the same operator tree as EXPLAIN annotated
+// with actual row counts, index probes and inclusive operator time.
+// The counters live entirely in execStats — the plan itself stays
+// immutable and shareable — and the hot path pays only a nil check
+// per operator when no analysis is active.
+
+// opCounters are the actuals of one physical operator.
+type opCounters struct {
+	rowsIn  int64 // rows arriving from the operator above (joins)
+	rowsOut int64 // rows the operator produced
+	probes  int64 // index seeks performed
+	elapsed time.Duration
+}
+
+// execStats collects one execution's per-operator actuals. elapsed is
+// inclusive: an operator's time covers everything at or below it in
+// the pipeline, matching how the operators nest as closures.
+type execStats struct {
+	base      opCounters
+	joins     []opCounters
+	filterIn  int64 // rows reaching the WHERE filter
+	filterOut int64 // rows surviving it
+	output    int64 // rows in the final result (after sort/limit)
+	total     time.Duration
+}
+
+func newExecStats(p *SelectPlan) *execStats {
+	return &execStats{joins: make([]opCounters, len(p.joins))}
+}
+
+// pathLabel names the access path compactly for span labels:
+// scan | pk | unique | hash | range | ordered | composite.
+func (a *accessPath) pathLabel() string {
+	switch a.kind {
+	case accessPK:
+		return "pk"
+	case accessUnique:
+		return "unique"
+	case accessHash:
+		return "hash"
+	case accessRange:
+		if a.orderWalk {
+			return "ordered"
+		}
+		return "range"
+	case accessComposite:
+		return "composite"
+	}
+	return "scan"
+}
+
+// planCacheLine is the cache-provenance footer both EXPLAIN forms
+// append: the /metrics plan-cache counters say how often plans hit,
+// this says whether the plan just shown did.
+func planCacheLine(hit bool) string {
+	if hit {
+		return "\nPLAN: cached"
+	}
+	return "\nPLAN: compiled"
+}
+
+func fmtOpTime(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// renderPlan renders the operator tree of a compiled plan. With es ==
+// nil the output is EXPLAIN's estimate-only form; with es set each
+// operator line gains its actuals so estimates and reality sit side by
+// side.
+func renderPlan(p *SelectPlan, sel *SelectStmt, es *execStats) string {
+	var b strings.Builder
+	a := &p.access
+	switch a.kind {
+	case accessScan:
+		fmt.Fprintf(&b, "SCAN %s (%d rows)", p.baseTable, p.base.alive)
+		if es != nil {
+			fmt.Fprintf(&b, " (actual %d rows, %s)", es.base.rowsOut, fmtOpTime(es.base.elapsed))
+		}
+	case accessRange:
+		if a.orderWalk {
+			fmt.Fprintf(&b, "ACCESS %s BY ORDERED INDEX ON %s (est %.0f rows)", p.baseTable, a.col, a.est)
+		} else {
+			fmt.Fprintf(&b, "ACCESS %s BY RANGE ON %s (est %.0f rows)", p.baseTable, a.col, a.est)
+		}
+		if es != nil {
+			fmt.Fprintf(&b, " (actual %d rows, %d probes, %s)", es.base.rowsOut, es.base.probes, fmtOpTime(es.base.elapsed))
+		}
+	case accessComposite:
+		fmt.Fprintf(&b, "ACCESS %s BY COMPOSITE INDEX %s (%s) eq prefix %d",
+			p.baseTable, a.comp.name, strings.Join(a.comp.colNames, ", "), len(a.eq))
+		if a.rangeCol != "" {
+			fmt.Fprintf(&b, ", range on %s", a.rangeCol)
+		}
+		fmt.Fprintf(&b, " (est %.0f rows)", a.est)
+		if es != nil {
+			fmt.Fprintf(&b, " (actual %d rows, %d probes, %s)", es.base.rowsOut, es.base.probes, fmtOpTime(es.base.elapsed))
+		}
+	default:
+		fmt.Fprintf(&b, "ACCESS %s BY %s ON %s (est %.0f rows)", p.baseTable, a.label, a.col, a.est)
+		if es != nil {
+			fmt.Fprintf(&b, " (actual %d rows, %d probes, %s)", es.base.rowsOut, es.base.probes, fmtOpTime(es.base.elapsed))
+		}
+	}
+	for i := range p.joins {
+		j := &p.joins[i]
+		kind := "INNER"
+		if j.left {
+			kind = "LEFT"
+		}
+		if j.kind == jkLoop {
+			fmt.Fprintf(&b, "\n%s JOIN %s BY NESTED LOOP (%d rows)", kind, j.displayTable, j.estRows)
+			if es != nil {
+				jc := &es.joins[i]
+				fmt.Fprintf(&b, " (actual in %d, out %d, %s)", jc.rowsIn, jc.rowsOut, fmtOpTime(jc.elapsed))
+			}
+		} else {
+			fmt.Fprintf(&b, "\n%s JOIN %s BY %s ON %s", kind, j.displayTable, j.label, j.col)
+			if es != nil {
+				jc := &es.joins[i]
+				fmt.Fprintf(&b, " (actual in %d, out %d, %d probes, %s)", jc.rowsIn, jc.rowsOut, jc.probes, fmtOpTime(jc.elapsed))
+			}
+		}
+	}
+	if es != nil && p.where != nil {
+		fmt.Fprintf(&b, "\nFILTER (actual in %d, out %d)", es.filterIn, es.filterOut)
+	}
+	if len(sel.GroupBy) > 0 {
+		fmt.Fprintf(&b, "\nGROUP BY %d keys", len(sel.GroupBy))
+	}
+	if len(sel.OrderBy) > 0 {
+		if p.sortElim {
+			fmt.Fprintf(&b, "\nORDER BY INDEX (sort eliminated, %d keys)", len(sel.OrderBy))
+		} else {
+			fmt.Fprintf(&b, "\nSORT %d keys", len(sel.OrderBy))
+		}
+	}
+	if sel.Limit != nil {
+		b.WriteString("\nLIMIT")
+	}
+	if es != nil {
+		fmt.Fprintf(&b, "\nOUTPUT %d rows in %s", es.output, fmtOpTime(es.total))
+	}
+	return b.String()
+}
+
+// ExplainAnalyze compiles (or fetches from the plan cache) and
+// EXECUTES the SELECT with per-operator counters attached, then
+// renders the plan tree annotated with actual row counts, index
+// probes and operator time alongside the planner's estimates. The
+// result rows are discarded; side effects are none (SELECT only).
+func (db *DB) ExplainAnalyze(sql string, args ...Value) (string, error) {
+	st, err := db.prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("rdb: EXPLAIN ANALYZE supports only SELECT, got %T", st)
+	}
+	cargs, err := coerceArgs(st, args)
+	if err != nil {
+		return "", err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, hit, err := db.planForCached(sql, sel)
+	if err != nil {
+		return "", err
+	}
+	es := newExecStats(p)
+	t0 := time.Now()
+	rows, err := db.execPlan(p, cargs, es)
+	if err != nil {
+		return "", err
+	}
+	es.total = time.Since(t0)
+	es.output = int64(rows.Len())
+	db.stats.analyzedQueries.Add(1)
+	return renderPlan(p, sel, es) + planCacheLine(hit), nil
+}

@@ -18,10 +18,13 @@ import (
 
 // execCtx is the per-query execution state a compiled plan runs
 // against: one current row per plan frame (nil = LEFT JOIN miss) and
-// the bind-time parameters.
+// the bind-time parameters. stats is nil on the hot path; EXPLAIN
+// ANALYZE and the traced/recorded query paths attach one to collect
+// per-operator actuals (analyze.go).
 type execCtx struct {
-	rows []Row
-	args []Value
+	rows  []Row
+	args  []Value
+	stats *execStats
 }
 
 // planFrame binds one table alias to a frame slot at plan time.

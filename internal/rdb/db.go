@@ -44,6 +44,13 @@ type DB struct {
 	planMu    sync.Mutex
 	planCache *lruCache // sql -> *SelectPlan
 
+	// hooks, when set, bridge query/commit execution into an external
+	// tracing system (context.go); recorder, when set, captures slow
+	// queries with their analyzed plans (recorder.go). Both are atomic
+	// pointers so the hot path pays one load to find them absent.
+	hooks    atomic.Pointer[TraceHooks]
+	recorder atomic.Pointer[queryRecorder]
+
 	stats dbStats
 }
 
@@ -57,6 +64,8 @@ type dbStats struct {
 	sortsEliminated                     atomic.Uint64
 	snapshotsTaken                      atomic.Uint64
 	activeSnapshots                     atomic.Int64
+	analyzedQueries                     atomic.Uint64
+	queriesRecorded                     atomic.Uint64
 }
 
 // DBStats is a point-in-time snapshot of the database's internal
@@ -72,6 +81,11 @@ type DBStats struct {
 	SnapshotsTaken                 uint64
 	ActiveSnapshots                int64
 	HeadSeq                        uint64
+	// AnalyzedQueries counts executions that collected per-operator
+	// actuals (EXPLAIN ANALYZE, traced queries, recorder candidates);
+	// QueriesRecorded counts entries pushed into the flight recorder.
+	AnalyzedQueries uint64
+	QueriesRecorded uint64
 }
 
 // Stats returns a snapshot of the query-engine counters.
@@ -90,6 +104,8 @@ func (db *DB) Stats() DBStats {
 		SnapshotsTaken:  db.stats.snapshotsTaken.Load(),
 		ActiveSnapshots: db.stats.activeSnapshots.Load(),
 		HeadSeq:         db.head.Load().seq,
+		AnalyzedQueries: db.stats.analyzedQueries.Load(),
+		QueriesRecorded: db.stats.queriesRecorded.Load(),
 	}
 }
 
@@ -201,26 +217,34 @@ func (db *DB) prepare(sql string) (Statement, error) {
 // substantial data growth take effect on the next query. The caller
 // must hold at least a read lock on db.mu.
 func (db *DB) planFor(sql string, sel *SelectStmt) (*SelectPlan, error) {
+	p, _, err := db.planForCached(sql, sel)
+	return p, err
+}
+
+// planForCached is planFor plus cache provenance: hit reports whether
+// the returned plan came from the plan cache (true) or was compiled by
+// this call (false) — the marker EXPLAIN surfaces.
+func (db *DB) planForCached(sql string, sel *SelectStmt) (p *SelectPlan, hit bool, err error) {
 	db.planMu.Lock()
 	if v, ok := db.planCache.get(sql); ok {
 		p := v.(*SelectPlan)
 		if p.valid(db) {
 			db.planMu.Unlock()
 			db.stats.planHits.Add(1)
-			return p, nil
+			return p, true, nil
 		}
 		db.planCache.remove(sql)
 	}
 	db.planMu.Unlock()
 	db.stats.planMisses.Add(1)
-	p, err := db.buildPlan(sel)
+	p, err = db.buildPlan(sel)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	db.planMu.Lock()
 	db.planCache.put(sql, p)
 	db.planMu.Unlock()
-	return p, nil
+	return p, false, nil
 }
 
 // InvalidatePlan drops the compiled plan cached for the given SQL text,
@@ -326,7 +350,7 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.execPlan(p, cargs)
+	return db.execPlan(p, cargs, nil)
 }
 
 // QueryInterpreted runs a SELECT through the retained AST interpreter,

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"webmlgo/internal/rdb/storage/pager"
 	"webmlgo/internal/rdb/storage/wal"
@@ -225,7 +226,9 @@ func (e *durableEngine) Apply(cs *ChangeSet) (func() error, error) {
 			rec.ops = append(rec.ops, walOp{kind: wopAutoInc, table: op.Table, autoInc: op.AutoInc})
 		}
 	}
+	appendStart := time.Now()
 	lsn, err := e.log.Append(encodeWALRecord(&rec))
+	cs.WALAppend = time.Since(appendStart)
 	if err != nil {
 		return nil, e.fail(err)
 	}
@@ -233,7 +236,10 @@ func (e *durableEngine) Apply(cs *ChangeSet) (func() error, error) {
 	if size, serr := e.log.FileSize(); serr == nil && size > e.ckptBytes {
 		// The checkpoint absorbs this change-set (and flushes the WAL),
 		// so the wait below returns immediately.
-		if err := e.Checkpoint(); err != nil {
+		ckptStart := time.Now()
+		err := e.Checkpoint()
+		cs.Checkpoint = time.Since(ckptStart)
+		if err != nil {
 			return nil, err
 		}
 	}

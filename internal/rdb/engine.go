@@ -8,6 +8,8 @@ package rdb
 // (durable.go) and future backends (columnar, replica log shipping)
 // are swappable without touching query execution.
 
+import "time"
+
 // OpKind classifies one operation inside a change-set.
 type OpKind int
 
@@ -41,9 +43,16 @@ type ChangeOp struct {
 
 // ChangeSet is the complete effect of one committed transaction (or
 // one auto-commit statement). Seq is assigned at commit, monotonically.
+// WALAppend and Checkpoint are filled by the engine during Apply with
+// the time spent appending the change-set to the log and running any
+// triggered checkpoint — the breakdown ExecContext/CommitContext put
+// on commit spans (zero for the in-memory engine).
 type ChangeSet struct {
 	Seq uint64
 	Ops []ChangeOp
+
+	WALAppend  time.Duration
+	Checkpoint time.Duration
 }
 
 func (cs *ChangeSet) add(op ChangeOp) { cs.Ops = append(cs.Ops, op) }

@@ -11,7 +11,10 @@ import (
 // satisfied by index order or needs a sort. The data expert overriding
 // a descriptor query (Section 6) uses it to check that the hand-tuned
 // SQL actually hits an index. The output reflects the exact plan Query
-// executes — both go through planFor.
+// executes — both go through planFor — and the trailing PLAN: line
+// says whether that plan was served from the plan cache or compiled by
+// this call. ExplainAnalyze (analyze.go) is the executing variant with
+// per-operator actuals.
 func (db *DB) Explain(sql string) (string, error) {
 	st, err := db.prepare(sql)
 	if err != nil {
@@ -23,58 +26,11 @@ func (db *DB) Explain(sql string) (string, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, err := db.planFor(sql, sel)
+	p, hit, err := db.planForCached(sql, sel)
 	if err != nil {
 		return "", err
 	}
-
-	var b strings.Builder
-	a := &p.access
-	switch a.kind {
-	case accessScan:
-		fmt.Fprintf(&b, "SCAN %s (%d rows)", p.baseTable, p.base.alive)
-	case accessRange:
-		if a.orderWalk {
-			fmt.Fprintf(&b, "ACCESS %s BY ORDERED INDEX ON %s (est %.0f rows)", p.baseTable, a.col, a.est)
-		} else {
-			fmt.Fprintf(&b, "ACCESS %s BY RANGE ON %s (est %.0f rows)", p.baseTable, a.col, a.est)
-		}
-	case accessComposite:
-		fmt.Fprintf(&b, "ACCESS %s BY COMPOSITE INDEX %s (%s) eq prefix %d",
-			p.baseTable, a.comp.name, strings.Join(a.comp.colNames, ", "), len(a.eq))
-		if a.rangeCol != "" {
-			fmt.Fprintf(&b, ", range on %s", a.rangeCol)
-		}
-		fmt.Fprintf(&b, " (est %.0f rows)", a.est)
-	default:
-		fmt.Fprintf(&b, "ACCESS %s BY %s ON %s (est %.0f rows)", p.baseTable, a.label, a.col, a.est)
-	}
-	for i := range p.joins {
-		j := &p.joins[i]
-		kind := "INNER"
-		if j.left {
-			kind = "LEFT"
-		}
-		if j.kind == jkLoop {
-			fmt.Fprintf(&b, "\n%s JOIN %s BY NESTED LOOP (%d rows)", kind, j.displayTable, j.estRows)
-		} else {
-			fmt.Fprintf(&b, "\n%s JOIN %s BY %s ON %s", kind, j.displayTable, j.label, j.col)
-		}
-	}
-	if len(sel.GroupBy) > 0 {
-		fmt.Fprintf(&b, "\nGROUP BY %d keys", len(sel.GroupBy))
-	}
-	if len(sel.OrderBy) > 0 {
-		if p.sortElim {
-			fmt.Fprintf(&b, "\nORDER BY INDEX (sort eliminated, %d keys)", len(sel.OrderBy))
-		} else {
-			fmt.Fprintf(&b, "\nSORT %d keys", len(sel.OrderBy))
-		}
-	}
-	if sel.Limit != nil {
-		b.WriteString("\nLIMIT")
-	}
-	return b.String(), nil
+	return renderPlan(p, sel, nil) + planCacheLine(hit), nil
 }
 
 // accessKind names the point access path available on a column, in

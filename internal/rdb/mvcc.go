@@ -1,8 +1,10 @@
 package rdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -109,6 +111,31 @@ func (s *Snapshot) Query(sql string, args ...Value) (*Rows, error) {
 		return nil, err
 	}
 	return execSelectTables(s.st.tables, sel, cargs)
+}
+
+// QueryContext is Query plus tracing: when the database's trace hooks
+// are installed and ctx carries a trace, the read is wrapped in an
+// "rdb.snapshot.query" span labeled with the SQL and the snapshot's
+// sequence number.
+func (s *Snapshot) QueryContext(ctx context.Context, sql string, args ...Value) (*Rows, error) {
+	h := s.db.hooks.Load()
+	if h == nil || h.Span == nil {
+		return s.Query(sql, args...)
+	}
+	fin := h.Span(ctx, "rdb.snapshot.query")
+	if fin == nil {
+		return s.Query(sql, args...)
+	}
+	rows, err := s.Query(sql, args...)
+	var nrows int64
+	if rows != nil {
+		nrows = int64(rows.Len())
+	}
+	fin(err,
+		"sql", truncateSQL(sql),
+		"snapshot_seq", strconv.FormatUint(s.st.seq, 10),
+		"rows", strconv.FormatInt(nrows, 10))
+	return rows, err
 }
 
 // QueryRow runs a SELECT expected to return at most one row.

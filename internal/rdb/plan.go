@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/bits"
 	"sort"
+	"time"
 )
 
 // This file holds the physical plan representation and its executor.
@@ -151,12 +152,14 @@ func (p *SelectPlan) valid(db *DB) bool {
 var errStopIteration = errors.New("rdb: stop iteration")
 
 // execPlan runs a compiled plan. The caller must hold at least a read
-// lock on db.mu.
-func (db *DB) execPlan(p *SelectPlan, args []Value) (*Rows, error) {
+// lock on db.mu. es collects per-operator actuals when non-nil
+// (EXPLAIN ANALYZE, traced queries, the flight recorder); the hot path
+// passes nil and pays only nil checks.
+func (db *DB) execPlan(p *SelectPlan, args []Value, es *execStats) (*Rows, error) {
 	if p.aggregate {
-		return db.execPlanAggregate(p, args)
+		return db.execPlanAggregate(p, args, es)
 	}
-	c := &execCtx{rows: make([]Row, len(p.frames)), args: args}
+	c := &execCtx{rows: make([]Row, len(p.frames)), args: args, stats: es}
 	limit, offset, hasLimit, err := p.evalLimits(c)
 	if err != nil {
 		return nil, err
@@ -177,12 +180,18 @@ func (db *DB) execPlan(p *SelectPlan, args []Value) (*Rows, error) {
 	out := &Rows{}
 	emit := func() error {
 		if p.where != nil {
+			if c.stats != nil {
+				c.stats.filterIn++
+			}
 			v, err := p.where(c)
 			if err != nil {
 				return err
 			}
 			if !truthy(v) {
 				return nil
+			}
+			if c.stats != nil {
+				c.stats.filterOut++
 			}
 		}
 		row, err := p.project(c)
@@ -210,10 +219,22 @@ func (db *DB) execPlan(p *SelectPlan, args []Value) (*Rows, error) {
 		}
 		return nil
 	}
-	err = db.runBase(p, c, func(r Row) error {
+	baseEach := func(r Row) error {
 		c.rows[0] = r
 		return db.joinStep(p, c, 0, emit)
-	})
+	}
+	if c.stats != nil {
+		inner := baseEach
+		baseEach = func(r Row) error {
+			c.stats.base.rowsOut++
+			return inner(r)
+		}
+		t0 := time.Now()
+		err = db.runBase(p, c, baseEach)
+		c.stats.base.elapsed = time.Since(t0)
+	} else {
+		err = db.runBase(p, c, baseEach)
+	}
 	if err != nil && err != errStopIteration {
 		return nil, err
 	}
@@ -247,18 +268,24 @@ func (db *DB) execPlan(p *SelectPlan, args []Value) (*Rows, error) {
 // joins and filter produce environments, and the aggregate tail
 // (grouping, HAVING, output-column ordering) is shared verbatim with
 // the interpreter.
-func (db *DB) execPlanAggregate(p *SelectPlan, args []Value) (*Rows, error) {
-	c := &execCtx{rows: make([]Row, len(p.frames)), args: args}
+func (db *DB) execPlanAggregate(p *SelectPlan, args []Value, es *execStats) (*Rows, error) {
+	c := &execCtx{rows: make([]Row, len(p.frames)), args: args, stats: es}
 	db.countJoinStats(p)
 	var envs []*env
 	emit := func() error {
 		if p.where != nil {
+			if c.stats != nil {
+				c.stats.filterIn++
+			}
 			v, err := p.where(c)
 			if err != nil {
 				return err
 			}
 			if !truthy(v) {
 				return nil
+			}
+			if c.stats != nil {
+				c.stats.filterOut++
 			}
 		}
 		fs := make([]frame, len(p.frames))
@@ -268,10 +295,23 @@ func (db *DB) execPlanAggregate(p *SelectPlan, args []Value) (*Rows, error) {
 		envs = append(envs, &env{frames: fs})
 		return nil
 	}
-	err := db.runBase(p, c, func(r Row) error {
+	baseEach := func(r Row) error {
 		c.rows[0] = r
 		return db.joinStep(p, c, 0, emit)
-	})
+	}
+	var err error
+	if c.stats != nil {
+		inner := baseEach
+		baseEach = func(r Row) error {
+			c.stats.base.rowsOut++
+			return inner(r)
+		}
+		t0 := time.Now()
+		err = db.runBase(p, c, baseEach)
+		c.stats.base.elapsed = time.Since(t0)
+	} else {
+		err = db.runBase(p, c, baseEach)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -380,6 +420,9 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			return db.scanAll(t, each)
 		}
 		db.stats.pointLookups.Add(1)
+		if c.stats != nil {
+			c.stats.base.probes++
+		}
 		if id, ok := t.pkMap[v]; ok {
 			if r := t.rows[id]; r != nil {
 				return each(r)
@@ -392,6 +435,9 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			return db.scanAll(t, each)
 		}
 		db.stats.pointLookups.Add(1)
+		if c.stats != nil {
+			c.stats.base.probes++
+		}
 		if id, ok := a.uniqMap[v]; ok {
 			if r := t.rows[id]; r != nil {
 				return each(r)
@@ -404,6 +450,9 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			return db.scanAll(t, each)
 		}
 		db.stats.pointLookups.Add(1)
+		if c.stats != nil {
+			c.stats.base.probes++
+		}
 		for _, id := range a.hashIdx[v] {
 			if r := t.rows[id]; r != nil {
 				if err := each(r); err != nil {
@@ -419,6 +468,9 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			return db.scanAll(t, each)
 		}
 		db.stats.rangeScans.Add(1)
+		if c.stats != nil {
+			c.stats.base.probes++
+		}
 		start, end := a.ord.bounds(lo, hi)
 		if a.reverse {
 			return iterOrderedReverse(a.ord.entries, start, end, t, each)
@@ -455,6 +507,9 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			db.stats.pointLookups.Add(1)
 		} else {
 			db.stats.rangeScans.Add(1)
+		}
+		if c.stats != nil {
+			c.stats.base.probes++
 		}
 		if a.reverse {
 			return iterCompositeReverse(a.comp, start, end, t, each)
@@ -516,8 +571,24 @@ func iterCompositeReverse(ix *compositeIndex, start, end int, t *table, each fun
 // joinStep recursively extends the current row combination with join
 // ji's matches and calls emit at full depth. Production order matches
 // the interpreter's breadth-wise join loops exactly (lexicographic in
-// join order).
+// join order). When analysis is active it books rows-in and inclusive
+// time for the operator before delegating to joinStepRun.
 func (db *DB) joinStep(p *SelectPlan, c *execCtx, ji int, emit func() error) error {
+	if c.stats == nil {
+		return db.joinStepRun(p, c, ji, emit)
+	}
+	if ji == len(p.joins) {
+		return emit()
+	}
+	jc := &c.stats.joins[ji]
+	jc.rowsIn++
+	t0 := time.Now()
+	err := db.joinStepRun(p, c, ji, emit)
+	jc.elapsed += time.Since(t0)
+	return err
+}
+
+func (db *DB) joinStepRun(p *SelectPlan, c *execCtx, ji int, emit func() error) error {
 	if ji == len(p.joins) {
 		return emit()
 	}
@@ -534,12 +605,18 @@ func (db *DB) joinStep(p *SelectPlan, c *execCtx, ji int, emit func() error) err
 			return nil
 		}
 		matched = true
+		if c.stats != nil {
+			c.stats.joins[ji].rowsOut++
+		}
 		return db.joinStep(p, c, ji+1, emit)
 	}
 	if j.kind != jkLoop {
 		ov, err := j.outer(c)
 		if err != nil {
 			return err
+		}
+		if c.stats != nil {
+			c.stats.joins[ji].probes++
 		}
 		switch j.kind {
 		case jkPK:
@@ -588,6 +665,9 @@ func (db *DB) joinStep(p *SelectPlan, c *execCtx, ji int, emit func() error) err
 	}
 	if !matched && j.left {
 		c.rows[fi] = nil
+		if c.stats != nil {
+			c.stats.joins[ji].rowsOut++ // null-extended LEFT JOIN row
+		}
 		if err := db.joinStep(p, c, ji+1, emit); err != nil {
 			return err
 		}

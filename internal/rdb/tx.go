@@ -1,8 +1,10 @@
 package rdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 )
 
 // ErrTxDone is returned when a finished transaction is used again.
@@ -117,7 +119,7 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return tx.db.execPlan(p, cargs)
+	return tx.db.execPlan(p, cargs, nil)
 }
 
 // Commit makes the transaction's writes permanent and releases the
@@ -125,23 +127,58 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 // change-set is on stable storage; the fsync happens after the lock
 // is released, so concurrent committers share flushes (group commit).
 func (tx *Tx) Commit() error {
+	return tx.commit(nil, nil)
+}
+
+// CommitContext is Commit plus data-tier spans: when trace hooks are
+// installed and ctx carries a trace, the in-lock commit (engine apply,
+// WAL append, any checkpoint) becomes an "rdb.commit" span and the
+// post-lock durability wait an "rdb.wal.sync" span.
+func (tx *Tx) CommitContext(ctx context.Context) error {
+	h := tx.db.hooks.Load()
+	if h == nil || h.Span == nil {
+		return tx.Commit()
+	}
+	return tx.commit(ctx, h)
+}
+
+func (tx *Tx) commit(ctx context.Context, h *TraceHooks) error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
 	tx.undo.entries = nil
+	var fin SpanFinish
+	if h != nil {
+		fin = h.Span(ctx, "rdb.commit")
+	}
+	nOps := len(tx.cs.Ops)
 	wait, err := tx.db.applyLocked(&tx.cs)
-	if len(tx.cs.Ops) == 0 {
+	if nOps == 0 {
 		// DDL-only (or empty) transaction: applyLocked was a no-op, but
 		// mid-transaction DDL deferred its head publication to now.
 		tx.db.publishHead()
 	}
 	tx.db.mu.Unlock()
+	if fin != nil {
+		fin(err,
+			"ops", strconv.Itoa(nOps),
+			"wal_append", tx.cs.WALAppend.String(),
+			"checkpoint", tx.cs.Checkpoint.String())
+	}
 	if err != nil {
 		return err
 	}
 	if wait != nil {
-		return wait()
+		var finSync SpanFinish
+		if h != nil {
+			finSync = h.Span(ctx, "rdb.wal.sync")
+		}
+		werr := wait()
+		if finSync != nil {
+			finSync(werr)
+		}
+		return werr
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package webmlgo
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -8,6 +11,7 @@ import (
 	"webmlgo/internal/ejb"
 	"webmlgo/internal/mvc"
 	"webmlgo/internal/obs"
+	"webmlgo/internal/rdb"
 )
 
 // WithObservability enables request tracing across every tier: the edge
@@ -28,9 +32,28 @@ func WithObservability(traceCapacity int, slowThreshold time.Duration) Option {
 	}
 }
 
-// wireObservability attaches the tracer and the model-derived histogram
-// families to an assembled app (called at the end of New).
+// WithQueryAnalysis turns on the slow-query flight recorder: data-tier
+// executions taking at least min are captured — SQL, bound parameters,
+// the analyzed plan with per-operator actuals, and the owning trace ID
+// — into a ring of capacity entries (<=0 selects 128) served at
+// /debug/queries. min <= 0 captures every query (full-analysis mode);
+// queries below the threshold pay only the operator counters, never
+// the ring's lock.
+func WithQueryAnalysis(capacity int, min time.Duration) Option {
+	return func(c *config) {
+		c.withAnalysis = true
+		c.analyzeCap = capacity
+		c.analyzeMin = min
+	}
+}
+
+// wireObservability attaches the tracer, the data-tier trace hooks and
+// the model-derived histogram families to an assembled app (called at
+// the end of New).
 func (a *App) wireObservability(cfg *config) {
+	if cfg.withAnalysis {
+		a.DB.EnableQueryRecorder(cfg.analyzeCap, cfg.analyzeMin)
+	}
 	if !cfg.withObs {
 		return
 	}
@@ -45,6 +68,26 @@ func (a *App) wireObservability(cfg *config) {
 	if a.Edge != nil {
 		a.Edge.Obs = a.Obs
 	}
+	// Bridge the data tier's zero-dependency hook seam into the tracer:
+	// rdb spans (query execution, WAL sync, commits, snapshot reads)
+	// become children of whatever span the request context carries, and
+	// the flight recorder stamps captured queries with the owning trace
+	// ID so /debug/queries rows join against /debug/traces.
+	a.DB.SetTraceHooks(&rdb.TraceHooks{
+		Span: func(ctx context.Context, name string) rdb.SpanFinish {
+			sp := obs.Leaf(ctx, name)
+			if sp == nil {
+				return nil
+			}
+			return func(err error, labels ...string) {
+				for i := 0; i+1 < len(labels); i += 2 {
+					sp.Label(labels[i], labels[i+1])
+				}
+				sp.EndErr(err)
+			}
+		},
+		TraceID: obs.TraceID,
+	})
 }
 
 // MetricsRegistry returns the web tier's /metrics registry, built on
@@ -70,6 +113,112 @@ func (a *App) TracesHandler() http.Handler {
 		})
 	}
 	return a.Obs.Handler()
+}
+
+// queryRecordView is the JSON form of one flight-recorder capture at
+// /debug/queries. TraceID is rendered in the same %016x form as
+// /debug/traces trace IDs — the join key between the two endpoints.
+type queryRecordView struct {
+	At         time.Time   `json:"at"`
+	TraceID    string      `json:"trace_id,omitempty"`
+	SQL        string      `json:"sql"`
+	Params     []rdb.Value `json:"params,omitempty"`
+	PlanCached bool        `json:"plan_cached"`
+	Rows       int64       `json:"rows"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Plan       string      `json:"plan"`
+}
+
+// QueriesHandler returns the /debug/queries endpoint: the slow-query
+// flight recorder's ring as JSON, newest first (404 without
+// WithQueryAnalysis).
+//
+//	GET /debug/queries            captured queries (newest first)
+//	GET /debug/queries?min=50ms   captures at least this slow
+//	GET /debug/queries?limit=10   bound the count
+func (a *App) QueriesHandler() http.Handler {
+	const usage = "/debug/queries?min=<duration>&limit=<n>"
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enabled, threshold := a.DB.RecorderEnabled()
+		if !enabled {
+			http.Error(w, "query recorder disabled (WithQueryAnalysis)", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		min, err := obs.ParseDebugDuration("min", q.Get("min"))
+		if err != nil {
+			obs.DebugParamError(w, err, usage)
+			return
+		}
+		limit, err := obs.ParseDebugLimit("limit", q.Get("limit"))
+		if err != nil {
+			obs.DebugParamError(w, err, usage)
+			return
+		}
+		recs := a.DB.QueryRecords(min, limit)
+		views := make([]queryRecordView, 0, len(recs))
+		for _, rec := range recs {
+			v := queryRecordView{
+				At:         rec.At,
+				SQL:        rec.SQL,
+				Params:     rec.Params,
+				PlanCached: rec.CacheHit,
+				Rows:       rec.Rows,
+				ElapsedMS:  float64(rec.Elapsed.Microseconds()) / 1000,
+				Plan:       rec.Plan,
+			}
+			if rec.TraceID != 0 {
+				v.TraceID = fmt.Sprintf("%016x", rec.TraceID)
+			}
+			views = append(views, v)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]interface{}{ //nolint:errcheck // best-effort debug endpoint
+			"threshold": threshold.String(),
+			"captured":  a.DB.Stats().QueriesRecorded,
+			"queries":   views,
+		})
+	})
+}
+
+// FleetHandler returns the /debug/fleet endpoint: the elastic
+// supervisor's current shape plus its retained scale-event ring,
+// newest first (404 without WithElasticFleet).
+//
+//	GET /debug/fleet              fleet stats + scale events
+//	GET /debug/fleet?limit=10     bound the event count
+func (a *App) FleetHandler() http.Handler {
+	const usage = "/debug/fleet?limit=<n>"
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if a.Fleet == nil {
+			http.Error(w, "fleet supervisor disabled (WithElasticFleet)", http.StatusNotFound)
+			return
+		}
+		limit, err := obs.ParseDebugLimit("limit", r.URL.Query().Get("limit"))
+		if err != nil {
+			obs.DebugParamError(w, err, usage)
+			return
+		}
+		events := a.Fleet.Events()
+		// Newest first, like /debug/traces and /debug/queries.
+		for i, j := 0, len(events)-1; i < j; i, j = i+1, j-1 {
+			events[i], events[j] = events[j], events[i]
+		}
+		if limit > 0 && len(events) > limit {
+			events = events[:limit]
+		}
+		s := a.Fleet.Stats()
+		s.Events = nil // the full ring rides alongside, not inside
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]interface{}{ //nolint:errcheck // best-effort debug endpoint
+			"fleet":  s,
+			"events": events,
+		})
+	})
 }
 
 func (a *App) buildRegistry() *obs.Registry {
@@ -159,6 +308,8 @@ func (a *App) buildRegistry() *obs.Registry {
 		e.Counter("webml_rdb_joins_total", "Join executions by strategy.",
 			map[string]string{"strategy": "loop"}, float64(s.LoopJoins))
 		e.Counter("webml_rdb_sorts_eliminated_total", "ORDER BY clauses satisfied by index order.", nil, float64(s.SortsEliminated))
+		e.Counter("webml_rdb_analyzed_queries_total", "Queries executed with operator-level runtime counters collected.", nil, float64(s.AnalyzedQueries))
+		e.Counter("webml_rdb_queries_recorded_total", "Queries captured by the slow-query flight recorder.", nil, float64(s.QueriesRecorded))
 		e.Counter("webml_rdb_snapshots_total", "MVCC snapshots taken.", nil, float64(s.SnapshotsTaken))
 		e.Gauge("webml_rdb_snapshots_active", "MVCC snapshots currently open.", nil, float64(s.ActiveSnapshots))
 		e.Gauge("webml_rdb_head_seq", "Sequence number of the published commit head.", nil, float64(s.HeadSeq))
