@@ -62,6 +62,7 @@ func main() {
 		{"e12", e12, "E12 (Sec. 6): durable storage engine — WAL crash recovery + MVCC snapshot reads"},
 		{"e13", e13, "E13 (Sec. 4): overload survival — admission control, priority shedding, elastic fleet"},
 		{"e14", e14, "E14 (deep observability): EXPLAIN ANALYZE, data-tier tracing, slow-query flight recorder"},
+		{"e15", e15, "E15 (larger-than-RAM): buffer-pool paging, persisted indexes, snapshot plans, incremental checkpoints"},
 	}
 	// Hidden crash-child mode for e12: the parent re-executes this
 	// binary with the environment variable set and SIGKILLs it

@@ -129,8 +129,15 @@ func TestCrashTortureSIGKILL(t *testing.T) {
 // highest commit the child acknowledged before dying.
 func runCrashChild(t *testing.T, dir string, killAfter int) (int64, error) {
 	t.Helper()
-	cmd := exec.Command(os.Args[0], "-test.run=TestCrashChildHelper$", "-test.v")
-	cmd.Env = append(os.Environ(), "RDB_CRASH_DIR="+dir)
+	return runCrashChildNamed(t, dir, killAfter, "TestCrashChildHelper", "RDB_CRASH_DIR")
+}
+
+// runCrashChildNamed is the generic child runner: helper selects the
+// child test body, envKey the directory variable it watches for.
+func runCrashChildNamed(t *testing.T, dir string, killAfter int, helper, envKey string) (int64, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run="+helper+"$", "-test.v")
+	cmd.Env = append(os.Environ(), envKey+"="+dir)
 	out, err := cmd.StdoutPipe()
 	if err != nil {
 		return 0, err

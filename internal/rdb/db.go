@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cache capacities. A WebML application's statement population is the
@@ -51,7 +52,28 @@ type DB struct {
 	hooks    atomic.Pointer[TraceHooks]
 	recorder atomic.Pointer[queryRecorder]
 
+	// faultObs, when set, observes the latency of every row fault the
+	// paging engine serves from the page tree (metrics wiring). Atomic:
+	// snapshot faults run with no database lock held.
+	faultObs atomic.Pointer[func(time.Duration)]
+
 	stats dbStats
+}
+
+// SetFaultObserver installs fn to be called with the latency of each
+// row fault (an evicted or uncached record materialized from the page
+// store). Pass nil behavior by never setting it; installation is
+// one-way and safe to call at any time.
+func (db *DB) SetFaultObserver(fn func(time.Duration)) {
+	db.faultObs.Store(&fn)
+}
+
+// observeFault reports one row-fault latency to the installed observer,
+// if any. Called by the durable engine on the fault path.
+func (db *DB) observeFault(d time.Duration) {
+	if f := db.faultObs.Load(); f != nil && *f != nil {
+		(*f)(d)
+	}
 }
 
 // dbStats are monotonic counters kept atomic so queries under the
@@ -607,8 +629,8 @@ func (db *DB) checkForeignKeys(t *table, row Row) error {
 			return fmt.Errorf("rdb: foreign key references missing column %s.%s", fk.RefTable, fk.RefColumn)
 		}
 		found := false
-		for _, r := range ref.rows {
-			if r != nil && r[ri] == v {
+		for id := range ref.rows {
+			if r := ref.rowAt(id); r != nil && r[ri] == v {
 				found = true
 				break
 			}
@@ -640,7 +662,7 @@ func (db *DB) execUpdate(st *UpdateStmt, args []Value, undo *undoLog, cs *Change
 	}
 	res := Result{}
 	for _, id := range ids {
-		old := t.rows[id]
+		old := t.rowAt(id)
 		newRow := make(Row, len(old))
 		copy(newRow, old)
 		env := singleEnv(t, st.Table, old)
@@ -709,7 +731,7 @@ func (db *DB) matchRows(t *table, tableName string, where Expr, args []Value) ([
 	}
 	var ids []int
 	for _, id := range candidates {
-		r := t.rows[id]
+		r := t.rowAt(id)
 		if r == nil {
 			continue
 		}

@@ -48,6 +48,18 @@ type dumpFile struct {
 	Tables  []dumpTable
 }
 
+// dumpChunk is one bounded batch of rows in a version-2 stream. A
+// chunk with an empty Table name terminates the stream.
+type dumpChunk struct {
+	Table string
+	Rows  []Row
+}
+
+// dumpChunkRows bounds how many rows travel in one chunk — and, under
+// a paging engine, how many faulted rows are materialized at once on
+// either side of the stream.
+const dumpChunkRows = 256
+
 func init() {
 	gob.Register(int64(0))
 	gob.Register(float64(0))
@@ -57,7 +69,11 @@ func init() {
 }
 
 // Dump writes a consistent snapshot of the database to w. It holds the
-// read lock for the duration, so concurrent writers wait.
+// read lock for the duration, so concurrent writers wait. The stream
+// is a version-2 header (schema, index definitions, auto-increment
+// state, no rows) followed by bounded row chunks: evicted rows fault
+// in through the storage engine one chunk at a time, so dumping a
+// larger-than-RAM database never materializes a full table.
 func (db *DB) Dump(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -68,7 +84,7 @@ func (db *DB) Dump(w io.Writer) error {
 	}
 	sort.Strings(names)
 
-	f := dumpFile{Version: 1}
+	f := dumpFile{Version: 2}
 	for _, name := range names {
 		t := db.tables[name]
 		dt := dumpTable{Name: t.name, AutoInc: t.autoInc, FKs: t.fks}
@@ -92,17 +108,37 @@ func (db *DB) Dump(w io.Writer) error {
 				Name: ix.name, Cols: append([]string(nil), ix.colNames...),
 			})
 		}
-		for _, r := range t.rows {
+		f.Tables = append(f.Tables, dt)
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&f); err != nil {
+		return fmt.Errorf("rdb: dump: %w", err)
+	}
+	for _, name := range names {
+		t := db.tables[name]
+		chunk := dumpChunk{Table: t.name}
+		for id := range t.rows {
+			r := t.rowAt(id)
 			if r == nil {
 				continue
 			}
 			row := make(Row, len(r))
 			copy(row, r)
-			dt.Rows = append(dt.Rows, row)
+			chunk.Rows = append(chunk.Rows, row)
+			if len(chunk.Rows) == dumpChunkRows {
+				if err := enc.Encode(&chunk); err != nil {
+					return fmt.Errorf("rdb: dump: %w", err)
+				}
+				chunk.Rows = nil
+			}
 		}
-		f.Tables = append(f.Tables, dt)
+		if len(chunk.Rows) > 0 {
+			if err := enc.Encode(&chunk); err != nil {
+				return fmt.Errorf("rdb: dump: %w", err)
+			}
+		}
 	}
-	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+	if err := enc.Encode(&dumpChunk{}); err != nil {
 		return fmt.Errorf("rdb: dump: %w", err)
 	}
 	return nil
@@ -119,17 +155,22 @@ func Restore(r io.Reader) (*DB, error) {
 }
 
 // LoadDump replays a snapshot produced by Dump into db, which must be
-// empty. The whole restore flows through the storage engine as one
-// committed change-set: under a durable engine it lands in the WAL
-// like any other commit and is crash-safe by the time LoadDump
-// returns. On error the database is in an undefined partial state and
-// must be discarded.
+// empty. Everything flows through the storage engine as committed
+// change-sets: under a durable engine it lands in the WAL like any
+// other commit and is crash-safe by the time LoadDump returns. A
+// version-1 snapshot (rows inline) restores as a single change-set; a
+// version-2 stream commits the schema first and then each bounded row
+// chunk separately, so restoring a larger-than-RAM snapshot under a
+// paging engine never holds the whole database in memory (the
+// engine's eviction sweep runs between chunk commits). On error the
+// database is in an undefined partial state and must be discarded.
 func (db *DB) LoadDump(r io.Reader) error {
+	dec := gob.NewDecoder(r)
 	var f dumpFile
-	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+	if err := dec.Decode(&f); err != nil {
 		return fmt.Errorf("rdb: restore: %w", err)
 	}
-	if f.Version != 1 {
+	if f.Version != 1 && f.Version != 2 {
 		return fmt.Errorf("rdb: restore: unsupported snapshot version %d", f.Version)
 	}
 	ordered, err := topoTables(f.Tables)
@@ -145,6 +186,58 @@ func (db *DB) LoadDump(r io.Reader) error {
 	if err := db.loadDumpLocked(ordered, cs); err != nil {
 		db.mu.Unlock()
 		return err
+	}
+	wait, err := db.applyLocked(cs)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return err
+		}
+	}
+	if f.Version == 1 {
+		return nil
+	}
+	for {
+		var ch dumpChunk
+		if err := dec.Decode(&ch); err != nil {
+			return fmt.Errorf("rdb: restore: %w", err)
+		}
+		if ch.Table == "" {
+			return nil
+		}
+		if err := db.loadChunk(&ch); err != nil {
+			return err
+		}
+	}
+}
+
+// loadChunk commits one row chunk of a version-2 stream. Rows bypass
+// execInsert: the snapshot is internally consistent, so per-row
+// foreign-key checks would only forbid row orderings Dump is free to
+// produce.
+func (db *DB) loadChunk(ch *dumpChunk) error {
+	cs := &ChangeSet{}
+	key := lowerKey(ch.Table)
+	db.mu.Lock()
+	t := db.tables[key]
+	if t == nil {
+		db.mu.Unlock()
+		return fmt.Errorf("rdb: restore: chunk for unknown table %q", ch.Table)
+	}
+	for _, row := range ch.Rows {
+		if len(row) != len(t.cols) {
+			db.mu.Unlock()
+			return fmt.Errorf("rdb: restore: row arity mismatch in %q", ch.Table)
+		}
+		id, err := t.insert(row)
+		if err != nil {
+			db.mu.Unlock()
+			return fmt.Errorf("rdb: restore row into %q: %w", ch.Table, err)
+		}
+		cs.add(ChangeOp{Kind: OpInsert, Table: key, RowID: id, Row: row})
 	}
 	wait, err := db.applyLocked(cs)
 	db.mu.Unlock()

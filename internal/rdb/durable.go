@@ -2,6 +2,7 @@ package rdb
 
 import (
 	"bytes"
+	"container/list"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"webmlgo/internal/rdb/storage/pager"
@@ -23,12 +26,26 @@ import (
 //	         (under db.mu)       to the B-tree's buffer pool
 //	         unlock          ->  wait(): group-commit fsync of the WAL
 //
-// The page file is rewritten only at checkpoints (compacted bulk load,
-// atomic rename), so it never contains torn pages; crash recovery is
-// "open page file, replay WAL frames newer than its checkpoint". Rows
-// are keyed by (tableID, recID): tables with an INTEGER primary key
-// derive recID from the key itself (order-preserving sign flip), other
-// tables draw from a per-table counter persisted in the catalog.
+// Three mechanisms let the working set exceed RAM:
+//
+//   - Anti-caching: when a resident-row budget is set, Apply sweeps cold
+//     rows out of their table slots, leaving one-word eviction markers.
+//     Index structures stay fully resident; only tuple payloads page
+//     out, faulting back through a small row cache and the buffer pool.
+//   - Persisted index images: every secondary index also writes a
+//     projected key image into the tree under its own id, so recovery
+//     rebuilds index structures from the (small) images and registers
+//     data records as markers — it never decodes full rows.
+//   - Incremental checkpoints: dirty pages are flushed in place and the
+//     meta page flips between two slots, so checkpoint cost follows the
+//     write rate, not the database size.
+//
+// Rows are keyed by (tableID, recID): tables with an INTEGER primary
+// key derive recID from the key itself (order-preserving sign flip),
+// other tables draw from a per-table counter persisted in the catalog.
+// Snapshot reads resolve evicted records against a version retention
+// buffer: Apply pushes each overwritten image, keyed by the commit that
+// replaced it, and drops entries once no open snapshot can need them.
 
 // Filenames inside a durable database directory.
 const (
@@ -40,6 +57,10 @@ const (
 // checkpoint during Apply.
 const defaultCheckpointBytes = 8 << 20
 
+// defaultRowCacheRows bounds the decoded-row cache when no resident-row
+// budget is configured.
+const defaultRowCacheRows = 4096
+
 // DurableOptions tune OpenDurable. Zero values select defaults.
 type DurableOptions struct {
 	// CheckpointBytes is the WAL length that triggers an automatic
@@ -48,6 +69,22 @@ type DurableOptions struct {
 	// PoolPages is the buffer-pool capacity in 4 KiB pages (default
 	// 2048, i.e. 8 MiB).
 	PoolPages int
+	// ResidentRows, when positive, bounds the number of materialized
+	// rows across all tables: each commit sweeps cold rows down to
+	// eviction markers that fault back through the buffer pool on
+	// access. Zero keeps every row resident (markers still appear
+	// after recovery, which always starts paged-out).
+	ResidentRows int
+}
+
+// catIndex is one persisted index image in the catalog: the tree id its
+// projected keys live under and enough shape to rebuild the in-memory
+// structure without touching data rows.
+type catIndex struct {
+	IdxID uint32
+	Kind  string // "pk" | "unique" | "hash" | "ordered" | "composite"
+	Name  string // composite index name; empty otherwise
+	Cols  []string
 }
 
 // catTable is one table's entry in the persisted catalog. Schema is
@@ -61,11 +98,14 @@ type catTable struct {
 	IntPK     bool
 	NextRec   uint64
 	AutoInc   int64
+	Indexes   []catIndex
 }
 
 // catalogFile is the blob stored in the page file at each checkpoint.
 // Tables appear in creation order so foreign-key references replay
-// cleanly.
+// cleanly. Version 2 added persisted index images; version-1 files
+// (no Indexes) recover through the legacy full-scan path and upgrade
+// at their next checkpoint.
 type catalogFile struct {
 	Version     int
 	NextTableID uint32
@@ -85,10 +125,19 @@ func decodeCatalog(b []byte) (*catalogFile, error) {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&cf); err != nil {
 		return nil, fmt.Errorf("rdb: decode catalog: %w", err)
 	}
-	if cf.Version != 1 {
+	if cf.Version < 1 || cf.Version > 2 {
 		return nil, fmt.Errorf("rdb: unsupported catalog version %d", cf.Version)
 	}
 	return &cf, nil
+}
+
+// engIndex is the engine's registration of one persisted index image.
+type engIndex struct {
+	id       uint32
+	kind     string // "pk" | "unique" | "hash" | "ordered" | "composite"
+	name     string // composite name; empty otherwise
+	cols     []int  // column positions, parallel to colNames
+	colNames []string
 }
 
 // engTable is the engine's per-table bookkeeping.
@@ -101,6 +150,9 @@ type engTable struct {
 	// the id behind each in-memory row slot for updates and deletes.
 	nextRec uint64
 	recOf   map[int]uint64
+	// images are the persisted index projections written alongside
+	// every data record.
+	images []*engIndex
 }
 
 // pkRecID maps an int64 primary key onto the record-id space with its
@@ -110,9 +162,107 @@ func pkRecID(pk int64) uint64 { return uint64(pk) ^ (1 << 63) }
 // recIDPK inverts pkRecID.
 func recIDPK(rec uint64) int64 { return int64(rec ^ (1 << 63)) }
 
+// cacheKey addresses one decoded row in the row cache.
+type cacheKey struct {
+	tid uint32
+	rec uint64
+}
+
+type cacheEnt struct {
+	k   cacheKey
+	row Row
+}
+
+// rowCache is a small LRU of decoded rows in front of the page tree:
+// faulting an evicted row costs a map hit instead of a tree descent
+// plus decode when the row is hot. Only live fetches populate it (they
+// run under at least db.mu.RLock, which excludes Apply's invalidation);
+// snapshot fetches may read but never insert, so a stale pre-invalidate
+// read can never be re-inserted after Apply cleared it.
+type rowCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+}
+
+func newRowCache(capacity int) *rowCache {
+	if capacity <= 0 {
+		capacity = defaultRowCacheRows
+	}
+	return &rowCache{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+func (c *rowCache) get(tid uint32, rec uint64) (Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[cacheKey{tid, rec}]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEnt).row, true
+}
+
+func (c *rowCache) put(tid uint32, rec uint64, row Row) {
+	k := cacheKey{tid, rec}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEnt).row = row
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEnt{k: k, row: row})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEnt).k)
+	}
+}
+
+func (c *rowCache) invalidate(tid uint32, rec uint64) {
+	k := cacheKey{tid, rec}
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok {
+		c.ll.Remove(el)
+		delete(c.m, k)
+	}
+	c.mu.Unlock()
+}
+
+func (c *rowCache) dropTable(tid uint32) {
+	c.mu.Lock()
+	for k, el := range c.m {
+		if k.tid == tid {
+			c.ll.Remove(el)
+			delete(c.m, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// retKey addresses one record's retained version chain.
+type retKey struct {
+	tid uint32
+	rec uint64
+}
+
+// retEntry is one retained version: row was the record's image before
+// the commit numbered until (nil row: the record did not exist). A
+// chain is appended in ascending until order, so the first entry with
+// until > snapSeq is the image a snapshot at snapSeq must see.
+type retEntry struct {
+	until uint64
+	row   Row
+}
+
 // durableEngine implements Engine over a WAL and a page store. All
-// methods except the wait functions returned by Apply run with db.mu
-// held exclusively (Stats with at least the read lock).
+// methods except the wait functions returned by Apply, RegisterSnapshot
+// and fetchRow run with db.mu held exclusively (Stats with at least the
+// read lock). fetchRow may run with no database lock at all (snapshot
+// reads), so tree access is guarded by treeMu and version visibility by
+// the retention buffer.
 type durableEngine struct {
 	db    *DB
 	dir   string
@@ -120,10 +270,27 @@ type durableEngine struct {
 	log   *wal.Log
 	store *pager.Store
 
+	// treeMu guards the page tree: Apply, checkpoints and DDL hold it
+	// exclusively; lock-free snapshot faults hold it shared.
+	treeMu sync.RWMutex
+	cache  *rowCache
+
+	// retMu guards the version retention buffer and the snapshot
+	// registry.
+	retMu sync.Mutex
+	ret   map[retKey][]retEntry
+	snaps map[uint64]int // registered snapshot sequence -> refcount
+
 	tables      map[string]*engTable
 	order       []string // creation order, for catalog replay
 	nextTableID uint32
-	lastSeq     uint64
+	lastSeq     atomic.Uint64
+
+	residentRows int
+	poolPages    int
+	sweepCur     map[string]int // round-robin eviction cursor per table
+	rowFaults    atomic.Uint64
+	rowsEvicted  atomic.Uint64
 
 	ckptBytes   int64
 	checkpoints uint64
@@ -142,89 +309,183 @@ func (e *durableEngine) fail(err error) error {
 	return err
 }
 
+// retain pushes one overwritten image onto the retention chain. Pushes
+// happen before the tree write they shadow, so a snapshot fault that
+// reads the tree after the overwrite always finds the entry.
+func (e *durableEngine) retain(tid uint32, rec, until uint64, row Row) {
+	k := retKey{tid, rec}
+	e.retMu.Lock()
+	e.ret[k] = append(e.ret[k], retEntry{until: until, row: row})
+	e.retMu.Unlock()
+}
+
+// retained resolves a record at snapshot sequence snapSeq against the
+// retention buffer. hit=false means the live image is also the image at
+// snapSeq; hit=true with a nil row means the record did not exist.
+func (e *durableEngine) retained(tid uint32, rec, snapSeq uint64) (Row, bool) {
+	k := retKey{tid, rec}
+	e.retMu.Lock()
+	defer e.retMu.Unlock()
+	for _, ent := range e.ret[k] {
+		if ent.until > snapSeq {
+			return ent.row, true
+		}
+	}
+	return nil, false
+}
+
+// gcRetention drops retained versions no open snapshot can need. The
+// floor is the oldest registered snapshot sequence (or the current
+// commit when none is open): a snapshot registered at R observes a head
+// with seq >= R-1, so it only needs entries with until >= R — strictly
+// older ones are garbage.
+func (e *durableEngine) gcRetention(seq uint64) {
+	e.retMu.Lock()
+	floor := seq
+	for r := range e.snaps {
+		if r < floor {
+			floor = r
+		}
+	}
+	for k, ents := range e.ret {
+		i := 0
+		for i < len(ents) && ents[i].until < floor {
+			i++
+		}
+		if i == len(ents) {
+			delete(e.ret, k)
+		} else if i > 0 {
+			e.ret[k] = append([]retEntry(nil), ents[i:]...)
+		}
+	}
+	e.retMu.Unlock()
+}
+
+// RegisterSnapshot pins row versions for a snapshot (mvcc.go). The
+// sequence is read under retMu so registration cannot interleave with
+// a concurrent gcRetention's floor computation.
+func (e *durableEngine) RegisterSnapshot() (uint64, func()) {
+	e.retMu.Lock()
+	r := e.lastSeq.Load()
+	e.snaps[r]++
+	e.retMu.Unlock()
+	var once sync.Once
+	return r, func() {
+		once.Do(func() {
+			e.retMu.Lock()
+			if n := e.snaps[r] - 1; n <= 0 {
+				delete(e.snaps, r)
+			} else {
+				e.snaps[r] = n
+			}
+			e.retMu.Unlock()
+		})
+	}
+}
+
+// fetchRow materializes one record, serving live reads (snapSeq ==
+// liveSeq) from the row cache or the tree and snapshot reads through
+// the retention buffer. The retention check runs after the cache/tree
+// read: Apply pushes the retained image before overwriting the tree,
+// so whichever side of the overwrite this read lands on, the visible
+// image at snapSeq is recovered.
+func (e *durableEngine) fetchRow(et *engTable, rec, snapSeq uint64) (Row, bool) {
+	live := snapSeq == liveSeq
+	if row, ok := e.cache.get(et.id, rec); ok {
+		if !live {
+			if r, hit := e.retained(et.id, rec, snapSeq); hit {
+				return r, r != nil
+			}
+		}
+		return row, true
+	}
+	start := time.Now()
+	e.treeMu.RLock()
+	data, found, err := e.store.Tree().Get(pager.MakeKey(et.id, rec))
+	e.treeMu.RUnlock()
+	e.rowFaults.Add(1)
+	e.db.observeFault(time.Since(start))
+	if !live {
+		if r, hit := e.retained(et.id, rec, snapSeq); hit {
+			return r, r != nil
+		}
+	}
+	if err != nil || !found {
+		return nil, false
+	}
+	row, derr := decodeRow(data)
+	if derr != nil {
+		return nil, false
+	}
+	if live {
+		e.cache.put(et.id, rec, row)
+	}
+	return row, true
+}
+
+// writeImages writes the projected key image of row under every index
+// image id. Images are keyed by record id, so updates overwrite in
+// place and deletes need no old values.
+func (e *durableEngine) writeImages(tree *pager.BTree, et *engTable, rec uint64, row Row) error {
+	for _, img := range et.images {
+		vals := make(Row, len(img.cols))
+		for i, c := range img.cols {
+			vals[i] = row[c]
+		}
+		data, err := encodeRow(vals)
+		if err != nil {
+			return err
+		}
+		if err := tree.Put(pager.MakeKey(img.id, rec), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putRecord writes one record and its index images through the tree
+// and invalidates the row cache.
+func (e *durableEngine) putRecord(tree *pager.BTree, et *engTable, rec uint64, data []byte, row Row) error {
+	if err := tree.Put(pager.MakeKey(et.id, rec), data); err != nil {
+		return err
+	}
+	if err := e.writeImages(tree, et, rec, row); err != nil {
+		return err
+	}
+	e.cache.invalidate(et.id, rec)
+	return nil
+}
+
+// delRecord removes one record and its index images.
+func (e *durableEngine) delRecord(tree *pager.BTree, et *engTable, rec uint64) error {
+	if _, err := tree.Delete(pager.MakeKey(et.id, rec)); err != nil {
+		return err
+	}
+	for _, img := range et.images {
+		if _, err := tree.Delete(pager.MakeKey(img.id, rec)); err != nil {
+			return err
+		}
+	}
+	e.cache.invalidate(et.id, rec)
+	return nil
+}
+
 // Apply lowers the change-set to record-id operations, appends one WAL
 // frame, writes the rows through to the B-tree, and returns a wait
-// function that group-commits the frame to disk.
+// function that group-commits the frame to disk. Overwritten images are
+// pushed into the retention buffer first so concurrent snapshot faults
+// stay consistent, and a resident-row budget triggers an eviction sweep
+// after the write-through.
 func (e *durableEngine) Apply(cs *ChangeSet) (func() error, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
 	rec := walRecord{seq: cs.Seq}
-	tree := e.store.Tree()
-	for _, op := range cs.Ops {
-		switch op.Kind {
-		case OpDDL:
-			if err := e.applyDDL(op.SQL); err != nil {
-				return nil, e.fail(err)
-			}
-			rec.ops = append(rec.ops, walOp{kind: wopDDL, sql: op.SQL})
-		case OpInsert, OpUpdate:
-			et := e.tables[op.Table]
-			if et == nil {
-				return nil, e.fail(fmt.Errorf("rdb: durable: unknown table %q", op.Table))
-			}
-			var recID uint64
-			if et.intPK {
-				pk, ok := op.Row[et.pkCol].(int64)
-				if !ok {
-					return nil, e.fail(fmt.Errorf("rdb: durable: non-integer key in %q", op.Table))
-				}
-				recID = pkRecID(pk)
-				if op.Kind == OpUpdate {
-					// A key change moves the record: delete the old id.
-					if oldPK, ok := op.OldRow[et.pkCol].(int64); ok && oldPK != pk {
-						if _, err := tree.Delete(pager.MakeKey(et.id, pkRecID(oldPK))); err != nil {
-							return nil, e.fail(err)
-						}
-						rec.ops = append(rec.ops, walOp{kind: wopDel, table: op.Table, recID: pkRecID(oldPK)})
-					}
-				}
-			} else if op.Kind == OpInsert {
-				recID = et.nextRec
-				et.nextRec++
-				et.recOf[op.RowID] = recID
-			} else {
-				var ok bool
-				recID, ok = et.recOf[op.RowID]
-				if !ok {
-					return nil, e.fail(fmt.Errorf("rdb: durable: no record id for row %d of %q", op.RowID, op.Table))
-				}
-			}
-			data, err := encodeRow(op.Row)
-			if err != nil {
-				return nil, e.fail(err)
-			}
-			if err := tree.Put(pager.MakeKey(et.id, recID), data); err != nil {
-				return nil, e.fail(err)
-			}
-			rec.ops = append(rec.ops, walOp{kind: wopPut, table: op.Table, recID: recID, rowData: data})
-		case OpDelete:
-			et := e.tables[op.Table]
-			if et == nil {
-				return nil, e.fail(fmt.Errorf("rdb: durable: unknown table %q", op.Table))
-			}
-			var recID uint64
-			if et.intPK {
-				pk, ok := op.OldRow[et.pkCol].(int64)
-				if !ok {
-					return nil, e.fail(fmt.Errorf("rdb: durable: non-integer key in %q", op.Table))
-				}
-				recID = pkRecID(pk)
-			} else {
-				var ok bool
-				recID, ok = et.recOf[op.RowID]
-				if !ok {
-					return nil, e.fail(fmt.Errorf("rdb: durable: no record id for row %d of %q", op.RowID, op.Table))
-				}
-				delete(et.recOf, op.RowID)
-			}
-			if _, err := tree.Delete(pager.MakeKey(et.id, recID)); err != nil {
-				return nil, e.fail(err)
-			}
-			rec.ops = append(rec.ops, walOp{kind: wopDel, table: op.Table, recID: recID})
-		case OpAutoInc:
-			rec.ops = append(rec.ops, walOp{kind: wopAutoInc, table: op.Table, autoInc: op.AutoInc})
-		}
+	e.treeMu.Lock()
+	err := e.lowerOps(cs, &rec)
+	e.treeMu.Unlock()
+	if err != nil {
+		return nil, e.fail(err)
 	}
 	appendStart := time.Now()
 	lsn, err := e.log.Append(encodeWALRecord(&rec))
@@ -232,8 +493,15 @@ func (e *durableEngine) Apply(cs *ChangeSet) (func() error, error) {
 	if err != nil {
 		return nil, e.fail(err)
 	}
-	e.lastSeq = cs.Seq
-	if size, serr := e.log.FileSize(); serr == nil && size > e.ckptBytes {
+	e.lastSeq.Store(cs.Seq)
+	e.gcRetention(cs.Seq)
+	e.sweep()
+	// Two checkpoint triggers: WAL growth (bounds replay time) and
+	// dirty-page pressure (dirty frames are unevictable no-steal, so
+	// left unchecked they would crowd the pool past its budget).
+	size, serr := e.log.FileSize()
+	dirty := e.store.PoolStats().Dirty
+	if (serr == nil && size > e.ckptBytes) || dirty > e.poolPages/2 {
 		// The checkpoint absorbs this change-set (and flushes the WAL),
 		// so the wait below returns immediately.
 		ckptStart := time.Now()
@@ -247,11 +515,220 @@ func (e *durableEngine) Apply(cs *ChangeSet) (func() error, error) {
 	return func() error { return log.Sync(lsn) }, nil
 }
 
-// applyDDL maintains the engine's table registry alongside a schema
-// change that has already been applied to the in-memory tables. Index
-// DDL needs no storage-side effect: secondary indexes rebuild from
-// rows at open.
-func (e *durableEngine) applyDDL(sql string) error {
+// lowerOps translates ChangeOps to tree writes and WAL ops. The caller
+// holds treeMu exclusively.
+func (e *durableEngine) lowerOps(cs *ChangeSet, rec *walRecord) error {
+	tree := e.store.Tree()
+	for _, op := range cs.Ops {
+		switch op.Kind {
+		case OpDDL:
+			if err := e.applyDDL(op.SQL, cs.Seq); err != nil {
+				return err
+			}
+			rec.ops = append(rec.ops, walOp{kind: wopDDL, sql: op.SQL})
+		case OpInsert, OpUpdate:
+			et := e.tables[op.Table]
+			if et == nil {
+				return fmt.Errorf("rdb: durable: unknown table %q", op.Table)
+			}
+			var recID uint64
+			if et.intPK {
+				pk, ok := op.Row[et.pkCol].(int64)
+				if !ok {
+					return fmt.Errorf("rdb: durable: non-integer key in %q", op.Table)
+				}
+				recID = pkRecID(pk)
+				switch {
+				case op.Kind == OpInsert:
+					e.retain(et.id, recID, cs.Seq, nil)
+				default:
+					oldPK, ok := op.OldRow[et.pkCol].(int64)
+					if ok && oldPK != pk {
+						// A key change moves the record: delete the old id.
+						oldRec := pkRecID(oldPK)
+						e.retain(et.id, oldRec, cs.Seq, op.OldRow)
+						e.retain(et.id, recID, cs.Seq, nil)
+						if err := e.delRecord(tree, et, oldRec); err != nil {
+							return err
+						}
+						rec.ops = append(rec.ops, walOp{kind: wopDel, table: op.Table, recID: oldRec})
+					} else {
+						e.retain(et.id, recID, cs.Seq, op.OldRow)
+					}
+				}
+			} else if op.Kind == OpInsert {
+				recID = et.nextRec
+				et.nextRec++
+				et.recOf[op.RowID] = recID
+				e.retain(et.id, recID, cs.Seq, nil)
+			} else {
+				var ok bool
+				recID, ok = et.recOf[op.RowID]
+				if !ok {
+					return fmt.Errorf("rdb: durable: no record id for row %d of %q", op.RowID, op.Table)
+				}
+				e.retain(et.id, recID, cs.Seq, op.OldRow)
+			}
+			data, err := encodeRow(op.Row)
+			if err != nil {
+				return err
+			}
+			if err := e.putRecord(tree, et, recID, data, op.Row); err != nil {
+				return err
+			}
+			rec.ops = append(rec.ops, walOp{kind: wopPut, table: op.Table, recID: recID, rowData: data})
+		case OpDelete:
+			et := e.tables[op.Table]
+			if et == nil {
+				return fmt.Errorf("rdb: durable: unknown table %q", op.Table)
+			}
+			var recID uint64
+			if et.intPK {
+				pk, ok := op.OldRow[et.pkCol].(int64)
+				if !ok {
+					return fmt.Errorf("rdb: durable: non-integer key in %q", op.Table)
+				}
+				recID = pkRecID(pk)
+			} else {
+				var ok bool
+				recID, ok = et.recOf[op.RowID]
+				if !ok {
+					return fmt.Errorf("rdb: durable: no record id for row %d of %q", op.RowID, op.Table)
+				}
+				delete(et.recOf, op.RowID)
+			}
+			e.retain(et.id, recID, cs.Seq, op.OldRow)
+			if err := e.delRecord(tree, et, recID); err != nil {
+				return err
+			}
+			rec.ops = append(rec.ops, walOp{kind: wopDel, table: op.Table, recID: recID})
+		case OpAutoInc:
+			rec.ops = append(rec.ops, walOp{kind: wopAutoInc, table: op.Table, autoInc: op.AutoInc})
+		}
+	}
+	return nil
+}
+
+// sweep enforces the resident-row budget: when materialized rows exceed
+// it, cold slots collapse to eviction markers. Cursors advance
+// round-robin per table so eviction pressure rotates instead of
+// thrashing one region. Runs after the change-set's write-through, so
+// every evicted row is faultable from the tree.
+func (e *durableEngine) sweep() {
+	if e.residentRows <= 0 {
+		return
+	}
+	total := 0
+	for _, key := range e.order {
+		if t := e.db.tables[key]; t != nil {
+			total += t.resident
+		}
+	}
+	if total <= e.residentRows {
+		return
+	}
+	for _, key := range e.order {
+		if total <= e.residentRows {
+			break
+		}
+		t := e.db.tables[key]
+		et := e.tables[key]
+		if t == nil || et == nil || t.resident == 0 {
+			continue
+		}
+		cur := e.sweepCur[key]
+		n := len(t.rows)
+		for scanned := 0; scanned < n && total > e.residentRows && t.resident > 0; scanned++ {
+			if cur >= n {
+				cur = 0
+			}
+			id := cur
+			cur++
+			r := t.rows[id]
+			if r == nil {
+				continue
+			}
+			if _, evicted := evictedRec(r); evicted {
+				continue
+			}
+			var rec uint64
+			if et.intPK {
+				pk, ok := r[et.pkCol].(int64)
+				if !ok {
+					continue
+				}
+				rec = pkRecID(pk)
+			} else {
+				var ok bool
+				rec, ok = et.recOf[id]
+				if !ok {
+					continue
+				}
+			}
+			t.evictSlot(id, rec)
+			e.rowsEvicted.Add(1)
+			total--
+		}
+		e.sweepCur[key] = cur
+	}
+}
+
+// allocImage registers one index image for et, drawing its tree id from
+// the shared table-id space.
+func (e *durableEngine) allocImage(et *engTable, t *table, kind, name string, colNames []string) *engIndex {
+	img := &engIndex{id: e.nextTableID, kind: kind, name: name, colNames: colNames}
+	e.nextTableID++
+	for _, cn := range colNames {
+		img.cols = append(img.cols, t.colIdx[cn])
+	}
+	et.images = append(et.images, img)
+	return img
+}
+
+// backfillImage writes img's projection of every existing record. The
+// scan collects first and writes after: inserting into the tree while
+// iterating it is not safe.
+func (e *durableEngine) backfillImage(et *engTable, img *engIndex) error {
+	tree := e.store.Tree()
+	lo, hi := pager.TableBounds(et.id)
+	type ent struct {
+		rec  uint64
+		data []byte
+	}
+	var ents []ent
+	err := tree.Scan(lo, hi, func(k pager.Key, v []byte) error {
+		row, err := decodeRow(v)
+		if err != nil {
+			return err
+		}
+		vals := make(Row, len(img.cols))
+		for i, c := range img.cols {
+			vals[i] = row[c]
+		}
+		data, err := encodeRow(vals)
+		if err != nil {
+			return err
+		}
+		ents = append(ents, ent{rec: k.RecID(), data: data})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, en := range ents {
+		if err := tree.Put(pager.MakeKey(img.id, en.rec), en.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyDDL maintains the engine's table and image registries alongside
+// a schema change that has already been applied to the in-memory
+// tables. CREATE INDEX allocates and backfills a persisted image; DROP
+// TABLE retains every dropped image for open snapshots before deleting
+// the records.
+func (e *durableEngine) applyDDL(sql string, seq uint64) error {
 	st, err := ParseStatement(sql)
 	if err != nil {
 		return fmt.Errorf("rdb: durable: replay DDL: %w", err)
@@ -264,7 +741,8 @@ func (e *durableEngine) applyDDL(sql string) error {
 		}
 		et := &engTable{id: e.nextTableID, pkCol: -1, nextRec: 1}
 		e.nextTableID++
-		if t := e.db.tables[key]; t != nil && t.pk >= 0 && t.cols[t.pk].def.Type == TInt {
+		t := e.db.tables[key]
+		if t != nil && t.pk >= 0 && t.cols[t.pk].def.Type == TInt {
 			et.intPK = true
 			et.pkCol = t.pk
 		} else {
@@ -272,33 +750,105 @@ func (e *durableEngine) applyDDL(sql string) error {
 		}
 		e.tables[key] = et
 		e.order = append(e.order, key)
+		if t != nil {
+			// Wire the paging hook: evicted slots fault back through the
+			// engine; frozen views inherit the closure with their own
+			// snapshot sequence.
+			t.fetch = func(rec, snapSeq uint64) (Row, bool) { return e.fetchRow(et, rec, snapSeq) }
+			t.pkByRec = et.intPK
+			t.snapSeq = liveSeq
+			// Persist what marker-only recovery cannot rederive from
+			// record ids: primary keys of synthetic-id tables and UNIQUE
+			// column values.
+			if t.pk >= 0 && !et.intPK {
+				e.allocImage(et, t, "pk", "", []string{strings.ToLower(t.cols[t.pk].def.Name)})
+			}
+			uniq := make([]string, 0, len(t.uniques))
+			for col := range t.uniques {
+				uniq = append(uniq, col)
+			}
+			sort.Strings(uniq)
+			for _, col := range uniq {
+				e.allocImage(et, t, "unique", "", []string{col})
+			}
+		}
 	case *DropTableStmt:
 		key := lowerKey(x.Name)
 		et := e.tables[key]
 		if et == nil {
 			return nil
 		}
-		lo, hi := pager.TableBounds(et.id)
-		var keys []pager.Key
 		tree := e.store.Tree()
-		if err := tree.Scan(lo, hi, func(k pager.Key, _ []byte) error {
-			keys = append(keys, k)
+		lo, hi := pager.TableBounds(et.id)
+		type doomed struct {
+			k   pager.Key
+			row Row
+		}
+		var main []doomed
+		if err := tree.Scan(lo, hi, func(k pager.Key, v []byte) error {
+			row, err := decodeRow(v)
+			if err != nil {
+				return err
+			}
+			main = append(main, doomed{k: k, row: row})
 			return nil
 		}); err != nil {
 			return err
 		}
-		for _, k := range keys {
-			if _, err := tree.Delete(k); err != nil {
+		for _, d := range main {
+			e.retain(et.id, d.k.RecID(), seq, d.row)
+			if _, err := tree.Delete(d.k); err != nil {
 				return err
 			}
 		}
+		for _, img := range et.images {
+			ilo, ihi := pager.TableBounds(img.id)
+			var keys []pager.Key
+			if err := tree.ScanKeys(ilo, ihi, func(k pager.Key) error {
+				keys = append(keys, k)
+				return nil
+			}); err != nil {
+				return err
+			}
+			for _, k := range keys {
+				if _, err := tree.Delete(k); err != nil {
+					return err
+				}
+			}
+		}
+		e.cache.dropTable(et.id)
 		delete(e.tables, key)
+		delete(e.sweepCur, key)
 		for i, name := range e.order {
 			if name == key {
 				e.order = append(e.order[:i], e.order[i+1:]...)
 				break
 			}
 		}
+	case *CreateIndexStmt:
+		key := lowerKey(x.Table)
+		et := e.tables[key]
+		t := e.db.tables[key]
+		if et == nil || t == nil {
+			return nil
+		}
+		colNames := make([]string, len(x.Columns))
+		for i, cn := range x.Columns {
+			colNames[i] = strings.ToLower(cn)
+		}
+		kind, name := "hash", ""
+		if len(colNames) > 1 {
+			kind, name = "composite", x.Name
+		} else if x.Ordered {
+			kind = "ordered"
+		}
+		for _, img := range et.images {
+			if img.kind == kind && sameColumnList(img.colNames, colNames) {
+				return nil // recreate is a no-op, like the in-memory side
+			}
+		}
+		img := e.allocImage(et, t, kind, name, colNames)
+		return e.backfillImage(et, img)
 	}
 	return nil
 }
@@ -307,14 +857,14 @@ func (e *durableEngine) applyDDL(sql string) error {
 // the next checkpoint. It reads db.tables, which is safe: Checkpoint
 // runs with the exclusive lock held.
 func (e *durableEngine) renderCatalog() ([]byte, error) {
-	cf := catalogFile{Version: 1, NextTableID: e.nextTableID}
+	cf := catalogFile{Version: 2, NextTableID: e.nextTableID}
 	for _, key := range e.order {
 		et := e.tables[key]
 		t := e.db.tables[key]
 		if et == nil || t == nil {
 			return nil, fmt.Errorf("rdb: durable: catalog missing table %q", key)
 		}
-		cf.Tables = append(cf.Tables, catTable{
+		ct := catTable{
 			Name:      key,
 			CreateSQL: renderCreateTable(t),
 			IndexSQL:  renderIndexSQLs(t),
@@ -322,13 +872,21 @@ func (e *durableEngine) renderCatalog() ([]byte, error) {
 			IntPK:     et.intPK,
 			NextRec:   et.nextRec,
 			AutoInc:   t.autoInc,
-		})
+		}
+		for _, img := range et.images {
+			ct.Indexes = append(ct.Indexes, catIndex{
+				IdxID: img.id, Kind: img.kind, Name: img.name,
+				Cols: append([]string(nil), img.colNames...),
+			})
+		}
+		cf.Tables = append(cf.Tables, ct)
 	}
 	return encodeCatalog(&cf)
 }
 
-// Checkpoint rewrites the page file from the live tree (compacted,
-// atomically renamed over the old one) and truncates the WAL. Pending
+// Checkpoint flushes dirty pages in place and flips the page file's
+// meta slot, then truncates the WAL — cost proportional to the pages
+// written since the last checkpoint, not to database size. Pending
 // Sync waiters are satisfied by the flush Reset performs first.
 func (e *durableEngine) Checkpoint() error {
 	if e.err != nil {
@@ -338,19 +896,12 @@ func (e *durableEngine) Checkpoint() error {
 	if err != nil {
 		return e.fail(err)
 	}
-	old := e.store
-	err = pager.WriteCheckpoint(e.pages, e.lastSeq, catalog, func(emit func(pager.Key, []byte) error) error {
-		return old.Tree().Scan(pager.MinKey, pager.MaxKey, emit)
-	})
+	e.treeMu.Lock()
+	err = e.store.IncrementalCheckpoint(e.lastSeq.Load(), catalog)
+	e.treeMu.Unlock()
 	if err != nil {
 		return e.fail(fmt.Errorf("rdb: checkpoint: %w", err))
 	}
-	fresh, err := pager.Open(e.pages, 0)
-	if err != nil {
-		return e.fail(fmt.Errorf("rdb: checkpoint reopen: %w", err))
-	}
-	old.Close()
-	e.store = fresh
 	if err := e.log.Reset(); err != nil {
 		return e.fail(err)
 	}
@@ -361,6 +912,10 @@ func (e *durableEngine) Checkpoint() error {
 func (e *durableEngine) Stats() EngineStats {
 	ws := e.log.Stats()
 	ps := e.store.PoolStats()
+	resident := 0
+	for _, t := range e.db.tables {
+		resident += t.resident
+	}
 	return EngineStats{
 		WALAppends:       ws.Appends,
 		WALFsyncs:        ws.Fsyncs,
@@ -373,6 +928,10 @@ func (e *durableEngine) Stats() EngineStats {
 		PoolEvictions:    ps.Evictions,
 		PoolResident:     ps.Resident,
 		PoolDirty:        ps.Dirty,
+		PoolPinned:       ps.Pinned,
+		RowFaults:        e.rowFaults.Load(),
+		RowsEvicted:      e.rowsEvicted.Load(),
+		RowsResident:     resident,
 		Checkpoints:      e.checkpoints,
 		RecoveredRecords: e.recovered,
 		TornBytes:        e.torn,
@@ -398,8 +957,9 @@ func (e *durableEngine) Close() error {
 
 // OpenDurable opens (or creates) a durable database rooted at dir and
 // recovers it to the last committed state: catalog DDL replays first,
-// then the checkpointed rows, then every WAL frame newer than the
-// checkpoint.
+// then every record registers as an evicted marker (no row decode),
+// index structures rebuild from their persisted images, and finally
+// every WAL frame newer than the checkpoint replays.
 func OpenDurable(dir string) (*DB, error) {
 	return OpenDurableOpts(dir, DurableOptions{})
 }
@@ -411,7 +971,7 @@ func OpenDurableOpts(dir string, opts DurableOptions) (*DB, error) {
 	}
 	pagesPath := filepath.Join(dir, pagesFileName)
 	if _, err := os.Stat(pagesPath); errors.Is(err, os.ErrNotExist) {
-		empty, err := encodeCatalog(&catalogFile{Version: 1})
+		empty, err := encodeCatalog(&catalogFile{Version: 2})
 		if err != nil {
 			return nil, err
 		}
@@ -435,17 +995,26 @@ func OpenDurableOpts(dir string, opts DurableOptions) (*DB, error) {
 	}
 	db := Open()
 	e := &durableEngine{
-		db:        db,
-		dir:       dir,
-		pages:     pagesPath,
-		log:       log,
-		store:     store,
-		tables:    make(map[string]*engTable),
-		ckptBytes: opts.CheckpointBytes,
-		torn:      torn,
+		db:           db,
+		dir:          dir,
+		pages:        pagesPath,
+		log:          log,
+		store:        store,
+		cache:        newRowCache(opts.ResidentRows),
+		ret:          make(map[retKey][]retEntry),
+		snaps:        make(map[uint64]int),
+		tables:       make(map[string]*engTable),
+		residentRows: opts.ResidentRows,
+		poolPages:    opts.PoolPages,
+		sweepCur:     make(map[string]int),
+		ckptBytes:    opts.CheckpointBytes,
+		torn:         torn,
 	}
 	if e.ckptBytes <= 0 {
 		e.ckptBytes = defaultCheckpointBytes
+	}
+	if e.poolPages <= 0 {
+		e.poolPages = 2048 // pager's own default capacity
 	}
 	if err := e.recover(frames); err != nil {
 		log.Close()
@@ -459,7 +1028,9 @@ func OpenDurableOpts(dir string, opts DurableOptions) (*DB, error) {
 
 // recover rebuilds the in-memory database from the page file and the
 // WAL tail. It runs before the engine is attached, so the memory-side
-// replay cannot recurse into Apply.
+// replay cannot recurse into Apply. Version-2 catalogs recover without
+// decoding a single data row: records become eviction markers and
+// index structures load from their persisted images.
 func (e *durableEngine) recover(frames []wal.Record) error {
 	blob, err := e.store.Catalog()
 	if err != nil {
@@ -477,52 +1048,14 @@ func (e *durableEngine) recover(frames []wal.Record) error {
 	rev := make(map[string]map[uint64]int)
 
 	for _, ct := range cf.Tables {
-		if err := e.replaySQL(ct.CreateSQL); err != nil {
-			return err
+		if cf.Version >= 2 {
+			err = e.recoverTableV2(ct, rev)
+		} else {
+			err = e.recoverTableV1(ct, rev)
 		}
-		for _, sql := range ct.IndexSQL {
-			if err := e.replaySQL(sql); err != nil {
-				return err
-			}
-		}
-		// replaySQL registered the table through applyDDL with fresh
-		// counters; restore the persisted ones.
-		et := e.tables[ct.Name]
-		t := db.tables[ct.Name]
-		if et == nil || t == nil {
-			return fmt.Errorf("rdb: recover: catalog table %q did not replay", ct.Name)
-		}
-		et.id = ct.TableID
-		et.nextRec = ct.NextRec
-		if et.intPK != ct.IntPK {
-			return fmt.Errorf("rdb: recover: key mode mismatch for %q", ct.Name)
-		}
-		if !et.intPK {
-			rev[ct.Name] = make(map[uint64]int)
-		}
-		lo, hi := pager.TableBounds(et.id)
-		err := e.store.Tree().Scan(lo, hi, func(k pager.Key, v []byte) error {
-			row, err := decodeRow(v)
-			if err != nil {
-				return err
-			}
-			if len(row) != len(t.cols) {
-				return fmt.Errorf("rdb: recover: row arity mismatch in %q", ct.Name)
-			}
-			id, err := t.insert(row)
-			if err != nil {
-				return fmt.Errorf("rdb: recover %q: %w", ct.Name, err)
-			}
-			if !et.intPK {
-				et.recOf[id] = k.RecID()
-				rev[ct.Name][k.RecID()] = id
-			}
-			return nil
-		})
 		if err != nil {
 			return err
 		}
-		t.autoInc = ct.AutoInc
 	}
 	// applyDDL above advanced nextTableID past every registration; the
 	// persisted value wins only if it is larger (ids of dropped tables
@@ -546,7 +1079,269 @@ func (e *durableEngine) recover(frames []wal.Record) error {
 		db.seq = rec.seq
 		e.recovered++
 	}
-	e.lastSeq = db.seq
+	// WAL replay wrote its rows through to the tree and materialized
+	// them in table slots; evict them so every open ends marker-only,
+	// regardless of how the previous process stopped. Queries fault the
+	// hot set back on demand.
+	for name, t := range db.tables {
+		et := e.tables[name]
+		if et == nil || t.resident == 0 {
+			continue
+		}
+		for id, r := range t.rows {
+			if r == nil {
+				continue
+			}
+			if _, evicted := evictedRec(r); evicted {
+				continue
+			}
+			var rec uint64
+			if et.intPK {
+				pk, ok := r[et.pkCol].(int64)
+				if !ok {
+					continue
+				}
+				rec = pkRecID(pk)
+			} else if got, ok := et.recOf[id]; ok {
+				rec = got
+			} else {
+				continue
+			}
+			t.evictSlot(id, rec)
+		}
+	}
+	e.lastSeq.Store(db.seq)
+	return nil
+}
+
+// recoverTableV2 restores one table from a version-2 catalog entry:
+// schema DDL replays, every record registers as an eviction marker
+// (key scan only), and index structures rebuild from their persisted
+// images — no data row is decoded.
+func (e *durableEngine) recoverTableV2(ct catTable, rev map[string]map[uint64]int) error {
+	if err := e.replaySQL(ct.CreateSQL); err != nil {
+		return err
+	}
+	et := e.tables[ct.Name]
+	t := e.db.tables[ct.Name]
+	if et == nil || t == nil {
+		return fmt.Errorf("rdb: recover: catalog table %q did not replay", ct.Name)
+	}
+	et.id = ct.TableID
+	et.nextRec = ct.NextRec
+	if et.intPK != ct.IntPK {
+		return fmt.Errorf("rdb: recover: key mode mismatch for %q", ct.Name)
+	}
+	// The CREATE TABLE replay allocated fresh image ids; the persisted
+	// registrations win.
+	et.images = nil
+	for _, ci := range ct.Indexes {
+		img := &engIndex{id: ci.IdxID, kind: ci.Kind, name: ci.Name, colNames: ci.Cols}
+		for _, cn := range ci.Cols {
+			c, ok := t.colIdx[cn]
+			if !ok {
+				return fmt.Errorf("rdb: recover: %s image on unknown column %q in %q", ci.Kind, cn, ct.Name)
+			}
+			img.cols = append(img.cols, c)
+		}
+		et.images = append(et.images, img)
+	}
+	var rv map[uint64]int
+	if !et.intPK {
+		rv = make(map[uint64]int)
+		rev[ct.Name] = rv
+	}
+	lo, hi := pager.TableBounds(et.id)
+	err := e.store.Tree().ScanKeys(lo, hi, func(k pager.Key) error {
+		rec := k.RecID()
+		id := len(t.rows)
+		t.rows = append(t.rows, evictedRowMark(rec))
+		t.alive++
+		if et.intPK {
+			t.pkMap[Value(recIDPK(rec))] = id
+		} else {
+			et.recOf[id] = rec
+			rv[rec] = id
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, img := range et.images {
+		if err := e.recoverImage(t, et, img, rv); err != nil {
+			return err
+		}
+	}
+	t.autoInc = ct.AutoInc
+	return nil
+}
+
+// recoverImage rebuilds one in-memory index structure from its
+// persisted projection. Sorted structures collect then sort (the image
+// scan yields record order, not key order), mirroring how the live
+// side builds them.
+func (e *durableEngine) recoverImage(t *table, et *engTable, img *engIndex, rv map[uint64]int) error {
+	idOf := func(rec uint64) (int, bool) {
+		if et.intPK {
+			id, ok := t.pkMap[Value(recIDPK(rec))]
+			return id, ok
+		}
+		id, ok := rv[rec]
+		return id, ok
+	}
+	lo, hi := pager.TableBounds(img.id)
+	scan := func(fn func(id int, vals Row) error) error {
+		return e.store.Tree().Scan(lo, hi, func(k pager.Key, v []byte) error {
+			id, ok := idOf(k.RecID())
+			if !ok {
+				return fmt.Errorf("rdb: recover: %s image of %q references missing record %d", img.kind, t.name, k.RecID())
+			}
+			vals, err := decodeRow(v)
+			if err != nil {
+				return err
+			}
+			if len(vals) != len(img.cols) {
+				return fmt.Errorf("rdb: recover: %s image arity mismatch in %q", img.kind, t.name)
+			}
+			return fn(id, vals)
+		})
+	}
+	switch img.kind {
+	case "pk":
+		return scan(func(id int, vals Row) error {
+			if vals[0] != nil {
+				t.pkMap[vals[0]] = id
+			}
+			return nil
+		})
+	case "unique":
+		u := t.uniques[img.colNames[0]]
+		if u == nil {
+			u = make(map[Value]int)
+			t.uniques[img.colNames[0]] = u
+		}
+		return scan(func(id int, vals Row) error {
+			if vals[0] != nil {
+				u[vals[0]] = id
+			}
+			return nil
+		})
+	case "hash":
+		idx := make(map[Value][]int)
+		if err := scan(func(id int, vals Row) error {
+			if vals[0] != nil {
+				idx[vals[0]] = append(idx[vals[0]], id)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		t.indexes[img.colNames[0]] = idx
+		return nil
+	case "ordered":
+		var ents []ordEntry
+		if err := scan(func(id int, vals Row) error {
+			if vals[0] != nil {
+				ents = append(ents, ordEntry{val: vals[0], id: id})
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		sort.SliceStable(ents, func(a, b int) bool {
+			c, err := compareValues(ents[a].val, ents[b].val)
+			if err != nil {
+				return false
+			}
+			if c != 0 {
+				return c < 0
+			}
+			return ents[a].id < ents[b].id
+		})
+		t.ordered[img.colNames[0]] = &orderedIndex{entries: ents}
+		return nil
+	case "composite":
+		var ents []compEntry
+		if err := scan(func(id int, vals Row) error {
+			ents = append(ents, compEntry{key: []Value(vals), id: id})
+			return nil
+		}); err != nil {
+			return err
+		}
+		sort.SliceStable(ents, func(a, b int) bool {
+			if c := compareTuplePrefix(ents[a].key, ents[b].key, len(img.cols)); c != 0 {
+				return c < 0
+			}
+			return ents[a].id < ents[b].id
+		})
+		t.composites = append(t.composites, &compositeIndex{
+			name: img.name, colNames: img.colNames, cols: img.cols, entries: ents,
+		})
+		return nil
+	}
+	return fmt.Errorf("rdb: recover: unknown image kind %q", img.kind)
+}
+
+// recoverTableV1 restores one table from a legacy version-1 catalog
+// entry: full tree scan, decode and insert of every row. Images are
+// allocated and backfilled on the way so the next checkpoint writes a
+// version-2 catalog and subsequent opens use marker recovery.
+func (e *durableEngine) recoverTableV1(ct catTable, rev map[string]map[uint64]int) error {
+	if err := e.replaySQL(ct.CreateSQL); err != nil {
+		return err
+	}
+	et := e.tables[ct.Name]
+	t := e.db.tables[ct.Name]
+	if et == nil || t == nil {
+		return fmt.Errorf("rdb: recover: catalog table %q did not replay", ct.Name)
+	}
+	et.id = ct.TableID
+	et.nextRec = ct.NextRec
+	if et.intPK != ct.IntPK {
+		return fmt.Errorf("rdb: recover: key mode mismatch for %q", ct.Name)
+	}
+	// The CREATE TABLE replay allocated pk/unique images against an
+	// empty table; the records live under the persisted table id, so
+	// backfill them now that et.id is correct.
+	for _, img := range et.images {
+		if err := e.backfillImage(et, img); err != nil {
+			return err
+		}
+	}
+	// Index DDL after the id fix: applyDDL backfills each image from
+	// the records under the persisted id.
+	for _, sql := range ct.IndexSQL {
+		if err := e.replaySQL(sql); err != nil {
+			return err
+		}
+	}
+	if !et.intPK {
+		rev[ct.Name] = make(map[uint64]int)
+	}
+	lo, hi := pager.TableBounds(et.id)
+	err := e.store.Tree().Scan(lo, hi, func(k pager.Key, v []byte) error {
+		row, err := decodeRow(v)
+		if err != nil {
+			return err
+		}
+		if len(row) != len(t.cols) {
+			return fmt.Errorf("rdb: recover: row arity mismatch in %q", ct.Name)
+		}
+		id, err := t.insert(row)
+		if err != nil {
+			return fmt.Errorf("rdb: recover %q: %w", ct.Name, err)
+		}
+		if !et.intPK {
+			et.recOf[id] = k.RecID()
+			rev[ct.Name][k.RecID()] = id
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t.autoInc = ct.AutoInc
 	return nil
 }
 
@@ -560,11 +1355,13 @@ func (e *durableEngine) replaySQL(sql string) error {
 	if _, err := e.db.execLocked(sql, st, nil, nil, nil); err != nil {
 		return fmt.Errorf("rdb: recover DDL %q: %w", sql, err)
 	}
-	return e.applyDDL(sql)
+	return e.applyDDL(sql, 0)
 }
 
 // replayRecord applies one WAL record to both the in-memory tables and
-// the B-tree (whose page file predates the record).
+// the B-tree (whose page file predates the record). The memory side
+// goes first: updateRow and deleteRow fault the record's prior image
+// through the tree, so the tree must still hold the old value.
 func (e *durableEngine) replayRecord(rec *walRecord, rev map[string]map[uint64]int) error {
 	tree := e.store.Tree()
 	for _, op := range rec.ops {
@@ -585,12 +1382,8 @@ func (e *durableEngine) replayRecord(rec *walRecord, rev map[string]map[uint64]i
 			if err != nil {
 				return err
 			}
-			if err := tree.Put(pager.MakeKey(et.id, op.recID), op.rowData); err != nil {
-				return err
-			}
 			if et.intPK {
-				pk := recIDPK(op.recID)
-				if id, ok := t.pkMap[Value(pk)]; ok {
+				if id, ok := t.pkMap[Value(recIDPK(op.recID))]; ok {
 					if err := t.updateRow(id, row); err != nil {
 						return fmt.Errorf("rdb: recover %q: %w", op.table, err)
 					}
@@ -619,14 +1412,14 @@ func (e *durableEngine) replayRecord(rec *walRecord, rev map[string]map[uint64]i
 					et.nextRec = op.recID + 1
 				}
 			}
+			if err := e.putRecord(tree, et, op.recID, op.rowData, row); err != nil {
+				return err
+			}
 		case wopDel:
 			et := e.tables[op.table]
 			t := e.db.tables[op.table]
 			if et == nil || t == nil {
 				return fmt.Errorf("rdb: recover: delete from unknown table %q", op.table)
-			}
-			if _, err := tree.Delete(pager.MakeKey(et.id, op.recID)); err != nil {
-				return err
 			}
 			if et.intPK {
 				if id, ok := t.pkMap[Value(recIDPK(op.recID))]; ok {
@@ -638,6 +1431,9 @@ func (e *durableEngine) replayRecord(rec *walRecord, rev map[string]map[uint64]i
 					delete(et.recOf, id)
 					delete(rv, op.recID)
 				}
+			}
+			if err := e.delRecord(tree, et, op.recID); err != nil {
+				return err
 			}
 		case wopAutoInc:
 			if t := e.db.tables[op.table]; t != nil {

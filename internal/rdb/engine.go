@@ -73,6 +73,12 @@ type EngineStats struct {
 	PoolEvictions uint64
 	PoolResident  int
 	PoolDirty     int
+	PoolPinned    int
+	// Row-level paging counters (anti-caching sweep; zero when the
+	// resident-row budget is unset).
+	RowFaults    uint64 // evicted rows materialized back from the store
+	RowsEvicted  uint64 // rows swept out since open
+	RowsResident int    // rows currently materialized in table slots
 	// Checkpoint / recovery counters.
 	Checkpoints      uint64
 	RecoveredRecords uint64 // WAL records replayed at the last open

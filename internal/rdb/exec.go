@@ -741,7 +741,7 @@ func joinRows(st *SelectStmt, base *table, joinTables []*table, args []Value) ([
 	}
 	envs := make([]*env, 0, len(candidates))
 	for _, id := range candidates {
-		r := base.rows[id]
+		r := base.rowAt(id)
 		if r == nil {
 			continue
 		}
@@ -763,7 +763,7 @@ func joinRows(st *SelectStmt, base *table, joinTables []*table, args []Value) ([
 				}
 				if ids, usable := jt.lookup(joinCol, outerVal); usable {
 					for _, id := range ids {
-						r := jt.rows[id]
+						r := jt.rowAt(id)
 						if r == nil {
 							continue
 						}
@@ -784,7 +784,8 @@ func joinRows(st *SelectStmt, base *table, joinTables []*table, args []Value) ([
 				}
 			}
 			// Nested loop fallback.
-			for _, r := range jt.rows {
+			for id := range jt.rows {
+				r := jt.rowAt(id)
 				if r == nil {
 					continue
 				}

@@ -167,7 +167,8 @@ func (t *table) createCompositeIndex(name string, colNames []string) error {
 		}
 	}
 	ix := &compositeIndex{name: name, colNames: lows, cols: cols}
-	for id, r := range t.rows {
+	for id := range t.rows {
+		r := t.rowAt(id)
 		if r == nil {
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -22,10 +23,13 @@ import (
 // no lock but the statement cache and observe exactly the state at
 // the commit they captured.
 //
-// Frozen views carry no indexes (index maps mutate in place), so
-// snapshot queries run through the interpreter's scan paths. That is
-// the v1 trade: reads that must never block pay scan costs; reads
-// that want index speed use Query and share the RWMutex.
+// Frozen views carry no index structures (index maps mutate in
+// place), but they do carry the paging engine's versioned fetch hook,
+// so snapshot queries run through compiled plans: full scans and
+// nested loops over the frozen row slices, plus a record-store point
+// fetch when an int-keyed primary key is available. Evicted slots and
+// rows rewritten after the capture resolve through the engine's
+// version retention buffer at the snapshot's sequence number.
 
 // snapState is one published head: the commit it captured and the
 // frozen views.
@@ -36,19 +40,27 @@ type snapState struct {
 
 // frozenView builds the read-only clone of t shared with snapshots.
 // pk is forced to -1 and no index structures are carried: lookup on a
-// frozen view must report "no access path" so the interpreter falls
-// back to scanning (a nil pkMap with pk >= 0 would instead report
-// "indexed, no match").
-func (t *table) frozenView() *table {
-	return &table{
-		name:   t.name,
-		cols:   t.cols,
-		colIdx: t.colIdx,
-		pk:     -1,
-		fks:    t.fks,
-		rows:   t.rows[:len(t.rows):len(t.rows)],
-		alive:  t.alive,
+// frozen view must report "no access path" so scans are the baseline
+// (a nil pkMap with pk >= 0 would instead report "indexed, no
+// match"). snapPK preserves the key position separately when the
+// engine can serve point fetches by primary key.
+func (t *table) frozenView(seq uint64) *table {
+	ft := &table{
+		name:    t.name,
+		cols:    t.cols,
+		colIdx:  t.colIdx,
+		pk:      -1,
+		snapPK:  -1,
+		fks:     t.fks,
+		rows:    t.rows[:len(t.rows):len(t.rows)],
+		alive:   t.alive,
+		fetch:   t.fetch,
+		snapSeq: seq,
 	}
+	if t.pk >= 0 && t.pkByRec && t.fetch != nil {
+		ft.snapPK = t.pk
+	}
+	return ft
 }
 
 // publishHead freezes the current state as the snapshot head. The
@@ -56,10 +68,19 @@ func (t *table) frozenView() *table {
 func (db *DB) publishHead() {
 	m := make(map[string]*table, len(db.tables))
 	for k, t := range db.tables {
-		m[k] = t.frozenView()
+		m[k] = t.frozenView(db.seq)
 		t.shared = true // next in-place row write must copy first
 	}
 	db.head.Store(&snapState{seq: db.seq, tables: m})
+}
+
+// snapshotRegistrar is implemented by engines that keep a version
+// retention buffer for snapshot reads. Registration pins row versions
+// at the engine's current sequence; the release function unpins them.
+// Register-then-load ordering in DB.Snapshot guarantees the pin covers
+// whatever head the snapshot ends up capturing.
+type snapshotRegistrar interface {
+	RegisterSnapshot() (seq uint64, release func())
 }
 
 // Snapshot captures the state as of the most recent commit without
@@ -67,17 +88,31 @@ func (db *DB) publishHead() {
 // writers never block behind it. Close it when done so the active
 // gauge stays meaningful.
 type Snapshot struct {
-	db     *DB
-	st     *snapState
-	closed atomic.Bool
+	db      *DB
+	st      *snapState
+	closed  atomic.Bool
+	release func() // unpins retained row versions; nil on memory engines
+
+	// plans caches compiled plans per SQL text for this snapshot. The
+	// frozen views are immutable, so cached plans never go stale.
+	planMu sync.Mutex
+	plans  map[string]*SelectPlan
 }
 
-// Snapshot returns a consistent point-in-time read view.
+// Snapshot returns a consistent point-in-time read view. A paging
+// engine pins row versions for the snapshot until Close — leaking
+// snapshots therefore retains old versions in memory.
 func (db *DB) Snapshot() *Snapshot {
+	var release func()
+	if reg, ok := db.engine.(snapshotRegistrar); ok {
+		// Register before loading the head: the pin covers the engine's
+		// current sequence, which is >= whatever head we then capture.
+		_, release = reg.RegisterSnapshot()
+	}
 	st := db.head.Load()
 	db.stats.snapshotsTaken.Add(1)
 	db.stats.activeSnapshots.Add(1)
-	return &Snapshot{db: db, st: st}
+	return &Snapshot{db: db, st: st, release: release}
 }
 
 // Seq returns the commit sequence number the snapshot captured.
@@ -89,11 +124,37 @@ func (s *Snapshot) Seq() uint64 { return s.st.seq }
 func (s *Snapshot) Close() {
 	if !s.closed.Swap(true) {
 		s.db.stats.activeSnapshots.Add(-1)
+		if s.release != nil {
+			s.release()
+		}
 	}
 }
 
-// Query runs a SELECT against the snapshot through the interpreter.
-// It takes no database lock; see the file comment for the trade.
+// planFor returns the snapshot-local compiled plan for sql, building
+// it on first use. The bool reports a cache hit (EXPLAIN provenance).
+func (s *Snapshot) planFor(sql string, sel *SelectStmt) (*SelectPlan, bool, error) {
+	s.planMu.Lock()
+	p, ok := s.plans[sql]
+	s.planMu.Unlock()
+	if ok {
+		return p, true, nil
+	}
+	p, err := s.db.buildPlanTables(sel, s.st.tables, true)
+	if err != nil {
+		return nil, false, err
+	}
+	s.planMu.Lock()
+	if s.plans == nil {
+		s.plans = make(map[string]*SelectPlan)
+	}
+	s.plans[sql] = p
+	s.planMu.Unlock()
+	return p, false, nil
+}
+
+// Query runs a SELECT against the snapshot through a compiled plan.
+// It takes no database lock; plans compile once per snapshot and SQL
+// text, so repeated reads pay only plan execution.
 func (s *Snapshot) Query(sql string, args ...Value) (*Rows, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("rdb: query on closed snapshot")
@@ -110,7 +171,11 @@ func (s *Snapshot) Query(sql string, args ...Value) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execSelectTables(s.st.tables, sel, cargs)
+	p, _, err := s.planFor(sql, sel)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.execPlan(p, cargs, nil)
 }
 
 // QueryContext is Query plus tracing: when the database's trace hooks

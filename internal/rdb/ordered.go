@@ -112,7 +112,8 @@ func (t *table) createOrderedIndex(colName string) error {
 		return nil
 	}
 	ix := &orderedIndex{}
-	for id, r := range t.rows {
+	for id := range t.rows {
+		r := t.rowAt(id)
 		if r == nil || r[i] == nil {
 			continue
 		}

@@ -1,0 +1,621 @@
+package rdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Tests for the larger-than-RAM data tier: anti-caching row eviction,
+// marker-based recovery from persisted index images, compiled-plan
+// snapshot reads through the version retention buffer, and their
+// interaction under concurrency.
+
+// pagingOpts squeezes the engine hard: a 16-page pool, a resident-row
+// budget far below the datasets the tests build, and a checkpoint
+// threshold small enough that sweeps, faults and incremental
+// checkpoints all fire constantly.
+var pagingOpts = DurableOptions{
+	CheckpointBytes: 1 << 16,
+	PoolPages:       64,
+	ResidentRows:    16,
+}
+
+func openPaging(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := OpenDurableOpts(dir, pagingOpts)
+	if err != nil {
+		t.Fatalf("open paging engine: %v", err)
+	}
+	return db
+}
+
+func reopenPaging(t *testing.T, db *DB, dir string) *DB {
+	t.Helper()
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return openPaging(t, dir)
+}
+
+// TestDifferentialPagingEngine runs the full differential corpus on a
+// paging engine whose resident-row budget (16) is far below the seeded
+// dataset, so most slots are eviction markers and every query path
+// exercises record faulting — then again after a close/reopen recovery
+// cycle, which starts fully paged out.
+func TestDifferentialPagingEngine(t *testing.T) {
+	mem := diffFixture(t)
+	dir := t.TempDir()
+	dur := openPaging(t, dir)
+	diffSeed(t, dur)
+	// Force the budget's hand: bulk rows guarantee the seed tables
+	// overflow 16 resident rows even before the corpus runs.
+	if _, err := dur.Exec(`CREATE TABLE filler (oid INTEGER PRIMARY KEY, pad TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Exec(`CREATE TABLE filler (oid INTEGER PRIMARY KEY, pad TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		for _, db := range []*DB{mem, dur} {
+			if _, err := db.Exec(`INSERT INTO filler (oid, pad) VALUES (?, ?)`,
+				int64(i), strings.Repeat("x", 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ev := dur.EngineStats().RowsEvicted; ev == 0 {
+		t.Fatal("no rows evicted despite resident budget of 16")
+	}
+	for _, c := range diffCorpus {
+		compareEngines(t, dur, c.sql, c.args)
+		compareDBs(t, "paging", mem, dur, c.sql, c.args)
+	}
+	dur = reopenPaging(t, dur, dir)
+	defer dur.Close()
+	for _, c := range diffCorpus {
+		compareEngines(t, dur, c.sql, c.args)
+		compareDBs(t, "paging-recovered", mem, dur, c.sql, c.args)
+	}
+}
+
+// TestPagingRecoveryWithoutRebuild verifies that reopening a version-2
+// page file decodes no data rows: every slot comes back as an eviction
+// marker (RowsResident == 0, RowFaults == 0 right after open) while
+// hash, ordered, composite, unique and synthetic-key primary indexes
+// all answer correctly from their persisted images.
+func TestPagingRecoveryWithoutRebuild(t *testing.T) {
+	dir := t.TempDir()
+	db := openPaging(t, dir)
+	setup := []string{
+		`CREATE TABLE items (id INTEGER PRIMARY KEY, cat INTEGER, score INTEGER, tag TEXT UNIQUE)`,
+		`CREATE INDEX ix_cat ON items(cat)`,
+		`CREATE ORDERED INDEX ord_score ON items(score)`,
+		`CREATE INDEX comp ON items(cat, score)`,
+		`CREATE TABLE named (name TEXT PRIMARY KEY, v INTEGER)`,
+	}
+	for _, s := range setup {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Exec(`INSERT INTO items (id, cat, score, tag) VALUES (?, ?, ?, ?)`,
+			int64(i), int64(i%7), int64(i*3%101), fmt.Sprintf("tag-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := db.Exec(`INSERT INTO named (name, v) VALUES (?, ?)`,
+			fmt.Sprintf("key-%02d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db = reopenPaging(t, db, dir)
+	defer db.Close()
+	st := db.EngineStats()
+	if st.RowsResident != 0 {
+		t.Fatalf("marker recovery left %d resident rows (full rebuild?)", st.RowsResident)
+	}
+	if st.RowFaults != 0 {
+		t.Fatalf("recovery faulted %d rows before any query ran", st.RowFaults)
+	}
+
+	checks := []struct {
+		sql  string
+		args []Value
+		want string
+	}{
+		{`SELECT score FROM items WHERE id = 42`, nil, "25\n"},
+		{`SELECT COUNT(*) FROM items WHERE cat = 3`, nil, "29\n"},
+		{`SELECT id FROM items WHERE tag = 'tag-123'`, nil, "123\n"},
+		{`SELECT COUNT(*) FROM items WHERE score >= 90 AND score <= 100`, nil, "20\n"},
+		{`SELECT COUNT(*) FROM items WHERE cat = 2 AND score > 50`, nil, "14\n"},
+		{`SELECT v FROM named WHERE name = 'key-07'`, nil, "7\n"},
+	}
+	for _, c := range checks {
+		rows, err := db.Query(c.sql, c.args...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if got := rowsExact(rows); got != c.want {
+			t.Fatalf("%s:\ngot  %q\nwant %q", c.sql, got, c.want)
+		}
+	}
+	if db.EngineStats().RowFaults == 0 {
+		t.Fatal("queries over marker-only tables faulted zero rows")
+	}
+
+	// The recovered indexes must be consulted, not just correct: EXPLAIN
+	// should pick them over scans.
+	for _, probe := range []struct{ sql, want string }{
+		{`SELECT id FROM items WHERE cat = 3`, "INDEX"},
+		{`SELECT id FROM items WHERE score > 90`, "RANGE"},
+		{`SELECT id FROM items WHERE cat = 2 AND score > 50`, "COMPOSITE"},
+		{`SELECT id FROM items WHERE tag = 'tag-005'`, "UNIQUE"},
+		{`SELECT v FROM named WHERE name = 'key-01'`, "PRIMARY KEY"},
+	} {
+		plan, err := db.Explain(probe.sql)
+		if err != nil {
+			t.Fatalf("EXPLAIN %s: %v", probe.sql, err)
+		}
+		if !strings.Contains(plan, probe.want) {
+			t.Fatalf("EXPLAIN %s: expected %s access, got:\n%s", probe.sql, probe.want, plan)
+		}
+	}
+}
+
+// TestSnapshotPagingConsistency pins a snapshot, then mutates, evicts
+// and even drops the underlying data. Every snapshot read must keep
+// resolving to the pinned commit through the retention buffer, and the
+// snapshot's ExplainAnalyze must carry the compiled-plan provenance
+// footer.
+func TestSnapshotPagingConsistency(t *testing.T) {
+	dir := t.TempDir()
+	db := openPaging(t, dir)
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(`INSERT INTO kv (k, v) VALUES (?, ?)`, int64(i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.Snapshot()
+	defer snap.Close()
+
+	// Overwrite, delete, and churn enough to trigger sweeps and
+	// checkpoints after the capture.
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(`UPDATE kv SET v = ? WHERE k = ?`, fmt.Sprintf("NEW%d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`DELETE FROM kv WHERE k >= 50`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Point reads go through the snap-pk access path; both the hits and
+	// the deleted range must show the pinned state.
+	for _, k := range []int64{0, 17, 50, 99} {
+		row, err := snap.QueryRow(`SELECT v FROM kv WHERE k = ?`, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			t.Fatalf("snapshot lost k=%d", k)
+		}
+		if want := fmt.Sprintf("v%d", k); row["v"] != want {
+			t.Fatalf("snapshot k=%d: got %v, want %q", k, row["v"], want)
+		}
+	}
+	rows, err := snap.Query(`SELECT COUNT(*) FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsExact(rows); got != "100\n" {
+		t.Fatalf("snapshot row count: got %q, want 100", got)
+	}
+
+	// Live reads see the new world.
+	row, err := db.QueryRow(`SELECT v FROM kv WHERE k = ?`, int64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["v"] != "NEW3" {
+		t.Fatalf("live read: got %v, want NEW3", row["v"])
+	}
+
+	// ExplainAnalyze on the snapshot: compiled on first use, cached on
+	// the second, with the point fetch visible in the plan tree.
+	plan1, err := snap.ExplainAnalyze(`SELECT v FROM kv WHERE k = ?`, int64(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan1, "PRIMARY KEY") {
+		t.Fatalf("snapshot plan lacks point access:\n%s", plan1)
+	}
+	if !strings.Contains(plan1, "PLAN: ") {
+		t.Fatalf("snapshot ExplainAnalyze lacks provenance footer:\n%s", plan1)
+	}
+	plan2, err := snap.ExplainAnalyze(`SELECT v FROM kv WHERE k = ?`, int64(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan2, "PLAN: cached") {
+		t.Fatalf("second snapshot ExplainAnalyze not cached:\n%s", plan2)
+	}
+
+	// DROP TABLE retains every record for the open snapshot.
+	if _, err := db.Exec(`DROP TABLE kv`); err != nil {
+		t.Fatal(err)
+	}
+	row, err = snap.QueryRow(`SELECT v FROM kv WHERE k = ?`, int64(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row["v"] != "v17" {
+		t.Fatalf("snapshot read after DROP TABLE: got %v, want v17", row)
+	}
+}
+
+// TestPagingEvictionHammer runs writers, live readers and snapshot
+// readers against a 16-row budget under -race: commits sweep rows out
+// while lock-free snapshot queries fault them back through the
+// retention buffer.
+func TestPagingEvictionHammer(t *testing.T) {
+	dir := t.TempDir()
+	db := openPaging(t, dir)
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER NOT NULL, note TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	const nAccts = 128
+	for i := 0; i < nAccts; i++ {
+		if _, err := db.Exec(`INSERT INTO acct (id, bal, note) VALUES (?, 1000, ?)`,
+			int64(i), fmt.Sprintf("acct-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// Writer: balance transfers keep the invariant SUM(bal) constant.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < iters; i++ {
+			from, to := int64(rng.Intn(nAccts)), int64(rng.Intn(nAccts))
+			if from == to {
+				continue
+			}
+			tx := db.Begin()
+			if _, err := tx.Exec(`UPDATE acct SET bal = bal - 7 WHERE id = ?`, from); err != nil {
+				report(err)
+				tx.Rollback()
+				return
+			}
+			if _, err := tx.Exec(`UPDATE acct SET bal = bal + 7 WHERE id = ?`, to); err != nil {
+				report(err)
+				tx.Rollback()
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+
+	// Live readers: point lookups and scans under the shared lock.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				id := int64(rng.Intn(nAccts))
+				row, err := db.QueryRow(`SELECT note FROM acct WHERE id = ?`, id)
+				if err != nil {
+					report(err)
+					return
+				}
+				if row == nil || row["note"] != fmt.Sprintf("acct-%d", id) {
+					report(fmt.Errorf("live read id=%d: got %v", id, row))
+					return
+				}
+			}
+		}(int64(r + 10))
+	}
+
+	// Snapshot readers: each snapshot must observe an exactly-balanced
+	// total — a torn or version-skewed read breaks the invariant.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/4; i++ {
+				snap := db.Snapshot()
+				rows, err := snap.Query(`SELECT SUM(bal) FROM acct`)
+				if err != nil {
+					snap.Close()
+					report(err)
+					return
+				}
+				if got := rowsExact(rows); got != fmt.Sprintf("%d\n", nAccts*1000) {
+					snap.Close()
+					report(fmt.Errorf("snapshot sum: got %q, want %d", got, nAccts*1000))
+					return
+				}
+				snap.Close()
+			}
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	st := db.EngineStats()
+	if st.RowsEvicted == 0 {
+		t.Fatal("hammer produced zero evictions")
+	}
+	if st.RowFaults == 0 {
+		t.Fatal("hammer produced zero row faults")
+	}
+}
+
+// TestPagingCheckpointIncremental verifies checkpoints stay cheap as
+// the database grows: the page file is not rewritten wholesale, so the
+// number of pages written per checkpoint tracks the write rate (the
+// Checkpoints counter moving while WALSize resets is the observable
+// here; E15 measures the wall-clock flatness).
+func TestPagingCheckpointIncremental(t *testing.T) {
+	dir := t.TempDir()
+	db := openPaging(t, dir)
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE blob (id INTEGER PRIMARY KEY, pad TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("p", 256)
+	for i := 0; i < 500; i++ {
+		if _, err := db.Exec(`INSERT INTO blob (id, pad) VALUES (?, ?)`, int64(i), pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.EngineStats()
+	if st.Checkpoints == 0 {
+		t.Fatal("no automatic checkpoint fired under a 64 KiB WAL threshold")
+	}
+	// Every record must remain reachable across an explicit checkpoint
+	// plus reopen (incremental meta flip, not a rewrite).
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db = reopenPaging(t, db, dir)
+	rows, err := db.Query(`SELECT COUNT(*) FROM blob`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsExact(rows); got != "500\n" {
+		t.Fatalf("after incremental checkpoints + reopen: got %q rows, want 500", got)
+	}
+}
+
+// TestCrashPagingChildHelper is the crash child for the paging engine:
+// a 16-row resident budget, a 64 KiB-class pool and four secondary
+// index images, killed mid-storm by the parent. Columns derive from n
+// so the parent can recompute what every index must answer.
+func TestCrashPagingChildHelper(t *testing.T) {
+	dir := os.Getenv("RDB_CRASH_PAGING_DIR")
+	if dir == "" {
+		t.Skip("not a crash child")
+	}
+	db, err := OpenDurableOpts(dir, DurableOptions{
+		CheckpointBytes: 1 << 14,
+		PoolPages:       64,
+		ResidentRows:    16,
+	})
+	if err != nil {
+		fmt.Printf("CHILD_ERR open: %v\n", err)
+		os.Exit(3)
+	}
+	if len(db.TableNames()) == 0 {
+		for _, sql := range []string{
+			`CREATE TABLE ev (n INTEGER PRIMARY KEY, grp INTEGER, score INTEGER, tag TEXT UNIQUE, data TEXT)`,
+			`CREATE INDEX ix_grp ON ev(grp)`,
+			`CREATE ORDERED INDEX ord_sc ON ev(score)`,
+			`CREATE INDEX cmp ON ev(grp, score)`,
+		} {
+			if _, err := db.Exec(sql); err != nil {
+				fmt.Printf("CHILD_ERR ddl: %v\n", err)
+				os.Exit(3)
+			}
+		}
+	}
+	start := int64(1)
+	if row, err := db.QueryRow(`SELECT MAX(n) AS m FROM ev`); err == nil && row != nil && row["m"] != nil {
+		start = row["m"].(int64) + 1
+	}
+	for n := start; ; n++ {
+		if _, err := db.Exec(`INSERT INTO ev (n, grp, score, tag, data) VALUES (?, ?, ?, ?, ?)`,
+			n, n%5, n%97, fmt.Sprintf("t%08d", n), fmt.Sprintf("payload-%d", n)); err != nil {
+			fmt.Printf("CHILD_ERR insert: %v\n", err)
+			os.Exit(3)
+		}
+		fmt.Printf("ACK %d\n", n)
+	}
+}
+
+// TestCrashTorturePagingIndexes SIGKILLs the paging child across
+// generations and verifies the persisted index images recover without
+// a rebuild: zero resident rows right after open, no acknowledged
+// commit lost, and hash/ordered/composite/unique/pk index paths all
+// agreeing with recomputed ground truth.
+func TestCrashTorturePagingIndexes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash torture spawns child processes")
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(0xFA111))
+	var lastAck int64
+
+	for gen := 0; gen < 3; gen++ {
+		acked, err := runCrashChildNamed(t, dir, 5+rng.Intn(60), "TestCrashPagingChildHelper", "RDB_CRASH_PAGING_DIR")
+		if err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+		if acked > 0 {
+			lastAck = acked
+		}
+
+		db := openPaging(t, dir)
+		if st := db.EngineStats(); st.RowsResident != 0 {
+			t.Fatalf("generation %d: recovery materialized %d rows (index rebuild?)", gen, st.RowsResident)
+		}
+		rows, err := db.Query(`SELECT n, grp, score, tag, data FROM ev ORDER BY n`)
+		if err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+		total := int64(rows.Len())
+		if total < lastAck {
+			t.Fatalf("generation %d: %d acked commits, only %d recovered", gen, lastAck, total)
+		}
+		grp3, score90, comp := 0, 0, 0
+		for i, row := range rows.Data {
+			n, ok := row[0].(int64)
+			if !ok || n != int64(i+1) {
+				t.Fatalf("generation %d: sequence hole at %d: %v", gen, i+1, row[0])
+			}
+			if row[1] != n%5 || row[2] != n%97 ||
+				row[3] != fmt.Sprintf("t%08d", n) || row[4] != fmt.Sprintf("payload-%d", n) {
+				t.Fatalf("generation %d: commit %d corrupted: %v", gen, n, row)
+			}
+			if n%5 == 3 {
+				grp3++
+			}
+			if n%97 >= 90 {
+				score90++
+			}
+			if n%5 == 2 && n%97 > 50 {
+				comp++
+			}
+		}
+		// Every index path must agree with the recomputed ground truth.
+		for _, c := range []struct {
+			sql  string
+			args []Value
+			want string
+		}{
+			{`SELECT COUNT(*) FROM ev WHERE grp = 3`, nil, fmt.Sprintf("%d\n", grp3)},
+			{`SELECT COUNT(*) FROM ev WHERE score >= 90`, nil, fmt.Sprintf("%d\n", score90)},
+			{`SELECT COUNT(*) FROM ev WHERE grp = 2 AND score > 50`, nil, fmt.Sprintf("%d\n", comp)},
+			{`SELECT n FROM ev WHERE tag = ?`, []Value{fmt.Sprintf("t%08d", total)}, fmt.Sprintf("%d\n", total)},
+			{`SELECT data FROM ev WHERE n = ?`, []Value{total}, fmt.Sprintf("payload-%d\n", total)},
+		} {
+			got, err := db.Query(c.sql, c.args...)
+			if err != nil {
+				t.Fatalf("generation %d: %s: %v", gen, c.sql, err)
+			}
+			if s := rowsExact(got); s != c.want {
+				t.Fatalf("generation %d: %s: got %q, want %q", gen, c.sql, s, c.want)
+			}
+		}
+		lastAck = total
+		if err := db.Close(); err != nil {
+			t.Fatalf("generation %d: close: %v", gen, err)
+		}
+	}
+}
+
+// TestPagingDumpRestoreStreams round-trips a mostly-evicted database
+// through the chunked dump stream: Dump faults rows in bounded chunks
+// rather than materializing tables, and restore into a second paging
+// engine commits chunk by chunk, sweeping as it goes.
+func TestPagingDumpRestoreStreams(t *testing.T) {
+	dir := t.TempDir()
+	db := openPaging(t, dir)
+	defer db.Close()
+	for _, sql := range []string{
+		`CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname TEXT UNIQUE)`,
+		`CREATE TABLE emp (eno INTEGER PRIMARY KEY, dno INTEGER, name TEXT, FOREIGN KEY (dno) REFERENCES dept(dno))`,
+		`CREATE INDEX ix_emp_dno ON emp(dno)`,
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < 4; d++ {
+		if _, err := db.Exec(`INSERT INTO dept (dno, dname) VALUES (?, ?)`, int64(d), fmt.Sprintf("dept-%d", d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const nEmp = 600 // >> dumpChunkRows and >> the 16-row budget
+	for i := 0; i < nEmp; i++ {
+		if _, err := db.Exec(`INSERT INTO emp (eno, dno, name) VALUES (?, ?, ?)`,
+			int64(i), int64(i%4), fmt.Sprintf("emp-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.EngineStats().RowsResident > pagingOpts.ResidentRows+1 {
+		t.Fatalf("dataset not paged out before dump: %d resident", db.EngineStats().RowsResident)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The source must stay paged out — a dump that materialized whole
+	// tables would blow the budget past the row-cache wiggle room.
+	if got := db.EngineStats().RowsResident; got > pagingOpts.ResidentRows+1 {
+		t.Fatalf("dump materialized the database: %d rows resident", got)
+	}
+
+	dir2 := t.TempDir()
+	db2 := openPaging(t, dir2)
+	defer db2.Close()
+	if err := db2.LoadDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.EngineStats().RowsResident; got > pagingOpts.ResidentRows+dumpChunkRows {
+		t.Fatalf("chunked restore held too many rows resident: %d", got)
+	}
+	for _, sql := range []string{
+		`SELECT COUNT(*) FROM emp`,
+		`SELECT COUNT(*) FROM emp WHERE dno = 2`,
+		`SELECT name FROM emp WHERE eno = 123`,
+		`SELECT dname FROM dept WHERE dno = 3`,
+	} {
+		a, err := db.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := db2.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsExact(a) != rowsExact(b) {
+			t.Fatalf("%s: source %q, restored %q", sql, rowsExact(a), rowsExact(b))
+		}
+	}
+}

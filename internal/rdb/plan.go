@@ -25,6 +25,7 @@ const (
 	accessHash                      // hash-index bucket lookup
 	accessRange                     // ordered-index range scan (single column)
 	accessComposite                 // composite-index prefix/range scan
+	accessSnapPK                    // record-store point fetch at a snapshot sequence
 )
 
 // boundCand is one not-yet-evaluated range bound; the tightest bound is
@@ -396,7 +397,8 @@ func foldBounds(c *execCtx, los, his []boundCand) (rangeBound, rangeBound) {
 // scanAll feeds every live row to each, in row-id order.
 func (db *DB) scanAll(t *table, each func(Row) error) error {
 	db.stats.fullScans.Add(1)
-	for _, r := range t.rows {
+	for id := range t.rows {
+		r := t.rowAt(id)
 		if r == nil {
 			continue
 		}
@@ -424,7 +426,7 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			c.stats.base.probes++
 		}
 		if id, ok := t.pkMap[v]; ok {
-			if r := t.rows[id]; r != nil {
+			if r := t.rowAt(id); r != nil {
 				return each(r)
 			}
 		}
@@ -439,7 +441,7 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			c.stats.base.probes++
 		}
 		if id, ok := a.uniqMap[v]; ok {
-			if r := t.rows[id]; r != nil {
+			if r := t.rowAt(id); r != nil {
 				return each(r)
 			}
 		}
@@ -454,7 +456,7 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			c.stats.base.probes++
 		}
 		for _, id := range a.hashIdx[v] {
-			if r := t.rows[id]; r != nil {
+			if r := t.rowAt(id); r != nil {
 				if err := each(r); err != nil {
 					return err
 				}
@@ -476,7 +478,7 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			return iterOrderedReverse(a.ord.entries, start, end, t, each)
 		}
 		for _, e := range a.ord.entries[start:end] {
-			if r := t.rows[e.id]; r != nil {
+			if r := t.rowAt(e.id); r != nil {
 				if err := each(r); err != nil {
 					return err
 				}
@@ -515,11 +517,31 @@ func (db *DB) runBase(p *SelectPlan, c *execCtx, each func(Row) error) error {
 			return iterCompositeReverse(a.comp, start, end, t, each)
 		}
 		for _, e := range a.comp.entries[start:end] {
-			if r := t.rows[e.id]; r != nil {
+			if r := t.rowAt(e.id); r != nil {
 				if err := each(r); err != nil {
 					return err
 				}
 			}
+		}
+		return nil
+	case accessSnapPK:
+		// Snapshot point read: the frozen view carries no pkMap, but an
+		// int-keyed table addresses its record store directly by primary
+		// key, so one versioned fetch replaces the interpreter's scan.
+		v, err := a.eq[0](c)
+		if err != nil {
+			return db.scanAll(t, each)
+		}
+		db.stats.pointLookups.Add(1)
+		if c.stats != nil {
+			c.stats.base.probes++
+		}
+		iv, ok := v.(int64)
+		if !ok || t.fetch == nil {
+			return nil
+		}
+		if r, ok := t.fetch(pkRecID(iv), t.snapSeq); ok {
+			return each(r)
 		}
 		return nil
 	}
@@ -537,7 +559,7 @@ func iterOrderedReverse(entries []ordEntry, start, end int, t *table, each func(
 			j--
 		}
 		for k := j; k < i; k++ {
-			if r := t.rows[entries[k].id]; r != nil {
+			if r := t.rowAt(entries[k].id); r != nil {
 				if err := each(r); err != nil {
 					return err
 				}
@@ -557,7 +579,7 @@ func iterCompositeReverse(ix *compositeIndex, start, end int, t *table, each fun
 			j--
 		}
 		for k := j; k < i; k++ {
-			if r := t.rows[ix.entries[k].id]; r != nil {
+			if r := t.rowAt(ix.entries[k].id); r != nil {
 				if err := each(r); err != nil {
 					return err
 				}
@@ -621,7 +643,7 @@ func (db *DB) joinStepRun(p *SelectPlan, c *execCtx, ji int, emit func() error) 
 		switch j.kind {
 		case jkPK:
 			if id, ok := j.tbl.pkMap[ov]; ok {
-				if r := j.tbl.rows[id]; r != nil {
+				if r := j.tbl.rowAt(id); r != nil {
 					if err := try(r); err != nil {
 						return err
 					}
@@ -629,7 +651,7 @@ func (db *DB) joinStepRun(p *SelectPlan, c *execCtx, ji int, emit func() error) 
 			}
 		case jkUnique:
 			if id, ok := j.uniqMap[ov]; ok {
-				if r := j.tbl.rows[id]; r != nil {
+				if r := j.tbl.rowAt(id); r != nil {
 					if err := try(r); err != nil {
 						return err
 					}
@@ -637,7 +659,7 @@ func (db *DB) joinStepRun(p *SelectPlan, c *execCtx, ji int, emit func() error) 
 			}
 		case jkHash:
 			for _, id := range j.hashIdx[ov] {
-				if r := j.tbl.rows[id]; r != nil {
+				if r := j.tbl.rowAt(id); r != nil {
 					if err := try(r); err != nil {
 						return err
 					}
@@ -646,7 +668,7 @@ func (db *DB) joinStepRun(p *SelectPlan, c *execCtx, ji int, emit func() error) 
 		case jkComposite:
 			start, end := j.comp.eqRange([]Value{ov})
 			for _, e := range j.comp.entries[start:end] {
-				if r := j.tbl.rows[e.id]; r != nil {
+				if r := j.tbl.rowAt(e.id); r != nil {
 					if err := try(r); err != nil {
 						return err
 					}
@@ -654,7 +676,8 @@ func (db *DB) joinStepRun(p *SelectPlan, c *execCtx, ji int, emit func() error) 
 			}
 		}
 	} else {
-		for _, r := range j.tbl.rows {
+		for id := range j.tbl.rows {
+			r := j.tbl.rowAt(id)
 			if r == nil {
 				continue
 			}

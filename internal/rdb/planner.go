@@ -169,21 +169,35 @@ func compileBounds(bs []astBound) []boundCand {
 // buildPlan compiles one SELECT. The caller must hold at least a read
 // lock on db.mu.
 func (db *DB) buildPlan(sel *SelectStmt) (*SelectPlan, error) {
-	base, ok := db.tables[strings.ToLower(sel.From.Table)]
+	return db.buildPlanTables(sel, db.tables, false)
+}
+
+// buildPlanTables compiles one SELECT against an explicit table map —
+// the live catalog, or a snapshot's frozen view. In snapshot mode the
+// planner is restricted to operators that work without the live
+// in-memory index structures (frozen views carry none): a record-store
+// point fetch on an int-keyed primary key, full scans, and nested-loop
+// joins. Snapshot mode must not touch any mutable DB field (it runs
+// without db.mu), so the DDL epoch is left at zero; snapshot plans are
+// cached per snapshot and never revalidated.
+func (db *DB) buildPlanTables(sel *SelectStmt, tables map[string]*table, snap bool) (*SelectPlan, error) {
+	base, ok := tables[strings.ToLower(sel.From.Table)]
 	if !ok {
 		return nil, fmt.Errorf("rdb: no such table %q", sel.From.Table)
 	}
 	p := &SelectPlan{
 		stmt:      sel,
-		epoch:     db.ddlEpoch,
 		base:      base,
 		baseTable: sel.From.Table,
 		distinct:  sel.Distinct,
 	}
+	if !snap {
+		p.epoch = db.ddlEpoch
+	}
 	p.frames = []planFrame{{name: strings.ToLower(sel.From.name()), tbl: base}}
 	joinTables := make([]*table, len(sel.Joins))
 	for i, j := range sel.Joins {
-		jt, ok := db.tables[strings.ToLower(j.Table.Table)]
+		jt, ok := tables[strings.ToLower(j.Table.Table)]
 		if !ok {
 			return nil, fmt.Errorf("rdb: no such table %q", j.Table.Table)
 		}
@@ -244,16 +258,19 @@ func (db *DB) buildPlan(sel *SelectStmt) (*SelectPlan, error) {
 		rangeByCol[rc.colLower] = rc
 	}
 
-	p.access = db.chooseAccess(p, base, eqs, ranges, eqByCol, rangeByCol, orderEligible, orderCols, orderDesc, len(sel.OrderBy) > 0)
+	p.access = db.chooseAccess(p, base, eqs, ranges, eqByCol, rangeByCol, orderEligible, orderCols, orderDesc, len(sel.OrderBy) > 0, snap)
 
 	// Joins: prefer the interpreter's indexed equi-join (probing the new
 	// table's primary key, hash index or unique column), then a composite
-	// index whose leading column matches, then a nested loop.
+	// index whose leading column matches, then a nested loop. Snapshot
+	// frozen views carry no probe structures, so they always nest.
 	for ji, j := range sel.Joins {
 		jt := joinTables[ji]
 		jp := joinPlan{left: j.Left, tbl: jt, displayTable: j.Table.Table, estRows: jt.alive}
 		jp.on = compileExpr(j.On, p.frames[:ji+2])
-		if col, outerExpr := equiJoinKey(j.On, jt, j.Table.name()); col != "" {
+		if snap {
+			jp.kind = jkLoop
+		} else if col, outerExpr := equiJoinKey(j.On, jt, j.Table.name()); col != "" {
 			lower := strings.ToLower(col)
 			i := jt.colIdx[lower]
 			switch {
@@ -313,7 +330,7 @@ func (db *DB) buildPlan(sel *SelectStmt) (*SelectPlan, error) {
 // paths that cannot produce index order pay a doubled cost for the sort.
 func (db *DB) chooseAccess(p *SelectPlan, base *table, eqs []eqConjunct, ranges []*rangeConjunct,
 	eqByCol map[string]eqConjunct, rangeByCol map[string]*rangeConjunct,
-	orderEligible bool, orderCols []string, orderDesc bool, hasOrderBy bool) accessPath {
+	orderEligible bool, orderCols []string, orderDesc bool, hasOrderBy bool, snap bool) accessPath {
 
 	alive := float64(base.alive)
 	// A point lookup costs one probe, but never more than the table
@@ -324,6 +341,30 @@ func (db *DB) chooseAccess(p *SelectPlan, base *table, eqs []eqConjunct, ranges 
 		pointCost = alive
 	}
 	var cands []planCandidate
+
+	// Snapshot mode: the only point path is a record-store fetch keyed
+	// by an int primary key; everything else scans the frozen row slice.
+	if snap {
+		for _, eq := range eqs {
+			if base.snapPK >= 0 && base.fetch != nil && base.colIdx[eq.colLower] == base.snapPK {
+				cands = append(cands, planCandidate{
+					path: accessPath{kind: accessSnapPK, col: eq.col, label: "PRIMARY KEY",
+						eq: []compiledExpr{compileExpr(eq.val, nil)}, est: pointCost},
+					cost: pointCost,
+				})
+				break
+			}
+		}
+		cands = append(cands, planCandidate{path: accessPath{kind: accessScan, est: alive}, cost: alive})
+		best := cands[0]
+		bestEff := effectiveCost(best, hasOrderBy)
+		for _, c := range cands[1:] {
+			if eff := effectiveCost(c, hasOrderBy); eff < bestEff {
+				best, bestEff = c, eff
+			}
+		}
+		return best.path
+	}
 
 	// Point lookups from equality conjuncts, in AND-walk order. The
 	// per-column path follows table.lookup's precedence: primary key,

@@ -25,10 +25,29 @@ type table struct {
 
 	rows  []Row // nil entries are deleted rows
 	alive int   // count of live rows
+	// resident counts slots holding materialized rows (alive minus
+	// eviction markers); the paging engine uses it to drive sweeps.
+	resident int
 	// shared marks rows as referenced by a published MVCC snapshot
 	// (mvcc.go): in-place slot writes must clone the slice first.
 	// Appends are exempt — a frozen view never reads past its length.
 	shared bool
+	// fetch, when a paging engine backs the table, materializes an
+	// evicted record: it resolves rec against the version retention
+	// buffer for snapshot reads (snapSeq < liveSeq) and the row cache /
+	// page store otherwise. Nil on purely in-memory tables.
+	fetch func(rec uint64, snapSeq uint64) (Row, bool)
+	// snapSeq is the visibility horizon fetch resolves against:
+	// liveSeq on live tables, the captured commit on frozen views.
+	snapSeq uint64
+	// pkByRec marks int-keyed engine tables whose record ids are the
+	// primary-key values themselves (recID = pkRecID(pk)); the snapshot
+	// planner needs it to justify a point fetch by key.
+	pkByRec bool
+	// snapPK is meaningful only on frozen snapshot views: the primary-key
+	// column position when a record-store point fetch is possible, else
+	// -1. Live tables never consult it.
+	snapPK int
 	pkMap  map[Value]int
 	// indexes maps lower(column name) -> value -> row ids. The primary key
 	// is indexed through pkMap instead.
@@ -42,6 +61,67 @@ type table struct {
 
 func errNoColumn(table, col string) error {
 	return fmt.Errorf("rdb: no column %q in table %q", col, table)
+}
+
+// liveSeq is the visibility horizon of live (non-snapshot) tables:
+// fetch resolves to the current committed record.
+const liveSeq = ^uint64(0)
+
+// evictedRef is the single Value of an eviction marker: a row slot
+// whose data was paged out, holding only the storage-engine record id
+// needed to fault it back in. Index structures keep the slot's row id,
+// so markers are invisible to access-path selection.
+type evictedRef struct{ rec uint64 }
+
+func evictedRowMark(rec uint64) Row { return Row{Value(evictedRef{rec})} }
+
+// evictedRec reports whether r is an eviction marker and, if so, the
+// record id it points at.
+func evictedRec(r Row) (uint64, bool) {
+	if len(r) == 1 {
+		if ev, ok := r[0].(evictedRef); ok {
+			return ev.rec, true
+		}
+	}
+	return 0, false
+}
+
+// rowAt materializes the row in slot id, faulting evicted rows in
+// through the storage engine. Deleted slots return nil. The result
+// must be treated as immutable; the slot itself is not repopulated
+// (readers hold only the shared lock).
+func (t *table) rowAt(id int) Row {
+	r := t.rows[id]
+	if r == nil {
+		return nil
+	}
+	if rec, ok := evictedRec(r); ok {
+		if t.fetch == nil {
+			return nil
+		}
+		row, ok := t.fetch(rec, t.snapSeq)
+		if !ok {
+			return nil
+		}
+		return row
+	}
+	return r
+}
+
+// evictSlot replaces a resident row with an eviction marker pointing
+// at its engine record. The caller holds the exclusive lock and has
+// made the record durably readable through t.fetch.
+func (t *table) evictSlot(id int, rec uint64) {
+	r := t.rows[id]
+	if r == nil {
+		return
+	}
+	if _, ok := evictedRec(r); ok {
+		return
+	}
+	t.cowRows()
+	t.rows[id] = evictedRowMark(rec)
+	t.resident--
 }
 
 func newTable(st *CreateTableStmt) (*table, error) {
@@ -129,6 +209,7 @@ func (t *table) insert(r Row) (int, error) {
 	id := len(t.rows)
 	t.rows = append(t.rows, r)
 	t.alive++
+	t.resident++
 	t.indexRow(id, r)
 	return id, nil
 }
@@ -206,16 +287,28 @@ func (t *table) cowRows() {
 	}
 }
 
-// deleteRow tombstones the row and fixes indexes. It returns the old row.
+// deleteRow tombstones the row and fixes indexes. It returns the old
+// row, faulting it in first when the slot was evicted (indexes are
+// unwound against real column values).
 func (t *table) deleteRow(id int) Row {
 	r := t.rows[id]
 	if r == nil {
 		return nil
 	}
+	wasResident := true
+	if _, ok := evictedRec(r); ok {
+		wasResident = false
+		if r = t.rowAt(id); r == nil {
+			return nil
+		}
+	}
 	t.unindexRow(id, r)
 	t.cowRows()
 	t.rows[id] = nil
 	t.alive--
+	if wasResident {
+		t.resident--
+	}
 	return r
 }
 
@@ -224,13 +317,18 @@ func (t *table) restoreRow(id int, r Row) {
 	t.cowRows()
 	t.rows[id] = r
 	t.alive++
+	t.resident++
 	t.indexRow(id, r)
 }
 
 // updateRow replaces the row in place, maintaining indexes, after checking
 // uniqueness constraints for the new image.
 func (t *table) updateRow(id int, newRow Row) error {
-	old := t.rows[id]
+	wasResident := true
+	if _, ok := evictedRec(t.rows[id]); ok {
+		wasResident = false
+	}
+	old := t.rowAt(id)
 	if t.pk >= 0 && newRow[t.pk] != old[t.pk] {
 		if newRow[t.pk] == nil {
 			return fmt.Errorf("rdb: NULL primary key in table %q", t.name)
@@ -256,6 +354,9 @@ func (t *table) updateRow(id int, newRow Row) error {
 	t.unindexRow(id, old)
 	t.cowRows()
 	t.rows[id] = newRow
+	if !wasResident {
+		t.resident++
+	}
 	t.indexRow(id, newRow)
 	return nil
 }
@@ -271,7 +372,8 @@ func (t *table) createIndex(colName string) error {
 		return nil
 	}
 	idx := make(map[Value][]int)
-	for id, r := range t.rows {
+	for id := range t.rows {
+		r := t.rowAt(id)
 		if r == nil || r[i] == nil {
 			continue
 		}

@@ -75,12 +75,17 @@ func TableBounds(t uint32) (Key, Key) {
 	return MakeKey(t, 0), MakeKey(t, ^uint64(0))
 }
 
-// BTree is a disk-backed B-tree mounted on a buffer pool. All methods
-// must be externally serialized with each other (the database write
-// lock); none are safe to call concurrently.
+// BTree is a disk-backed B-tree mounted on a buffer pool. Mutating
+// methods must be externally serialized with every other method (the
+// database write lock). Mutations mark the whole descent path dirty,
+// preserving the checkpoint invariant that any page pointing at a
+// dirty page is itself dirty.
 type BTree struct {
 	pool *Pool
 	root PageID
+	// free, when set, retires a dead page slot (freed overflow chains)
+	// through the store's free list; otherwise the frame is dropped.
+	free func(PageID)
 }
 
 // Root returns the current root page (it migrates as the tree splits).
@@ -262,8 +267,15 @@ func (t *BTree) put(id PageID, k Key, v []byte) (splitRes, error) {
 	case pageInterior:
 		i := intSearch(d, k)
 		sp, err := t.put(getChild(d, i), k, v)
-		if err != nil || !sp.split {
+		if err != nil {
 			return splitRes{}, err
+		}
+		// Dirty-path marking: the subtree below changed, so this page
+		// must be rewritten by the next checkpoint even when no
+		// separator moves (its child pointer may be relocated).
+		pg.MarkDirty()
+		if !sp.split {
+			return splitRes{}, nil
 		}
 		n := intN(d)
 		copy(d[intKey0+keySize*(i+1):intKey0+keySize*(n+1)], d[intKey0+keySize*i:intKey0+keySize*n])
@@ -391,7 +403,8 @@ func (t *BTree) makeCell(k Key, v []byte) ([]byte, error) {
 	return cell, nil
 }
 
-// freeOverflow forgets the overflow chain of the cell at off, if any.
+// freeOverflow retires the overflow chain of the cell at off, if any,
+// returning each chain page to the store's free list.
 func (t *BTree) freeOverflow(d []byte, off int) {
 	if d[off+keySize] != 1 {
 		return
@@ -400,11 +413,15 @@ func (t *BTree) freeOverflow(d []byte, off int) {
 	for id != 0 {
 		pg, err := t.pool.Get(id)
 		if err != nil {
-			return // chain page on disk only; leaks until checkpoint
+			return // unreadable chain page; leaks until compaction
 		}
 		next := PageID(binary.LittleEndian.Uint32(pg.Data()[4:8]))
 		pg.Release()
-		t.pool.Forget(id)
+		if t.free != nil {
+			t.free(id)
+		} else {
+			t.pool.Forget(id)
+		}
 		id = next
 	}
 }
@@ -450,30 +467,41 @@ func (t *BTree) Get(k Key) ([]byte, bool, error) {
 }
 
 // Delete removes k, reporting whether it was present. Underfull
-// leaves are left in place; checkpoints rewrite the tree compacted.
+// leaves are left in place; checkpoints rewrite only dirty pages. The
+// whole descent path is pinned so that, on a hit, every page above
+// the mutated leaf can be marked dirty (dirty-path invariant).
 func (t *BTree) Delete(k Key) (bool, error) {
+	var path []*Page
+	release := func() {
+		for _, p := range path {
+			p.Release()
+		}
+	}
 	id := t.root
 	for {
 		pg, err := t.pool.Get(id)
 		if err != nil {
+			release()
 			return false, err
 		}
+		path = append(path, pg)
 		d := pg.Data()
 		switch d[0] {
 		case pageInterior:
 			id = getChild(d, intSearch(d, k))
-			pg.Release()
 		case pageLeaf:
 			idx, found := leafSearch(d, k)
 			if found {
 				t.freeOverflow(d, slotOff(d, idx))
 				removeLeafCell(d, idx)
-				pg.MarkDirty()
+				for _, p := range path {
+					p.MarkDirty()
+				}
 			}
-			pg.Release()
+			release()
 			return found, nil
 		default:
-			pg.Release()
+			release()
 			return false, fmt.Errorf("pager: page %d: unexpected type %d", id, d[0])
 		}
 	}
@@ -534,5 +562,93 @@ func (t *BTree) scan(id PageID, lo, hi Key, fn func(k Key, v []byte) error) erro
 		return nil
 	default:
 		return fmt.Errorf("pager: page %d: unexpected type %d", id, d[0])
+	}
+}
+
+// ScanKeys calls fn for every key in [lo, hi] in ascending order
+// without materializing values — overflow chains are never touched,
+// so a key sweep over a large table stays proportional to the leaf
+// count, not the data volume.
+func (t *BTree) ScanKeys(lo, hi Key, fn func(k Key) error) error {
+	return t.scanKeys(t.root, lo, hi, fn)
+}
+
+func (t *BTree) scanKeys(id PageID, lo, hi Key, fn func(k Key) error) error {
+	pg, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	defer pg.Release()
+	d := pg.Data()
+	switch d[0] {
+	case pageLeaf:
+		n := leafN(d)
+		for i := 0; i < n; i++ {
+			k := cellKey(d, slotOff(d, i))
+			if k.Less(lo) {
+				continue
+			}
+			if hi.Less(k) {
+				return nil
+			}
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pageInterior:
+		n := intN(d)
+		for i := 0; i <= n; i++ {
+			if i > 0 && hi.Less(getIntKey(d, i-1)) {
+				return nil
+			}
+			if i < n {
+				ki := getIntKey(d, i)
+				if ki.Less(lo) || ki == lo {
+					continue
+				}
+			}
+			if err := t.scanKeys(getChild(d, i), lo, hi, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("pager: page %d: unexpected type %d", id, d[0])
+	}
+}
+
+// remapPage rewrites every outgoing page reference of d (interior
+// child pointers, leaf overflow heads, overflow next links) through
+// remap. Used by incremental checkpoints after relocating dirty pages.
+func remapPage(d []byte, remap map[PageID]PageID) {
+	if len(remap) == 0 {
+		return
+	}
+	switch d[0] {
+	case pageInterior:
+		n := intN(d)
+		for i := 0; i <= n; i++ {
+			if next, ok := remap[getChild(d, i)]; ok {
+				setChild(d, i, next)
+			}
+		}
+	case pageLeaf:
+		n := leafN(d)
+		for i := 0; i < n; i++ {
+			off := slotOff(d, i)
+			if d[off+keySize] != 1 {
+				continue
+			}
+			head := PageID(binary.LittleEndian.Uint32(d[off+keySize+5:]))
+			if next, ok := remap[head]; ok {
+				binary.LittleEndian.PutUint32(d[off+keySize+5:], uint32(next))
+			}
+		}
+	case pageOverflow:
+		next := PageID(binary.LittleEndian.Uint32(d[4:8]))
+		if nn, ok := remap[next]; ok {
+			binary.LittleEndian.PutUint32(d[4:8], uint32(nn))
+		}
 	}
 }

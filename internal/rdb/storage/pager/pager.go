@@ -2,17 +2,23 @@
 // single file of fixed 4 KiB pages holding a B-tree keyed by
 // (tableID, recID), fronted by an LRU buffer pool.
 //
-// Durability model (no-steal, full-rewrite checkpoints). The page file
-// is immutable between checkpoints: mutations dirty pages in the
-// buffer pool only, and dirty frames are never evicted or written
-// back. Recovery therefore never sees a torn page — the file on disk
-// is always a complete, internally consistent checkpoint image, and
-// everything since it is replayed from the WAL. A checkpoint rewrites
-// the whole tree, bulk-loaded and compacted, into a temporary file
-// that is fsynced and atomically renamed over the old one; the
-// checkpoint sequence number, B-tree root and catalog blob live inside
-// the same file (page 0 and a page chain), so the data, schema and
-// recovery horizon become durable in one rename.
+// Durability model (no-steal, incremental copy-on-write checkpoints).
+// Mutations dirty pages in the buffer pool only; dirty frames are
+// never evicted or written back between checkpoints, so the on-disk
+// image always is a complete, internally consistent checkpoint and
+// everything since it replays from the WAL. A checkpoint relocates the
+// dirty pages to free or fresh page slots (never overwriting a page
+// the committed image references), rewrites intra-tree pointers to the
+// relocated copies, fsyncs, and then publishes the new root/catalog/
+// sequence by writing the inactive one of two alternating meta slots
+// (pages 0 and 1) — the slot with the highest valid generation wins at
+// open, so a torn meta write simply falls back to the previous
+// checkpoint. Checkpoint I/O is proportional to the dirty set, not the
+// database size. Page slots vacated by a checkpoint become allocatable
+// one checkpoint later (their content backs the previous image until
+// the next meta flip makes it unreachable); the free list is held in
+// memory only, so a reopen temporarily forgets the holes and the file
+// stays at its high-water mark until later checkpoints re-punch them.
 package pager
 
 import (
@@ -33,7 +39,7 @@ const PageSize = 4096
 
 const (
 	fileMagic   = 0x574D4C50 // "WMLP"
-	fileVersion = 1
+	fileVersion = 2
 
 	pageLeaf     = 1
 	pageInterior = 2
@@ -42,11 +48,14 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// PageID identifies a page by position; 0 is the meta page.
+// PageID identifies a page by position; 0 and 1 are the meta slots.
 type PageID uint32
 
-// Meta is the decoded meta page: the recovery anchor for the file.
+// Meta is a decoded meta slot: the recovery anchor for the file.
 type Meta struct {
+	// Gen increases by one per checkpoint; of the two slots, the valid
+	// one with the higher generation is authoritative.
+	Gen uint64
 	// CheckpointSeq is the commit sequence number this image captures;
 	// WAL records at or below it are redundant and skipped on replay.
 	CheckpointSeq uint64
@@ -66,12 +75,13 @@ func encodeMeta(m Meta) []byte {
 	binary.LittleEndian.PutUint32(d[16:20], uint32(m.Root))
 	binary.LittleEndian.PutUint32(d[20:24], m.NPages)
 	binary.LittleEndian.PutUint32(d[24:28], uint32(m.CatalogHead))
-	binary.LittleEndian.PutUint32(d[28:32], crc32.Checksum(d[0:28], castagnoli))
+	binary.LittleEndian.PutUint64(d[28:36], m.Gen)
+	binary.LittleEndian.PutUint32(d[36:40], crc32.Checksum(d[0:36], castagnoli))
 	return d
 }
 
 func decodeMeta(d []byte) (Meta, error) {
-	if len(d) < 32 {
+	if len(d) < 40 {
 		return Meta{}, errors.New("pager: short meta page")
 	}
 	if binary.LittleEndian.Uint32(d[0:4]) != fileMagic {
@@ -80,7 +90,7 @@ func decodeMeta(d []byte) (Meta, error) {
 	if v := binary.LittleEndian.Uint32(d[4:8]); v != fileVersion {
 		return Meta{}, fmt.Errorf("pager: unsupported version %d", v)
 	}
-	if crc32.Checksum(d[0:28], castagnoli) != binary.LittleEndian.Uint32(d[28:32]) {
+	if crc32.Checksum(d[0:36], castagnoli) != binary.LittleEndian.Uint32(d[36:40]) {
 		return Meta{}, errors.New("pager: meta checksum mismatch")
 	}
 	return Meta{
@@ -88,6 +98,7 @@ func decodeMeta(d []byte) (Meta, error) {
 		Root:          PageID(binary.LittleEndian.Uint32(d[16:20])),
 		NPages:        binary.LittleEndian.Uint32(d[20:24]),
 		CatalogHead:   PageID(binary.LittleEndian.Uint32(d[24:28])),
+		Gen:           binary.LittleEndian.Uint64(d[28:36]),
 	}, nil
 }
 
@@ -98,11 +109,12 @@ type PoolStats struct {
 	Evictions uint64
 	Resident  int // frames currently cached
 	Dirty     int // of those, dirtied since the last checkpoint
+	Pinned    int // frames with at least one active pin
 }
 
 // Pool is the buffer pool: an LRU cache of page frames over the file.
 // Only clean, unpinned frames are evicted; dirty frames are pinned in
-// memory until the next checkpoint discards them (no-steal).
+// memory until the next checkpoint relocates them (no-steal).
 type Pool struct {
 	mu     sync.Mutex
 	f      *os.File
@@ -110,6 +122,9 @@ type Pool struct {
 	frames map[PageID]*frame
 	lru    *list.List // of *frame; front = most recently used
 	npages uint32
+	// alloc, when set, may supply a recycled page slot before the file
+	// is extended. Called with mu held; must not reenter the pool.
+	alloc func() (PageID, bool)
 
 	hits, misses, evictions atomic.Uint64
 }
@@ -118,6 +133,10 @@ type frame struct {
 	id    PageID
 	data  []byte
 	dirty bool
+	// fresh marks a frame allocated since the last checkpoint: its slot
+	// is not referenced by the committed image, so the checkpoint may
+	// write it in place instead of relocating it.
+	fresh bool
 	pins  int
 	elem  *list.Element
 }
@@ -165,8 +184,8 @@ func (p *Pool) Get(id PageID) (*Page, error) {
 		return &Page{fr: fr, pool: p}, nil
 	}
 	p.misses.Add(1)
-	if id == 0 || id >= PageID(p.npages) {
-		return nil, fmt.Errorf("pager: page %d out of range [1,%d)", id, p.npages)
+	if id < 2 || id >= PageID(p.npages) {
+		return nil, fmt.Errorf("pager: page %d out of range [2,%d)", id, p.npages)
 	}
 	data := make([]byte, PageSize)
 	if _, err := p.f.ReadAt(data, int64(id)*PageSize); err != nil {
@@ -179,27 +198,61 @@ func (p *Pool) Get(id PageID) (*Page, error) {
 	return &Page{fr: fr, pool: p}, nil
 }
 
-// Alloc creates a fresh page. It exists only in the pool (dirty) until
-// a checkpoint persists its contents in rewritten form.
+// Alloc creates a fresh page, reusing a recycled slot when the
+// allocator hook offers one. It exists only in the pool (dirty) until
+// a checkpoint persists its contents.
 func (p *Pool) Alloc() *Page {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	id := PageID(p.npages)
-	p.npages++
-	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true, pins: 1}
+	var id PageID
+	if p.alloc != nil {
+		if got, ok := p.alloc(); ok {
+			id = got
+		}
+	}
+	if id == 0 {
+		id = PageID(p.npages)
+		p.npages++
+	}
+	p.dropLocked(id) // a recycled slot may still have a stale resident frame
+	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true, fresh: true, pins: 1}
 	fr.elem = p.lru.PushFront(fr)
 	p.frames[id] = fr
 	return &Page{fr: fr, pool: p}
 }
 
-// Forget drops a frame whose contents are dead (freed overflow
-// chains), capping pool memory between checkpoints. No-op if pinned
-// or absent; any bytes still on disk leak until the next checkpoint
-// compacts them away.
-func (p *Pool) Forget(id PageID) {
+// forget drops a frame whose contents are dead (freed overflow
+// chains). Reports whether the slot was fresh (allocated since the
+// last checkpoint, so not referenced by the committed image).
+func (p *Pool) forget(id PageID) (fresh bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if fr, ok := p.frames[id]; ok && fr.pins == 0 {
+	if fr, ok := p.frames[id]; ok {
+		fresh = fr.fresh
+		if fr.pins == 0 {
+			p.lru.Remove(fr.elem)
+			delete(p.frames, id)
+		}
+	}
+	return fresh
+}
+
+// Forget drops a frame whose contents are dead. No-op if pinned or
+// absent.
+func (p *Pool) Forget(id PageID) { p.forget(id) }
+
+// drop removes any resident frame for id unconditionally — used when a
+// recycled slot is about to receive new content, so a stale frame must
+// not shadow it. Holders of an outstanding pin keep their reference;
+// the pool just forgets the mapping.
+func (p *Pool) drop(id PageID) {
+	p.mu.Lock()
+	p.dropLocked(id)
+	p.mu.Unlock()
+}
+
+func (p *Pool) dropLocked(id PageID) {
+	if fr, ok := p.frames[id]; ok {
 		p.lru.Remove(fr.elem)
 		delete(p.frames, id)
 	}
@@ -225,14 +278,54 @@ func (p *Pool) evictLocked() {
 	}
 }
 
+// dirtyFrames returns the frames dirtied since the last checkpoint.
+// The caller must serialize against all tree mutation.
+func (p *Pool) dirtyFrames() []*frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*frame
+	for _, fr := range p.frames {
+		if fr.dirty {
+			out = append(out, fr)
+		}
+	}
+	return out
+}
+
+// rekey moves the relocated frames to their checkpoint slots, clears
+// every dirty/fresh flag and adopts the new allocation high-water
+// mark. The caller must serialize against all tree access.
+func (p *Pool) rekey(remap map[PageID]PageID, npages uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for old, next := range remap {
+		fr, ok := p.frames[old]
+		if !ok {
+			continue
+		}
+		delete(p.frames, old)
+		fr.id = next
+		p.frames[next] = fr
+	}
+	for _, fr := range p.frames {
+		fr.dirty = false
+		fr.fresh = false
+	}
+	p.npages = npages
+	p.evictLocked()
+}
+
 // Stats returns the pool counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	resident := len(p.frames)
-	dirty := 0
+	dirty, pinned := 0, 0
 	for _, fr := range p.frames {
 		if fr.dirty {
 			dirty++
+		}
+		if fr.pins > 0 {
+			pinned++
 		}
 	}
 	p.mu.Unlock()
@@ -242,6 +335,7 @@ func (p *Pool) Stats() PoolStats {
 		Evictions: p.evictions.Load(),
 		Resident:  resident,
 		Dirty:     dirty,
+		Pinned:    pinned,
 	}
 }
 
@@ -251,7 +345,14 @@ type Store struct {
 	f    *os.File
 	pool *Pool
 	meta Meta
+	slot int // meta slot (page 0 or 1) the current meta came from
 	tree *BTree
+
+	// free holds page slots allocatable right now (referenced by no
+	// valid meta slot); pending holds slots vacated by the latest
+	// checkpoint, which stay quarantined until the next one commits.
+	free    []PageID
+	pending []PageID
 }
 
 // Open opens an existing page file (use WriteCheckpoint to create
@@ -261,23 +362,55 @@ func Open(path string, poolPages int) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var meta Meta
+	slot := -1
 	hdr := make([]byte, PageSize)
-	if _, err := f.ReadAt(hdr, 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: read meta: %w", err)
+	for i := 0; i < 2; i++ {
+		if _, err := f.ReadAt(hdr, int64(i)*PageSize); err != nil {
+			continue // slot 1 may be missing from a short file
+		}
+		m, err := decodeMeta(hdr)
+		if err != nil {
+			continue
+		}
+		if slot < 0 || m.Gen > meta.Gen {
+			meta, slot = m, i
+		}
 	}
-	meta, err := decodeMeta(hdr)
-	if err != nil {
+	if slot < 0 {
 		f.Close()
-		return nil, err
+		return nil, errors.New("pager: no valid meta slot")
 	}
 	pool := newPool(f, poolPages, meta.NPages)
-	s := &Store{path: path, f: f, pool: pool, meta: meta}
-	s.tree = &BTree{pool: pool, root: meta.Root}
+	s := &Store{path: path, f: f, pool: pool, meta: meta, slot: slot}
+	s.tree = &BTree{pool: pool, root: meta.Root, free: s.freePage}
+	pool.alloc = s.popFree
 	return s, nil
 }
 
-// Meta returns the meta page read at open.
+// popFree hands an allocatable recycled slot to the pool, if any.
+// Runs on the externally serialized write path.
+func (s *Store) popFree() (PageID, bool) {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id, true
+	}
+	return 0, false
+}
+
+// freePage retires a dead page slot. Slots never persisted (fresh
+// since the last checkpoint) recycle immediately; slots the committed
+// image may reference quarantine until the next checkpoint commits.
+func (s *Store) freePage(id PageID) {
+	if s.pool.forget(id) {
+		s.free = append(s.free, id)
+	} else {
+		s.pending = append(s.pending, id)
+	}
+}
+
+// Meta returns the current committed meta.
 func (s *Store) Meta() Meta { return s.meta }
 
 // Tree returns the mounted B-tree. Its root migrates in memory as the
@@ -317,6 +450,147 @@ func readChain(pool *Pool, head PageID) ([]byte, error) {
 	return out, nil
 }
 
+// chainIDs lists the pages of an overflow/catalog chain.
+func chainIDs(pool *Pool, head PageID) ([]PageID, error) {
+	var ids []PageID
+	for id := head; id != 0; {
+		pg, err := pool.Get(id)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+		id = PageID(binary.LittleEndian.Uint32(pg.Data()[4:8]))
+		pg.Release()
+	}
+	return ids, nil
+}
+
+// IncrementalCheckpoint durably publishes the current tree state and
+// catalog at commit sequence seq. Cost is proportional to the pages
+// dirtied since the last checkpoint: each dirty page is written to a
+// slot the committed image does not reference (relocating pages the
+// image does hold, writing fresh ones in place), pointers into the
+// relocated pages are rewritten in the copies, and the new
+// root/catalog/seq commit atomically via the inactive meta slot. The
+// caller must serialize against all tree access.
+func (s *Store) IncrementalCheckpoint(seq uint64, catalog []byte) error {
+	oldCat, err := chainIDs(s.pool, s.meta.CatalogHead)
+	if err != nil {
+		return fmt.Errorf("pager: checkpoint: read old catalog chain: %w", err)
+	}
+
+	dirty := s.pool.dirtyFrames()
+	npages := s.pool.npages
+	var vacated []PageID
+	alloc := func() PageID {
+		id, ok := s.popFree()
+		if !ok {
+			id = PageID(npages)
+			npages++
+		}
+		// Recycled slots may linger in the pool as clean frames (e.g. a
+		// previous catalog chain read through it); evict the stale view
+		// before the slot's content changes underneath it.
+		s.pool.drop(id)
+		return id
+	}
+
+	// Assign target slots: fresh frames stay put (their slot is already
+	// outside the committed image); persisted frames relocate. Dirty
+	// path marking in the B-tree guarantees that every page pointing at
+	// a dirty page is itself dirty, so rewriting the dirty set alone
+	// repairs every pointer into the relocated copies.
+	remap := make(map[PageID]PageID)
+	targets := make([]PageID, len(dirty))
+	for i, fr := range dirty {
+		if fr.fresh {
+			targets[i] = fr.id
+			continue
+		}
+		targets[i] = alloc()
+		remap[fr.id] = targets[i]
+		vacated = append(vacated, fr.id)
+	}
+
+	// Catalog chain: freshly allocated every checkpoint.
+	catHead := PageID(0)
+	var catPages []PageID
+	var catData [][]byte
+	for off := 0; off < len(catalog); {
+		n := len(catalog) - off
+		if n > ovfCap {
+			n = ovfCap
+		}
+		d := make([]byte, PageSize)
+		d[0] = pageOverflow
+		binary.LittleEndian.PutUint16(d[2:4], uint16(n))
+		copy(d[ovfHdr:], catalog[off:off+n])
+		catPages = append(catPages, alloc())
+		catData = append(catData, d)
+		off += n
+	}
+	for i := range catPages {
+		if i+1 < len(catPages) {
+			binary.LittleEndian.PutUint32(catData[i][4:8], uint32(catPages[i+1]))
+		}
+	}
+	if len(catPages) > 0 {
+		catHead = catPages[0]
+	}
+
+	// Write the relocated/in-place dirty pages with pointers remapped,
+	// then the catalog chain, then fsync the data before the meta flip.
+	// The remap is applied to the pooled frames themselves, not a copy:
+	// the resident frames must follow the relocated ids after the commit,
+	// and by the dirty-path invariant every pointer into a relocated page
+	// lives in a dirty frame, so rewriting the dirty set covers them all.
+	// (On a write error the store is left for the engine's sticky-fail
+	// path; the committed on-disk image is untouched either way.)
+	for i, fr := range dirty {
+		remapPage(fr.data, remap)
+		if _, err := s.f.WriteAt(fr.data, int64(targets[i])*PageSize); err != nil {
+			return fmt.Errorf("pager: checkpoint write page %d: %w", targets[i], err)
+		}
+	}
+	for i, d := range catData {
+		if _, err := s.f.WriteAt(d, int64(catPages[i])*PageSize); err != nil {
+			return fmt.Errorf("pager: checkpoint write catalog page %d: %w", catPages[i], err)
+		}
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("pager: checkpoint data fsync: %w", err)
+	}
+
+	root := s.tree.root
+	if next, ok := remap[root]; ok {
+		root = next
+	}
+	meta := Meta{
+		Gen:           s.meta.Gen + 1,
+		CheckpointSeq: seq,
+		Root:          root,
+		NPages:        npages,
+		CatalogHead:   catHead,
+	}
+	slot := 1 - s.slot
+	if _, err := s.f.WriteAt(encodeMeta(meta), int64(slot)*PageSize); err != nil {
+		return fmt.Errorf("pager: checkpoint meta write: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("pager: checkpoint meta fsync: %w", err)
+	}
+
+	// Committed: adopt the new meta, move relocated frames to their
+	// slots, and promote the previous checkpoint's quarantine to the
+	// allocatable free list (the meta flip made it unreachable).
+	s.meta, s.slot = meta, slot
+	s.tree.root = root
+	s.pool.rekey(remap, npages)
+	s.free = append(s.free, s.pending...)
+	s.pending = append(vacated, oldCat...)
+	return nil
+}
+
 // --- checkpoint writer -------------------------------------------------
 
 // WriteCheckpoint bulk-loads a compacted B-tree image into path,
@@ -332,7 +606,7 @@ func WriteCheckpoint(path string, seq uint64, catalog []byte, scan func(emit fun
 	}
 	defer os.Remove(tmp) // no-op after the rename succeeds
 
-	b := &builder{f: f, next: 1}
+	b := &builder{f: f, next: 2} // pages 0 and 1 are the meta slots
 	catalogHead := PageID(0)
 	if len(catalog) > 0 {
 		catalogHead = b.writeChain(catalog)
@@ -342,8 +616,14 @@ func WriteCheckpoint(path string, seq uint64, catalog []byte, scan func(emit fun
 		f.Close()
 		return b.err
 	}
-	meta := encodeMeta(Meta{CheckpointSeq: seq, Root: root, NPages: uint32(b.next), CatalogHead: catalogHead})
+	meta := encodeMeta(Meta{Gen: 1, CheckpointSeq: seq, Root: root, NPages: uint32(b.next), CatalogHead: catalogHead})
 	if _, err := f.WriteAt(meta, 0); err != nil {
+		f.Close()
+		return err
+	}
+	// Slot 1 starts invalid (all zeroes); the first incremental
+	// checkpoint writes it.
+	if _, err := f.WriteAt(make([]byte, PageSize), PageSize); err != nil {
 		f.Close()
 		return err
 	}

@@ -198,9 +198,13 @@ func (tx *Tx) Rollback() error {
 		case undoUpdate:
 			// updateRow re-checks constraints; restoring the old image is
 			// always constraint-safe, but bypass checks to be robust.
-			cur := e.table.rows[e.rowID]
+			// rowAt faults the slot if a sweep evicted it mid-transaction.
+			cur := e.table.rowAt(e.rowID)
 			if cur != nil {
 				e.table.unindexRow(e.rowID, cur)
+			}
+			if _, ok := evictedRec(e.table.rows[e.rowID]); ok {
+				e.table.resident++
 			}
 			e.table.cowRows()
 			e.table.rows[e.rowID] = e.oldRow

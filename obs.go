@@ -325,10 +325,21 @@ func (a *App) buildRegistry() *obs.Registry {
 			e.Counter("webml_rdb_pool_hits_total", "Buffer-pool page hits.", nil, float64(s.PoolHits))
 			e.Counter("webml_rdb_pool_misses_total", "Buffer-pool page misses (disk reads).", nil, float64(s.PoolMisses))
 			e.Counter("webml_rdb_pool_evictions_total", "Clean pages evicted from the buffer pool.", nil, float64(s.PoolEvictions))
+			e.Gauge("webml_rdb_pool_resident_pages", "Pages currently cached in the buffer pool.", nil, float64(s.PoolResident))
 			e.Gauge("webml_rdb_pool_dirty_pages", "Dirty pages pinned until the next checkpoint.", nil, float64(s.PoolDirty))
+			e.Gauge("webml_rdb_pool_pinned_pages", "Pages with at least one active pin.", nil, float64(s.PoolPinned))
+			e.Counter("webml_rdb_row_faults_total", "Evicted rows materialized back from the page store.", nil, float64(s.RowFaults))
+			e.Counter("webml_rdb_rows_evicted_total", "Rows swept out to eviction markers since open.", nil, float64(s.RowsEvicted))
+			e.Gauge("webml_rdb_rows_resident", "Rows currently materialized in table slots.", nil, float64(s.RowsResident))
 			e.Counter("webml_rdb_checkpoints_total", "Page-file checkpoints (WAL resets).", nil, float64(s.Checkpoints))
 			e.Counter("webml_rdb_recovered_records_total", "WAL records replayed at the last open.", nil, float64(s.RecoveredRecords))
 		})
+		// Page-fault latency: every evicted-row materialization reports
+		// its duration through the engine's fault observer.
+		faultLat := obs.NewHistogramVec("webml_rdb_row_fault_seconds",
+			"Evicted-row fault latency by access mode.", "mode")
+		a.DB.SetFaultObserver(func(d time.Duration) { faultLat.Observe("read", d) })
+		reg.RegisterVec(faultLat)
 	}
 	if a.Admission != nil {
 		reg.RegisterVec(a.Admission.Sojourn)

@@ -45,6 +45,16 @@ func RestoreDatabase(r io.Reader) (*rdb.DB, error) { return rdb.Restore(r) }
 // every later commit is on stable storage before the call returns.
 func OpenDurableDatabase(dir string) (*rdb.DB, error) { return rdb.OpenDurable(dir) }
 
+// OpenDurableDatabasePaged opens a durable database with explicit
+// memory budgets for serving datasets larger than RAM: poolPages
+// bounds the buffer pool (4 KiB pages; <=0 selects the default 2048)
+// and residentRows bounds how many decoded rows stay materialized in
+// table slots (<=0 = unlimited). Rows beyond the budget are swept to
+// eviction markers after each commit and fault back in on demand.
+func OpenDurableDatabasePaged(dir string, poolPages, residentRows int) (*rdb.DB, error) {
+	return rdb.OpenDurableOpts(dir, rdb.DurableOptions{PoolPages: poolPages, ResidentRows: residentRows})
+}
+
 // RestoreDatabaseDurable loads a snapshot into a fresh durable
 // database rooted at dir. The restore replays through the storage
 // engine, so the rows land in the WAL and are crash-safe by the time
